@@ -1,0 +1,786 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablation benches for the design choices DESIGN.md calls
+// out and micro-benchmarks of the hot paths.
+//
+// The experiment benches run reduced pattern counts so `go test -bench=.`
+// finishes in minutes; the cmd/ tools run the full 20 000-vector versions.
+// Each bench prints the same rows/series the paper reports (via b.Logf on
+// the first iteration), and reports domain metrics (BER, energy, SNR)
+// through testing.B.ReportMetric.
+package repro
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/carry"
+	"repro/internal/cell"
+	"repro/internal/charz"
+	"repro/internal/core"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+	"repro/internal/patterns"
+	"repro/internal/rcsim"
+	"repro/internal/sim"
+	"repro/internal/speculation"
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/triad"
+)
+
+// benchPatterns is the per-triad stimulus count used by the experiment
+// benches (the paper uses 20 000; cmd/voschar reproduces that).
+const benchPatterns = 2000
+
+var paperBenches = []struct {
+	arch  synth.Arch
+	width int
+}{
+	{synth.ArchRCA, 8},
+	{synth.ArchBKA, 8},
+	{synth.ArchRCA, 16},
+	{synth.ArchBKA, 16},
+}
+
+// BenchmarkTableII regenerates the synthesis-results table: area, power
+// and critical path of the four adders.
+func BenchmarkTableII(b *testing.B) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	for i := 0; i < b.N; i++ {
+		var rows []string
+		for _, bd := range paperBenches {
+			nl, err := synth.NewAdder(bd.arch, synth.AdderConfig{Width: bd.width})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := synth.Synthesize(nl, lib, proc, 2000, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, fmt.Sprintf("%d-bit %s: area=%.1fµm² power=%.1fµW cp=%.3fns",
+				bd.width, bd.arch, rep.Area, rep.TotalPower, rep.CriticalPath))
+		}
+		if i == 0 {
+			b.Logf("Table II:\n%s", strings.Join(rows, "\n"))
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates the operating-triad table: four clocks per
+// adder, Vdd 1.0→0.4, Vbb {0, ±2} — 43 triads each.
+func BenchmarkTableIII(b *testing.B) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	for i := 0; i < b.N; i++ {
+		var rows []string
+		for _, bd := range paperBenches {
+			nl, err := synth.NewAdder(bd.arch, synth.AdderConfig{Width: bd.width})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := synth.Synthesize(nl, lib, proc, 500, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clocks := triad.PaperClockRatios(bd.arch.String(), bd.width).Clocks(rep.CriticalPath)
+			set := triad.Set(triad.DefaultSweep(clocks))
+			if len(set) != 43 {
+				b.Fatalf("triad set = %d, want 43", len(set))
+			}
+			rows = append(rows, fmt.Sprintf("%d-bit %s: Tclk=%.3g/%.3g/%.3g/%.3g ns, Vdd 1.0→0.4, Vbb 0,±2 (%d triads)",
+				bd.width, bd.arch, clocks[0], clocks[1], clocks[2], clocks[3], len(set)))
+		}
+		if i == 0 {
+			b.Logf("Table III:\n%s", strings.Join(rows, "\n"))
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the per-output-bit BER distribution of the
+// 8-bit RCA as Vdd scales 0.8→0.5 V at the synthesis clock.
+func BenchmarkFig5(b *testing.B) {
+	cfg := charz.Config{Arch: synth.ArchRCA, Width: 8, Patterns: benchPatterns, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		pts, err := charz.Fig5(cfg, []float64{0.8, 0.7, 0.6, 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var rows []string
+			for _, p := range pts {
+				var bits []string
+				for _, v := range p.PerBit {
+					bits = append(bits, fmt.Sprintf("%4.1f", v*100))
+				}
+				rows = append(rows, fmt.Sprintf("%.1fV: [%s] BER=%.1f%%",
+					p.Vdd, strings.Join(bits, " "), p.BER*100))
+			}
+			b.Logf("Fig 5 (BER%% per bit, LSB→cout):\n%s", strings.Join(rows, "\n"))
+			b.ReportMetric(pts[len(pts)-1].BER*100, "BER%@0.5V")
+		}
+	}
+}
+
+// BenchmarkTableI regenerates a carry-propagation probability table for a
+// 4-bit modified adder trained on over-scaled hardware.
+func BenchmarkTableI(b *testing.B) {
+	cfg := charz.Config{Arch: synth.ArchRCA, Width: 4, Patterns: 200, Seed: 1}
+	res, err := charz.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pick *charz.TriadResult
+	for i := range res.Triads {
+		if ber := res.Triads[i].BER(); ber > 0.05 && ber < 0.3 {
+			pick = &res.Triads[i]
+			break
+		}
+	}
+	if pick == nil {
+		b.Fatal("no mid-BER triad")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hw, err := charz.NewEngineAdder(res.Netlist, cfg, pick.Triad)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen, err := patterns.NewUniform(4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table, err := core.Train(hw, gen, 4000, core.MetricMSE)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("Table I (4-bit adder at %s, BER %.1f%%):\n%s",
+				pick.Triad.Label(), pick.BER()*100, table)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the model-accuracy study: SNR and normalized
+// Hamming distance of the statistical model per calibration metric, for
+// the 8-bit adders (16-bit runs are in cmd/vosmodel).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var rows []string
+		for _, bd := range paperBenches[:2] {
+			cfg := charz.Config{Arch: bd.arch, Width: bd.width, Patterns: 500, Seed: 1}
+			res, err := charz.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			study, err := charz.Fig7(res, charz.Fig7Config{TrainPatterns: 3000, EvalPatterns: 3000, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, fmt.Sprintf(
+				"%s: SNR(dB) MSE=%.1f Ham=%.1f WHam=%.1f | normHam MSE=%.4f Ham=%.4f WHam=%.4f (%d triads)",
+				study.Bench,
+				study.MeanSNRdB[core.MetricMSE], study.MeanSNRdB[core.MetricHamming],
+				study.MeanSNRdB[core.MetricWeightedHamming],
+				study.MeanNormHamming[core.MetricMSE], study.MeanNormHamming[core.MetricHamming],
+				study.MeanNormHamming[core.MetricWeightedHamming], study.TriadsUsed))
+		}
+		if i == 0 {
+			b.Logf("Fig 7:\n%s", strings.Join(rows, "\n"))
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the BER vs energy/operation sweep across all
+// 43 triads for each adder.
+func BenchmarkFig8(b *testing.B) {
+	for _, bd := range paperBenches {
+		bd := bd
+		b.Run(fmt.Sprintf("%s%d", bd.arch, bd.width), func(b *testing.B) {
+			cfg := charz.Config{Arch: bd.arch, Width: bd.width, Patterns: benchPatterns, Seed: 1}
+			for i := 0; i < b.N; i++ {
+				res, err := charz.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					var rows []string
+					for _, j := range res.SortedIndices() {
+						tr := res.Triads[j]
+						rows = append(rows, fmt.Sprintf("%-14s BER=%6.2f%% E/op=%6.1ffJ eff=%5.1f%%",
+							tr.Triad.Label(), tr.BER()*100, tr.EnergyPerOpFJ, tr.Efficiency*100))
+					}
+					b.Logf("Fig 8 %s:\n%s", cfg.BenchName(), strings.Join(rows, "\n"))
+					b.ReportMetric(res.NominalEnergyFJ, "fJ/op@nominal")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableIV regenerates the efficiency-per-BER-band summary for all
+// four adders.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var rows []string
+		for _, bd := range paperBenches {
+			cfg := charz.Config{Arch: bd.arch, Width: bd.width, Patterns: benchPatterns, Seed: 1}
+			res, err := charz.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range res.Table4() {
+				if s.Count == 0 {
+					rows = append(rows, fmt.Sprintf("%-10s %-10s: no triads", cfg.BenchName(), s.Band))
+					continue
+				}
+				rows = append(rows, fmt.Sprintf("%-10s %-10s: %2d triads, max eff %5.1f%% at BER %4.1f%% (%s)",
+					cfg.BenchName(), s.Band, s.Count, s.MaxEff*100, s.BERAtMaxEff*100, s.Best.Label()))
+			}
+		}
+		if i == 0 {
+			b.Logf("Table IV:\n%s", strings.Join(rows, "\n"))
+		}
+	}
+}
+
+// BenchmarkSpeculation reproduces the §V dynamic-switching narrative: a
+// governor holding an 8%-BER margin should land near the 0.4 V FBB triad
+// and save well beyond the accurate mode's energy.
+func BenchmarkSpeculation(b *testing.B) {
+	cfg := charz.Config{Arch: synth.ArchRCA, Width: 8, Patterns: benchPatterns, Seed: 1}
+	res, err := charz.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budgets := []float64{0, 0.01, 0.05, 0.15}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ladder []speculation.Operator
+		seen := map[string]bool{}
+		for _, budget := range budgets {
+			best, bestE := -1, 1e18
+			for j, tr := range res.Triads {
+				if tr.BER() <= budget && tr.EnergyPerOpFJ < bestE {
+					best, bestE = j, tr.EnergyPerOpFJ
+				}
+			}
+			tr := res.Triads[best]
+			if seen[tr.Triad.Label()] {
+				continue
+			}
+			seen[tr.Triad.Label()] = true
+			hw, err := charz.NewEngineAdder(res.Netlist, cfg, tr.Triad)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ladder = append(ladder, speculation.Operator{
+				Triad: tr.Triad, Adder: hw,
+				EnergyPerOpFJ: tr.EnergyPerOpFJ, CharBER: tr.BER(),
+			})
+		}
+		gov, err := speculation.New(ladder, speculation.DefaultConfig(0.08))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen, err := patterns.NewUniform(8, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trace := gov.Run(20000, func() (uint64, uint64) { return gen.Next() })
+		if i == 0 {
+			b.Logf("governed: final=%s BER=%.2f%% E/op=%.1ffJ (nominal %.1ffJ), %d switches",
+				trace.Final.Label(), trace.ObservedBER*100, trace.MeanEnergy,
+				res.NominalEnergyFJ, trace.Switches)
+			b.ReportMetric(trace.MeanEnergy, "fJ/op")
+			b.ReportMetric(trace.ObservedBER*100, "BER%")
+		}
+	}
+}
+
+// BenchmarkApps ties circuit BER to application quality: Gaussian blur
+// PSNR and FIR SNR with a trained model of a mid-BER triad.
+func BenchmarkApps(b *testing.B) {
+	cfg := charz.Config{Arch: synth.ArchRCA, Width: apps.Word, Patterns: 1000, Seed: 1}
+	res, err := charz.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pick *charz.TriadResult
+	for i := range res.Triads {
+		if ber := res.Triads[i].BER(); ber > 0.01 && ber < 0.08 {
+			pick = &res.Triads[i]
+			break
+		}
+	}
+	if pick == nil {
+		b.Fatal("no mid-BER triad")
+	}
+	hw, err := charz.NewEngineAdder(res.Netlist, cfg, pick.Triad)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := patterns.NewUniform(apps.Word, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := core.TrainModel(hw, gen, 6000, core.MetricMSE, pick.Triad.Label())
+	if err != nil {
+		b.Fatal(err)
+	}
+	exactAr, _ := apps.NewArith(core.ExactAdder{W: apps.Word})
+	img := apps.Synthetic(64, 48, 3)
+	refBlur := apps.GaussianBlur3(img, exactAr)
+	sig := apps.TwoTone(2048, 5)
+	refFIR := apps.BinomialFIR().Apply(sig, exactAr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		approx, err := core.NewApproxAdder(model, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ar, err := apps.NewArith(approx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blur := apps.GaussianBlur3(img, ar)
+		fir := apps.BinomialFIR().Apply(sig, ar)
+		if i == 0 {
+			psnr := apps.PSNR(refBlur, blur)
+			snr := apps.SignalSNR(refFIR, fir)
+			b.Logf("triad %s (adder BER %.2f%%): blur PSNR=%.1fdB, FIR SNR=%.1fdB",
+				pick.Triad.Label(), pick.BER()*100, psnr, snr)
+			b.ReportMetric(psnr, "blurPSNRdB")
+			b.ReportMetric(snr, "firSNRdB")
+		}
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md §6) ---
+
+// BenchmarkAblationPatternBias sweeps the stimulus carry-propagate
+// probability: longer chains (higher p) must raise the observed BER at a
+// fixed VOS triad.
+func BenchmarkAblationPatternBias(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var rows []string
+		for _, p := range []float64{0.2, 0.5, 0.8} {
+			cfg := charz.Config{
+				Arch: synth.ArchRCA, Width: 8, Patterns: benchPatterns,
+				Seed: 1, PropagateP: p,
+			}
+			res, err := charz.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Mean BER over erroneous triads.
+			var sum float64
+			n := 0
+			for _, tr := range res.Triads {
+				if tr.BER() > 0 {
+					sum += tr.BER()
+					n++
+				}
+			}
+			rows = append(rows, fmt.Sprintf("P(propagate)=%.1f: mean erroneous-triad BER=%.2f%% (%d triads)",
+				p, sum/float64(n)*100, n))
+		}
+		if i == 0 {
+			b.Logf("pattern-bias ablation:\n%s", strings.Join(rows, "\n"))
+		}
+	}
+}
+
+// BenchmarkAblationSettleVsStream compares the two-vector protocol (full
+// settling between launches) against free-running streaming capture at an
+// overclocked triad.
+func BenchmarkAblationSettleVsStream(b *testing.B) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl, err := synth.RCA(synth.AdderConfig{Width: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	op := fdsoi.OperatingPoint{Vdd: 0.7}
+	tclk := 0.183
+	for i := 0; i < b.N; i++ {
+		count := func(stream bool) float64 {
+			eng := sim.New(nl, lib, proc, op)
+			binder := sim.NewBinder(nl)
+			if err := eng.Reset(binder.Inputs()); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(9, 9))
+			errs, n := 0, 3000
+			for k := 0; k < n; k++ {
+				a, bb := rng.Uint64()&0xff, rng.Uint64()&0xff
+				binder.MustSet(synth.PortA, a)
+				binder.MustSet(synth.PortB, bb)
+				var res *sim.Result
+				var err error
+				if stream {
+					res, err = eng.StreamStep(binder.Inputs(), tclk)
+				} else {
+					res, err = eng.Step(binder.Inputs(), tclk)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, _ := res.CapturedWord(nl, synth.PortSum)
+				co, _ := res.CapturedWord(nl, synth.PortCout)
+				if s|co<<8 != a+bb {
+					errs++
+				}
+			}
+			return float64(errs) / float64(n)
+		}
+		settle, stream := count(false), count(true)
+		if i == 0 {
+			b.Logf("word error rate at (%.3f ns, %.1f V): settle=%.2f%% stream=%.2f%%",
+				tclk, op.Vdd, settle*100, stream*100)
+		}
+	}
+}
+
+// BenchmarkAblationMultiplierVOS applies the VOS characterization to the
+// array multiplier (operator-set extension): its deep carry-save array
+// fails at milder over-scaling than the adders.
+func BenchmarkAblationMultiplierVOS(b *testing.B) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl, err := synth.ArrayMultiplier(synth.MultiplierConfig{Width: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	an := sta.Analyze(nl, lib, proc, proc.Nominal())
+	tclk := an.CriticalDelay * synth.STAMargin
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rows []string
+		for _, vdd := range []float64{1.0, 0.8, 0.7, 0.6} {
+			eng := sim.New(nl, lib, proc, fdsoi.OperatingPoint{Vdd: vdd})
+			binder := sim.NewBinder(nl)
+			if err := eng.Reset(binder.Inputs()); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(11, 11))
+			faulty, total := 0, 0
+			var energy float64
+			n := 800
+			for k := 0; k < n; k++ {
+				a, bb := rng.Uint64()&0xff, rng.Uint64()&0xff
+				binder.MustSet(synth.PortA, a)
+				binder.MustSet(synth.PortB, bb)
+				res, err := eng.Step(binder.Inputs(), tclk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p, _ := res.CapturedWord(nl, synth.PortProd)
+				faulty += hamming16(p, a*bb)
+				total += 16
+				energy += res.EnergyFJ
+			}
+			rows = append(rows, fmt.Sprintf("mul8 @ %.1fV: BER=%.2f%% E/op=%.1ffJ",
+				vdd, float64(faulty)/float64(total)*100, energy/float64(n)))
+		}
+		if i == 0 {
+			b.Logf("multiplier VOS (cp=%.3fns):\n%s", tclk, strings.Join(rows, "\n"))
+		}
+	}
+}
+
+func hamming16(a, b uint64) int {
+	d := (a ^ b) & 0xffff
+	n := 0
+	for ; d != 0; d &= d - 1 {
+		n++
+	}
+	return n
+}
+
+// BenchmarkAblationTrainingSize shows model quality versus training-set
+// size (scalability claim of Section IV).
+func BenchmarkAblationTrainingSize(b *testing.B) {
+	cfg := charz.Config{Arch: synth.ArchRCA, Width: 8, Patterns: 500, Seed: 1}
+	res, err := charz.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pick *charz.TriadResult
+	for i := range res.Triads {
+		if ber := res.Triads[i].BER(); ber > 0.03 && ber < 0.3 {
+			pick = &res.Triads[i]
+			break
+		}
+	}
+	if pick == nil {
+		b.Fatal("no mid-BER triad")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rows []string
+		for _, n := range []int{250, 1000, 4000, 16000} {
+			hw, err := charz.NewEngineAdder(res.Netlist, cfg, pick.Triad)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen, err := patterns.NewUniform(8, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			samples, err := core.CollectSamples(hw, gen, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			table, err := core.TrainFromSamples(samples, 8, core.MetricMSE)
+			if err != nil {
+				b.Fatal(err)
+			}
+			model := &core.Model{Width: 8, Metric: core.MetricMSE, Table: table}
+			approx, err := core.NewApproxAdder(model, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			evalGen, err := patterns.NewUniform(8, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			evalSamples, err := core.CollectSamples(hw, evalGen, 4000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev, err := core.EvaluateSamples(evalSamples, approx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, fmt.Sprintf("train=%5d: SNR=%.1fdB normHam=%.4f", n, ev.SNRdB, ev.NormalizedHamming))
+		}
+		if i == 0 {
+			b.Logf("training-size ablation at %s:\n%s", pick.Triad.Label(), strings.Join(rows, "\n"))
+		}
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+func BenchmarkSimStepRCA8(b *testing.B) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl, _ := synth.RCA(synth.AdderConfig{Width: 8})
+	eng := sim.New(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.6, Vbb: 2})
+	binder := sim.NewBinder(nl)
+	if err := eng.Reset(binder.Inputs()); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binder.MustSet(synth.PortA, rng.Uint64()&0xff)
+		binder.MustSet(synth.PortB, rng.Uint64()&0xff)
+		if _, err := eng.Step(binder.Inputs(), 0.183); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimStepBKA16(b *testing.B) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl, _ := synth.BKA(synth.AdderConfig{Width: 16})
+	eng := sim.New(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.6, Vbb: 2})
+	binder := sim.NewBinder(nl)
+	if err := eng.Reset(binder.Inputs()); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binder.MustSet(synth.PortA, rng.Uint64()&0xffff)
+		binder.MustSet(synth.PortB, rng.Uint64()&0xffff)
+		if _, err := eng.Step(binder.Inputs(), 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApproxAdd(b *testing.B) {
+	model := &core.Model{Width: 16, Metric: core.MetricMSE, Table: core.Identity(16)}
+	approx, err := core.NewApproxAdder(model, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		approx.Add(rng.Uint64()&0xffff, rng.Uint64()&0xffff)
+	}
+}
+
+func BenchmarkLimitedAdd(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		carry.LimitedAdd(rng.Uint64()&0xffff, rng.Uint64()&0xffff, 16, 5)
+	}
+}
+
+func BenchmarkCthmax(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		carry.Cthmax(rng.Uint64()&0xffff, rng.Uint64()&0xffff, 16)
+	}
+}
+
+func BenchmarkSTAAnalyze(b *testing.B) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl, _ := synth.BKA(synth.AdderConfig{Width: 16})
+	op := fdsoi.OperatingPoint{Vdd: 0.7, Vbb: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sta.Analyze(nl, lib, proc, op)
+	}
+}
+
+// BenchmarkAblationEngineFidelity cross-checks the two timing engines
+// (transport-delay gate-level vs switch-level RC) across a reduced triad
+// set: both must classify triads identically and report comparable BER.
+func BenchmarkAblationEngineFidelity(b *testing.B) {
+	clocks := triad.PaperClockRatios("RCA", 8).Clocks(0.27)
+	triads := []triad.Triad{
+		{Tclk: clocks[1], Vdd: 1.0, Vbb: 0},
+		{Tclk: clocks[1], Vdd: 0.5, Vbb: 2},
+		{Tclk: clocks[1], Vdd: 0.7, Vbb: 0},
+		{Tclk: clocks[1], Vdd: 0.5, Vbb: 0},
+		{Tclk: clocks[2], Vdd: 0.4, Vbb: 2},
+	}
+	for i := 0; i < b.N; i++ {
+		run := func(bk charz.Backend) *charz.Result {
+			cfg := charz.Config{
+				Arch: synth.ArchRCA, Width: 8, Patterns: 800, Seed: 1,
+				Triads: triads, Backend: bk,
+			}
+			res, err := charz.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res
+		}
+		gate, rc := run(charz.BackendGate), run(charz.BackendRC)
+		if i == 0 {
+			var rows []string
+			for j := range triads {
+				rows = append(rows, fmt.Sprintf("%-14s gate BER=%6.2f%%  rc BER=%6.2f%%",
+					triads[j].Label(), gate.Triads[j].BER()*100, rc.Triads[j].BER()*100))
+			}
+			b.Logf("engine fidelity:\n%s", strings.Join(rows, "\n"))
+		}
+	}
+}
+
+// BenchmarkAblationStaticVsVOS compares design-time approximate adders
+// (LOA, TRA — the paper's §II baselines) against voltage over-scaling of
+// an exact adder at matched error rates: the paper argues VOS offers the
+// same trade-off without freezing it into the netlist.
+func BenchmarkAblationStaticVsVOS(b *testing.B) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	cfg := charz.Config{Arch: synth.ArchRCA, Width: 8, Patterns: benchPatterns, Seed: 1}
+	vosRes, err := charz.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rows []string
+		// Static baselines at their nominal triad.
+		for _, k := range []int{2, 4} {
+			for _, kind := range []string{"loa", "tra"} {
+				var nl *netlist.Netlist
+				var err error
+				if kind == "loa" {
+					nl, err = synth.LOA(synth.ApproxConfig{Width: 8, ApproxBits: k})
+				} else {
+					nl, err = synth.TRA(synth.ApproxConfig{Width: 8, ApproxBits: k})
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := synth.Synthesize(nl, lib, proc, 500, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := sim.New(nl, lib, proc, proc.Nominal())
+				binder := sim.NewBinder(nl)
+				if err := eng.Reset(binder.Inputs()); err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewPCG(5, 5))
+				var faulty, total int
+				var energy float64
+				const n = 1500
+				for v := 0; v < n; v++ {
+					x, y := rng.Uint64()&0xff, rng.Uint64()&0xff
+					binder.MustSet(synth.PortA, x)
+					binder.MustSet(synth.PortB, y)
+					res, err := eng.Step(binder.Inputs(), rep.CriticalPath)
+					if err != nil {
+						b.Fatal(err)
+					}
+					s, _ := res.CapturedWord(nl, synth.PortSum)
+					co, _ := res.CapturedWord(nl, synth.PortCout)
+					faulty += hamming16(s|co<<8, x+y) // 9 live bits; mask ok
+					total += 9
+					energy += res.EnergyFJ
+				}
+				rows = append(rows, fmt.Sprintf("static %s k=%d: BER=%5.2f%% E/op=%6.1ffJ (fixed at design time)",
+					kind, k, float64(faulty)/float64(total)*100, energy/n))
+			}
+		}
+		// VOS points at comparable BERs from the characterized sweep.
+		for _, target := range []float64{0.02, 0.08} {
+			best, diff := -1, 10.0
+			for j, tr := range vosRes.Triads {
+				d := tr.BER() - target
+				if d < 0 {
+					d = -d
+				}
+				if d < diff {
+					best, diff = j, d
+				}
+			}
+			tr := vosRes.Triads[best]
+			rows = append(rows, fmt.Sprintf("VOS %-14s: BER=%5.2f%% E/op=%6.1ffJ (runtime-switchable)",
+				tr.Triad.Label(), tr.BER()*100, tr.EnergyPerOpFJ))
+		}
+		if i == 0 {
+			b.Logf("static approximation vs VOS:\n%s", strings.Join(rows, "\n"))
+		}
+	}
+}
+
+// BenchmarkRCSimStep measures the switch-level engine's per-operation cost
+// relative to BenchmarkSimStepRCA8.
+func BenchmarkRCSimStep(b *testing.B) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl, _ := synth.RCA(synth.AdderConfig{Width: 8})
+	eng := rcsim.New(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.6, Vbb: 2})
+	binder := sim.NewBinder(nl)
+	if err := eng.Reset(binder.Inputs()); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binder.MustSet(synth.PortA, rng.Uint64()&0xff)
+		binder.MustSet(synth.PortB, rng.Uint64()&0xff)
+		if _, err := eng.Step(binder.Inputs(), 0.183); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

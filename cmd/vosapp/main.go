@@ -1,0 +1,151 @@
+// Command vosapp ties the circuit level to the application level: it runs
+// the error-resilient kernels (Gaussian blur, Sobel edges, FIR filter)
+// over VOS adders at several operating triads and reports end-to-end
+// quality (PSNR / SNR) against per-operation energy — the use case the
+// paper's introduction motivates and its Section IV model enables at
+// algorithmic speed.
+//
+// The adders can be the timing-simulator oracle itself (-use sim, slow,
+// bit-exact with the characterization) or the trained statistical model
+// (-use model, orders of magnitude faster — the point of the paper).
+//
+// Usage:
+//
+//	vosapp [-use model|sim] [-patterns 4000] [-train 10000] [-seed 1]
+//	       [-image 64x48] [-signal 2048]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/charz"
+	"repro/internal/core"
+	"repro/internal/patterns"
+	"repro/internal/report"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vosapp: ")
+	var (
+		use    = flag.String("use", "model", "adder backend: model (trained statistical) or sim (timing simulator)")
+		pat    = flag.Int("patterns", 4000, "characterization vectors per triad")
+		trainN = flag.Int("train", 10000, "model training vectors")
+		seed   = flag.Uint64("seed", 1, "experiment seed")
+		imgDim = flag.String("image", "64x48", "image size WxH")
+		sigLen = flag.Int("signal", 2048, "FIR signal length")
+	)
+	flag.Parse()
+	var w, h int
+	if _, err := fmt.Sscanf(*imgDim, "%dx%d", &w, &h); err != nil || w < 8 || h < 8 {
+		log.Fatalf("bad -image %q", *imgDim)
+	}
+
+	// Characterize the 16-bit RCA (the kernels' datapath width).
+	cfg := charz.Config{Arch: synth.ArchRCA, Width: apps.Word, Patterns: *pat, Seed: *seed}
+	res, err := charz.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Study triads: accurate, mild, medium, aggressive from the sweep.
+	picks := pickStudyTriads(res)
+	img := apps.Synthetic(w, h, *seed)
+	sig := apps.TwoTone(*sigLen, *seed)
+	exactAr, err := apps.NewArith(core.ExactAdder{W: apps.Word})
+	if err != nil {
+		log.Fatal(err)
+	}
+	refBlur := apps.GaussianBlur3(img, exactAr)
+	refSobel := apps.Sobel(img, exactAr)
+	refFIR := apps.BinomialFIR().Apply(sig, exactAr)
+
+	t := report.NewTable(
+		fmt.Sprintf("Application quality vs energy on %s adders (backend: %s)", cfg.BenchName(), *use),
+		"Triad", "Adder BER (%)", "E/op (fJ)", "Blur PSNR (dB)", "Sobel PSNR (dB)", "FIR SNR (dB)")
+	for _, i := range picks {
+		tr := res.Triads[i]
+		adder, err := makeAdder(*use, res, cfg, i, *trainN, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ar, err := apps.NewArith(adder)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blur := apps.GaussianBlur3(img, ar)
+		sobel := apps.Sobel(img, ar)
+		fir := apps.BinomialFIR().Apply(sig, ar)
+		t.AddRow(tr.Triad.Label(),
+			fmt.Sprintf("%.2f", tr.BER()*100),
+			fmt.Sprintf("%.1f", tr.EnergyPerOpFJ),
+			fmt.Sprintf("%.1f", apps.PSNR(refBlur, blur)),
+			fmt.Sprintf("%.1f", apps.PSNR(refSobel, sobel)),
+			fmt.Sprintf("%.1f", apps.SignalSNR(refFIR, fir)))
+	}
+	t.Render(os.Stdout)
+	fmt.Println("\n(∞ PSNR/SNR = identical to the exact-adder result)")
+}
+
+// pickStudyTriads selects the nominal triad plus three rising-BER rungs.
+func pickStudyTriads(res *charz.Result) []int {
+	idx := res.SortedIndices()
+	targets := []float64{0, 0.01, 0.05, 0.15}
+	var picks []int
+	for _, tgt := range targets {
+		best, diff := -1, 10.0
+		for _, i := range idx {
+			d := res.Triads[i].BER() - tgt
+			if d < 0 {
+				d = -d
+			}
+			if d < diff {
+				best, diff = i, d
+			}
+		}
+		dup := false
+		for _, p := range picks {
+			if p == best {
+				dup = true
+			}
+		}
+		if !dup {
+			picks = append(picks, best)
+		}
+	}
+	return picks
+}
+
+func makeAdder(use string, res *charz.Result, cfg charz.Config, triadIdx int, trainN int, seed uint64) (core.HardwareAdder, error) {
+	tr := res.Triads[triadIdx]
+	hw, err := charz.NewEngineAdder(res.Netlist, cfg, tr.Triad)
+	if err != nil {
+		return nil, err
+	}
+	switch strings.ToLower(use) {
+	case "sim":
+		return hw, nil
+	case "model":
+		if tr.BER() == 0 {
+			// Error-free triads are exactly the exact adder; skip training.
+			return core.ExactAdder{W: cfg.Width}, nil
+		}
+		gen, err := patterns.NewUniform(cfg.Width, seed)
+		if err != nil {
+			return nil, err
+		}
+		model, err := core.TrainModel(hw, gen, trainN, core.MetricMSE, tr.Triad.Label())
+		if err != nil {
+			return nil, err
+		}
+		return core.NewApproxAdder(model, seed^0xabc)
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want model or sim)", use)
+	}
+}

@@ -1,0 +1,206 @@
+// Command voschar runs the paper's characterization flow (Fig. 4) and
+// regenerates the synthesis and energy/error experiments: Table II
+// (synthesis results), Table III (operating triads), Fig. 5 (per-bit BER
+// under voltage scaling), Fig. 8 (BER and energy per operation across all
+// 43 triads) and Table IV (energy efficiency per BER band).
+//
+// Usage:
+//
+//	voschar [-bench all|rca8|bka8|rca16|bka16] [-patterns 20000]
+//	        [-seed 1] [-csv] [-table2] [-table3] [-fig5] [-fig8] [-table4]
+//
+// Without experiment flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/charz"
+	"repro/internal/report"
+	"repro/internal/synth"
+	"repro/internal/triad"
+)
+
+type benchDef struct {
+	name  string
+	arch  synth.Arch
+	width int
+}
+
+var allBenches = []benchDef{
+	{"rca8", synth.ArchRCA, 8},
+	{"bka8", synth.ArchBKA, 8},
+	{"rca16", synth.ArchRCA, 16},
+	{"bka16", synth.ArchBKA, 16},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("voschar: ")
+	var (
+		bench    = flag.String("bench", "all", "benchmark: all, rca8, bka8, rca16, bka16")
+		patterns = flag.Int("patterns", 20000, "stimulus vectors per operating triad")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		fTable2  = flag.Bool("table2", false, "only Table II (synthesis results)")
+		fTable3  = flag.Bool("table3", false, "only Table III (operating triads)")
+		fFig5    = flag.Bool("fig5", false, "only Fig. 5 (per-bit BER vs Vdd)")
+		fFig8    = flag.Bool("fig8", false, "only Fig. 8 (BER & energy per triad)")
+		fTable4  = flag.Bool("table4", false, "only Table IV (efficiency per BER band)")
+	)
+	flag.Parse()
+
+	benches, err := selectBenches(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runAll := !(*fTable2 || *fTable3 || *fFig5 || *fFig8 || *fTable4)
+
+	results := make(map[string]*charz.Result)
+	for _, b := range benches {
+		cfg := charz.Config{Arch: b.arch, Width: b.width, Patterns: *patterns, Seed: *seed}
+		res, err := charz.Run(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", b.name, err)
+		}
+		results[b.name] = res
+	}
+
+	out := os.Stdout
+	emit := func(t *report.Table) {
+		if *csv {
+			t.CSV(out)
+		} else {
+			t.Render(out)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if runAll || *fTable2 {
+		t := report.NewTable("Table II — Synthesis results (paper: area 114.7/174.1/224.5/265.5 µm², CP 0.28/0.19/0.53/0.25 ns)",
+			"Benchmark", "Gates", "Area (µm²)", "Total Power (µW)", "Critical Path (ns)")
+		for _, b := range benches {
+			r := results[b.name].Report
+			t.AddRow(results[b.name].Config.BenchName(), r.GateCount, r.Area, r.TotalPower, r.CriticalPath)
+		}
+		emit(t)
+	}
+
+	if runAll || *fTable3 {
+		t := report.NewTable("Table III — Operating triads per benchmark (derived from synthesis timing, paper methodology)",
+			"Benchmark", "Tclk (ns)", "Vdd (V)", "Vbb (V)", "Triads")
+		for _, b := range benches {
+			res := results[b.name]
+			ratios := triad.PaperClockRatios(b.arch.String(), b.width)
+			clocks := ratios.Clocks(res.Report.CriticalPath)
+			t.AddRow(res.Config.BenchName(),
+				fmt.Sprintf("%.3g, %.3g, %.3g, %.3g", clocks[0], clocks[1], clocks[2], clocks[3]),
+				"1.0 to 0.4", "0, ±2", len(res.Triads))
+		}
+		emit(t)
+	}
+
+	if runAll || *fFig5 {
+		for _, b := range benches {
+			if b.name != "rca8" && *bench == "all" {
+				continue // the paper plots Fig. 5 for the 8-bit RCA
+			}
+			cfg := charz.Config{Arch: b.arch, Width: b.width, Patterns: *patterns, Seed: *seed}
+			pts, err := charz.Fig5(cfg, []float64{0.8, 0.7, 0.6, 0.5})
+			if err != nil {
+				log.Fatal(err)
+			}
+			t := report.NewTable(fmt.Sprintf("Fig. 5 — BER %% per output bit, %s at synthesis clock, Vbb=0 (LSB→MSB incl. cout)", cfg.BenchName()),
+				append([]string{"Vdd (V)"}, bitHeaders(b.width+1)...)...)
+			for _, p := range pts {
+				row := []any{fmt.Sprintf("%.1f", p.Vdd)}
+				for _, v := range p.PerBit {
+					row = append(row, fmt.Sprintf("%.1f", v*100))
+				}
+				t.AddRow(row...)
+			}
+			emit(t)
+			if !*csv {
+				for _, p := range pts {
+					fmt.Fprintf(out, "  %.1fV |%s| (BER %.1f%%)\n", p.Vdd,
+						report.Sparkline(p.PerBit, 0.6), p.BER*100)
+				}
+				fmt.Fprintln(out)
+			}
+		}
+	}
+
+	if runAll || *fFig8 {
+		for _, b := range benches {
+			res := results[b.name]
+			idx := res.SortedIndices()
+			labels := make([]string, len(idx))
+			ber := make([]float64, len(idx))
+			energy := make([]float64, len(idx))
+			t := report.NewTable(fmt.Sprintf("Fig. 8 — BER vs Energy/Operation, %s (sorted as the paper's x-axis)", res.Config.BenchName()),
+				"Triad (Tclk,Vdd,Vbb)", "BER (%)", "Energy/Op (pJ)", "Efficiency (%)")
+			for i, j := range idx {
+				tr := res.Triads[j]
+				labels[i] = tr.Triad.Label()
+				ber[i] = tr.BER() * 100
+				energy[i] = tr.EnergyPerOpFJ / 1000
+				t.AddRow(labels[i], fmt.Sprintf("%.2f", ber[i]),
+					fmt.Sprintf("%.4f", energy[i]), fmt.Sprintf("%.1f", tr.Efficiency*100))
+			}
+			emit(t)
+			if !*csv {
+				report.DualSeries(out, fmt.Sprintf("  %s profile", res.Config.BenchName()),
+					labels, ber, "BER %", energy, "E/op pJ", 30)
+				fmt.Fprintln(out)
+			}
+		}
+	}
+
+	if runAll || *fTable4 {
+		t := report.NewTable("Table IV — Energy efficiency and BER bands (paper: max 92/89/90.8/84 % within ≤25% BER)",
+			"BER band", "Benchmark", "Triads", "Max energy efficiency (%)", "BER at max (%)", "Best triad")
+		for _, band := range charz.Table4Bands {
+			for _, b := range benches {
+				res := results[b.name]
+				for _, s := range res.Table4() {
+					if s.Band != band {
+						continue
+					}
+					if s.Count == 0 {
+						t.AddRow(band.String(), res.Config.BenchName(), 0, "—", "—", "—")
+						continue
+					}
+					t.AddRow(band.String(), res.Config.BenchName(), s.Count,
+						fmt.Sprintf("%.1f", s.MaxEff*100),
+						fmt.Sprintf("%.1f", s.BERAtMaxEff*100), s.Best.Label())
+				}
+			}
+		}
+		emit(t)
+	}
+}
+
+func selectBenches(name string) ([]benchDef, error) {
+	if name == "all" {
+		return allBenches, nil
+	}
+	for _, b := range allBenches {
+		if b.name == name {
+			return []benchDef{b}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown bench %q (want all, %s)", name,
+		strings.Join([]string{"rca8", "bka8", "rca16", "bka16"}, ", "))
+}
+
+func bitHeaders(n int) []string {
+	h := make([]string, n)
+	for i := range h {
+		h[i] = fmt.Sprintf("b%d", i)
+	}
+	return h
+}

@@ -1,0 +1,190 @@
+// Command vosmodel trains and evaluates the paper's statistical model of
+// VOS-afflicted adders (Section IV): it regenerates a Table-I-style carry
+// propagation probability table and the Fig. 7 model-accuracy study (SNR
+// and normalized Hamming distance per calibration metric), and can save
+// trained models as JSON for the application layer.
+//
+// Usage:
+//
+//	vosmodel [-table1] [-fig7] [-bench all|rca8|bka8|rca16|bka16]
+//	         [-patterns 2000] [-train 10000] [-eval 10000] [-seed 1]
+//	         [-save dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/charz"
+	"repro/internal/core"
+	"repro/internal/patterns"
+	"repro/internal/report"
+	"repro/internal/synth"
+	"repro/internal/triad"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vosmodel: ")
+	var (
+		bench   = flag.String("bench", "all", "benchmark for -fig7: all, rca8, bka8, rca16, bka16")
+		pat     = flag.Int("patterns", 2000, "characterization vectors per triad (for sweep context)")
+		trainN  = flag.Int("train", 10000, "training vectors per triad")
+		evalN   = flag.Int("eval", 10000, "evaluation vectors per triad")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		fTable1 = flag.Bool("table1", false, "only Table I (probability table of a modified 4-bit adder)")
+		fFig7   = flag.Bool("fig7", false, "only Fig. 7 (model accuracy per metric)")
+		saveDir = flag.String("save", "", "directory to write trained model JSON files")
+	)
+	flag.Parse()
+	runAll := !(*fTable1 || *fFig7)
+
+	if runAll || *fTable1 {
+		if err := table1(*seed, *trainN); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if runAll || *fFig7 {
+		if err := fig7(*bench, *pat, *trainN, *evalN, *seed, *saveDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// table1 reproduces the paper's Table I on a real faulty operator: a 4-bit
+// RCA over-scaled until mid-length chains fail, trained with the MSE
+// metric.
+func table1(seed uint64, trainN int) error {
+	cfg := charz.Config{Arch: synth.ArchRCA, Width: 4, Patterns: 100, Seed: seed}
+	res, err := charz.Run(cfg)
+	if err != nil {
+		return err
+	}
+	// Pick the triad closest to 15% BER — errors present, not destroyed.
+	best, bestDiff := 0, 1.0
+	for i, tr := range res.Triads {
+		d := tr.BER() - 0.15
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDiff {
+			best, bestDiff = i, d
+		}
+	}
+	tr := res.Triads[best]
+	hw, err := charz.NewEngineAdder(res.Netlist, cfg, tr.Triad)
+	if err != nil {
+		return err
+	}
+	gen, err := patterns.NewUniform(4, seed)
+	if err != nil {
+		return err
+	}
+	table, err := core.Train(hw, gen, trainN, core.MetricMSE)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table I — Carry propagation probability table of modified 4-bit adder\n")
+	fmt.Printf("(trained on 4-bit RCA at triad %s, hardware BER %.1f%%, metric MSE)\n\n",
+		tr.Triad.Label(), tr.BER()*100)
+	fmt.Println(table)
+	return nil
+}
+
+func fig7(bench string, pat, trainN, evalN int, seed uint64, saveDir string) error {
+	type benchDef struct {
+		arch  synth.Arch
+		width int
+	}
+	defs := map[string]benchDef{
+		"rca8":  {synth.ArchRCA, 8},
+		"bka8":  {synth.ArchBKA, 8},
+		"rca16": {synth.ArchRCA, 16},
+		"bka16": {synth.ArchBKA, 16},
+	}
+	names := []string{"bka8", "rca8", "bka16", "rca16"} // paper's x order
+	if bench != "all" {
+		if _, ok := defs[bench]; !ok {
+			return fmt.Errorf("unknown bench %q", bench)
+		}
+		names = []string{bench}
+	}
+	snrT := report.NewTable("Fig. 7a — Mean SNR (dB) of the statistical model vs hardware (higher is better)",
+		"Benchmark", "MSE distance", "Hamming distance", "Weighted Hamming")
+	nhT := report.NewTable("Fig. 7b — Mean normalized Hamming distance of model vs hardware (lower is better)",
+		"Benchmark", "MSE distance", "Hamming distance", "Weighted Hamming")
+	for _, name := range names {
+		d := defs[name]
+		cfg := charz.Config{Arch: d.arch, Width: d.width, Patterns: pat, Seed: seed}
+		res, err := charz.Run(cfg)
+		if err != nil {
+			return err
+		}
+		study, err := charz.Fig7(res, charz.Fig7Config{TrainPatterns: trainN, EvalPatterns: evalN, Seed: seed})
+		if err != nil {
+			return err
+		}
+		snrT.AddRow(cfg.BenchName(),
+			fmt.Sprintf("%.1f", study.MeanSNRdB[core.MetricMSE]),
+			fmt.Sprintf("%.1f", study.MeanSNRdB[core.MetricHamming]),
+			fmt.Sprintf("%.1f", study.MeanSNRdB[core.MetricWeightedHamming]))
+		nhT.AddRow(cfg.BenchName(),
+			fmt.Sprintf("%.4f", study.MeanNormHamming[core.MetricMSE]),
+			fmt.Sprintf("%.4f", study.MeanNormHamming[core.MetricHamming]),
+			fmt.Sprintf("%.4f", study.MeanNormHamming[core.MetricWeightedHamming]))
+		if saveDir != "" {
+			if err := saveModels(res, cfg, trainN, seed, saveDir); err != nil {
+				return err
+			}
+		}
+	}
+	snrT.Render(os.Stdout)
+	fmt.Println()
+	nhT.Render(os.Stdout)
+	return nil
+}
+
+// saveModels trains and serializes an MSE-metric model for every
+// erroneous triad of the sweep.
+func saveModels(res *charz.Result, cfg charz.Config, trainN int, seed uint64, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, tr := range res.Triads {
+		if tr.BER() == 0 {
+			continue
+		}
+		hw, err := charz.NewEngineAdder(res.Netlist, cfg, tr.Triad)
+		if err != nil {
+			return err
+		}
+		gen, err := patterns.NewUniform(cfg.Width, seed)
+		if err != nil {
+			return err
+		}
+		model, err := core.TrainModel(hw, gen, trainN, core.MetricMSE, tr.Triad.Label())
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%s_%s.json", res.Netlist.Name, sanitize(tr.Triad))
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := core.WriteModel(f, model); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(tr triad.Triad) string {
+	return fmt.Sprintf("t%gv%gb%g", tr.Tclk, tr.Vdd, tr.Vbb)
+}

@@ -1,0 +1,100 @@
+// Dynspec: runtime accurate↔approximate mode switching (paper §V). A
+// workload whose error tolerance changes over time drives the speculation
+// governor: a strict phase (margin 0.1%), a tolerant phase (margin 10%),
+// then strict again. The governor climbs and descends the triad ladder
+// accordingly, harvesting energy whenever the application permits.
+//
+// Run with: go run ./examples/dynspec
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/charz"
+	"repro/internal/patterns"
+	"repro/internal/speculation"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := charz.Config{Arch: synth.ArchRCA, Width: 8, Patterns: 3000, Seed: 31}
+	res, err := charz.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	phases := []struct {
+		name   string
+		margin float64
+		ops    int
+	}{
+		{"strict  (margin 0.1%)", 0.001, 20000},
+		{"tolerant (margin 10%)", 0.10, 20000},
+		{"strict  (margin 0.1%)", 0.001, 20000},
+	}
+
+	fmt.Printf("Dynamic speculation on %s — phase-dependent error margins\n\n", cfg.BenchName())
+	gen, err := patterns.NewUniform(8, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accurateE := res.NominalEnergyFJ
+	for _, ph := range phases {
+		ladder, err := ladderFor(res, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gov, err := speculation.New(ladder, speculation.DefaultConfig(ph.margin))
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace := gov.Run(ph.ops, func() (uint64, uint64) { return gen.Next() })
+		fmt.Printf("%-24s -> triad %-14s BER %6.2f%%  E/op %6.1f fJ  (%.0f%% vs nominal), %d switches\n",
+			ph.name, trace.Final.Label(), trace.ObservedBER*100, trace.MeanEnergy,
+			(1-trace.MeanEnergy/accurateE)*100, trace.Switches)
+	}
+	fmt.Println("\nNo redesign, no extra logic: the same netlist serves both phases —")
+	fmt.Println("only the operating triad moves (supply, body bias, clock).")
+}
+
+// ladderFor builds a fresh 4-rung ladder (fresh oracles per phase keep the
+// runs independent and deterministic).
+func ladderFor(res *charz.Result, cfg charz.Config) ([]speculation.Operator, error) {
+	budgets := []float64{0, 0.01, 0.05, 0.15}
+	chosen := map[int]bool{}
+	var picks []int
+	for _, b := range budgets {
+		best, bestE := -1, 1e18
+		for i, tr := range res.Triads {
+			if tr.BER() <= b && tr.EnergyPerOpFJ < bestE {
+				best, bestE = i, tr.EnergyPerOpFJ
+			}
+		}
+		if best >= 0 && !chosen[best] {
+			chosen[best] = true
+			picks = append(picks, best)
+		}
+	}
+	sort.Slice(picks, func(a, b int) bool {
+		return res.Triads[picks[a]].EnergyPerOpFJ < res.Triads[picks[b]].EnergyPerOpFJ
+	})
+	var ops []speculation.Operator
+	for _, i := range picks {
+		tr := res.Triads[i]
+		hw, err := charz.NewEngineAdder(res.Netlist, cfg, tr.Triad)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, speculation.Operator{
+			Triad:         tr.Triad,
+			Adder:         hw,
+			EnergyPerOpFJ: tr.EnergyPerOpFJ,
+			CharBER:       tr.BER(),
+		})
+	}
+	return ops, nil
+}

@@ -1,0 +1,98 @@
+// Imagefilter: the error-resilient application study the paper's
+// introduction motivates. A Gaussian blur and a Sobel edge detector run
+// with their additions mapped onto VOS approximate adders (trained
+// statistical models of the 16-bit RCA at several operating triads), and
+// the end-to-end quality (PSNR vs the exact-adder result) is traded
+// against the adder's energy per operation.
+//
+// Run with: go run ./examples/imagefilter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/charz"
+	"repro/internal/core"
+	"repro/internal/patterns"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Characterize the kernels' datapath adder.
+	cfg := charz.Config{Arch: synth.ArchRCA, Width: apps.Word, Patterns: 2500, Seed: 11}
+	res, err := charz.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	img := apps.Synthetic(96, 72, 3)
+	exactAr, err := apps.NewArith(core.ExactAdder{W: apps.Word})
+	if err != nil {
+		log.Fatal(err)
+	}
+	refBlur := apps.GaussianBlur3(img, exactAr)
+	refEdge := apps.Sobel(img, exactAr)
+
+	fmt.Println("Gaussian blur + Sobel with VOS adders (16-bit RCA):")
+	fmt.Printf("%-14s %12s %12s %14s %14s\n", "triad", "adder BER", "E/op (fJ)", "blur PSNR", "sobel PSNR")
+
+	// Nominal plus three progressively cheaper triads.
+	for _, target := range []float64{0, 0.005, 0.03, 0.10} {
+		idx := closestBER(res, target)
+		tr := res.Triads[idx]
+		adder, err := adderFor(res, cfg, idx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ar, err := apps.NewArith(adder)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blur := apps.GaussianBlur3(img, ar)
+		edge := apps.Sobel(img, ar)
+		fmt.Printf("%-14s %11.2f%% %12.1f %11.1f dB %11.1f dB\n",
+			tr.Triad.Label(), tr.BER()*100, tr.EnergyPerOpFJ,
+			apps.PSNR(refBlur, blur), apps.PSNR(refEdge, edge))
+	}
+	fmt.Println("\nReading: a few percent adder BER costs a few dB of image quality")
+	fmt.Println("while cutting the adder energy by 2-4x — the paper's trade-off, end to end.")
+}
+
+func closestBER(res *charz.Result, target float64) int {
+	best, diff := 0, 10.0
+	for i, tr := range res.Triads {
+		d := tr.BER() - target
+		if d < 0 {
+			d = -d
+		}
+		// Prefer the cheaper triad on ties.
+		if d < diff || (d == diff && tr.EnergyPerOpFJ < res.Triads[best].EnergyPerOpFJ) {
+			best, diff = i, d
+		}
+	}
+	return best
+}
+
+func adderFor(res *charz.Result, cfg charz.Config, idx int) (core.HardwareAdder, error) {
+	tr := res.Triads[idx]
+	if tr.BER() == 0 {
+		return core.ExactAdder{W: cfg.Width}, nil
+	}
+	hw, err := charz.NewEngineAdder(res.Netlist, cfg, tr.Triad)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := patterns.NewUniform(cfg.Width, 5)
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.TrainModel(hw, gen, 8000, core.MetricMSE, tr.Triad.Label())
+	if err != nil {
+		return nil, err
+	}
+	return core.NewApproxAdder(model, 17)
+}

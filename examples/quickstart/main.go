@@ -1,0 +1,110 @@
+// Quickstart: the whole paper in one file.
+//
+//  1. Generate and synthesize a gate-level 8-bit ripple-carry adder.
+//  2. Over-scale its supply voltage and watch timing errors appear in the
+//     timing simulator (the SPICE substitute).
+//  3. Train the paper's statistical model (Algorithm 1) on the faulty
+//     hardware.
+//  4. Use the resulting approximate adder at functional speed and compare
+//     its error statistics against the hardware it imitates.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/carry"
+	"repro/internal/charz"
+	"repro/internal/core"
+	"repro/internal/patterns"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- 1. Characterize the operator across its 43 operating triads.
+	cfg := charz.Config{Arch: synth.ArchRCA, Width: 8, Patterns: 3000, Seed: 42}
+	res, err := charz.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.Report
+	fmt.Printf("Synthesized %s: %d gates, %.1f µm², critical path %.3f ns\n",
+		cfg.BenchName(), rep.GateCount, rep.Area, rep.CriticalPath)
+
+	// --- 2. Pick an aggressive operating triad: 0.4 V with forward body
+	// bias at the synthesis clock (the paper's approximate mode).
+	var vos *charz.TriadResult
+	for i := range res.Triads {
+		tr := &res.Triads[i]
+		if tr.Triad.Vdd == 0.4 && tr.Triad.Vbb == 2 && tr.BER() > 0 {
+			if vos == nil || tr.Efficiency > vos.Efficiency {
+				vos = tr
+			}
+		}
+	}
+	if vos == nil {
+		log.Fatal("no erroneous 0.4V triad found")
+	}
+	fmt.Printf("VOS triad %s: BER %.2f%%, energy/op %.1f fJ (%.0f%% saving vs nominal)\n",
+		vos.Triad.Label(), vos.BER()*100, vos.EnergyPerOpFJ, vos.Efficiency*100)
+
+	// --- 3. Train the statistical model against the faulty hardware.
+	hw, err := charz.NewEngineAdder(res.Netlist, cfg, vos.Triad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := patterns.NewUniform(8, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := core.TrainModel(hw, gen, 8000, core.MetricMSE, vos.Triad.Label())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTrained P(Cmax|Cthmax) table (metric %s):\n%s\n", model.Metric, model.Table)
+
+	// --- 4. Use the model as a drop-in approximate adder.
+	approx, err := core.NewApproxAdder(model, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("A few approximate additions at", vos.Triad.Label(), ":")
+	pairs := [][2]uint64{{200, 100}, {255, 1}, {77, 99}, {128, 127}}
+	for _, p := range pairs {
+		exact := carry.ExactAdd(p[0], p[1], 8)
+		fmt.Printf("  %3d + %3d = %3d (exact %3d, Cthmax %d)\n",
+			p[0], p[1], approx.Add(p[0], p[1]), exact, carry.Cthmax(p[0], p[1], 8))
+	}
+
+	// --- 5. Verify the model statistically tracks the hardware.
+	evalGen, err := patterns.NewUniform(8, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := core.Evaluate(hw, approx, evalGen, 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nModel vs hardware on 5000 fresh vectors:\n")
+	fmt.Printf("  SNR %.1f dB, normalized Hamming %.4f\n", ev.SNRdB, ev.NormalizedHamming)
+	fmt.Printf("  hardware BER %s, model BER %s\n",
+		fmtPct(ev.BERHardware), fmtPct(ev.BERModel))
+
+	// --- 6. And the error-free near-threshold sweet spot (the paper's
+	// 0.5 V + FBB point: big saving, zero errors).
+	for _, tr := range res.Triads {
+		if tr.Triad.Vdd == 0.5 && tr.Triad.Vbb == 2 && tr.BER() == 0 &&
+			tr.Triad.Tclk == round3(res.Report.CriticalPath) {
+			fmt.Printf("\nAccurate mode %s: 0%% BER at %.0f%% energy saving — free lunch via FBB.\n",
+				tr.Triad.Label(), tr.Efficiency*100)
+		}
+	}
+}
+
+func fmtPct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+func round3(f float64) float64 { return float64(int(f*1000+0.5)) / 1000 }

@@ -1,0 +1,201 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cell"
+	"repro/internal/charz"
+	"repro/internal/core"
+	"repro/internal/netfmt"
+	"repro/internal/patterns"
+	"repro/internal/speculation"
+	"repro/internal/spicedeck"
+	"repro/internal/synth"
+)
+
+// TestFullPipeline walks the entire reproduction end to end on one small
+// operator: generate → serialize/parse the netlist → characterize across
+// its 43 triads → train the statistical model at an aggressive triad →
+// round-trip the model through JSON → run the model inside an application
+// kernel → drive a speculation ladder — every deliverable in one test.
+func TestFullPipeline(t *testing.T) {
+	// 1. Generate and round-trip the netlist through the text format.
+	cfg := charz.Config{Arch: synth.ArchRCA, Width: 8, Patterns: 500, Seed: 7}
+	res, err := charz.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := netfmt.Write(&buf, res.Netlist); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := netfmt.Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumGates() != res.Netlist.NumGates() {
+		t.Fatal("netlist round trip changed structure")
+	}
+
+	// 2. The sweep must contain the paper's two operating regimes.
+	var accurate, approx *charz.TriadResult
+	for i := range res.Triads {
+		tr := &res.Triads[i]
+		if tr.BER() == 0 && tr.Efficiency > 0.5 && accurate == nil {
+			accurate = tr
+		}
+		if tr.BER() > 0.02 && tr.BER() < 0.3 && tr.Efficiency > accurateEff(accurate) {
+			approx = tr
+		}
+	}
+	if accurate == nil || approx == nil {
+		t.Fatalf("sweep lacks the paper's regimes (accurate=%v approx=%v)", accurate, approx)
+	}
+
+	// 3. Train the statistical model on the parsed-back netlist at the
+	// approximate triad (proving the serialized artifact is usable).
+	hw, err := charz.NewEngineAdder(parsed, cfg, approx.Triad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := patterns.NewUniform(8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.TrainModel(hw, gen, 4000, core.MetricMSE, approx.Triad.Label())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. JSON round trip.
+	var mbuf bytes.Buffer
+	if err := core.WriteModel(&mbuf, model); err != nil {
+		t.Fatal(err)
+	}
+	model2, err := core.ReadModel(&mbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 5. The deserialized model must track the hardware statistically.
+	adder, err := core.NewApproxAdder(model2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalGen, err := patterns.NewUniform(8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := core.Evaluate(hw, adder, evalGen, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.BERHardware == 0 {
+		t.Fatal("approximate triad produced no hardware errors during eval")
+	}
+	if ratio := ev.BERModel / ev.BERHardware; ratio < 0.3 || ratio > 3 {
+		t.Fatalf("model/hardware BER ratio %.2f out of band", ratio)
+	}
+
+	// 6. Analytic prediction from the table agrees with the DP chain
+	// distribution (no simulation).
+	stats, err := model2.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PExact <= 0 || stats.PExact >= 1 {
+		t.Fatalf("predicted exactness %v degenerate for a faulty triad", stats.PExact)
+	}
+
+	// 7. Speculation ladder over the two regimes holds a 1% margin.
+	ladder := []speculation.Operator{
+		{Triad: approx.Triad, Adder: adder, EnergyPerOpFJ: approx.EnergyPerOpFJ, CharBER: approx.BER()},
+		{Triad: accurate.Triad, Adder: core.ExactAdder{W: 8}, EnergyPerOpFJ: accurate.EnergyPerOpFJ, CharBER: 0},
+	}
+	gov, err := speculation.New(ladder, speculation.DefaultConfig(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := patterns.NewUniform(8, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := gov.Run(8000, func() (uint64, uint64) { return wl.Next() })
+	if trace.ObservedBER > 0.05 {
+		t.Fatalf("governed BER %v far above margin", trace.ObservedBER)
+	}
+
+	// 8. SPICE deck export of the same netlist stays well-formed.
+	var deck bytes.Buffer
+	err = spicedeck.Write(&deck, parsed, cell.Default28nmLVT(), spicedeck.Options{
+		Triad:    approx.Triad,
+		Patterns: [][]uint64{{0xFF, 0x01}, {0x12, 0x34}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(deck.String(), ".end") {
+		t.Fatal("deck truncated")
+	}
+}
+
+func accurateEff(tr *charz.TriadResult) float64 {
+	if tr == nil {
+		return -1
+	}
+	return tr.Efficiency
+}
+
+// TestModelDrivesApplication closes the loop the paper proposes: a trained
+// 16-bit model runs a full image-filter kernel at functional speed with
+// bounded quality loss.
+func TestModelDrivesApplication(t *testing.T) {
+	cfg := charz.Config{Arch: synth.ArchRCA, Width: apps.Word, Patterns: 400, Seed: 3}
+	res, err := charz.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pick *charz.TriadResult
+	for i := range res.Triads {
+		if b := res.Triads[i].BER(); b > 0.003 && b < 0.05 {
+			pick = &res.Triads[i]
+			break
+		}
+	}
+	if pick == nil {
+		t.Skip("no low-BER triad in reduced sweep")
+	}
+	hw, err := charz.NewEngineAdder(res.Netlist, cfg, pick.Triad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := patterns.NewUniform(apps.Word, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.TrainModel(hw, gen, 5000, core.MetricMSE, pick.Triad.Label())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adder, err := core.NewApproxAdder(model, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := apps.NewArith(adder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := apps.NewArith(core.ExactAdder{W: apps.Word})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := apps.Synthetic(48, 36, 2)
+	ref := apps.GaussianBlur3(img, exact)
+	got := apps.GaussianBlur3(img, ar)
+	if psnr := apps.PSNR(ref, got); psnr < 12 {
+		t.Fatalf("blur PSNR %v dB too low for %.2f%% adder BER", psnr, pick.BER()*100)
+	}
+}

@@ -1,0 +1,123 @@
+// Package carry provides the carry-chain arithmetic at the heart of the
+// paper's statistical model (Section IV): the theoretical maximal carry
+// chain Cthmax of an operand pair, and the carry-limited "modified adder"
+// that computes a sum whose carries may travel at most C positions from
+// their generation point.
+//
+// Chain-length convention: a carry born at generate position j (a_j = b_j
+// = 1) that is then propagated through positions j+1 … j+L−1 has traveled
+// L positions when it reaches position j+L. For an N-bit adder the chain
+// length therefore lies in [0, N]: 0 when no carry is generated anywhere,
+// N when a carry born at bit 0 propagates out of the carry output. This
+// matches Table I's 0…N columns.
+package carry
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+func mask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(width) - 1
+}
+
+// GenProp returns the bitwise generate (a·b) and propagate (a⊕b) words.
+func GenProp(a, b uint64, width int) (g, p uint64) {
+	m := mask(width)
+	return a & b & m, (a ^ b) & m
+}
+
+// Cthmax returns the theoretical maximal carry-chain length of a+b for a
+// width-bit adder (no carry-in): the farthest any generated carry travels.
+func Cthmax(a, b uint64, width int) int {
+	g, p := GenProp(a, b, width)
+	if g == 0 {
+		return 0
+	}
+	best := 0
+	for t := g; t != 0; t &= t - 1 {
+		j := bits.TrailingZeros64(t)
+		// The carry exits bit j and rides consecutive propagate bits.
+		l := 1
+		for k := j + 1; k < width && p>>uint(k)&1 == 1; k++ {
+			l++
+		}
+		if l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+// MaxChains returns, for each bit position i, the length of the carry
+// chain arriving into position i in the exact addition (0 when no carry
+// arrives). Index width holds the chain arriving at the carry output.
+// Useful for per-bit failure analysis (Fig. 5).
+func MaxChains(a, b uint64, width int) []int {
+	g, p := GenProp(a, b, width)
+	arr := make([]int, width+1)
+	live := false
+	dist := 0
+	for i := 0; i <= width; i++ {
+		if live {
+			arr[i] = dist
+		}
+		if i == width {
+			break
+		}
+		switch {
+		case g>>uint(i)&1 == 1:
+			live, dist = true, 1
+		case p>>uint(i)&1 == 1 && live:
+			dist++
+		default:
+			live, dist = false, 0
+		}
+	}
+	return arr
+}
+
+// LimitedAdd computes the modified adder of the paper's model: the sum of
+// a and b in which every carry chain is truncated after traveling cmax
+// positions. cmax = width (or more) reproduces the exact sum; cmax = 0
+// suppresses all carries (a XOR b). The returned word includes the carry
+// out at bit position width.
+func LimitedAdd(a, b uint64, width, cmax int) uint64 {
+	if width < 1 || width > 63 {
+		panic(fmt.Sprintf("carry: width %d outside [1, 63]", width))
+	}
+	g, p := GenProp(a, b, width)
+	var sum uint64
+	live := false
+	dist := 0
+	for i := 0; i <= width; i++ {
+		cin := uint64(0)
+		if live && dist <= cmax {
+			cin = 1
+		}
+		if i == width {
+			sum |= cin << uint(width)
+			break
+		}
+		sum |= ((p >> uint(i) & 1) ^ cin) << uint(i)
+		switch {
+		case g>>uint(i)&1 == 1:
+			live, dist = true, 1
+		case p>>uint(i)&1 == 1 && live:
+			dist++
+		default:
+			live, dist = false, 0
+		}
+	}
+	return sum
+}
+
+// ExactAdd returns a+b masked to width bits plus the carry out at bit
+// width — the golden reference in the model's output format.
+func ExactAdd(a, b uint64, width int) uint64 {
+	m := mask(width)
+	return (a&m + b&m) & (m | 1<<uint(width))
+}

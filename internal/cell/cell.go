@@ -1,0 +1,236 @@
+// Package cell provides the standard-cell library substrate: a small,
+// Liberty-like collection of combinational cells with logic functions and
+// per-cell area, capacitance, delay, energy and leakage figures.
+//
+// The library replaces the 28nm FDSOI LVT library the paper synthesized
+// against. Absolute numbers are calibrated so the synthesis reports of the
+// four adders land near the paper's Table II (see DESIGN.md §2); the
+// relative cell figures (XOR slower and bigger than NAND, etc.) follow
+// ordinary CMOS logical-effort reasoning.
+//
+// Units: area µm², capacitance fF, delay ns, energy fJ, leakage nW.
+package cell
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind identifies a cell's logic function.
+type Kind uint8
+
+// Supported cell kinds. MAJ3 is the majority-of-three carry cell; black and
+// gray prefix cells of the Brent-Kung adder are composed from AND2/OR2/AOI21
+// during synthesis rather than being primitive cells.
+const (
+	INV Kind = iota
+	BUF
+	NAND2
+	NOR2
+	AND2
+	OR2
+	XOR2
+	XNOR2
+	AOI21 // !(a | (b & c))
+	OAI21 // !(a & (b | c))
+	AO21  // a | (b & c)  — the G-combine of parallel-prefix adders
+	MAJ3  // (a&b) | (a&c) | (b&c)
+	numKinds
+)
+
+var kindNames = [...]string{
+	INV:   "INV",
+	BUF:   "BUF",
+	NAND2: "NAND2",
+	NOR2:  "NOR2",
+	AND2:  "AND2",
+	OR2:   "OR2",
+	XOR2:  "XOR2",
+	XNOR2: "XNOR2",
+	AOI21: "AOI21",
+	OAI21: "OAI21",
+	AO21:  "AO21",
+	MAJ3:  "MAJ3",
+}
+
+// String returns the conventional library name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// NumInputs returns the number of input pins of the kind.
+func (k Kind) NumInputs() int {
+	switch k {
+	case INV, BUF:
+		return 1
+	case NAND2, NOR2, AND2, OR2, XOR2, XNOR2:
+		return 2
+	case AOI21, OAI21, AO21, MAJ3:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// Eval computes the cell's output for the given input bits. Inputs beyond
+// NumInputs are ignored. Values must be 0 or 1.
+func (k Kind) Eval(in []uint8) uint8 {
+	switch k {
+	case INV:
+		return in[0] ^ 1
+	case BUF:
+		return in[0]
+	case NAND2:
+		return (in[0] & in[1]) ^ 1
+	case NOR2:
+		return (in[0] | in[1]) ^ 1
+	case AND2:
+		return in[0] & in[1]
+	case OR2:
+		return in[0] | in[1]
+	case XOR2:
+		return in[0] ^ in[1]
+	case XNOR2:
+		return (in[0] ^ in[1]) ^ 1
+	case AOI21:
+		return (in[0] | (in[1] & in[2])) ^ 1
+	case OAI21:
+		return (in[0] & (in[1] | in[2])) ^ 1
+	case AO21:
+		return in[0] | (in[1] & in[2])
+	case MAJ3:
+		return (in[0] & in[1]) | (in[0] & in[2]) | (in[1] & in[2])
+	default:
+		panic(fmt.Sprintf("cell: Eval on invalid kind %d", k))
+	}
+}
+
+// Cell is one library entry.
+type Cell struct {
+	Kind Kind
+	// Area in µm².
+	Area float64
+	// InputCap is the capacitance (fF) presented by each input pin.
+	InputCap float64
+	// Intrinsic is the parasitic (zero-load) propagation delay in ns at the
+	// nominal operating point.
+	Intrinsic float64
+	// DriveRes is the effective drive resistance in ns/fF: the slope of
+	// delay versus load capacitance at the nominal operating point.
+	DriveRes float64
+	// InternalEnergy is the short-circuit plus internal-node switching
+	// energy (fJ) dissipated inside the cell per output transition at the
+	// nominal supply (load energy is accounted separately as ½CV²).
+	InternalEnergy float64
+	// Leakage is the static power (nW) at the nominal operating point.
+	Leakage float64
+}
+
+// Delay returns the cell's nominal-corner propagation delay (ns) driving
+// cloadFF femtofarads.
+func (c *Cell) Delay(cloadFF float64) float64 {
+	return c.Intrinsic + c.DriveRes*cloadFF
+}
+
+// Validate reports whether the cell's figures are physically sensible.
+func (c *Cell) Validate() error {
+	switch {
+	case int(c.Kind) >= int(numKinds):
+		return fmt.Errorf("cell: invalid kind %d", c.Kind)
+	case c.Area <= 0:
+		return fmt.Errorf("cell %s: non-positive area", c.Kind)
+	case c.InputCap <= 0:
+		return fmt.Errorf("cell %s: non-positive input cap", c.Kind)
+	case c.Intrinsic <= 0:
+		return fmt.Errorf("cell %s: non-positive intrinsic delay", c.Kind)
+	case c.DriveRes <= 0:
+		return fmt.Errorf("cell %s: non-positive drive resistance", c.Kind)
+	case c.InternalEnergy < 0:
+		return fmt.Errorf("cell %s: negative internal energy", c.Kind)
+	case c.Leakage < 0:
+		return fmt.Errorf("cell %s: negative leakage", c.Kind)
+	}
+	return nil
+}
+
+// Library is a consistent set of cells plus global interconnect constants.
+type Library struct {
+	Name string
+	// WireCap is the fixed wire capacitance (fF) added to every net.
+	WireCap float64
+	// WireCapPerFanout is additional wire capacitance (fF) per fanout pin,
+	// modeling longer routes for higher-fanout nets.
+	WireCapPerFanout float64
+	cells            [numKinds]*Cell
+}
+
+// Cell returns the library entry for kind k, or nil if absent.
+func (l *Library) Cell(k Kind) *Cell {
+	if int(k) >= int(numKinds) {
+		return nil
+	}
+	return l.cells[k]
+}
+
+// MustCell returns the entry for k and panics if the library lacks it.
+func (l *Library) MustCell(k Kind) *Cell {
+	c := l.Cell(k)
+	if c == nil {
+		panic(fmt.Sprintf("cell: library %q has no %s", l.Name, k))
+	}
+	return c
+}
+
+// Add inserts (or replaces) a cell in the library.
+func (l *Library) Add(c *Cell) {
+	l.cells[c.Kind] = c
+}
+
+// Kinds returns the kinds present in the library in ascending order.
+func (l *Library) Kinds() []Kind {
+	var ks []Kind
+	for k := Kind(0); k < numKinds; k++ {
+		if l.cells[k] != nil {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// Validate checks every cell and the interconnect constants.
+func (l *Library) Validate() error {
+	if l.WireCap < 0 || l.WireCapPerFanout < 0 {
+		return errors.New("cell: negative wire capacitance")
+	}
+	any := false
+	for k := Kind(0); k < numKinds; k++ {
+		c := l.cells[k]
+		if c == nil {
+			continue
+		}
+		any = true
+		if c.Kind != k {
+			return fmt.Errorf("cell: entry at slot %s has kind %s", k, c.Kind)
+		}
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if !any {
+		return errors.New("cell: empty library")
+	}
+	return nil
+}
+
+// NetLoad returns the capacitive load (fF) seen by a driver whose output net
+// feeds the given fanout input capacitances.
+func (l *Library) NetLoad(fanoutCaps []float64) float64 {
+	load := l.WireCap + l.WireCapPerFanout*float64(len(fanoutCaps))
+	for _, c := range fanoutCaps {
+		load += c
+	}
+	return load
+}

@@ -1,0 +1,299 @@
+// Package charz orchestrates the paper's characterization flow (Fig. 4):
+// generate and synthesize an operator, derive its Table III operating
+// triads from the synthesis timing report, drive the timing simulator with
+// the stimulus set at every triad, and collect error statistics and energy
+// per operation. Its outputs are the raw material of Fig. 5, Fig. 8 and
+// Table IV.
+package charz
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+	"repro/internal/metrics"
+	"repro/internal/netlist"
+	"repro/internal/patterns"
+	"repro/internal/rcsim"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/triad"
+)
+
+// Backend selects the timing engine that plays the SPICE role.
+type Backend uint8
+
+// Available backends: the event-driven gate-level engine (default, fast)
+// and the switch-level RC engine (slower, models partial swings and
+// inertial glitch filtering — used to cross-check the gate-level results).
+const (
+	BackendGate Backend = iota
+	BackendRC
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendGate:
+		return "gate"
+	case BackendRC:
+		return "rc"
+	default:
+		return fmt.Sprintf("Backend(%d)", uint8(b))
+	}
+}
+
+// Config parameterizes one characterization run.
+type Config struct {
+	// Arch and Width select the operator (8/16-bit RCA/BKA in the paper).
+	Arch  synth.Arch
+	Width int
+	// Patterns is the stimulus count per triad (paper: 20 000).
+	Patterns int
+	// Seed drives pattern generation and per-gate mismatch sampling.
+	Seed uint64
+	// PropagateP is the per-bit carry-propagate probability of the
+	// stimulus (0.5 = the paper's uniform profile).
+	PropagateP float64
+	// MismatchSigma is the per-gate threshold variability (V); 0 disables
+	// Monte-Carlo variation. Defaults to the process SigmaVt when
+	// negative.
+	MismatchSigma float64
+	// Parallelism bounds concurrent triad simulations; ≤0 = GOMAXPROCS.
+	Parallelism int
+	// Proc and Lib default to fdsoi.Default() / cell.Default28nmLVT().
+	Proc *fdsoi.Params
+	Lib  *cell.Library
+	// Triads overrides the sweep set; nil derives the paper's 43 triads
+	// from the synthesis report.
+	Triads []triad.Triad
+	// Backend selects the timing engine (default: gate-level).
+	Backend Backend
+	// Streaming, when true, applies vectors every Tclk without letting
+	// the circuit settle between launches (sim.StreamStep): the
+	// free-running datapath protocol, versus the default two-vector
+	// test. Gate backend only.
+	Streaming bool
+}
+
+func (c *Config) setDefaults() error {
+	if c.Width < 1 || c.Width > 32 {
+		return fmt.Errorf("charz: width %d outside [1, 32]", c.Width)
+	}
+	if c.Patterns < 1 {
+		return fmt.Errorf("charz: need at least one pattern")
+	}
+	if c.PropagateP == 0 {
+		c.PropagateP = 0.5
+	}
+	if c.PropagateP < 0 || c.PropagateP > 1 {
+		return fmt.Errorf("charz: propagate probability %v", c.PropagateP)
+	}
+	if c.Proc == nil {
+		p := fdsoi.Default()
+		c.Proc = &p
+	}
+	if c.Lib == nil {
+		c.Lib = cell.Default28nmLVT()
+	}
+	if c.MismatchSigma < 0 {
+		c.MismatchSigma = c.Proc.SigmaVt
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// TriadResult is the per-triad outcome of a sweep.
+type TriadResult struct {
+	Triad triad.Triad
+	// Acc accumulates captured-vs-exact statistics over the full output
+	// (sum plus carry-out: width+1 bits).
+	Acc *metrics.ErrorAccumulator
+	// EnergyPerOpFJ is the mean per-operation energy (switching before
+	// capture + leakage over Tclk).
+	EnergyPerOpFJ float64
+	// LateFraction is the fraction of operations with at least one event
+	// after the capture edge.
+	LateFraction float64
+	// Efficiency is the energy saving relative to the nominal triad,
+	// filled by Run.
+	Efficiency float64
+}
+
+// BER returns the triad's bit error rate.
+func (r *TriadResult) BER() float64 { return r.Acc.BER() }
+
+// Result is a full characterization of one operator.
+type Result struct {
+	Config  Config
+	Netlist *netlist.Netlist
+	Report  *synth.Report
+	Triads  []TriadResult
+	// NominalEnergyFJ is the per-op energy of the nominal (first) triad,
+	// the baseline of all efficiency numbers.
+	NominalEnergyFJ float64
+}
+
+// BenchName formats the operator the way the paper does ("8-bit RCA").
+func (c Config) BenchName() string {
+	return fmt.Sprintf("%d-bit %s", c.Width, c.Arch)
+}
+
+// Run executes the full flow. Triads are simulated in parallel; each
+// worker owns a private Engine over the shared read-only netlist and an
+// identical pattern stream ("same set of input patterns" per the paper).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	var mm *fdsoi.MismatchSampler
+	if cfg.MismatchSigma > 0 {
+		mm = fdsoi.NewMismatchSampler(cfg.MismatchSigma, cfg.Seed^0x715317)
+	}
+	nl, err := synth.NewAdder(cfg.Arch, synth.AdderConfig{Width: cfg.Width, Mismatch: mm})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := synth.Synthesize(nl, cfg.Lib, *cfg.Proc, 2000, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	set := cfg.Triads
+	if set == nil {
+		ratios := triad.PaperClockRatios(cfg.Arch.String(), cfg.Width)
+		set = triad.Set(triad.DefaultSweep(ratios.Clocks(rep.CriticalPath)))
+	}
+	res := &Result{Config: cfg, Netlist: nl, Report: rep, Triads: make([]TriadResult, len(set))}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	errs := make([]error, len(set))
+	for i, tr := range set {
+		wg.Add(1)
+		go func(i int, tr triad.Triad) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out, err := sweepTriad(nl, cfg, tr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res.Triads[i] = *out
+		}(i, tr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.NominalEnergyFJ = res.Triads[0].EnergyPerOpFJ
+	for i := range res.Triads {
+		res.Triads[i].Efficiency = metrics.EnergyEfficiency(
+			res.Triads[i].EnergyPerOpFJ, res.NominalEnergyFJ)
+	}
+	return res, nil
+}
+
+// stepFunc abstracts one clocked two-vector experiment over either
+// backend: it returns the captured full output word (sum plus carry-out),
+// the step energy and the late flag.
+type stepFunc func(tclk float64) (got uint64, energyFJ float64, late bool, err error)
+
+// makeStepper builds the backend-specific step closure.
+func makeStepper(nl *netlist.Netlist, cfg Config, tr triad.Triad, binder *sim.Binder) (stepFunc, error) {
+	switch cfg.Backend {
+	case BackendGate:
+		eng := sim.New(nl, cfg.Lib, *cfg.Proc, tr.OperatingPoint())
+		if err := eng.Reset(binder.Inputs()); err != nil {
+			return nil, err
+		}
+		return func(tclk float64) (uint64, float64, bool, error) {
+			var res *sim.Result
+			var err error
+			if cfg.Streaming {
+				res, err = eng.StreamStep(binder.Inputs(), tclk)
+			} else {
+				res, err = eng.Step(binder.Inputs(), tclk)
+			}
+			if err != nil {
+				return 0, 0, false, err
+			}
+			sum, _ := res.CapturedWord(nl, synth.PortSum)
+			cout, _ := res.CapturedWord(nl, synth.PortCout)
+			return sum | cout<<uint(cfg.Width), res.EnergyFJ, res.Late, nil
+		}, nil
+	case BackendRC:
+		if cfg.Streaming {
+			return nil, fmt.Errorf("charz: streaming capture is gate-backend only")
+		}
+		eng := rcsim.New(nl, cfg.Lib, *cfg.Proc, tr.OperatingPoint())
+		if err := eng.Reset(binder.Inputs()); err != nil {
+			return nil, err
+		}
+		return func(tclk float64) (uint64, float64, bool, error) {
+			res, err := eng.Step(binder.Inputs(), tclk)
+			if err != nil {
+				return 0, 0, false, err
+			}
+			sum, _ := res.CapturedWord(nl, synth.PortSum)
+			cout, _ := res.CapturedWord(nl, synth.PortCout)
+			return sum | cout<<uint(cfg.Width), res.EnergyFJ, res.Late, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("charz: unknown backend %v", cfg.Backend)
+	}
+}
+
+// sweepTriad runs the stimulus set through one triad.
+func sweepTriad(nl *netlist.Netlist, cfg Config, tr triad.Triad) (*TriadResult, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := patterns.NewPropagateProfile(cfg.Width, cfg.PropagateP, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	binder := sim.NewBinder(nl)
+	step, err := makeStepper(nl, cfg, tr, binder)
+	if err != nil {
+		return nil, err
+	}
+	acc := metrics.NewErrorAccumulator(cfg.Width + 1)
+	var energy metrics.EnergyAccumulator
+	late := 0
+	for i := 0; i < cfg.Patterns; i++ {
+		a, b := gen.Next()
+		binder.MustSet(synth.PortA, a)
+		binder.MustSet(synth.PortB, b)
+		got, e, wasLate, err := step(tr.Tclk)
+		if err != nil {
+			return nil, err
+		}
+		want := (a + b) & (1<<uint(cfg.Width+1) - 1)
+		acc.Add(want, got)
+		energy.Add(e)
+		if wasLate {
+			late++
+		}
+	}
+	return &TriadResult{
+		Triad:         tr,
+		Acc:           acc,
+		EnergyPerOpFJ: energy.MeanFJ(),
+		LateFraction:  float64(late) / float64(cfg.Patterns),
+	}, nil
+}
+
+// SortedIndices returns triad indices in the paper's Fig. 8 x-axis order:
+// ascending BER, ties by ascending energy.
+func (r *Result) SortedIndices() []int {
+	return triad.SortByBERThenEnergy(len(r.Triads),
+		func(i int) float64 { return r.Triads[i].BER() },
+		func(i int) float64 { return r.Triads[i].EnergyPerOpFJ })
+}

@@ -1,0 +1,279 @@
+package charz
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+	"repro/internal/patterns"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/triad"
+)
+
+// EngineAdder exposes a timing-simulator engine at a fixed triad as a
+// core.HardwareAdder — the faulty-operator oracle of the paper's Fig. 6.
+// Each Add runs one two-vector timing experiment (the previous operands
+// are the launch state, exactly like the characterization sweep).
+type EngineAdder struct {
+	eng    *sim.Engine
+	nl     *netlist.Netlist
+	binder *sim.Binder
+	width  int
+	tclk   float64
+	energy float64
+	ops    uint64
+}
+
+// NewEngineAdder builds the oracle. The netlist must expose the synth
+// adder ports (a, b, s, cout).
+func NewEngineAdder(nl *netlist.Netlist, cfg Config, tr triad.Triad) (*EngineAdder, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	pa, ok := nl.InputPort(synth.PortA)
+	if !ok {
+		return nil, fmt.Errorf("charz: netlist %s lacks port %q", nl.Name, synth.PortA)
+	}
+	e := &EngineAdder{
+		eng:    sim.New(nl, cfg.Lib, *cfg.Proc, tr.OperatingPoint()),
+		nl:     nl,
+		binder: sim.NewBinder(nl),
+		width:  len(pa.Bits),
+		tclk:   tr.Tclk,
+	}
+	if err := e.eng.Reset(e.binder.Inputs()); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Width implements core.HardwareAdder.
+func (e *EngineAdder) Width() int { return e.width }
+
+// Add implements core.HardwareAdder. Simulation failures cannot occur for
+// in-range operands, so Add panics rather than returning an error (the
+// interface mirrors real hardware, which has no error channel either).
+func (e *EngineAdder) Add(a, b uint64) uint64 {
+	e.binder.MustSet(synth.PortA, a)
+	e.binder.MustSet(synth.PortB, b)
+	res, err := e.eng.Step(e.binder.Inputs(), e.tclk)
+	if err != nil {
+		panic(fmt.Sprintf("charz: simulation failed: %v", err))
+	}
+	sum, _ := res.CapturedWord(e.nl, synth.PortSum)
+	cout, _ := res.CapturedWord(e.nl, synth.PortCout)
+	e.energy += res.EnergyFJ
+	e.ops++
+	return sum | cout<<uint(e.width)
+}
+
+// MeanEnergyFJ returns the average per-operation energy so far.
+func (e *EngineAdder) MeanEnergyFJ() float64 {
+	if e.ops == 0 {
+		return 0
+	}
+	return e.energy / float64(e.ops)
+}
+
+// Fig5Point is one curve of Fig. 5: per-output-bit error probability at a
+// given supply voltage.
+type Fig5Point struct {
+	Vdd    float64
+	PerBit []float64 // LSB..MSB, including carry-out
+	BER    float64
+}
+
+// Fig5 reproduces the paper's Fig. 5: the distribution of BER across the
+// output bits of the adder as Vdd scales down at the synthesis clock with
+// no body bias.
+func Fig5(cfg Config, vdds []float64) ([]Fig5Point, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	var mm *fdsoi.MismatchSampler
+	if cfg.MismatchSigma > 0 {
+		mm = fdsoi.NewMismatchSampler(cfg.MismatchSigma, cfg.Seed^0x715317)
+	}
+	nl, err := synth.NewAdder(cfg.Arch, synth.AdderConfig{Width: cfg.Width, Mismatch: mm})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := synth.Synthesize(nl, cfg.Lib, *cfg.Proc, 2000, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig5Point, 0, len(vdds))
+	for _, vdd := range vdds {
+		tr := triad.Triad{Tclk: rep.CriticalPath, Vdd: vdd, Vbb: 0}
+		res, err := sweepTriad(nl, cfg, tr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig5Point{
+			Vdd:    vdd,
+			PerBit: res.Acc.PerBitErrorProb(),
+			BER:    res.BER(),
+		})
+	}
+	return out, nil
+}
+
+// Band is a BER range of Table IV in rounded percent (inclusive bounds).
+type Band struct{ Lo, Hi int }
+
+// String formats the band the way the paper's Table IV row labels do.
+func (b Band) String() string {
+	if b.Lo == b.Hi {
+		return fmt.Sprintf("%d%%", b.Lo)
+	}
+	return fmt.Sprintf("%d%% to %d%%", b.Lo, b.Hi)
+}
+
+// Table4Bands are the paper's BER ranges.
+var Table4Bands = []Band{{0, 0}, {1, 10}, {11, 20}, {21, 25}}
+
+// BandSummary is one cell group of Table IV for one adder.
+type BandSummary struct {
+	Band  Band
+	Count int
+	// MaxEff is the best energy efficiency (fraction) among the band's
+	// triads; BERAtMaxEff is that triad's BER (fraction); Best is the
+	// triad achieving it. Valid only when Count > 0.
+	MaxEff      float64
+	BERAtMaxEff float64
+	Best        triad.Triad
+}
+
+// Table4 summarizes a characterization result into the paper's Table IV
+// rows. BER values are binned by rounding to whole percent.
+func (r *Result) Table4() []BandSummary {
+	out := make([]BandSummary, len(Table4Bands))
+	for i, b := range Table4Bands {
+		out[i].Band = b
+	}
+	for _, tr := range r.Triads {
+		pct := int(math.Round(tr.BER() * 100))
+		for i, b := range Table4Bands {
+			if pct < b.Lo || pct > b.Hi {
+				continue
+			}
+			s := &out[i]
+			s.Count++
+			if s.Count == 1 || tr.Efficiency > s.MaxEff {
+				s.MaxEff = tr.Efficiency
+				s.BERAtMaxEff = tr.BER()
+				s.Best = tr.Triad
+			}
+		}
+	}
+	return out
+}
+
+// ModelStudy is the Fig. 7 experiment for one adder: per calibration
+// metric, the model-vs-hardware SNR and normalized Hamming distance
+// aggregated over all erroneous triads of the sweep.
+type ModelStudy struct {
+	Bench string
+	// MeanSNRdB and MeanNormHamming index by core.Metric.
+	MeanSNRdB       [3]float64
+	MeanNormHamming [3]float64
+	// TriadsUsed counts the triads contributing to the averages (those
+	// with finite SNR, i.e. at least one hardware error; error-free
+	// triads are modeled exactly and would inflate the mean with +Inf).
+	TriadsUsed int
+}
+
+// Fig7Config tunes the model study.
+type Fig7Config struct {
+	// TrainPatterns and EvalPatterns per triad (paper: 20K SPICE patterns
+	// total per triad).
+	TrainPatterns int
+	EvalPatterns  int
+	// Seed decorrelates the training and evaluation streams.
+	Seed uint64
+}
+
+// Fig7 trains the statistical model at every triad of an existing
+// characterization result and reports the aggregated estimation accuracy
+// per metric (Fig. 7a: SNR; Fig. 7b: normalized Hamming distance).
+func Fig7(res *Result, fc Fig7Config) (*ModelStudy, error) {
+	if fc.TrainPatterns <= 0 || fc.EvalPatterns <= 0 {
+		return nil, fmt.Errorf("charz: Fig7 needs positive pattern counts")
+	}
+	cfg := res.Config
+	study := &ModelStudy{Bench: cfg.BenchName()}
+	var sumSNR, sumNH [3]float64
+	used := 0
+	for _, trRes := range res.Triads {
+		hw, err := NewEngineAdder(res.Netlist, cfg, trRes.Triad)
+		if err != nil {
+			return nil, err
+		}
+		trainGen, err := patterns.NewPropagateProfile(cfg.Width, cfg.PropagateP, fc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		trainSamples, err := core.CollectSamples(hw, trainGen, fc.TrainPatterns)
+		if err != nil {
+			return nil, err
+		}
+		evalGen, err := patterns.NewPropagateProfile(cfg.Width, cfg.PropagateP, fc.Seed^0xe7a1)
+		if err != nil {
+			return nil, err
+		}
+		evalSamples, err := core.CollectSamples(hw, evalGen, fc.EvalPatterns)
+		if err != nil {
+			return nil, err
+		}
+		anyFinite := false
+		var snr, nh [3]float64
+		for _, m := range core.Metrics() {
+			table, err := core.TrainFromSamples(trainSamples, cfg.Width, m)
+			if err != nil {
+				return nil, err
+			}
+			model := &core.Model{Width: cfg.Width, Metric: m, Label: trRes.Triad.Label(), Table: table}
+			approx, err := core.NewApproxAdder(model, fc.Seed^uint64(m))
+			if err != nil {
+				return nil, err
+			}
+			ev, err := core.EvaluateSamples(evalSamples, approx)
+			if err != nil {
+				return nil, err
+			}
+			if !math.IsInf(ev.SNRdB, 0) {
+				anyFinite = true
+			}
+			snr[m] = ev.SNRdB
+			nh[m] = ev.NormalizedHamming
+		}
+		if !anyFinite {
+			continue // error-free triad: modeled exactly, skip
+		}
+		used++
+		for m := range snr {
+			if math.IsInf(snr[m], 1) {
+				// Perfect reproduction of a faulty triad: credit a high
+				// but finite SNR so means stay meaningful.
+				snr[m] = 60
+			}
+			sumSNR[m] += snr[m]
+			sumNH[m] += nh[m]
+		}
+	}
+	if used == 0 {
+		return nil, fmt.Errorf("charz: no erroneous triads to model")
+	}
+	for m := range sumSNR {
+		study.MeanSNRdB[m] = sumSNR[m] / float64(used)
+		study.MeanNormHamming[m] = sumNH[m] / float64(used)
+	}
+	study.TriadsUsed = used
+	return study, nil
+}

@@ -1,0 +1,162 @@
+package charz
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/netlist"
+	"repro/internal/patterns"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/triad"
+)
+
+// Operator generalizes the characterization flow beyond adders: any
+// two-operand combinational block with a golden reference function can be
+// swept (the paper's framework claims compliance with "different
+// arithmetic configurations"; the array multiplier uses this path).
+type Operator struct {
+	// Netlist is the gate-level implementation with input ports a and b.
+	Netlist *netlist.Netlist
+	// Name labels reports.
+	Name string
+	// InWidth is the operand width of ports a and b.
+	InWidth int
+	// OutPorts lists the output ports composing the result word, LSB
+	// bits of the first port first.
+	OutPorts []string
+	// OutWidth is the total output word width.
+	OutWidth int
+	// Golden computes the exact result for masked operands.
+	Golden func(a, b uint64) uint64
+}
+
+// AdderOperator wraps a synth adder netlist in Operator form.
+func AdderOperator(nl *netlist.Netlist, width int) Operator {
+	return Operator{
+		Netlist:  nl,
+		Name:     nl.Name,
+		InWidth:  width,
+		OutPorts: []string{synth.PortSum, synth.PortCout},
+		OutWidth: width + 1,
+		Golden: func(a, b uint64) uint64 {
+			return (a + b) & (1<<uint(width+1) - 1)
+		},
+	}
+}
+
+// MultiplierOperator wraps a synth array multiplier.
+func MultiplierOperator(nl *netlist.Netlist, width int) Operator {
+	return Operator{
+		Netlist:  nl,
+		Name:     nl.Name,
+		InWidth:  width,
+		OutPorts: []string{synth.PortProd},
+		OutWidth: 2 * width,
+		Golden: func(a, b uint64) uint64 {
+			m := uint64(1)<<uint(width) - 1
+			return (a & m) * (b & m)
+		},
+	}
+}
+
+// Validate checks the operator description against its netlist.
+func (op Operator) Validate() error {
+	if op.Netlist == nil || op.Golden == nil {
+		return fmt.Errorf("charz: incomplete operator")
+	}
+	if op.InWidth < 1 || op.OutWidth < 1 {
+		return fmt.Errorf("charz: operator widths %d/%d", op.InWidth, op.OutWidth)
+	}
+	total := 0
+	for _, name := range op.OutPorts {
+		p, ok := op.Netlist.OutputPort(name)
+		if !ok {
+			return fmt.Errorf("charz: netlist %s lacks output port %q", op.Netlist.Name, name)
+		}
+		total += len(p.Bits)
+	}
+	if total != op.OutWidth {
+		return fmt.Errorf("charz: output ports carry %d bits, OutWidth says %d", total, op.OutWidth)
+	}
+	for _, name := range []string{synth.PortA, synth.PortB} {
+		p, ok := op.Netlist.InputPort(name)
+		if !ok || len(p.Bits) != op.InWidth {
+			return fmt.Errorf("charz: netlist %s lacks %d-bit input %q", op.Netlist.Name, op.InWidth, name)
+		}
+	}
+	return nil
+}
+
+// capturedWord assembles the operator's output word from a captured
+// net-value snapshot.
+func (op Operator) capturedWord(values []uint8) uint64 {
+	var w uint64
+	shift := 0
+	for _, name := range op.OutPorts {
+		p, _ := op.Netlist.OutputPort(name)
+		w |= netlist.PortValue(p, values) << uint(shift)
+		shift += len(p.Bits)
+	}
+	return w
+}
+
+// SweepOperator characterizes an arbitrary operator over a triad set using
+// the gate-level engine, returning per-triad results in set order. The
+// triad set must be supplied (operators other than adders have no Table
+// III row to derive one from — use triad.Set with the synthesized critical
+// path).
+func SweepOperator(op Operator, cfg Config, set []triad.Triad) ([]TriadResult, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if err := op.Validate(); err != nil {
+		return nil, err
+	}
+	if len(set) == 0 {
+		return nil, fmt.Errorf("charz: empty triad set")
+	}
+	results := make([]TriadResult, len(set))
+	for i, tr := range set {
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+		gen, err := patterns.NewPropagateProfile(op.InWidth, cfg.PropagateP, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		eng := sim.New(op.Netlist, cfg.Lib, *cfg.Proc, tr.OperatingPoint())
+		binder := sim.NewBinder(op.Netlist)
+		if err := eng.Reset(binder.Inputs()); err != nil {
+			return nil, err
+		}
+		acc := metrics.NewErrorAccumulator(op.OutWidth)
+		var energy metrics.EnergyAccumulator
+		late := 0
+		for v := 0; v < cfg.Patterns; v++ {
+			a, b := gen.Next()
+			binder.MustSet(synth.PortA, a)
+			binder.MustSet(synth.PortB, b)
+			res, err := eng.Step(binder.Inputs(), tr.Tclk)
+			if err != nil {
+				return nil, err
+			}
+			acc.Add(op.Golden(a, b), op.capturedWord(res.Captured))
+			energy.Add(res.EnergyFJ)
+			if res.Late {
+				late++
+			}
+		}
+		results[i] = TriadResult{
+			Triad:         tr,
+			Acc:           acc,
+			EnergyPerOpFJ: energy.MeanFJ(),
+			LateFraction:  float64(late) / float64(cfg.Patterns),
+		}
+	}
+	for i := range results {
+		results[i].Efficiency = metrics.EnergyEfficiency(
+			results[i].EnergyPerOpFJ, results[0].EnergyPerOpFJ)
+	}
+	return results, nil
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/carry"
+	"repro/internal/metrics"
+	"repro/internal/patterns"
+)
+
+// This file provides analysis utilities layered on the trained model:
+// a deterministic (expected-chain) adder variant, an analytic per-bit
+// error-probability predictor, and energy annotation — the pieces that
+// make the model usable for algorithmic-level exploration without any
+// further simulation (the paper's stated goal for Section IV).
+
+// MeanAdder is a deterministic sibling of ApproxAdder: instead of sampling
+// Cmax it truncates at round(E[Cmax | Cthmax]). Useful when repeatable
+// approximate behaviour is required (e.g. regression testing an
+// application pipeline).
+type MeanAdder struct {
+	model *Model
+	limit []int // per Cthmax: rounded expected chain
+}
+
+// NewMeanAdder precomputes the per-column expected truncations.
+func NewMeanAdder(m *Model) (*MeanAdder, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	limit := make([]int, m.Width+1)
+	for l := 0; l <= m.Width; l++ {
+		limit[l] = int(math.Round(m.Table.Mean(l)))
+	}
+	return &MeanAdder{model: m, limit: limit}, nil
+}
+
+// Width implements HardwareAdder.
+func (m *MeanAdder) Width() int { return m.model.Width }
+
+// Add implements HardwareAdder deterministically.
+func (m *MeanAdder) Add(a, b uint64) uint64 {
+	cth := carry.Cthmax(a, b, m.model.Width)
+	return carry.LimitedAdd(a, b, m.model.Width, m.limit[cth])
+}
+
+// PredictedStats holds closed-form predictions derived from a model
+// without running it.
+type PredictedStats struct {
+	// PChainLen[l] is the probability that a random operand pair has
+	// Cthmax = l under the assumed propagate probability.
+	PChainLen []float64
+	// PExact is the probability an addition is carried out exactly
+	// (Cmax = Cthmax).
+	PExact float64
+	// MeanTruncation is E[Cthmax − Cmax] over operand pairs.
+	MeanTruncation float64
+}
+
+// Predict computes chain-length statistics for width-bit uniform operands
+// (propagate probability ½ per bit, generate ¼ — the paper's stimulus) by
+// dynamic programming, then folds in the model's conditional table.
+//
+// This is the scalability pay-off of the (N+1)²/2 table: error statistics
+// of the faulty operator come from arithmetic on the table, with no
+// simulation at all.
+func (m *Model) Predict() (*PredictedStats, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.Width
+	pLen := chainLengthDistribution(n)
+	stats := &PredictedStats{PChainLen: pLen}
+	for l := 0; l <= n; l++ {
+		stats.PExact += pLen[l] * m.Table.ExactnessProb(l)
+		stats.MeanTruncation += pLen[l] * (float64(l) - m.Table.Mean(l))
+	}
+	return stats, nil
+}
+
+// chainLengthDistribution returns P(Cthmax = l) for uniform random
+// width-bit operand pairs, computed exactly by dynamic programming over
+// the per-bit (generate ¼ / propagate ½ / kill ¼) alphabet.
+//
+// State: scanning bits LSB→MSB, track the length of the currently live
+// chain suffix (length of the active generate+propagate run ending at the
+// current bit, 0 if none) and the maximum chain completed so far. The
+// distribution follows by summing terminal states.
+func chainLengthDistribution(n int) []float64 {
+	type state struct{ live, max int }
+	cur := map[state]float64{{0, 0}: 1}
+	for bit := 0; bit < n; bit++ {
+		next := make(map[state]float64, len(cur))
+		for st, p := range cur {
+			// generate (¼): a fresh chain of length 1 starts here.
+			ng := state{live: 1, max: maxInt(st.max, 1)}
+			next[ng] += p * 0.25
+			// propagate (½): extends the live chain if any.
+			var np state
+			if st.live > 0 {
+				np = state{live: st.live + 1, max: maxInt(st.max, st.live+1)}
+			} else {
+				np = state{live: 0, max: st.max}
+			}
+			next[np] += p * 0.5
+			// kill (¼): chain dies.
+			nk := state{live: 0, max: st.max}
+			next[nk] += p * 0.25
+		}
+		cur = next
+	}
+	out := make([]float64, n+1)
+	for st, p := range cur {
+		out[st.max] += p
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EnergyModel annotates a set of trained models with their characterized
+// energies, turning the family into the algorithmic-level design-space
+// object the paper proposes: for a target error budget, pick the cheapest
+// operating triad.
+type EnergyModel struct {
+	// Entries are sorted by ascending energy.
+	Entries []EnergyEntry
+}
+
+// EnergyEntry pairs one triad's model with its characterized figures.
+type EnergyEntry struct {
+	Model      *Model
+	EnergyFJ   float64
+	CharBER    float64
+	TriadLabel string
+}
+
+// NewEnergyModel validates and sorts the entries.
+func NewEnergyModel(entries []EnergyEntry) (*EnergyModel, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("core: empty energy model")
+	}
+	if entries[0].Model == nil {
+		return nil, fmt.Errorf("core: nil model in energy entry")
+	}
+	w := entries[0].Model.Width
+	for _, e := range entries {
+		if e.Model == nil {
+			return nil, fmt.Errorf("core: nil model in energy entry")
+		}
+		if err := e.Model.Validate(); err != nil {
+			return nil, err
+		}
+		if e.Model.Width != w {
+			return nil, fmt.Errorf("core: mixed widths in energy model")
+		}
+		if e.EnergyFJ < 0 || e.CharBER < 0 || e.CharBER > 1 {
+			return nil, fmt.Errorf("core: invalid figures in energy entry %q", e.TriadLabel)
+		}
+	}
+	sorted := make([]EnergyEntry, len(entries))
+	copy(sorted, entries)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].EnergyFJ < sorted[j-1].EnergyFJ; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return &EnergyModel{Entries: sorted}, nil
+}
+
+// Cheapest returns the lowest-energy entry whose characterized BER is
+// within the budget, or false if none qualifies.
+func (em *EnergyModel) Cheapest(berBudget float64) (EnergyEntry, bool) {
+	for _, e := range em.Entries {
+		if e.CharBER <= berBudget {
+			return e, true
+		}
+	}
+	return EnergyEntry{}, false
+}
+
+// ParetoFront returns the entries not dominated in (energy, BER).
+func (em *EnergyModel) ParetoFront() []EnergyEntry {
+	var front []EnergyEntry
+	bestBER := math.Inf(1)
+	for _, e := range em.Entries { // ascending energy
+		if e.CharBER < bestBER {
+			front = append(front, e)
+			bestBER = e.CharBER
+		}
+	}
+	return front
+}
+
+// EmpiricalChainDistribution measures P(Cthmax = l) from a generator, for
+// cross-checking Predict against arbitrary stimulus profiles.
+func EmpiricalChainDistribution(gen patterns.Generator, n int) []float64 {
+	width := gen.Width()
+	counts := make([]float64, width+1)
+	for i := 0; i < n; i++ {
+		a, b := gen.Next()
+		counts[carry.Cthmax(a, b, width)]++
+	}
+	for i := range counts {
+		counts[i] /= float64(n)
+	}
+	return counts
+}
+
+// ModelBitProfile measures the per-bit error probability of a model
+// against the exact sum over a stimulus stream — Fig. 5's per-bit curves
+// regenerated from the trained table at functional speed, with no timing
+// simulation. Index 0 is the LSB; the last entry is the carry-out.
+func ModelBitProfile(m *Model, gen patterns.Generator, n int, seed uint64) ([]float64, error) {
+	adder, err := NewApproxAdder(m, seed)
+	if err != nil {
+		return nil, err
+	}
+	if gen.Width() != m.Width {
+		return nil, fmt.Errorf("core: generator width %d != model width %d", gen.Width(), m.Width)
+	}
+	if n <= 0 {
+		return nil, ErrInsufficientData
+	}
+	acc := metrics.NewErrorAccumulator(m.Width + 1)
+	for i := 0; i < n; i++ {
+		a, b := gen.Next()
+		acc.Add(carry.ExactAdd(a, b, m.Width), adder.Add(a, b))
+	}
+	return acc.PerBitErrorProb(), nil
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/carry"
+	"repro/internal/patterns"
+)
+
+func TestMeanAdderDeterministic(t *testing.T) {
+	hw := flakyAdder{width: 8, limit: 3}
+	gen, _ := patterns.NewUniform(8, 61)
+	model, err := TrainModel(hw, gen, 6000, MetricMSE, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := NewMeanAdder(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Width() != 8 {
+		t.Fatalf("width = %d", ma.Width())
+	}
+	// Deterministic: same inputs, same outputs, every time.
+	for i := 0; i < 100; i++ {
+		if ma.Add(0xAB, 0x55) != ma.Add(0xAB, 0x55) {
+			t.Fatal("MeanAdder not deterministic")
+		}
+	}
+	// For hardware that truncates at 3, the mean adder must reproduce it
+	// on long chains.
+	gen2, _ := patterns.NewUniform(8, 62)
+	for i := 0; i < 2000; i++ {
+		a, b := gen2.Next()
+		if carry.Cthmax(a, b, 8) >= 5 {
+			if got, want := ma.Add(a, b), hw.Add(a, b); got != want {
+				t.Fatalf("MeanAdder(%d,%d) = %#x, hardware %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMeanAdderRejectsInvalidModel(t *testing.T) {
+	if _, err := NewMeanAdder(&Model{Width: 0}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestChainLengthDistributionExhaustive(t *testing.T) {
+	// Compare the DP against exhaustive enumeration for small widths.
+	for _, n := range []int{1, 2, 3, 4, 6, 8} {
+		want := make([]float64, n+1)
+		total := 0.0
+		max := uint64(1) << uint(n)
+		for a := uint64(0); a < max; a++ {
+			for b := uint64(0); b < max; b++ {
+				want[carry.Cthmax(a, b, n)]++
+				total++
+			}
+		}
+		for i := range want {
+			want[i] /= total
+		}
+		got := chainLengthDistribution(n)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("n=%d: P(Cth=%d) = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestChainLengthDistributionSumsToOne(t *testing.T) {
+	for _, n := range []int{8, 16, 24} {
+		var sum float64
+		for _, p := range chainLengthDistribution(n) {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("n=%d: distribution sums to %v", n, sum)
+		}
+	}
+}
+
+func TestPredictMatchesEmpirical(t *testing.T) {
+	// A model of chain-truncating hardware: predicted exactness must match
+	// the measured rate over uniform operands.
+	hw := flakyAdder{width: 8, limit: 4}
+	gen, _ := patterns.NewUniform(8, 63)
+	model, err := TrainModel(hw, gen, 20000, MetricMSE, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := model.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirical: fraction of pairs with Cthmax ≤ 4 (those add exactly).
+	var wantExact float64
+	dist := chainLengthDistribution(8)
+	for l := 0; l <= 4; l++ {
+		wantExact += dist[l]
+	}
+	if math.Abs(stats.PExact-wantExact) > 0.03 {
+		t.Fatalf("PExact = %v, want ≈%v", stats.PExact, wantExact)
+	}
+	if stats.MeanTruncation <= 0 {
+		t.Fatalf("MeanTruncation = %v, want positive for truncating hardware", stats.MeanTruncation)
+	}
+	// Sanity on the chain distribution head: P(0) = P(no generate ever
+	// produces a chain) — must match the DP's own value and be sizeable.
+	if stats.PChainLen[0] < 0.05 || stats.PChainLen[0] > 0.5 {
+		t.Fatalf("P(Cth=0) = %v implausible", stats.PChainLen[0])
+	}
+}
+
+func TestPredictOnIdentityModel(t *testing.T) {
+	m := &Model{Width: 8, Metric: MetricMSE, Table: Identity(8)}
+	stats, err := m.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats.PExact-1) > 1e-12 {
+		t.Fatalf("identity model PExact = %v", stats.PExact)
+	}
+	if math.Abs(stats.MeanTruncation) > 1e-12 {
+		t.Fatalf("identity model MeanTruncation = %v", stats.MeanTruncation)
+	}
+}
+
+func TestEmpiricalChainDistributionAgreesWithDP(t *testing.T) {
+	gen, _ := patterns.NewUniform(8, 64)
+	emp := EmpiricalChainDistribution(gen, 50000)
+	dp := chainLengthDistribution(8)
+	for l := 0; l <= 8; l++ {
+		if math.Abs(emp[l]-dp[l]) > 0.01 {
+			t.Fatalf("l=%d: empirical %v vs DP %v", l, emp[l], dp[l])
+		}
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	mk := func(ber float64) *Model {
+		return &Model{Width: 8, Metric: MetricMSE, Table: Identity(8)}
+	}
+	entries := []EnergyEntry{
+		{Model: mk(0), EnergyFJ: 186, CharBER: 0, TriadLabel: "nominal"},
+		{Model: mk(0.02), EnergyFJ: 33, CharBER: 0.02, TriadLabel: "0.4fbb"},
+		{Model: mk(0.17), EnergyFJ: 28, CharBER: 0.17, TriadLabel: "deep"},
+		{Model: mk(0), EnergyFJ: 52, CharBER: 0, TriadLabel: "0.5fbb"},
+	}
+	em, err := NewEnergyModel(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted ascending by energy.
+	for i := 1; i < len(em.Entries); i++ {
+		if em.Entries[i].EnergyFJ < em.Entries[i-1].EnergyFJ {
+			t.Fatal("entries not sorted")
+		}
+	}
+	// Cheapest within budget.
+	e, ok := em.Cheapest(0.05)
+	if !ok || e.TriadLabel != "0.4fbb" {
+		t.Fatalf("Cheapest(0.05) = %+v", e)
+	}
+	e, ok = em.Cheapest(0)
+	if !ok || e.TriadLabel != "0.5fbb" {
+		t.Fatalf("Cheapest(0) = %+v", e)
+	}
+	e, ok = em.Cheapest(1)
+	if !ok || e.TriadLabel != "deep" {
+		t.Fatalf("Cheapest(1) = %+v", e)
+	}
+	// Pareto front: deep (28, .17), 0.4fbb (33, .02), 0.5fbb (52, 0);
+	// nominal (186, 0) is dominated by 0.5fbb.
+	front := em.ParetoFront()
+	if len(front) != 3 {
+		t.Fatalf("Pareto front = %d entries", len(front))
+	}
+	for _, f := range front {
+		if f.TriadLabel == "nominal" {
+			t.Fatal("dominated entry on front")
+		}
+	}
+}
+
+func TestEnergyModelValidation(t *testing.T) {
+	if _, err := NewEnergyModel(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	bad := []EnergyEntry{{Model: nil}}
+	if _, err := NewEnergyModel(bad); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	bad = []EnergyEntry{{Model: &Model{Width: 8, Metric: MetricMSE, Table: Identity(8)}, CharBER: 2}}
+	if _, err := NewEnergyModel(bad); err == nil {
+		t.Fatal("BER 2 accepted")
+	}
+	mixed := []EnergyEntry{
+		{Model: &Model{Width: 8, Metric: MetricMSE, Table: Identity(8)}},
+		{Model: &Model{Width: 4, Metric: MetricMSE, Table: Identity(4)}},
+	}
+	if _, err := NewEnergyModel(mixed); err == nil {
+		t.Fatal("mixed widths accepted")
+	}
+}
+
+func TestModelBitProfile(t *testing.T) {
+	// A chain-truncating hardware model: LSBs must be error-free (short
+	// chains always complete), upper-middle bits erroneous.
+	hw := flakyAdder{width: 8, limit: 2}
+	gen, _ := patterns.NewUniform(8, 71)
+	model, err := TrainModel(hw, gen, 10000, MetricMSE, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profGen, _ := patterns.NewUniform(8, 72)
+	prof, err := ModelBitProfile(model, profGen, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 9 {
+		t.Fatalf("profile length = %d", len(prof))
+	}
+	if prof[0] != 0 || prof[1] != 0 {
+		t.Fatalf("low bits must be exact under limit-2 truncation: %v", prof)
+	}
+	anyHigh := false
+	for _, p := range prof[3:] {
+		if p > 0.02 {
+			anyHigh = true
+		}
+	}
+	if !anyHigh {
+		t.Fatalf("no upper-bit errors in profile: %v", prof)
+	}
+	// Identity model: flat zero profile.
+	id := &Model{Width: 8, Metric: MetricMSE, Table: Identity(8)}
+	profGen.Reset()
+	flat, err := ModelBitProfile(id, profGen, 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range flat {
+		if p != 0 {
+			t.Fatalf("identity model produced errors: %v", flat)
+		}
+	}
+	// Validation paths.
+	gen4, _ := patterns.NewUniform(4, 1)
+	if _, err := ModelBitProfile(id, gen4, 100, 1); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	if _, err := ModelBitProfile(id, profGen, 0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

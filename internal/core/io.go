@@ -1,0 +1,71 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// probTableJSON is the wire form of a ProbTable.
+type probTableJSON struct {
+	N int         `json:"n"`
+	P [][]float64 `json:"p"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *ProbTable) MarshalJSON() ([]byte, error) {
+	return json.Marshal(probTableJSON{N: t.N, P: t.P})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *ProbTable) UnmarshalJSON(data []byte) error {
+	var w probTableJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	t.N, t.P = w.N, w.P
+	return t.Validate()
+}
+
+// MarshalJSON implements json.Marshaler (metric names, not numbers, so the
+// files stay readable and stable).
+func (m Metric) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Metric) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for _, c := range Metrics() {
+		if c.String() == s {
+			*m = c
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown metric %q", s)
+}
+
+// WriteModel serializes a model as indented JSON.
+func WriteModel(w io.Writer, m *Model) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadModel deserializes and validates a model.
+func ReadModel(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/carry"
+	"repro/internal/metrics"
+	"repro/internal/patterns"
+)
+
+// Sample is one recorded hardware observation: operand pair and the
+// captured (possibly faulty) output word. Recording samples once lets the
+// three calibration metrics train and evaluate without re-simulating —
+// the expensive part of the flow is the timing simulation, not Algorithm 1.
+type Sample struct {
+	A, B uint64
+	Ref  uint64
+}
+
+// CollectSamples drives the hardware oracle with n pairs from gen.
+func CollectSamples(hw HardwareAdder, gen patterns.Generator, n int) ([]Sample, error) {
+	if gen.Width() != hw.Width() {
+		return nil, fmt.Errorf("core: generator width %d != hardware width %d", gen.Width(), hw.Width())
+	}
+	if n <= 0 {
+		return nil, ErrInsufficientData
+	}
+	out := make([]Sample, n)
+	for i := range out {
+		a, b := gen.Next()
+		out[i] = Sample{A: a, B: b, Ref: hw.Add(a, b)}
+	}
+	return out, nil
+}
+
+// TrainFromSamples runs Algorithm 1 over pre-recorded observations.
+func TrainFromSamples(samples []Sample, width int, metric Metric) (*ProbTable, error) {
+	if len(samples) == 0 {
+		return nil, ErrInsufficientData
+	}
+	outWidth := width + 1
+	table := NewProbTable(width)
+	counts := make([]float64, width+1)
+	for _, s := range samples {
+		cth := carry.Cthmax(s.A, s.B, width)
+		bestDist := float64(0)
+		bestC := cth
+		for c := cth; c >= 0; c-- {
+			got := carry.LimitedAdd(s.A, s.B, width, c)
+			dist := metric.Distance(s.Ref, got, outWidth)
+			if c == cth || dist <= bestDist {
+				bestDist, bestC = dist, c
+			}
+		}
+		table.P[bestC][cth]++
+		counts[cth]++
+	}
+	for l := 0; l <= width; l++ {
+		if counts[l] == 0 {
+			table.P[l][l] = 1
+			continue
+		}
+		for k := 0; k <= width; k++ {
+			table.P[k][l] /= counts[l]
+		}
+	}
+	if err := table.Validate(); err != nil {
+		return nil, fmt.Errorf("core: trained table invalid: %w", err)
+	}
+	return table, nil
+}
+
+// EvaluateSamples compares a model against pre-recorded hardware
+// observations.
+func EvaluateSamples(samples []Sample, model *ApproxAdder) (*Evaluation, error) {
+	if len(samples) == 0 {
+		return nil, ErrInsufficientData
+	}
+	width := model.Width()
+	outW := width + 1
+	vsHW := metrics.NewErrorAccumulator(outW)
+	hwVsExact := metrics.NewErrorAccumulator(outW)
+	mdlVsExact := metrics.NewErrorAccumulator(outW)
+	for _, s := range samples {
+		got := model.Add(s.A, s.B)
+		exact := carry.ExactAdd(s.A, s.B, width)
+		vsHW.Add(s.Ref, got)
+		hwVsExact.Add(exact, s.Ref)
+		mdlVsExact.Add(exact, got)
+	}
+	return &Evaluation{
+		SNRdB:             vsHW.SNR(),
+		NormalizedHamming: vsHW.NormalizedHamming(),
+		MSE:               vsHW.MSE(),
+		BERModel:          mdlVsExact.BER(),
+		BERHardware:       hwVsExact.BER(),
+		Patterns:          len(samples),
+	}, nil
+}

@@ -1,0 +1,179 @@
+// Package fdsoi models the device-level behaviour of a 28nm FDSOI LVT
+// process that the paper's SPICE simulations rely on: threshold-voltage
+// modulation through body biasing, alpha-power-law gate-delay scaling with
+// supply voltage, sub-threshold delay blow-up, and leakage scaling.
+//
+// The models are compact closed forms, not BSIM equations, but they capture
+// exactly the effects the paper exploits:
+//
+//   - gate delay grows as Vdd approaches Vt and diverges below it
+//     (near-threshold operation),
+//   - forward body bias (FBB) lowers Vt and restores speed at low Vdd,
+//   - dynamic energy scales as Vdd²,
+//   - sub-threshold leakage grows exponentially when Vt is lowered by FBB.
+//
+// All voltages are in volts, times in nanoseconds, energy in femtojoules,
+// power in microwatts (1 fJ/ns == 1 µW).
+package fdsoi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params describes the process- and corner-level constants of the modeled
+// 28nm FDSOI LVT technology. The zero value is not usable; start from
+// Default() and override as needed.
+type Params struct {
+	// VddNom is the nominal supply voltage (V) at which cell libraries are
+	// characterized.
+	VddNom float64
+	// Vt0 is the LVT threshold voltage (V) at zero body bias.
+	Vt0 float64
+	// KBody is the body-bias coefficient (V of Vt shift per V of Vbb).
+	// FDSOI allows a wide bias range; forward bias (positive Vbb here)
+	// lowers Vt.
+	KBody float64
+	// Alpha is the alpha-power-law velocity-saturation exponent.
+	Alpha float64
+	// OverdriveKnee is the gate overdrive (Vdd - Vt, in V) below which the
+	// delay model transitions from the alpha-power law to an exponential
+	// sub/near-threshold regime.
+	OverdriveKnee float64
+	// SubSlope is the exponential slope (V) of the sub-threshold delay
+	// regime: delay multiplies by e per SubSlope volts of overdrive lost
+	// below the knee.
+	SubSlope float64
+	// LeakSlope is the sub-threshold leakage slope (V): leakage multiplies
+	// by e for every LeakSlope volts of Vt reduction. Typical n·kT/q at
+	// room temperature is 35–45 mV.
+	LeakSlope float64
+	// VtMin clamps Vt(Vbb) from below so extreme forward bias cannot drive
+	// the device into depletion-mode nonsense.
+	VtMin float64
+	// SigmaVt is the standard deviation (V) of per-gate random threshold
+	// mismatch (RDF). FDSOI has famously low RDF; default is a few mV.
+	SigmaVt float64
+}
+
+// Default returns the calibrated parameter set used throughout the
+// reproduction. The constants were chosen so that the four adders of the
+// paper cross from error-free to erroneous operation at the same operating
+// triads reported in Fig. 8 and Table IV (see DESIGN.md §5).
+func Default() Params {
+	return Params{
+		VddNom:        1.0,
+		Vt0:           0.35,
+		KBody:         0.105,
+		Alpha:         1.5,
+		OverdriveKnee: 0.30,
+		SubSlope:      0.080,
+		LeakSlope:     0.042,
+		VtMin:         0.08,
+		SigmaVt:       0.004,
+	}
+}
+
+// Validate reports whether the parameter set is physically sensible.
+func (p Params) Validate() error {
+	switch {
+	case p.VddNom <= 0:
+		return errors.New("fdsoi: VddNom must be positive")
+	case p.Vt0 <= 0 || p.Vt0 >= p.VddNom:
+		return fmt.Errorf("fdsoi: Vt0 %.3f must lie in (0, VddNom)", p.Vt0)
+	case p.KBody < 0:
+		return errors.New("fdsoi: KBody must be non-negative")
+	case p.Alpha < 1 || p.Alpha > 2:
+		return fmt.Errorf("fdsoi: Alpha %.3f outside [1, 2]", p.Alpha)
+	case p.OverdriveKnee <= 0:
+		return errors.New("fdsoi: OverdriveKnee must be positive")
+	case p.SubSlope <= 0:
+		return errors.New("fdsoi: SubSlope must be positive")
+	case p.LeakSlope <= 0:
+		return errors.New("fdsoi: LeakSlope must be positive")
+	case p.VtMin <= 0 || p.VtMin >= p.Vt0:
+		return fmt.Errorf("fdsoi: VtMin %.3f must lie in (0, Vt0)", p.VtMin)
+	case p.SigmaVt < 0:
+		return errors.New("fdsoi: SigmaVt must be non-negative")
+	}
+	return nil
+}
+
+// OperatingPoint is a supply/body-bias pair, the electrical half of the
+// paper's operating triad (the clock period lives with the capture logic,
+// not the device model).
+type OperatingPoint struct {
+	Vdd float64 // supply voltage (V)
+	Vbb float64 // body-bias magnitude (V); positive = forward body bias
+}
+
+// Nominal returns the nominal operating point (VddNom, no body bias).
+func (p Params) Nominal() OperatingPoint {
+	return OperatingPoint{Vdd: p.VddNom, Vbb: 0}
+}
+
+// Vt returns the effective threshold voltage at body bias vbb (V),
+// optionally shifted by a per-device mismatch offset dvt (V).
+func (p Params) Vt(vbb, dvt float64) float64 {
+	vt := p.Vt0 - p.KBody*vbb + dvt
+	if vt < p.VtMin {
+		vt = p.VtMin
+	}
+	return vt
+}
+
+// rawDelay evaluates the un-normalized alpha-power/sub-threshold delay form
+// at supply vdd with threshold vt. Larger is slower.
+func (p Params) rawDelay(vdd, vt float64) float64 {
+	ov := vdd - vt
+	if ov >= p.OverdriveKnee {
+		return vdd / math.Pow(ov, p.Alpha)
+	}
+	// Below the knee the drive current decays exponentially, so the delay
+	// grows exponentially; keep the form continuous at the knee.
+	atKnee := vdd / math.Pow(p.OverdriveKnee, p.Alpha)
+	return atKnee * math.Exp((p.OverdriveKnee-ov)/p.SubSlope)
+}
+
+// DelayScale returns the multiplicative factor by which a gate delay
+// characterized at the nominal point stretches (or shrinks) at operating
+// point op, for a device with threshold mismatch dvt.
+//
+// DelayScale(Nominal, 0) == 1. The factor grows without bound as Vdd
+// approaches and crosses Vt (near/sub-threshold), which is the mechanism
+// behind every timing error in the paper.
+func (p Params) DelayScale(op OperatingPoint, dvt float64) float64 {
+	nom := p.rawDelay(p.VddNom, p.Vt0)
+	return p.rawDelay(op.Vdd, p.Vt(op.Vbb, dvt)) / nom
+}
+
+// LeakageScale returns the factor by which static leakage power changes at
+// op relative to the nominal point. Leakage rises exponentially as FBB
+// lowers Vt and falls roughly linearly with Vdd (DIBL plus drain bias).
+func (p Params) LeakageScale(op OperatingPoint) float64 {
+	vtShift := p.Vt0 - p.Vt(op.Vbb, 0)
+	return (op.Vdd / p.VddNom) * math.Exp(vtShift/p.LeakSlope)
+}
+
+// DynamicEnergyScale returns the factor by which a switching-energy figure
+// characterized at VddNom scales at op: the classic quadratic CV² law.
+func (p Params) DynamicEnergyScale(op OperatingPoint) float64 {
+	r := op.Vdd / p.VddNom
+	return r * r
+}
+
+// SwitchingEnergy returns the energy (fJ) of charging/discharging load
+// capacitance cload (fF) at supply vdd (V): ½·C·V².
+func SwitchingEnergy(cloadFF, vdd float64) float64 {
+	return 0.5 * cloadFF * vdd * vdd
+}
+
+// MinFunctionalVdd returns the lowest supply voltage (V) at which the model
+// considers the logic statically functional at body bias vbb: below
+// Vt + a small guard band, gates no longer produce full-swing outputs in
+// any useful time. The characterization flow uses this to label triads as
+// non-functional rather than simulating garbage.
+func (p Params) MinFunctionalVdd(vbb float64) float64 {
+	return p.Vt(vbb, 0) + 0.02
+}

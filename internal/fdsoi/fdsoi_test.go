@@ -1,0 +1,206 @@
+package fdsoi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero VddNom", func(p *Params) { p.VddNom = 0 }},
+		{"negative VddNom", func(p *Params) { p.VddNom = -1 }},
+		{"Vt0 above VddNom", func(p *Params) { p.Vt0 = 2 }},
+		{"zero Vt0", func(p *Params) { p.Vt0 = 0 }},
+		{"negative KBody", func(p *Params) { p.KBody = -0.1 }},
+		{"alpha too small", func(p *Params) { p.Alpha = 0.5 }},
+		{"alpha too large", func(p *Params) { p.Alpha = 2.5 }},
+		{"zero knee", func(p *Params) { p.OverdriveKnee = 0 }},
+		{"zero subslope", func(p *Params) { p.SubSlope = 0 }},
+		{"zero leakslope", func(p *Params) { p.LeakSlope = 0 }},
+		{"VtMin above Vt0", func(p *Params) { p.VtMin = 0.5 }},
+		{"negative sigma", func(p *Params) { p.SigmaVt = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Default()
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("expected validation error")
+			}
+		})
+	}
+}
+
+func TestDelayScaleNominalIsUnity(t *testing.T) {
+	p := Default()
+	got := p.DelayScale(p.Nominal(), 0)
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("DelayScale at nominal = %v, want 1", got)
+	}
+}
+
+func TestDelayScaleMonotonicInVdd(t *testing.T) {
+	p := Default()
+	for _, vbb := range []float64{0, 2} {
+		prev := math.Inf(1)
+		for vdd := 0.35; vdd <= 1.0+1e-9; vdd += 0.01 {
+			s := p.DelayScale(OperatingPoint{Vdd: vdd, Vbb: vbb}, 0)
+			if s >= prev {
+				t.Fatalf("delay scale not strictly decreasing with Vdd at vbb=%.1f, vdd=%.2f: %v >= %v",
+					vbb, vdd, s, prev)
+			}
+			if s <= 0 {
+				t.Fatalf("non-positive delay scale %v at vdd=%.2f", s, vdd)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestForwardBodyBiasSpeedsUp(t *testing.T) {
+	p := Default()
+	for vdd := 0.4; vdd <= 1.0+1e-9; vdd += 0.1 {
+		noBias := p.DelayScale(OperatingPoint{Vdd: vdd, Vbb: 0}, 0)
+		fbb := p.DelayScale(OperatingPoint{Vdd: vdd, Vbb: 2}, 0)
+		if fbb >= noBias {
+			t.Fatalf("FBB did not speed up at vdd=%.2f: fbb=%v noBias=%v", vdd, fbb, noBias)
+		}
+	}
+}
+
+func TestReverseBodyBiasSlowsDown(t *testing.T) {
+	p := Default()
+	noBias := p.DelayScale(OperatingPoint{Vdd: 0.8, Vbb: 0}, 0)
+	rbb := p.DelayScale(OperatingPoint{Vdd: 0.8, Vbb: -2}, 0)
+	if rbb <= noBias {
+		t.Fatalf("RBB did not slow down: rbb=%v noBias=%v", rbb, noBias)
+	}
+}
+
+func TestDelayContinuousAtKnee(t *testing.T) {
+	p := Default()
+	vt := p.Vt0
+	eps := 1e-7
+	above := p.rawDelay(vt+p.OverdriveKnee+eps, vt)
+	below := p.rawDelay(vt+p.OverdriveKnee-eps, vt)
+	if rel := math.Abs(above-below) / above; rel > 1e-4 {
+		t.Fatalf("delay discontinuous at knee: above=%v below=%v rel=%v", above, below, rel)
+	}
+}
+
+func TestSubThresholdBlowUp(t *testing.T) {
+	p := Default()
+	nearVt := p.DelayScale(OperatingPoint{Vdd: p.Vt0 + 0.01, Vbb: 0}, 0)
+	if nearVt < 20 {
+		t.Fatalf("expected large delay blow-up near threshold, got %vx", nearVt)
+	}
+}
+
+func TestLeakageScale(t *testing.T) {
+	p := Default()
+	if got := p.LeakageScale(p.Nominal()); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("leakage at nominal = %v, want 1", got)
+	}
+	fbb := p.LeakageScale(OperatingPoint{Vdd: 1.0, Vbb: 2})
+	if fbb < 10 {
+		t.Fatalf("FBB should raise leakage substantially, got %vx", fbb)
+	}
+	lowV := p.LeakageScale(OperatingPoint{Vdd: 0.4, Vbb: 0})
+	if lowV >= 1 {
+		t.Fatalf("lower Vdd should reduce leakage, got %vx", lowV)
+	}
+}
+
+func TestDynamicEnergyScaleQuadratic(t *testing.T) {
+	p := Default()
+	if got := p.DynamicEnergyScale(OperatingPoint{Vdd: 0.5}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("energy scale at 0.5V = %v, want 0.25", got)
+	}
+}
+
+func TestVtClamping(t *testing.T) {
+	p := Default()
+	vt := p.Vt(10, 0) // absurd forward bias
+	if vt != p.VtMin {
+		t.Fatalf("Vt not clamped: got %v want %v", vt, p.VtMin)
+	}
+}
+
+func TestSwitchingEnergy(t *testing.T) {
+	// 2 fF at 1 V: 0.5*2*1 = 1 fJ.
+	if got := SwitchingEnergy(2, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("SwitchingEnergy = %v, want 1", got)
+	}
+}
+
+func TestMinFunctionalVddAboveVt(t *testing.T) {
+	p := Default()
+	if p.MinFunctionalVdd(0) <= p.Vt0 {
+		t.Fatal("MinFunctionalVdd must exceed Vt")
+	}
+	if p.MinFunctionalVdd(2) >= p.MinFunctionalVdd(0) {
+		t.Fatal("FBB must lower the functional floor")
+	}
+}
+
+func TestMismatchSamplerDeterministic(t *testing.T) {
+	a := NewMismatchSampler(0.01, 42)
+	b := NewMismatchSampler(0.01, 42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Sample(), b.Sample(); av != bv {
+			t.Fatalf("samplers with equal seeds diverged at %d: %v vs %v", i, av, bv)
+		}
+	}
+}
+
+func TestMismatchSamplerZeroSigma(t *testing.T) {
+	s := NewMismatchSampler(0, 1)
+	for i := 0; i < 10; i++ {
+		if v := s.Sample(); v != 0 {
+			t.Fatalf("zero-sigma sampler returned %v", v)
+		}
+	}
+}
+
+func TestMismatchSamplerMoments(t *testing.T) {
+	const sigma = 0.01
+	s := NewMismatchSampler(sigma, 7)
+	n := 20000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.Sample()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sum2/float64(n) - mean*mean)
+	if math.Abs(mean) > 3*sigma/math.Sqrt(float64(n)) {
+		t.Fatalf("mismatch mean too far from 0: %v", mean)
+	}
+	if math.Abs(std-sigma)/sigma > 0.05 {
+		t.Fatalf("mismatch std = %v, want ~%v", std, sigma)
+	}
+}
+
+func TestDelayScalePositiveProperty(t *testing.T) {
+	p := Default()
+	f := func(vddRaw, vbbRaw uint8) bool {
+		vdd := 0.30 + float64(vddRaw)/255.0*0.9 // 0.30 .. 1.20
+		vbb := -2 + float64(vbbRaw)/255.0*4     // -2 .. 2
+		s := p.DelayScale(OperatingPoint{Vdd: vdd, Vbb: vbb}, 0)
+		return s > 0 && !math.IsNaN(s) && !math.IsInf(s, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,31 @@
+package fdsoi
+
+import "math/rand/v2"
+
+// MismatchSampler draws per-gate threshold-voltage offsets modeling random
+// dopant fluctuation / local variability. FDSOI's undoped channel keeps
+// SigmaVt small, but the tail still decides which of several equal-length
+// paths fails first under VOS, so the characterization flow samples one
+// offset per gate instance at elaboration time.
+type MismatchSampler struct {
+	sigma float64
+	rng   *rand.Rand
+}
+
+// NewMismatchSampler returns a sampler with the given standard deviation
+// (V) and deterministic seed. A sigma of zero yields a sampler that always
+// returns 0, useful for fully deterministic experiments.
+func NewMismatchSampler(sigma float64, seed uint64) *MismatchSampler {
+	return &MismatchSampler{
+		sigma: sigma,
+		rng:   rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
+	}
+}
+
+// Sample returns the next threshold offset (V).
+func (m *MismatchSampler) Sample() float64 {
+	if m.sigma == 0 {
+		return 0
+	}
+	return m.rng.NormFloat64() * m.sigma
+}

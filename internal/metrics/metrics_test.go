@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHamming(t *testing.T) {
+	if got := Hamming(0b1010, 0b0110, 4); got != 2 {
+		t.Fatalf("Hamming = %d", got)
+	}
+	if got := Hamming(0xFF, 0xFF, 8); got != 0 {
+		t.Fatalf("identical words Hamming = %d", got)
+	}
+	// Width masking: differences above the width are ignored.
+	if got := Hamming(0x1FF, 0x0FF, 8); got != 0 {
+		t.Fatalf("masked Hamming = %d", got)
+	}
+}
+
+func TestWeightedHamming(t *testing.T) {
+	// Bits 1 and 3 differ: weight 2 + 8 = 10.
+	if got := WeightedHamming(0b1010, 0b0000, 4); got != 10 {
+		t.Fatalf("WeightedHamming = %v", got)
+	}
+	if got := WeightedHamming(5, 5, 8); got != 0 {
+		t.Fatalf("equal words weighted = %v", got)
+	}
+}
+
+func TestWeightedHammingEqualsAbsDiffForSingleBit(t *testing.T) {
+	f := func(x uint16, bit uint8) bool {
+		b := int(bit) % 16
+		y := uint64(x) ^ 1<<uint(b)
+		return WeightedHamming(uint64(x), y, 16) == math.Ldexp(1, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquaredError(t *testing.T) {
+	if got := SquaredError(10, 7); got != 9 {
+		t.Fatalf("SquaredError = %v", got)
+	}
+	if got := SquaredError(7, 10); got != 9 {
+		t.Fatalf("SquaredError sym = %v", got)
+	}
+}
+
+func TestAccumulatorBasics(t *testing.T) {
+	a := NewErrorAccumulator(8)
+	a.Add(100, 100)   // perfect
+	a.Add(100, 101)   // bit 0 wrong
+	a.Add(0x0F, 0x0D) // bit 1 wrong
+	if a.Words() != 3 {
+		t.Fatalf("words = %d", a.Words())
+	}
+	if got, want := a.BER(), 2.0/24.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BER = %v, want %v", got, want)
+	}
+	if got, want := a.WER(), 2.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("WER = %v, want %v", got, want)
+	}
+	pb := a.PerBitErrorProb()
+	if math.Abs(pb[0]-1.0/3.0) > 1e-12 || math.Abs(pb[1]-1.0/3.0) > 1e-12 {
+		t.Fatalf("per-bit = %v", pb)
+	}
+	if got, want := a.MSE(), (1.0+4.0)/3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MSE = %v, want %v", got, want)
+	}
+	if got, want := a.MeanHamming(), 2.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanHamming = %v", got)
+	}
+	if got, want := a.NormalizedHamming(), 2.0/24.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("NormalizedHamming = %v, want %v", got, want)
+	}
+	if got, want := a.MeanWeightedHamming(), (1.0+2.0)/3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanWeightedHamming = %v, want %v", got, want)
+	}
+}
+
+func TestSNR(t *testing.T) {
+	a := NewErrorAccumulator(8)
+	a.Add(100, 100)
+	if !math.IsInf(a.SNR(), 1) {
+		t.Fatal("perfect stream must have +Inf SNR")
+	}
+	a.Add(100, 101)
+	// signal² = 100²+100², err² = 1.
+	want := 10 * math.Log10(20000.0/1.0)
+	if got := a.SNR(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SNR = %v, want %v", got, want)
+	}
+	b := NewErrorAccumulator(8)
+	b.Add(0, 1)
+	if !math.IsInf(b.SNR(), -1) {
+		t.Fatal("zero-signal stream must have −Inf SNR")
+	}
+}
+
+func TestEmptyAccumulator(t *testing.T) {
+	a := NewErrorAccumulator(4)
+	if a.BER() != 0 || a.WER() != 0 || a.MSE() != 0 || a.MeanHamming() != 0 ||
+		a.MeanWeightedHamming() != 0 {
+		t.Fatal("empty accumulator must report zeros")
+	}
+	pb := a.PerBitErrorProb()
+	for _, v := range pb {
+		if v != 0 {
+			t.Fatal("empty per-bit probs must be zero")
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewErrorAccumulator(8)
+	b := NewErrorAccumulator(8)
+	a.Add(10, 11)
+	b.Add(20, 20)
+	b.Add(30, 31)
+	whole := NewErrorAccumulator(8)
+	whole.Add(10, 11)
+	whole.Add(20, 20)
+	whole.Add(30, 31)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.BER() != whole.BER() || a.MSE() != whole.MSE() || a.SNR() != whole.SNR() {
+		t.Fatal("merge does not match direct accumulation")
+	}
+	c := NewErrorAccumulator(4)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestBERBounds(t *testing.T) {
+	f := func(pairs []struct{ R, G uint16 }) bool {
+		a := NewErrorAccumulator(16)
+		for _, p := range pairs {
+			a.Add(uint64(p.R), uint64(p.G))
+		}
+		ber := a.BER()
+		return ber >= 0 && ber <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyEfficiency(t *testing.T) {
+	if got := EnergyEfficiency(25, 100); got != 0.75 {
+		t.Fatalf("EnergyEfficiency = %v", got)
+	}
+	if got := EnergyEfficiency(100, 100); got != 0 {
+		t.Fatalf("EnergyEfficiency = %v", got)
+	}
+	if got := EnergyEfficiency(1, 0); got != 0 {
+		t.Fatalf("degenerate reference: %v", got)
+	}
+}
+
+func TestEnergyAccumulator(t *testing.T) {
+	var e EnergyAccumulator
+	if e.MeanFJ() != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	e.Add(10)
+	e.Add(20)
+	if e.MeanFJ() != 15 || e.TotalFJ() != 30 || e.Count() != 2 {
+		t.Fatalf("accumulator state: %+v", e)
+	}
+}

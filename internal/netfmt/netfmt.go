@@ -1,0 +1,233 @@
+// Package netfmt serializes gate-level netlists to a line-oriented
+// structural text format and parses them back — the on-disk "structured
+// gate-level HDL" artifact of the paper's Fig. 4 flow. Written files are
+// canonical: parsing and re-writing a file reproduces it byte for byte,
+// which makes netlists diffable and good golden-test subjects.
+//
+// Grammar (one statement per line, '#' starts a comment):
+//
+//	netlist <name>
+//	nets <count>
+//	input <port> <net>...        # nets as n<i> indices
+//	gate <KIND> <out> <in>... [vt=<float>]
+//	output <port> <net>...
+//	end
+package netfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Write emits nl in canonical text form.
+func Write(w io.Writer, nl *netlist.Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# repro structural netlist v1\n")
+	fmt.Fprintf(bw, "netlist %s\n", nl.Name)
+	fmt.Fprintf(bw, "nets %d\n", nl.NumNets())
+	for _, p := range nl.Inputs {
+		fmt.Fprintf(bw, "input %s%s\n", p.Name, netRefs(p.Bits))
+	}
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		fmt.Fprintf(bw, "gate %s n%d%s", g.Kind, g.Output, netRefs(g.Inputs))
+		if g.VtOffset != 0 {
+			fmt.Fprintf(bw, " vt=%s", strconv.FormatFloat(g.VtOffset, 'g', -1, 64))
+		}
+		fmt.Fprintf(bw, "\n")
+	}
+	for _, p := range nl.Outputs {
+		fmt.Fprintf(bw, "output %s%s\n", p.Name, netRefs(p.Bits))
+	}
+	fmt.Fprintf(bw, "end\n")
+	return bw.Flush()
+}
+
+func netRefs(ids []netlist.NetID) string {
+	var sb strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&sb, " n%d", id)
+	}
+	return sb.String()
+}
+
+// ParseError reports a syntax or semantic problem with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("netfmt: line %d: %s", e.Line, e.Msg)
+}
+
+type parser struct {
+	name     string
+	netKnown bool
+	nets     []netlist.Net
+	gates    []netlist.Gate
+	inputs   []netlist.Port
+	outputs  []netlist.Port
+	done     bool
+}
+
+// Parse reads one netlist in the Write format.
+func Parse(r io.Reader) (*netlist.Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	p := &parser{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if p.done {
+			return nil, &ParseError{lineNo, "content after end"}
+		}
+		if err := p.statement(fields); err != nil {
+			return nil, &ParseError{lineNo, err.Error()}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !p.done {
+		return nil, &ParseError{lineNo, "missing end"}
+	}
+	return netlist.FromParts(p.name, p.nets, p.gates, p.inputs, p.outputs)
+}
+
+func (p *parser) statement(f []string) error {
+	switch f[0] {
+	case "netlist":
+		if len(f) != 2 {
+			return fmt.Errorf("netlist wants a name")
+		}
+		if p.name != "" {
+			return fmt.Errorf("duplicate netlist statement")
+		}
+		p.name = f[1]
+	case "nets":
+		if p.name == "" {
+			return fmt.Errorf("nets before netlist")
+		}
+		if len(f) != 2 {
+			return fmt.Errorf("nets wants a count")
+		}
+		n, err := strconv.Atoi(f[1])
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad net count %q", f[1])
+		}
+		if p.netKnown {
+			return fmt.Errorf("duplicate nets statement")
+		}
+		p.netKnown = true
+		p.nets = make([]netlist.Net, n)
+		for i := range p.nets {
+			p.nets[i] = netlist.Net{ID: netlist.NetID(i), Name: fmt.Sprintf("n%d", i)}
+		}
+	case "input", "output":
+		if !p.netKnown {
+			return fmt.Errorf("%s before nets", f[0])
+		}
+		if len(f) < 3 {
+			return fmt.Errorf("%s wants a port name and nets", f[0])
+		}
+		bits, err := p.parseNets(f[2:])
+		if err != nil {
+			return err
+		}
+		port := netlist.Port{Name: f[1], Bits: bits}
+		if f[0] == "input" {
+			p.inputs = append(p.inputs, port)
+			// Rename input nets to their conventional bus names.
+			for i, b := range bits {
+				p.nets[b].Name = fmt.Sprintf("%s[%d]", f[1], i)
+			}
+		} else {
+			p.outputs = append(p.outputs, port)
+		}
+	case "gate":
+		if !p.netKnown {
+			return fmt.Errorf("gate before nets")
+		}
+		if len(f) < 3 {
+			return fmt.Errorf("gate wants a kind and output")
+		}
+		kind, ok := kindByName(f[1])
+		if !ok {
+			return fmt.Errorf("unknown cell kind %q", f[1])
+		}
+		rest := f[2:]
+		var vt float64
+		if len(rest) > 0 && strings.HasPrefix(rest[len(rest)-1], "vt=") {
+			v, err := strconv.ParseFloat(rest[len(rest)-1][3:], 64)
+			if err != nil {
+				return fmt.Errorf("bad vt %q", rest[len(rest)-1])
+			}
+			vt = v
+			rest = rest[:len(rest)-1]
+		}
+		if len(rest) != 1+kind.NumInputs() {
+			return fmt.Errorf("%s wants %d inputs, got %d", kind, kind.NumInputs(), len(rest)-1)
+		}
+		nets, err := p.parseNets(rest)
+		if err != nil {
+			return err
+		}
+		p.gates = append(p.gates, netlist.Gate{
+			ID:       netlist.GateID(len(p.gates)),
+			Kind:     kind,
+			Output:   nets[0],
+			Inputs:   nets[1:],
+			VtOffset: vt,
+		})
+	case "end":
+		if p.name == "" {
+			return fmt.Errorf("end before netlist")
+		}
+		p.done = true
+	default:
+		return fmt.Errorf("unknown statement %q", f[0])
+	}
+	return nil
+}
+
+func (p *parser) parseNets(refs []string) ([]netlist.NetID, error) {
+	out := make([]netlist.NetID, len(refs))
+	for i, r := range refs {
+		if !strings.HasPrefix(r, "n") {
+			return nil, fmt.Errorf("bad net reference %q", r)
+		}
+		idx, err := strconv.Atoi(r[1:])
+		if err != nil || idx < 0 || idx >= len(p.nets) {
+			return nil, fmt.Errorf("net reference %q out of range", r)
+		}
+		out[i] = netlist.NetID(idx)
+	}
+	return out, nil
+}
+
+func kindByName(name string) (cell.Kind, bool) {
+	for k := cell.Kind(0); ; k++ {
+		s := k.String()
+		if strings.HasPrefix(s, "Kind(") {
+			return 0, false
+		}
+		if s == name {
+			return k, true
+		}
+	}
+}

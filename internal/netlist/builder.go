@@ -1,0 +1,242 @@
+package netlist
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+)
+
+// Builder incrementally constructs a Netlist. All errors are deferred to
+// Build so circuit generators can stay free of error plumbing.
+type Builder struct {
+	name     string
+	nets     []Net
+	gates    []Gate
+	inputs   []Port
+	outputs  []Port
+	mismatch *fdsoi.MismatchSampler
+	errs     []error
+}
+
+// NewBuilder returns a builder for a netlist with the given name. Gates
+// receive zero threshold mismatch; use SetMismatch to sample offsets.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// SetMismatch installs a sampler whose values become per-gate VtOffset
+// fields for every subsequently added gate.
+func (b *Builder) SetMismatch(m *fdsoi.MismatchSampler) { b.mismatch = m }
+
+// Net creates a fresh internal net.
+func (b *Builder) Net(name string) NetID {
+	id := NetID(len(b.nets))
+	b.nets = append(b.nets, Net{ID: id, Name: name})
+	return id
+}
+
+// InputBus creates width nets and registers them as a primary input port.
+// Bit 0 is the least significant.
+func (b *Builder) InputBus(name string, width int) []NetID {
+	if width <= 0 {
+		b.errs = append(b.errs, fmt.Errorf("netlist: input bus %q width %d", name, width))
+		return nil
+	}
+	bits := make([]NetID, width)
+	for i := range bits {
+		bits[i] = b.Net(fmt.Sprintf("%s[%d]", name, i))
+	}
+	b.inputs = append(b.inputs, Port{Name: name, Bits: bits})
+	return bits
+}
+
+// OutputBus registers existing nets as a primary output port.
+func (b *Builder) OutputBus(name string, bits []NetID) {
+	if len(bits) == 0 {
+		b.errs = append(b.errs, fmt.Errorf("netlist: output bus %q empty", name))
+		return
+	}
+	cp := make([]NetID, len(bits))
+	copy(cp, bits)
+	b.outputs = append(b.outputs, Port{Name: name, Bits: cp})
+}
+
+// Gate instantiates a cell of the given kind over the input nets and
+// returns the fresh output net.
+func (b *Builder) Gate(kind cell.Kind, inputs ...NetID) NetID {
+	if kind.NumInputs() != len(inputs) {
+		b.errs = append(b.errs, fmt.Errorf("netlist: %s wants %d inputs, got %d",
+			kind, kind.NumInputs(), len(inputs)))
+		return b.Net("err")
+	}
+	out := b.Net(fmt.Sprintf("n%d", len(b.nets)))
+	var dvt float64
+	if b.mismatch != nil {
+		dvt = b.mismatch.Sample()
+	}
+	in := make([]NetID, len(inputs))
+	copy(in, inputs)
+	b.gates = append(b.gates, Gate{
+		ID:       GateID(len(b.gates)),
+		Kind:     kind,
+		Inputs:   in,
+		Output:   out,
+		VtOffset: dvt,
+	})
+	return out
+}
+
+// Build finalizes the netlist: computes driver/fanout tables, checks
+// structural invariants, and derives a topological order.
+func (b *Builder) Build() (*Netlist, error) {
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	n := &Netlist{
+		Name:    b.name,
+		Nets:    b.nets,
+		Gates:   b.gates,
+		Inputs:  b.inputs,
+		Outputs: b.outputs,
+	}
+	if err := n.link(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// MustBuild is Build that panics on error, for generators whose inputs are
+// statically known to be valid.
+func (b *Builder) MustBuild() *Netlist {
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// FromParts assembles a netlist directly from raw components (used by the
+// netfmt parser), running the same linking and validation as Build.
+func FromParts(name string, nets []Net, gates []Gate, inputs, outputs []Port) (*Netlist, error) {
+	n := &Netlist{
+		Name:    name,
+		Nets:    nets,
+		Gates:   gates,
+		Inputs:  inputs,
+		Outputs: outputs,
+	}
+	for i := range n.Nets {
+		if n.Nets[i].ID != NetID(i) {
+			return nil, fmt.Errorf("netlist %s: net %d has ID %d", name, i, n.Nets[i].ID)
+		}
+	}
+	for i := range n.Gates {
+		if n.Gates[i].ID != GateID(i) {
+			return nil, fmt.Errorf("netlist %s: gate %d has ID %d", name, i, n.Gates[i].ID)
+		}
+		if n.Gates[i].Kind.NumInputs() != len(n.Gates[i].Inputs) {
+			return nil, fmt.Errorf("netlist %s: gate %d arity mismatch", name, i)
+		}
+	}
+	if err := n.link(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// link populates the derived tables and validates the structure.
+func (n *Netlist) link() error {
+	n.driver = make([]GateID, len(n.Nets))
+	for i := range n.driver {
+		n.driver[i] = NoGate
+	}
+	n.fanouts = make([][]GateID, len(n.Nets))
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		if int(g.Output) >= len(n.Nets) {
+			return fmt.Errorf("netlist %s: gate %d drives unknown net %d", n.Name, gi, g.Output)
+		}
+		if n.driver[g.Output] != NoGate {
+			return fmt.Errorf("netlist %s: net %q multiply driven", n.Name, n.Nets[g.Output].Name)
+		}
+		n.driver[g.Output] = g.ID
+		for _, in := range g.Inputs {
+			if int(in) >= len(n.Nets) {
+				return fmt.Errorf("netlist %s: gate %d reads unknown net %d", n.Name, gi, in)
+			}
+			n.fanouts[in] = append(n.fanouts[in], g.ID)
+		}
+	}
+	isInput := make([]bool, len(n.Nets))
+	for _, p := range n.Inputs {
+		for _, b := range p.Bits {
+			if n.driver[b] != NoGate {
+				return fmt.Errorf("netlist %s: primary input %q is driven", n.Name, n.Nets[b].Name)
+			}
+			isInput[b] = true
+		}
+	}
+	for _, p := range n.Outputs {
+		for _, b := range p.Bits {
+			if n.driver[b] == NoGate && !isInput[b] {
+				return fmt.Errorf("netlist %s: primary output %q undriven", n.Name, n.Nets[b].Name)
+			}
+		}
+	}
+	for id := range n.Nets {
+		if n.driver[id] == NoGate && !isInput[NetID(id)] && len(n.fanouts[id]) > 0 {
+			return fmt.Errorf("netlist %s: net %q read but never driven", n.Name, n.Nets[id].Name)
+		}
+	}
+	return n.order()
+}
+
+// order computes the topological order and per-gate levels; it fails on
+// combinational cycles.
+func (n *Netlist) order() error {
+	pending := make([]int, len(n.Gates)) // unresolved fanin count
+	netLevel := make([]int, len(n.Nets))
+	ready := make([]GateID, 0, len(n.Gates))
+	for gi := range n.Gates {
+		cnt := 0
+		for _, in := range n.Gates[gi].Inputs {
+			if n.driver[in] != NoGate {
+				cnt++
+			}
+		}
+		pending[gi] = cnt
+		if cnt == 0 {
+			ready = append(ready, GateID(gi))
+		}
+	}
+	n.topo = make([]GateID, 0, len(n.Gates))
+	n.level = make([]int, len(n.Gates))
+	for len(ready) > 0 {
+		g := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		n.topo = append(n.topo, g)
+		lvl := 0
+		for _, in := range n.Gates[g].Inputs {
+			if netLevel[in] > lvl {
+				lvl = netLevel[in]
+			}
+		}
+		lvl++
+		n.level[g] = lvl
+		out := n.Gates[g].Output
+		netLevel[out] = lvl
+		for _, fo := range n.fanouts[out] {
+			pending[fo]--
+			if pending[fo] == 0 {
+				ready = append(ready, fo)
+			}
+		}
+	}
+	if len(n.topo) != len(n.Gates) {
+		return fmt.Errorf("netlist %s: combinational cycle (%d of %d gates ordered)",
+			n.Name, len(n.topo), len(n.Gates))
+	}
+	return nil
+}

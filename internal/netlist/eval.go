@@ -1,0 +1,58 @@
+package netlist
+
+import "fmt"
+
+// Evaluate computes the steady-state boolean value of every net given the
+// values of the primary inputs, in topological order. It is the zero-delay
+// functional reference against which the timing simulator's captured values
+// are compared. The inputs map assigns one bit per primary-input net; all
+// primary inputs must be covered.
+func (n *Netlist) Evaluate(inputs map[NetID]uint8) ([]uint8, error) {
+	values := make([]uint8, len(n.Nets))
+	seen := make([]bool, len(n.Nets))
+	for _, p := range n.Inputs {
+		for _, b := range p.Bits {
+			v, ok := inputs[b]
+			if !ok {
+				return nil, fmt.Errorf("netlist %s: input %q unassigned", n.Name, n.Nets[b].Name)
+			}
+			if v > 1 {
+				return nil, fmt.Errorf("netlist %s: input %q non-boolean value %d", n.Name, n.Nets[b].Name, v)
+			}
+			values[b] = v
+			seen[b] = true
+		}
+	}
+	in := make([]uint8, 3)
+	for _, gid := range n.topo {
+		g := &n.Gates[gid]
+		for i, src := range g.Inputs {
+			if !seen[src] && n.driver[src] == NoGate {
+				return nil, fmt.Errorf("netlist %s: gate %d reads unassigned net %q",
+					n.Name, gid, n.Nets[src].Name)
+			}
+			in[i] = values[src]
+		}
+		values[g.Output] = g.Kind.Eval(in[:len(g.Inputs)])
+		seen[g.Output] = true
+	}
+	return values, nil
+}
+
+// PortValue packs the bits of port p (from the given net-value vector) into
+// a little-endian word.
+func PortValue(p Port, values []uint8) uint64 {
+	var w uint64
+	for i, b := range p.Bits {
+		w |= uint64(values[b]&1) << uint(i)
+	}
+	return w
+}
+
+// AssignPort scatters the low bits of word w onto port p's nets in the
+// inputs map.
+func AssignPort(inputs map[NetID]uint8, p Port, w uint64) {
+	for i, b := range p.Bits {
+		inputs[b] = uint8(w>>uint(i)) & 1
+	}
+}

@@ -1,0 +1,170 @@
+// Package netlist provides the gate-level netlist substrate: a directed
+// acyclic graph of cell instances connected by nets, with named input and
+// output buses, structural validation, topological ordering and basic
+// statistics. It is the common currency between the generators
+// (internal/synth), the static timing analyzer (internal/sta) and the
+// event-driven timing simulator (internal/sim).
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// NetID indexes a net within a Netlist.
+type NetID int32
+
+// GateID indexes a gate within a Netlist.
+type GateID int32
+
+// NoGate marks the absence of a driving gate (primary inputs).
+const NoGate GateID = -1
+
+// Net is a single wire.
+type Net struct {
+	ID   NetID
+	Name string
+}
+
+// Gate is one instance of a library cell.
+type Gate struct {
+	ID     GateID
+	Kind   cell.Kind
+	Inputs []NetID
+	Output NetID
+	// VtOffset is the per-instance threshold mismatch (V) sampled at
+	// elaboration time; 0 means a perfectly typical device.
+	VtOffset float64
+}
+
+// Port is a named, ordered bus of nets (bit 0 first).
+type Port struct {
+	Name string
+	Bits []NetID
+}
+
+// Netlist is an immutable combinational circuit. Construct one with a
+// Builder; the zero value is not usable.
+type Netlist struct {
+	Name    string
+	Nets    []Net
+	Gates   []Gate
+	Inputs  []Port
+	Outputs []Port
+
+	driver  []GateID   // per net: driving gate or NoGate
+	fanouts [][]GateID // per net: consuming gates
+	topo    []GateID   // gates in topological order
+	level   []int      // per gate: logic depth (inputs are depth 0)
+}
+
+// NumNets returns the number of nets.
+func (n *Netlist) NumNets() int { return len(n.Nets) }
+
+// NumGates returns the number of gate instances.
+func (n *Netlist) NumGates() int { return len(n.Gates) }
+
+// Driver returns the gate driving net id, or NoGate for primary inputs.
+func (n *Netlist) Driver(id NetID) GateID { return n.driver[id] }
+
+// Fanouts returns the gates reading net id. The slice must not be modified.
+func (n *Netlist) Fanouts(id NetID) []GateID { return n.fanouts[id] }
+
+// Topological returns the gates in a topological order (fanin before
+// fanout). The slice must not be modified.
+func (n *Netlist) Topological() []GateID { return n.topo }
+
+// Level returns the logic depth of gate id (longest gate count from any
+// primary input).
+func (n *Netlist) Level(id GateID) int { return n.level[id] }
+
+// MaxLevel returns the largest logic depth in the netlist.
+func (n *Netlist) MaxLevel() int {
+	max := 0
+	for _, l := range n.level {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// InputPort returns the input port with the given name.
+func (n *Netlist) InputPort(name string) (Port, bool) {
+	for _, p := range n.Inputs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// OutputPort returns the output port with the given name.
+func (n *Netlist) OutputPort(name string) (Port, bool) {
+	for _, p := range n.Outputs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// IsPrimaryOutput reports whether net id belongs to an output port.
+func (n *Netlist) IsPrimaryOutput(id NetID) bool {
+	for _, p := range n.Outputs {
+		for _, b := range p.Bits {
+			if b == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Area returns the total cell area (µm²) under the given library.
+func (n *Netlist) Area(lib *cell.Library) float64 {
+	var a float64
+	for i := range n.Gates {
+		a += lib.MustCell(n.Gates[i].Kind).Area
+	}
+	return a
+}
+
+// LeakagePower returns the total nominal-corner static power (µW).
+func (n *Netlist) LeakagePower(lib *cell.Library) float64 {
+	var nw float64
+	for i := range n.Gates {
+		nw += lib.MustCell(n.Gates[i].Kind).Leakage
+	}
+	return nw / 1000.0
+}
+
+// CellCounts returns a histogram of cell kinds.
+func (n *Netlist) CellCounts() map[cell.Kind]int {
+	h := make(map[cell.Kind]int)
+	for i := range n.Gates {
+		h[n.Gates[i].Kind]++
+	}
+	return h
+}
+
+// NetLoad returns the capacitive load (fF) on net id under the library:
+// fanout pin caps, wire cap, and the capture-register pin on primary
+// outputs.
+func (n *Netlist) NetLoad(lib *cell.Library, id NetID) float64 {
+	caps := make([]float64, 0, len(n.fanouts[id]))
+	for _, g := range n.fanouts[id] {
+		caps = append(caps, lib.MustCell(n.Gates[g].Kind).InputCap)
+	}
+	load := lib.NetLoad(caps)
+	if n.IsPrimaryOutput(id) {
+		load += cell.CaptureCap
+	}
+	return load
+}
+
+// String summarizes the netlist.
+func (n *Netlist) String() string {
+	return fmt.Sprintf("%s{nets:%d gates:%d depth:%d}", n.Name, len(n.Nets), len(n.Gates), n.MaxLevel())
+}

@@ -1,0 +1,306 @@
+package rcsim_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+	"repro/internal/rcsim"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+func newEngines(t *testing.T, width int, op fdsoi.OperatingPoint) (*rcsim.Engine, *sim.Engine, *netlist.Netlist) {
+	t.Helper()
+	nl, err := synth.RCA(synth.AdderConfig{Width: width})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	return rcsim.New(nl, lib, proc, op), sim.New(nl, lib, proc, op), nl
+}
+
+func stepRC(t *testing.T, e *rcsim.Engine, nl *netlist.Netlist, b *sim.Binder, a, bb uint64, tclk float64) (uint64, *rcsim.Result) {
+	t.Helper()
+	b.MustSet(synth.PortA, a)
+	b.MustSet(synth.PortB, bb)
+	res, err := e.Step(b.Inputs(), tclk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := res.CapturedWord(nl, synth.PortSum)
+	co, _ := res.CapturedWord(nl, synth.PortCout)
+	width := 0
+	if p, ok := nl.OutputPort(synth.PortSum); ok {
+		width = len(p.Bits)
+	}
+	return s | co<<uint(width), res
+}
+
+func TestNominalExactness(t *testing.T) {
+	proc := fdsoi.Default()
+	rc, _, nl := newEngines(t, 8, proc.Nominal())
+	b := sim.NewBinder(nl)
+	if err := rc.Reset(b.Inputs()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 300; i++ {
+		a, bb := rng.Uint64()&0xff, rng.Uint64()&0xff
+		got, res := stepRC(t, rc, nl, b, a, bb, 0.5)
+		if got != a+bb {
+			t.Fatalf("rc nominal (%d+%d) captured %d", a, bb, got)
+		}
+		if res.Late {
+			t.Fatal("late crossing at relaxed clock")
+		}
+	}
+}
+
+func TestSettledMatchesEvaluate(t *testing.T) {
+	// After every step, the RC engine's settled rails must equal the
+	// zero-delay evaluation — whatever the operating point.
+	for _, op := range []fdsoi.OperatingPoint{
+		fdsoi.Default().Nominal(),
+		{Vdd: 0.5, Vbb: 2},
+		{Vdd: 0.6, Vbb: 0},
+	} {
+		rc, _, nl := newEngines(t, 8, op)
+		b := sim.NewBinder(nl)
+		if err := rc.Reset(b.Inputs()); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(3, 4))
+		for i := 0; i < 100; i++ {
+			b.MustSet(synth.PortA, rng.Uint64()&0xff)
+			b.MustSet(synth.PortB, rng.Uint64()&0xff)
+			res, err := rc.Step(b.Inputs(), 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := nl.Evaluate(b.Inputs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id, v := range want {
+				if res.Settled[id] != v {
+					t.Fatalf("op %+v: settled net %d = %d, want %d", op, id, res.Settled[id], v)
+				}
+			}
+		}
+	}
+}
+
+func TestCrossValidationWithGateLevel(t *testing.T) {
+	// The two engines must agree on the safe/faulty classification of
+	// operating points: zero errors at the nominal and FBB-rescued
+	// points, errors at deep over-scaling; BER within a factor-2 band
+	// where both are erroneous.
+	cases := []struct {
+		op     fdsoi.OperatingPoint
+		tclk   float64
+		expect string // "clean", "faulty"
+	}{
+		{fdsoi.Default().Nominal(), 0.48, "clean"},
+		{fdsoi.OperatingPoint{Vdd: 0.5, Vbb: 2}, 0.269, "clean"},
+		{fdsoi.OperatingPoint{Vdd: 0.5, Vbb: 0}, 0.269, "faulty"},
+		{fdsoi.OperatingPoint{Vdd: 0.4, Vbb: 2}, 0.124, "faulty"},
+	}
+	for _, tc := range cases {
+		rc, gate, nl := newEngines(t, 8, tc.op)
+		bRC := sim.NewBinder(nl)
+		bG := sim.NewBinder(nl)
+		if err := rc.Reset(bRC.Inputs()); err != nil {
+			t.Fatal(err)
+		}
+		if err := gate.Reset(bG.Inputs()); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(5, 6))
+		const n = 400
+		rcErrs, gateErrs := 0, 0
+		for i := 0; i < n; i++ {
+			a, bb := rng.Uint64()&0xff, rng.Uint64()&0xff
+			got, _ := stepRC(t, rc, nl, bRC, a, bb, tc.tclk)
+			if got != a+bb {
+				rcErrs++
+			}
+			bG.MustSet(synth.PortA, a)
+			bG.MustSet(synth.PortB, bb)
+			gres, err := gate.Step(bG.Inputs(), tc.tclk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, _ := gres.CapturedWord(nl, synth.PortSum)
+			co, _ := gres.CapturedWord(nl, synth.PortCout)
+			if s|co<<8 != a+bb {
+				gateErrs++
+			}
+		}
+		switch tc.expect {
+		case "clean":
+			if rcErrs != 0 || gateErrs != 0 {
+				t.Fatalf("op %+v: expected clean, rc=%d gate=%d errors", tc.op, rcErrs, gateErrs)
+			}
+		case "faulty":
+			if rcErrs == 0 || gateErrs == 0 {
+				t.Fatalf("op %+v: expected faults in both engines, rc=%d gate=%d", tc.op, rcErrs, gateErrs)
+			}
+		}
+	}
+}
+
+func TestGlitchFiltering(t *testing.T) {
+	// On a glitch-heavy workload the RC engine must register fewer
+	// threshold crossings than the transport-delay engine registers
+	// transitions (inertial filtering).
+	op := fdsoi.Default().Nominal()
+	rc, gate, nl := newEngines(t, 16, op)
+	bRC := sim.NewBinder(nl)
+	bG := sim.NewBinder(nl)
+	if err := rc.Reset(bRC.Inputs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gate.Reset(bG.Inputs()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 300; i++ {
+		a, bb := rng.Uint64()&0xffff, rng.Uint64()&0xffff
+		bRC.MustSet(synth.PortA, a)
+		bRC.MustSet(synth.PortB, bb)
+		if _, err := rc.Step(bRC.Inputs(), 0.6); err != nil {
+			t.Fatal(err)
+		}
+		bG.MustSet(synth.PortA, a)
+		bG.MustSet(synth.PortB, bb)
+		if _, err := gate.Step(bG.Inputs(), 0.6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rc.Crossings() >= gate.Stats().Transitions {
+		t.Fatalf("RC crossings %d not below gate transitions %d",
+			rc.Crossings(), gate.Stats().Transitions)
+	}
+}
+
+func TestBERMonotoneInVdd(t *testing.T) {
+	prev := -1.0
+	for _, vdd := range []float64{0.8, 0.7, 0.6, 0.5} {
+		rc, _, nl := newEngines(t, 8, fdsoi.OperatingPoint{Vdd: vdd})
+		b := sim.NewBinder(nl)
+		if err := rc.Reset(b.Inputs()); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(9, 10))
+		errs := 0
+		const n = 400
+		for i := 0; i < n; i++ {
+			a, bb := rng.Uint64()&0xff, rng.Uint64()&0xff
+			got, _ := stepRC(t, rc, nl, b, a, bb, 0.269)
+			if got != a+bb {
+				errs++
+			}
+		}
+		rate := float64(errs) / n
+		if rate < prev {
+			t.Fatalf("error rate fell from %v to %v at %.1fV", prev, rate, vdd)
+		}
+		prev = rate
+	}
+	if prev == 0 {
+		t.Fatal("no errors even at 0.5V")
+	}
+}
+
+func TestEnergyPositiveAndGrowsWithActivity(t *testing.T) {
+	op := fdsoi.Default().Nominal()
+	rc, _, nl := newEngines(t, 8, op)
+	b := sim.NewBinder(nl)
+	if err := rc.Reset(b.Inputs()); err != nil {
+		t.Fatal(err)
+	}
+	// All-bits toggle must cost more than a single-LSB toggle.
+	_, res0 := stepRC(t, rc, nl, b, 0x00, 0x00, 0.5)
+	_ = res0
+	_, resAll := stepRC(t, rc, nl, b, 0xFF, 0xFF, 0.5)
+	_, resBack := stepRC(t, rc, nl, b, 0x00, 0x00, 0.5)
+	_, resOne := stepRC(t, rc, nl, b, 0x01, 0x00, 0.5)
+	if resAll.EnergyFJ <= resOne.EnergyFJ {
+		t.Fatalf("full toggle %v fJ not above single-bit %v fJ", resAll.EnergyFJ, resOne.EnergyFJ)
+	}
+	if resBack.EnergyFJ <= 0 || resOne.EnergyFJ <= 0 {
+		t.Fatal("non-positive step energy")
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	op := fdsoi.Default().Nominal()
+	rc, _, nl := newEngines(t, 4, op)
+	b := sim.NewBinder(nl)
+	if err := rc.Reset(b.Inputs()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Step(b.Inputs(), 0); err == nil {
+		t.Fatal("tclk 0 accepted")
+	}
+	if _, err := rc.Step(map[netlist.NetID]uint8{}, 0.5); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+	bad := map[netlist.NetID]uint8{}
+	for k := range b.Inputs() {
+		bad[k] = 2
+	}
+	if _, err := rc.Step(bad, 0.5); err == nil {
+		t.Fatal("non-boolean accepted")
+	}
+	if err := rc.Reset(map[netlist.NetID]uint8{}); err == nil {
+		t.Fatal("bad reset accepted")
+	}
+	_ = nl
+}
+
+func TestPartialSwingCapture(t *testing.T) {
+	// A single inverter clocked just below its delay: the captured value
+	// must be the stale one (trajectory has not crossed Vdd/2), and just
+	// above: the new one.
+	bld := netlist.NewBuilder("inv1")
+	a := bld.InputBus("a", 1)
+	o := bld.Gate(cell.INV, a[0])
+	bld.OutputBus("o", []netlist.NetID{o})
+	nl := bld.MustBuild()
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	rc := rcsim.New(nl, lib, proc, proc.Nominal())
+	// The 50% crossing equals the gate-level delay by construction.
+	gate := sim.New(nl, lib, proc, proc.Nominal())
+	delay := gate.GateDelay(0)
+
+	in := map[netlist.NetID]uint8{a[0]: 0}
+	if err := rc.Reset(in); err != nil {
+		t.Fatal(err)
+	}
+	in[a[0]] = 1
+	res, err := rc.Step(in, delay*0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Captured[o] != 1 {
+		t.Fatal("stale value expected below the crossing time")
+	}
+	in[a[0]] = 0
+	if err := rc.Reset(in); err != nil {
+		t.Fatal(err)
+	}
+	in[a[0]] = 1
+	res, err = rc.Step(in, delay*1.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Captured[o] != 0 {
+		t.Fatal("new value expected above the crossing time")
+	}
+}

@@ -1,0 +1,186 @@
+// Package report renders experiment data as ASCII tables, simple ASCII
+// charts and CSV — the presentation layer of the reproduction's tools and
+// benches. Figures that the paper plots graphically (Fig. 5, 7, 8) are
+// emitted both as aligned-column charts for the terminal and as CSV rows
+// for external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends one row; cells format non-strings with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "%s\n", t.title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			pad := widths[i] - len([]rune(c))
+			parts[i] = c + strings.Repeat(" ", pad)
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(t.headers)
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// CSV writes the table as comma-separated values (quotes cells containing
+// commas).
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.headers))
+	for i, h := range t.headers {
+		cells[i] = esc(h)
+	}
+	fmt.Fprintln(w, strings.Join(cells, ","))
+	for _, row := range t.rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// BarChart renders horizontal bars for labeled values, scaled to maxWidth
+// characters — the terminal stand-in for the paper's bar figures (Fig. 7).
+func BarChart(w io.Writer, title string, labels []string, values []float64, maxWidth int) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	labelW, maxV := 0, 0.0
+	for i, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+		if i < len(values) && values[i] > maxV {
+			maxV = values[i]
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		n := int(math.Round(v / maxV * float64(maxWidth)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "%-*s | %s %.4g\n", labelW, l, strings.Repeat("#", n), v)
+	}
+}
+
+// DualSeries renders the Fig. 8 layout: one row per x label with two
+// aligned numeric columns (BER % and energy), plus proportional bars for
+// the first series.
+func DualSeries(w io.Writer, title string, labels []string, s1 []float64, s1Name string, s2 []float64, s2Name string, barWidth int) {
+	fmt.Fprintf(w, "%s\n", title)
+	labelW, max1 := 0, 0.0
+	for i, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+		if i < len(s1) && s1[i] > max1 {
+			max1 = s1[i]
+		}
+	}
+	if max1 <= 0 {
+		max1 = 1
+	}
+	fmt.Fprintf(w, "%-*s | %10s | %10s |\n", labelW, "triad", s1Name, s2Name)
+	for i, l := range labels {
+		v1, v2 := 0.0, 0.0
+		if i < len(s1) {
+			v1 = s1[i]
+		}
+		if i < len(s2) {
+			v2 = s2[i]
+		}
+		bar := strings.Repeat("*", int(math.Round(v1/max1*float64(barWidth))))
+		fmt.Fprintf(w, "%-*s | %10.3f | %10.3f | %s\n", labelW, l, v1, v2, bar)
+	}
+}
+
+// Sparkline returns a compact unicode-free profile of values using ASCII
+// levels (space, ., :, -, =, #), handy for per-bit BER rows (Fig. 5).
+func Sparkline(values []float64, max float64) string {
+	if max <= 0 {
+		max = 1
+	}
+	levels := " .:-=#"
+	var sb strings.Builder
+	for _, v := range values {
+		f := v / max
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		idx := int(f * float64(len(levels)-1))
+		sb.WriteByte(levels[idx])
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percent string.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Synthesis", "Benchmark", "Area", "CP")
+	tb.AddRow("8-bit RCA", 114.7, "0.28")
+	tb.AddRow("16-bit BKA", 265.5, "0.25")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Synthesis", "Benchmark", "8-bit RCA", "265.5", "0.25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All table lines equal length (aligned).
+	for i := 2; i < len(lines); i++ {
+		if len(lines[i]) != len(lines[1]) {
+			t.Fatalf("misaligned line %d:\n%s", i, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `quote"inside`)
+	tb.AddRow(1, 2)
+	var buf bytes.Buffer
+	tb.CSV(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"quote""inside"`) {
+		t.Fatalf("quote cell not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("missing header: %s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart(&buf, "SNR", []string{"MSE", "Hamming"}, []float64{20, 10}, 20)
+	out := buf.String()
+	if !strings.Contains(out, "SNR") || !strings.Contains(out, "MSE") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	// MSE bar should be twice Hamming's.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	c1 := strings.Count(lines[1], "#")
+	c2 := strings.Count(lines[2], "#")
+	if c1 != 20 || c2 != 10 {
+		t.Fatalf("bar lengths %d/%d:\n%s", c1, c2, out)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart(&buf, "", []string{"z"}, []float64{0}, 10)
+	if strings.Contains(buf.String(), "#") {
+		t.Fatal("zero value produced a bar")
+	}
+}
+
+func TestDualSeries(t *testing.T) {
+	var buf bytes.Buffer
+	DualSeries(&buf, "Fig8", []string{"0.28,0.5,±2", "0.13,0.4,0"},
+		[]float64{0, 50}, "BER", []float64{0.048, 0.002}, "E/op", 10)
+	out := buf.String()
+	if !strings.Contains(out, "Fig8") || !strings.Contains(out, "0.28,0.5,±2") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "**********") {
+		t.Fatalf("max bar not full width:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 0.5, 1}, 1)
+	if len(s) != 3 {
+		t.Fatalf("length = %d", len(s))
+	}
+	if s[0] != ' ' || s[2] != '#' {
+		t.Fatalf("levels wrong: %q", s)
+	}
+	// Out-of-range values clamp.
+	s = Sparkline([]float64{-1, 2}, 1)
+	if s[0] != ' ' || s[1] != '#' {
+		t.Fatalf("clamping wrong: %q", s)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(0.123))
+	}
+}

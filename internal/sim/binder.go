@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Binder is a reusable input-assignment buffer for repeated stepping of the
+// same netlist: it avoids rebuilding the input map for every vector of a
+// 20 000-pattern characterization run.
+type Binder struct {
+	in    map[netlist.NetID]uint8
+	ports map[string]netlist.Port
+}
+
+// NewBinder prepares a binder covering every primary input of nl,
+// initialized to zero.
+func NewBinder(nl *netlist.Netlist) *Binder {
+	b := &Binder{
+		in:    make(map[netlist.NetID]uint8),
+		ports: make(map[string]netlist.Port),
+	}
+	for _, p := range nl.Inputs {
+		b.ports[p.Name] = p
+		for _, bit := range p.Bits {
+			b.in[bit] = 0
+		}
+	}
+	return b
+}
+
+// Set assigns the low bits of value to the named input port.
+func (b *Binder) Set(port string, value uint64) error {
+	p, ok := b.ports[port]
+	if !ok {
+		return fmt.Errorf("sim: unknown input port %q", port)
+	}
+	netlist.AssignPort(b.in, p, value)
+	return nil
+}
+
+// MustSet is Set that panics on unknown ports.
+func (b *Binder) MustSet(port string, value uint64) {
+	if err := b.Set(port, value); err != nil {
+		panic(err)
+	}
+}
+
+// Inputs returns the assignment map, suitable for Engine.Reset/Step.
+func (b *Binder) Inputs() map[netlist.NetID]uint8 { return b.in }

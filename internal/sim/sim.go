@@ -1,0 +1,377 @@
+// Package sim is the transistor-level-simulation substitute of the
+// reproduction (Eldo SPICE in the paper's Fig. 4 flow): an event-driven
+// gate-level timing simulator whose per-gate delays come from the FDSOI
+// device model at an arbitrary operating point.
+//
+// Timing errors under voltage over-scaling emerge exactly as in silicon:
+// input transitions launch waves of events through the netlist; a capture
+// register samples the primary outputs at t = Tclk; any path whose events
+// have not yet fired contributes stale or intermediate values to the
+// captured word. Glitches propagate (transport delay) and are charged to
+// the per-operation energy, which also integrates operating-point-scaled
+// leakage over the clock period.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+)
+
+// event is one scheduled output change.
+type event struct {
+	time  float64
+	seq   uint64 // tie-break so equal-time events fire in schedule order
+	gate  netlist.GateID
+	value uint8
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Engine simulates one netlist at one fixed operating point. It is not
+// safe for concurrent use; characterization sweeps run one Engine per
+// goroutine.
+type Engine struct {
+	nl   *netlist.Netlist
+	lib  *cell.Library
+	proc fdsoi.Params
+	op   fdsoi.OperatingPoint
+
+	gateDelay  []float64 // ns per gate at op
+	gateEnergy []float64 // fJ per output transition at op
+	leakPower  float64   // µW at op
+
+	value     []uint8 // current net values
+	scheduled []uint8 // per gate: last scheduled output value
+	queue     eventQueue
+	seq       uint64
+	now       float64
+
+	inputNets          []netlist.NetID
+	inputEnergy        map[netlist.NetID]float64 // fJ per input toggle at op
+	pendingInputEnergy float64
+	evalBuf            [3]uint8
+
+	// Stats since last ResetStats.
+	stats Stats
+
+	tracer Tracer
+}
+
+// Tracer observes every net value change (inputs and gate outputs) with
+// its simulation time; used by the VCD dumper. The callback must not
+// re-enter the engine.
+type Tracer func(tNs float64, net netlist.NetID, v uint8)
+
+// SetTracer installs (or, with nil, removes) a change observer.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// Stats accumulates simulation activity.
+type Stats struct {
+	// Transitions is the number of net value changes that fired.
+	Transitions uint64
+	// LateTransitions is the subset that fired after the capture instant
+	// of their step (energy spent in the next cycle).
+	LateTransitions uint64
+	// DynamicEnergy is the switching energy (fJ) of transitions fired
+	// before capture, plus leakage·Tclk per step.
+	DynamicEnergy float64
+	// LeakageEnergy is the integrated leakage (fJ) over the stepped clock
+	// periods.
+	LeakageEnergy float64
+	// Steps counts Step/StreamStep calls.
+	Steps uint64
+}
+
+// EnergyFJ is the total energy charged to the executed steps.
+func (s Stats) EnergyFJ() float64 { return s.DynamicEnergy + s.LeakageEnergy }
+
+// New builds an engine for nl at operating point op. Delays and energies
+// are precomputed once.
+func New(nl *netlist.Netlist, lib *cell.Library, proc fdsoi.Params, op fdsoi.OperatingPoint) *Engine {
+	e := &Engine{
+		nl:         nl,
+		lib:        lib,
+		proc:       proc,
+		op:         op,
+		gateDelay:  make([]float64, nl.NumGates()),
+		gateEnergy: make([]float64, nl.NumGates()),
+		value:      make([]uint8, nl.NumNets()),
+		scheduled:  make([]uint8, nl.NumGates()),
+	}
+	dyn := proc.DynamicEnergyScale(op)
+	var leakNW float64
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		c := lib.MustCell(g.Kind)
+		load := nl.NetLoad(lib, g.Output)
+		e.gateDelay[gi] = c.Delay(load) * proc.DelayScale(op, g.VtOffset)
+		e.gateEnergy[gi] = fdsoi.SwitchingEnergy(load, op.Vdd) + c.InternalEnergy*dyn
+		leakNW += c.Leakage
+	}
+	e.leakPower = leakNW / 1000 * proc.LeakageScale(op)
+	e.inputEnergy = make(map[netlist.NetID]float64)
+	for _, p := range nl.Inputs {
+		e.inputNets = append(e.inputNets, p.Bits...)
+		for _, b := range p.Bits {
+			// The external driver charges the input pin capacitance on
+			// every stimulus edge; this keeps deep-VOS operating points
+			// (where no internal gate completes within Tclk) from
+			// reporting zero energy.
+			e.inputEnergy[b] = fdsoi.SwitchingEnergy(nl.NetLoad(lib, b), op.Vdd)
+		}
+	}
+	return e
+}
+
+// Netlist returns the simulated netlist.
+func (e *Engine) Netlist() *netlist.Netlist { return e.nl }
+
+// OperatingPoint returns the engine's electrical operating point.
+func (e *Engine) OperatingPoint() fdsoi.OperatingPoint { return e.op }
+
+// LeakagePower returns the static power (µW) at the operating point.
+func (e *Engine) LeakagePower() float64 { return e.leakPower }
+
+// GateDelay returns the propagation delay (ns) of gate g at the operating
+// point.
+func (e *Engine) GateDelay(g netlist.GateID) float64 { return e.gateDelay[g] }
+
+// Stats returns the accumulated statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the accumulated statistics.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// Reset instantly settles the circuit to the steady state of the given
+// input assignment, discarding pending events. It is the starting point of
+// every two-vector experiment.
+func (e *Engine) Reset(inputs map[netlist.NetID]uint8) error {
+	vals, err := e.nl.Evaluate(inputs)
+	if err != nil {
+		return err
+	}
+	copy(e.value, vals)
+	for gi := range e.nl.Gates {
+		e.scheduled[gi] = e.value[e.nl.Gates[gi].Output]
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	return nil
+}
+
+// eval recomputes gate gi's output from current net values.
+func (e *Engine) eval(gi netlist.GateID) uint8 {
+	g := &e.nl.Gates[gi]
+	for i, src := range g.Inputs {
+		e.evalBuf[i] = e.value[src]
+	}
+	return g.Kind.Eval(e.evalBuf[:len(g.Inputs)])
+}
+
+// touch re-evaluates a gate after one of its inputs changed and schedules
+// an output event when the target value differs from the last scheduled
+// one.
+func (e *Engine) touch(gi netlist.GateID) {
+	v := e.eval(gi)
+	if v == e.scheduled[gi] {
+		return
+	}
+	e.scheduled[gi] = v
+	e.seq++
+	heap.Push(&e.queue, event{
+		time:  e.now + e.gateDelay[gi],
+		seq:   e.seq,
+		gate:  gi,
+		value: v,
+	})
+}
+
+// applyInputs forces the primary inputs to the values in the map at the
+// current time and seeds the event wave.
+func (e *Engine) applyInputs(inputs map[netlist.NetID]uint8) error {
+	for _, id := range e.inputNets {
+		v, ok := inputs[id]
+		if !ok {
+			return fmt.Errorf("sim: input net %q unassigned", e.nl.Nets[id].Name)
+		}
+		if v > 1 {
+			return fmt.Errorf("sim: non-boolean input %d on %q", v, e.nl.Nets[id].Name)
+		}
+		if e.value[id] == v {
+			continue
+		}
+		e.value[id] = v
+		e.pendingInputEnergy += e.inputEnergy[id]
+		if e.tracer != nil {
+			e.tracer(e.now, id, v)
+		}
+		for _, fo := range e.nl.Fanouts(id) {
+			e.touch(fo)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of one clocked step.
+type Result struct {
+	// Captured holds the output-net values sampled at the capture instant.
+	Captured []uint8
+	// Settled holds the final steady-state values (Step only; nil for
+	// StreamStep, where the circuit never settles between vectors).
+	Settled []uint8
+	// EnergyFJ is the energy charged to this step: switching before
+	// capture plus leakage over Tclk.
+	EnergyFJ float64
+	// Late reports whether any event fired after the capture instant —
+	// i.e. whether the step had a timing violation anywhere (not
+	// necessarily visible at an output).
+	Late bool
+}
+
+// CapturedWord packs the captured bits of output port name.
+func (r *Result) CapturedWord(nl *netlist.Netlist, name string) (uint64, bool) {
+	p, ok := nl.OutputPort(name)
+	if !ok {
+		return 0, false
+	}
+	return netlist.PortValue(p, r.Captured), true
+}
+
+// SettledWord packs the settled bits of output port name.
+func (r *Result) SettledWord(nl *netlist.Netlist, name string) (uint64, bool) {
+	p, ok := nl.OutputPort(name)
+	if !ok || r.Settled == nil {
+		return 0, false
+	}
+	return netlist.PortValue(p, r.Settled), true
+}
+
+// Step performs the two-vector timing experiment of the characterization
+// flow: from the current settled state, the inputs switch to the given
+// values at t = 0; outputs are captured at t = tclk; simulation then runs
+// to quiescence so the next step starts settled (mirroring a test bench
+// that allows full settling between launch edges).
+func (e *Engine) Step(inputs map[netlist.NetID]uint8, tclk float64) (*Result, error) {
+	if tclk <= 0 {
+		return nil, fmt.Errorf("sim: non-positive tclk %v", tclk)
+	}
+	e.now = 0
+	e.pendingInputEnergy = 0
+	if err := e.applyInputs(inputs); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	dynBefore := e.pendingInputEnergy
+	captured := false
+	capture := func() {
+		res.Captured = make([]uint8, len(e.value))
+		copy(res.Captured, e.value)
+		captured = true
+	}
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if !captured && ev.time > tclk {
+			capture()
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.time
+		out := e.nl.Gates[ev.gate].Output
+		if e.value[out] == ev.value {
+			continue
+		}
+		e.value[out] = ev.value
+		e.stats.Transitions++
+		if e.tracer != nil {
+			e.tracer(ev.time, out, ev.value)
+		}
+		if ev.time <= tclk {
+			dynBefore += e.gateEnergy[ev.gate]
+		} else {
+			res.Late = true
+			e.stats.LateTransitions++
+		}
+		for _, fo := range e.nl.Fanouts(out) {
+			e.touch(fo)
+		}
+	}
+	if !captured {
+		capture()
+	}
+	res.Settled = make([]uint8, len(e.value))
+	copy(res.Settled, e.value)
+	leak := e.leakPower * tclk
+	res.EnergyFJ = dynBefore + leak
+	e.stats.DynamicEnergy += dynBefore
+	e.stats.LeakageEnergy += leak
+	e.stats.Steps++
+	e.now = 0
+	return res, nil
+}
+
+// StreamStep applies the inputs at the current simulation time and samples
+// the outputs one clock period later without waiting for quiescence:
+// leftover events from earlier vectors keep firing, exactly like a
+// free-running datapath clocked faster than it settles. Use Reset first to
+// establish an initial state.
+func (e *Engine) StreamStep(inputs map[netlist.NetID]uint8, tclk float64) (*Result, error) {
+	if tclk <= 0 {
+		return nil, fmt.Errorf("sim: non-positive tclk %v", tclk)
+	}
+	e.pendingInputEnergy = 0
+	if err := e.applyInputs(inputs); err != nil {
+		return nil, err
+	}
+	deadline := e.now + tclk
+	res := &Result{}
+	dynBefore := e.pendingInputEnergy
+	for e.queue.Len() > 0 && e.queue[0].time <= deadline {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.time
+		out := e.nl.Gates[ev.gate].Output
+		if e.value[out] == ev.value {
+			continue
+		}
+		e.value[out] = ev.value
+		e.stats.Transitions++
+		if e.tracer != nil {
+			e.tracer(ev.time, out, ev.value)
+		}
+		dynBefore += e.gateEnergy[ev.gate]
+		for _, fo := range e.nl.Fanouts(out) {
+			e.touch(fo)
+		}
+	}
+	// Pending events are not timing-charged here: they will fire (and be
+	// counted) inside a later step's window.
+	res.Late = e.queue.Len() > 0
+	res.Captured = make([]uint8, len(e.value))
+	copy(res.Captured, e.value)
+	e.now = deadline
+	leak := e.leakPower * tclk
+	res.EnergyFJ = dynBefore + leak
+	e.stats.DynamicEnergy += dynBefore
+	e.stats.LeakageEnergy += leak
+	e.stats.Steps++
+	return res, nil
+}

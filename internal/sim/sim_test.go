@@ -1,0 +1,448 @@
+package sim_test
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/sta"
+	"repro/internal/synth"
+)
+
+func newAdderEngine(t *testing.T, arch synth.Arch, width int, op fdsoi.OperatingPoint) (*sim.Engine, *netlist.Netlist) {
+	t.Helper()
+	nl, err := synth.NewAdder(arch, synth.AdderConfig{Width: width})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.New(nl, cell.Default28nmLVT(), fdsoi.Default(), op), nl
+}
+
+// step runs one two-vector experiment and returns captured and settled sums.
+func step(t *testing.T, e *sim.Engine, nl *netlist.Netlist, b *sim.Binder, a, bb uint64, tclk float64) (cap, set uint64) {
+	t.Helper()
+	b.MustSet(synth.PortA, a)
+	b.MustSet(synth.PortB, bb)
+	res, err := e.Step(b.Inputs(), tclk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := res.CapturedWord(nl, synth.PortSum)
+	s, _ := res.SettledWord(nl, synth.PortSum)
+	co, _ := res.CapturedWord(nl, synth.PortCout)
+	so, _ := res.SettledWord(nl, synth.PortCout)
+	width := len(mustPort(nl, synth.PortSum).Bits)
+	return c | co<<uint(width), s | so<<uint(width)
+}
+
+func mustPort(nl *netlist.Netlist, name string) netlist.Port {
+	p, ok := nl.OutputPort(name)
+	if !ok {
+		panic("missing port " + name)
+	}
+	return p
+}
+
+func TestNominalNoErrors(t *testing.T) {
+	proc := fdsoi.Default()
+	for _, arch := range []synth.Arch{synth.ArchRCA, synth.ArchBKA} {
+		eng, nl := newAdderEngine(t, arch, 8, proc.Nominal())
+		b := sim.NewBinder(nl)
+		if err := eng.Reset(b.Inputs()); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(1, 2))
+		for i := 0; i < 300; i++ {
+			a, bb := rng.Uint64()&0xff, rng.Uint64()&0xff
+			cap, set := step(t, eng, nl, b, a, bb, 0.5)
+			if cap != a+bb || set != a+bb {
+				t.Fatalf("%s: (%d+%d) captured %d settled %d", arch, a, bb, cap, set)
+			}
+		}
+	}
+}
+
+// TestSettledMatchesZeroDelayEval is the core simulator invariant: whatever
+// the operating point, after quiescence the event-driven state must equal
+// the zero-delay functional evaluation.
+func TestSettledMatchesZeroDelayEval(t *testing.T) {
+	proc := fdsoi.Default()
+	ops := []fdsoi.OperatingPoint{
+		proc.Nominal(),
+		{Vdd: 0.6, Vbb: 0},
+		{Vdd: 0.4, Vbb: 2},
+		{Vdd: 0.45, Vbb: -1},
+	}
+	for _, op := range ops {
+		eng, nl := newAdderEngine(t, synth.ArchRCA, 8, op)
+		b := sim.NewBinder(nl)
+		if err := eng.Reset(b.Inputs()); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(3, 4))
+		for i := 0; i < 100; i++ {
+			a, bb := rng.Uint64()&0xff, rng.Uint64()&0xff
+			b.MustSet(synth.PortA, a)
+			b.MustSet(synth.PortB, bb)
+			res, err := eng.Step(b.Inputs(), 0.28)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := nl.Evaluate(b.Inputs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id, v := range want {
+				if res.Settled[id] != v {
+					t.Fatalf("op %+v: settled net %d = %d, want %d", op, id, res.Settled[id], v)
+				}
+			}
+		}
+	}
+}
+
+func TestVOSInducesErrors(t *testing.T) {
+	// 0.5 V without body bias at the nominal clock: deep over-scaling.
+	eng, nl := newAdderEngine(t, synth.ArchRCA, 8, fdsoi.OperatingPoint{Vdd: 0.5})
+	b := sim.NewBinder(nl)
+	if err := eng.Reset(b.Inputs()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	errs, late := 0, 0
+	for i := 0; i < 500; i++ {
+		a, bb := rng.Uint64()&0xff, rng.Uint64()&0xff
+		b.MustSet(synth.PortA, a)
+		b.MustSet(synth.PortB, bb)
+		res, err := eng.Step(b.Inputs(), 0.28)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := res.CapturedWord(nl, synth.PortSum)
+		if c != (a+bb)&0xff {
+			errs++
+		}
+		if res.Late {
+			late++
+		}
+	}
+	if errs == 0 {
+		t.Fatal("expected timing errors at 0.5V/0.28ns, saw none")
+	}
+	if late == 0 {
+		t.Fatal("expected late events")
+	}
+}
+
+func TestFBBRecoversCorrectness(t *testing.T) {
+	proc := fdsoi.Default()
+	_ = proc
+	eng, nl := newAdderEngine(t, synth.ArchRCA, 8, fdsoi.OperatingPoint{Vdd: 0.5, Vbb: 2})
+	b := sim.NewBinder(nl)
+	if err := eng.Reset(b.Inputs()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 500; i++ {
+		a, bb := rng.Uint64()&0xff, rng.Uint64()&0xff
+		cap, _ := step(t, eng, nl, b, a, bb, 0.28)
+		if cap != a+bb {
+			t.Fatalf("0.5V+FBB should be error-free at 0.28ns: (%d+%d) captured %d", a, bb, cap)
+		}
+	}
+}
+
+func TestEnergyDropsWithVdd(t *testing.T) {
+	proc := fdsoi.Default()
+	var prev float64
+	first := true
+	for _, vdd := range []float64{1.0, 0.8, 0.6} {
+		eng, nl := newAdderEngine(t, synth.ArchRCA, 8, fdsoi.OperatingPoint{Vdd: vdd, Vbb: 2})
+		b := sim.NewBinder(nl)
+		if err := eng.Reset(b.Inputs()); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(9, 10))
+		var total float64
+		for i := 0; i < 200; i++ {
+			b.MustSet(synth.PortA, rng.Uint64()&0xff)
+			b.MustSet(synth.PortB, rng.Uint64()&0xff)
+			res, err := eng.Step(b.Inputs(), 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.EnergyFJ
+		}
+		if !first && total >= prev {
+			t.Fatalf("energy at %.1fV (%.1f fJ) not below previous (%.1f fJ)", vdd, total, prev)
+		}
+		prev, first = total, false
+	}
+	_ = proc
+}
+
+func TestNominalEnergyPerOpCalibration(t *testing.T) {
+	// Fig. 8a: 8-bit RCA at the nominal triad burns ≈ 0.10–0.22 pJ/op.
+	proc := fdsoi.Default()
+	eng, nl := newAdderEngine(t, synth.ArchRCA, 8, proc.Nominal())
+	b := sim.NewBinder(nl)
+	if err := eng.Reset(b.Inputs()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(11, 12))
+	var total float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		b.MustSet(synth.PortA, rng.Uint64()&0xff)
+		b.MustSet(synth.PortB, rng.Uint64()&0xff)
+		res, err := eng.Step(b.Inputs(), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.EnergyFJ
+	}
+	perOp := total / n
+	if perOp < 100 || perOp > 220 {
+		t.Fatalf("nominal E/op = %.1f fJ, outside the calibration band [100, 220]", perOp)
+	}
+}
+
+func TestCaptureBoundarySingleGate(t *testing.T) {
+	// One inverter: captured value flips depending on whether tclk covers
+	// the gate delay.
+	b := netlist.NewBuilder("inv1")
+	a := b.InputBus("a", 1)
+	o := b.Gate(cell.INV, a[0])
+	b.OutputBus("o", []netlist.NetID{o})
+	nl := b.MustBuild()
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	eng := sim.New(nl, lib, proc, proc.Nominal())
+	delay := eng.GateDelay(0)
+
+	in := map[netlist.NetID]uint8{a[0]: 0}
+	if err := eng.Reset(in); err != nil {
+		t.Fatal(err)
+	}
+	in[a[0]] = 1
+	res, err := eng.Step(in, delay*1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Captured[o] != 0 {
+		t.Fatal("new value must be captured when tclk > delay")
+	}
+	if res.Late {
+		t.Fatal("no late events expected")
+	}
+
+	in[a[0]] = 0
+	if err := eng.Reset(in); err != nil {
+		t.Fatal(err)
+	}
+	in[a[0]] = 1
+	res, err = eng.Step(in, delay*0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Captured[o] != 1 {
+		t.Fatal("stale value must be captured when tclk < delay")
+	}
+	if !res.Late {
+		t.Fatal("late event expected")
+	}
+	if res.Settled[o] != 0 {
+		t.Fatal("circuit must still settle to the correct value")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	proc := fdsoi.Default()
+	run := func() []uint64 {
+		eng, nl := newAdderEngine(t, synth.ArchBKA, 8, fdsoi.OperatingPoint{Vdd: 0.55})
+		b := sim.NewBinder(nl)
+		if err := eng.Reset(b.Inputs()); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(21, 22))
+		var out []uint64
+		for i := 0; i < 200; i++ {
+			b.MustSet(synth.PortA, rng.Uint64()&0xff)
+			b.MustSet(synth.PortB, rng.Uint64()&0xff)
+			res, err := eng.Step(b.Inputs(), 0.19)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, _ := res.CapturedWord(nl, synth.PortSum)
+			out = append(out, w)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	_ = proc
+}
+
+func TestStreamStepGenerousClockMatchesStep(t *testing.T) {
+	proc := fdsoi.Default()
+	eng, nl := newAdderEngine(t, synth.ArchRCA, 8, proc.Nominal())
+	b := sim.NewBinder(nl)
+	if err := eng.Reset(b.Inputs()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(31, 32))
+	for i := 0; i < 200; i++ {
+		a, bb := rng.Uint64()&0xff, rng.Uint64()&0xff
+		b.MustSet(synth.PortA, a)
+		b.MustSet(synth.PortB, bb)
+		res, err := eng.StreamStep(b.Inputs(), 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := res.CapturedWord(nl, synth.PortSum)
+		co, _ := res.CapturedWord(nl, synth.PortCout)
+		if c|co<<8 != a+bb {
+			t.Fatalf("stream at generous clock: (%d+%d) captured %d", a, bb, c|co<<8)
+		}
+		if res.Late {
+			t.Fatal("no pending events expected at generous clock")
+		}
+	}
+}
+
+func TestStreamStepOverdrivenProducesErrors(t *testing.T) {
+	proc := fdsoi.Default()
+	eng, nl := newAdderEngine(t, synth.ArchRCA, 8, fdsoi.OperatingPoint{Vdd: 0.6})
+	b := sim.NewBinder(nl)
+	if err := eng.Reset(b.Inputs()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(41, 42))
+	errs := 0
+	for i := 0; i < 300; i++ {
+		a, bb := rng.Uint64()&0xff, rng.Uint64()&0xff
+		b.MustSet(synth.PortA, a)
+		b.MustSet(synth.PortB, bb)
+		res, err := eng.StreamStep(b.Inputs(), 0.13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := res.CapturedWord(nl, synth.PortSum)
+		co, _ := res.CapturedWord(nl, synth.PortCout)
+		if c|co<<8 != a+bb {
+			errs++
+		}
+	}
+	if errs == 0 {
+		t.Fatal("expected streaming errors under overclocking")
+	}
+	_ = proc
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	proc := fdsoi.Default()
+	eng, nl := newAdderEngine(t, synth.ArchRCA, 8, proc.Nominal())
+	b := sim.NewBinder(nl)
+	if err := eng.Reset(b.Inputs()); err != nil {
+		t.Fatal(err)
+	}
+	b.MustSet(synth.PortA, 0xff)
+	b.MustSet(synth.PortB, 0x01)
+	if _, err := eng.Step(b.Inputs(), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Steps != 1 || st.Transitions == 0 || st.EnergyFJ() <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.LeakageEnergy <= 0 {
+		t.Fatal("leakage energy must be positive")
+	}
+	eng.ResetStats()
+	if eng.Stats().Steps != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	proc := fdsoi.Default()
+	eng, nl := newAdderEngine(t, synth.ArchRCA, 4, proc.Nominal())
+	b := sim.NewBinder(nl)
+	if err := eng.Reset(b.Inputs()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Step(b.Inputs(), 0); err == nil {
+		t.Fatal("tclk=0 accepted")
+	}
+	if _, err := eng.StreamStep(b.Inputs(), -1); err == nil {
+		t.Fatal("negative tclk accepted")
+	}
+	if _, err := eng.Step(map[netlist.NetID]uint8{}, 0.5); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+	bad := map[netlist.NetID]uint8{}
+	for k := range b.Inputs() {
+		bad[k] = 2
+	}
+	if _, err := eng.Step(bad, 0.5); err == nil {
+		t.Fatal("non-boolean inputs accepted")
+	}
+	if err := eng.Reset(map[netlist.NetID]uint8{}); err == nil {
+		t.Fatal("Reset with missing inputs accepted")
+	}
+}
+
+func TestBinderErrors(t *testing.T) {
+	proc := fdsoi.Default()
+	_, nl := newAdderEngine(t, synth.ArchRCA, 4, proc.Nominal())
+	b := sim.NewBinder(nl)
+	if err := b.Set("nope", 1); err == nil {
+		t.Fatal("unknown port accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSet did not panic")
+		}
+	}()
+	b.MustSet("nope", 1)
+}
+
+// TestCapturedErrorsAreTimingConsistent cross-checks the simulator against
+// STA: if STA says every output settles within tclk (with margin for the
+// zero mismatch used here), the simulator must capture correct results for
+// any vector pair.
+func TestCapturedErrorsAreTimingConsistent(t *testing.T) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl, _ := synth.RCA(synth.AdderConfig{Width: 8})
+	op := fdsoi.OperatingPoint{Vdd: 0.7, Vbb: 2}
+	an := sta.Analyze(nl, lib, proc, op)
+	tclk := an.CriticalDelay * 1.05
+	eng := sim.New(nl, lib, proc, op)
+	b := sim.NewBinder(nl)
+	if err := eng.Reset(b.Inputs()); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, bb uint8) bool {
+		b.MustSet(synth.PortA, uint64(a))
+		b.MustSet(synth.PortB, uint64(bb))
+		res, err := eng.Step(b.Inputs(), tclk)
+		if err != nil {
+			return false
+		}
+		c, _ := res.CapturedWord(nl, synth.PortSum)
+		co, _ := res.CapturedWord(nl, synth.PortCout)
+		return c|co<<8 == uint64(a)+uint64(bb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

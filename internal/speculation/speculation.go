@@ -1,0 +1,277 @@
+// Package speculation implements the runtime half of the paper's proposal:
+// dynamic approximation through operating-triad switching. Section V
+// argues that, because VOS needs no design-level changes, an operator can
+// hop between accurate and approximate modes at runtime; the BER needed to
+// steer the hop is estimated with a dynamic-speculation / double-sampling
+// scheme (the authors' earlier ISVLSI'16 work, ref [17]).
+//
+// The Governor drives a ladder of triad-bound operators ordered from
+// cheapest (most error-prone) to most expensive (accurate). A shadow exact
+// computation on every k-th operation — the software stand-in for a
+// double-sampling register — feeds a sliding-window BER estimate. When the
+// estimate exceeds the user's error margin the governor climbs to a safer
+// triad; when it falls well below margin (hysteresis) and a cooldown has
+// passed, it descends toward cheaper ones.
+package speculation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/triad"
+)
+
+// Operator is one rung of the triad ladder: a faulty adder pinned at an
+// operating triad plus its characterized figures.
+type Operator struct {
+	Triad triad.Triad
+	// Adder computes at this triad (timing-simulator oracle, statistical
+	// model, or silicon).
+	Adder core.HardwareAdder
+	// EnergyPerOpFJ is the characterized mean energy per operation.
+	EnergyPerOpFJ float64
+	// CharBER is the characterized bit error rate, used to pick the
+	// initial rung.
+	CharBER float64
+}
+
+// Config tunes the governor.
+type Config struct {
+	// Margin is the user-definable BER tolerance (fraction of output
+	// bits).
+	Margin float64
+	// Window is the sliding-window length in *checked* operations.
+	Window int
+	// CheckEvery samples one in k operations with a shadow exact
+	// computation (k = 1 checks every op). The paper's speculation window
+	// hardware plays this role on silicon.
+	CheckEvery int
+	// Hysteresis in (0, 1): descend only when the windowed BER is below
+	// Margin·Hysteresis. Prevents oscillation at the boundary.
+	Hysteresis float64
+	// CooldownOps is the minimum number of operations between triad
+	// switches.
+	CooldownOps int
+}
+
+// DefaultConfig returns a reasonable governor tuning for a margin.
+func DefaultConfig(margin float64) Config {
+	return Config{
+		Margin:      margin,
+		Window:      256,
+		CheckEvery:  4,
+		Hysteresis:  0.25,
+		CooldownOps: 512,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Margin < 0 || c.Margin >= 1:
+		return fmt.Errorf("speculation: margin %v outside [0, 1)", c.Margin)
+	case c.Window < 1:
+		return errors.New("speculation: window must be ≥ 1")
+	case c.CheckEvery < 1:
+		return errors.New("speculation: CheckEvery must be ≥ 1")
+	case c.Hysteresis <= 0 || c.Hysteresis >= 1:
+		return errors.New("speculation: hysteresis must lie in (0, 1)")
+	case c.CooldownOps < 0:
+		return errors.New("speculation: negative cooldown")
+	}
+	return nil
+}
+
+// Switch records one triad change.
+type Switch struct {
+	Op   uint64 // operation index at which the switch happened
+	From triad.Triad
+	To   triad.Triad
+	// EstBER is the windowed estimate that triggered the switch.
+	EstBER float64
+	// Up is true when the governor moved to a safer (higher-energy) rung.
+	Up bool
+}
+
+// Governor steers a ladder of operators under an error margin.
+type Governor struct {
+	cfg   Config
+	ops   []Operator
+	width int
+
+	cur       int
+	opCount   uint64
+	lastCheck uint64
+	lastSwap  uint64
+
+	// Sliding window over checked ops: bit-error counts.
+	window []int
+	wsum   int
+	wpos   int
+	wfill  int
+
+	energy   metrics.EnergyAccumulator
+	observed *metrics.ErrorAccumulator
+	switches []Switch
+}
+
+// New builds a governor over the operator ladder. Operators are sorted by
+// energy ascending; the governor starts at the cheapest rung whose
+// characterized BER fits within the margin.
+func New(ops []Operator, cfg Config) (*Governor, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(ops) == 0 {
+		return nil, errors.New("speculation: empty operator ladder")
+	}
+	width := ops[0].Adder.Width()
+	for _, o := range ops {
+		if o.Adder == nil {
+			return nil, errors.New("speculation: nil adder")
+		}
+		if o.Adder.Width() != width {
+			return nil, fmt.Errorf("speculation: mixed widths %d and %d", width, o.Adder.Width())
+		}
+	}
+	sorted := make([]Operator, len(ops))
+	copy(sorted, ops)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].EnergyPerOpFJ < sorted[j].EnergyPerOpFJ
+	})
+	g := &Governor{
+		cfg:      cfg,
+		ops:      sorted,
+		width:    width,
+		cur:      len(sorted) - 1, // safest by default
+		window:   make([]int, cfg.Window),
+		observed: metrics.NewErrorAccumulator(width + 1),
+	}
+	for i, o := range sorted {
+		if o.CharBER <= cfg.Margin {
+			g.cur = i
+			break
+		}
+	}
+	return g, nil
+}
+
+// Current returns the active rung.
+func (g *Governor) Current() Operator { return g.ops[g.cur] }
+
+// Switches returns the switch trace.
+func (g *Governor) Switches() []Switch { return g.switches }
+
+// Ops returns the number of operations executed.
+func (g *Governor) Ops() uint64 { return g.opCount }
+
+// MeanEnergyFJ returns the charged mean energy per operation.
+func (g *Governor) MeanEnergyFJ() float64 { return g.energy.MeanFJ() }
+
+// ObservedBER returns the ground-truth BER over all executed operations
+// (available here because the harness knows the exact results; silicon
+// would only see the windowed estimate).
+func (g *Governor) ObservedBER() float64 { return g.observed.BER() }
+
+// EstimatedBER returns the current windowed estimate.
+func (g *Governor) EstimatedBER() float64 {
+	if g.wfill == 0 {
+		return 0
+	}
+	return float64(g.wsum) / float64(g.wfill*(g.width+1))
+}
+
+// Add executes one addition on the active rung, updating the estimate and
+// possibly switching triads.
+func (g *Governor) Add(a, b uint64) uint64 {
+	op := g.ops[g.cur]
+	got := op.Adder.Add(a, b)
+	g.energy.Add(op.EnergyPerOpFJ)
+	exact := core.ExactAdder{W: g.width}.Add(a, b)
+	g.observed.Add(exact, got)
+	g.opCount++
+
+	if g.opCount-g.lastCheck >= uint64(g.cfg.CheckEvery) {
+		g.lastCheck = g.opCount
+		// Shadow comparison (double-sampling surrogate): cost of the
+		// check is the safest rung's energy for one op.
+		errBits := metrics.Hamming(exact, got, g.width+1)
+		g.pushWindow(errBits)
+		g.maybeSwitch()
+	}
+	return got
+}
+
+func (g *Governor) pushWindow(errBits int) {
+	g.wsum -= g.window[g.wpos]
+	g.window[g.wpos] = errBits
+	g.wsum += errBits
+	g.wpos = (g.wpos + 1) % len(g.window)
+	if g.wfill < len(g.window) {
+		g.wfill++
+	}
+}
+
+func (g *Governor) maybeSwitch() {
+	if g.wfill < len(g.window)/2 {
+		return // not enough evidence yet
+	}
+	if g.opCount-g.lastSwap < uint64(g.cfg.CooldownOps) {
+		return
+	}
+	est := g.EstimatedBER()
+	switch {
+	case est > g.cfg.Margin && g.cur < len(g.ops)-1:
+		g.swap(g.cur+1, est, true)
+	case est < g.cfg.Margin*g.cfg.Hysteresis && g.cur > 0:
+		// Only descend if the cheaper rung's characterized BER is not
+		// hopeless for the margin.
+		if g.ops[g.cur-1].CharBER <= g.cfg.Margin*4 {
+			g.swap(g.cur-1, est, false)
+		}
+	}
+}
+
+func (g *Governor) swap(to int, est float64, up bool) {
+	g.switches = append(g.switches, Switch{
+		Op:     g.opCount,
+		From:   g.ops[g.cur].Triad,
+		To:     g.ops[to].Triad,
+		EstBER: est,
+		Up:     up,
+	})
+	g.cur = to
+	g.lastSwap = g.opCount
+	// Reset the window: evidence from the old triad does not describe the
+	// new one.
+	for i := range g.window {
+		g.window[i] = 0
+	}
+	g.wsum, g.wpos, g.wfill = 0, 0, 0
+}
+
+// Trace summarizes a governed run.
+type Trace struct {
+	Ops         uint64
+	MeanEnergy  float64
+	ObservedBER float64
+	Switches    int
+	Final       triad.Triad
+}
+
+// Run drives n operand pairs from next() through the governor.
+func (g *Governor) Run(n int, next func() (uint64, uint64)) Trace {
+	for i := 0; i < n; i++ {
+		a, b := next()
+		g.Add(a, b)
+	}
+	return Trace{
+		Ops:         g.opCount,
+		MeanEnergy:  g.MeanEnergyFJ(),
+		ObservedBER: g.ObservedBER(),
+		Switches:    len(g.switches),
+		Final:       g.Current().Triad,
+	}
+}

@@ -1,0 +1,218 @@
+package speculation
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/carry"
+	"repro/internal/core"
+	"repro/internal/triad"
+)
+
+// noisyAdder is a synthetic rung: it truncates carry chains at `limit`
+// with probability p (per op), else computes exactly.
+type noisyAdder struct {
+	width int
+	limit int
+	p     float64
+	rng   *rand.Rand
+}
+
+func newNoisy(width, limit int, p float64, seed uint64) *noisyAdder {
+	return &noisyAdder{width: width, limit: limit, p: p, rng: rand.New(rand.NewPCG(seed, 7))}
+}
+
+func (n *noisyAdder) Width() int { return n.width }
+func (n *noisyAdder) Add(a, b uint64) uint64 {
+	if n.rng.Float64() < n.p {
+		return carry.LimitedAdd(a, b, n.width, n.limit)
+	}
+	return carry.ExactAdd(a, b, n.width)
+}
+
+// ladder builds a three-rung ladder: aggressive (errors), medium, exact.
+func ladder(width int) []Operator {
+	return []Operator{
+		{
+			Triad:         triad.Triad{Tclk: 0.13, Vdd: 0.4, Vbb: 2},
+			Adder:         newNoisy(width, 1, 0.9, 1),
+			EnergyPerOpFJ: 25,
+			CharBER:       0.20,
+		},
+		{
+			Triad:         triad.Triad{Tclk: 0.28, Vdd: 0.5, Vbb: 2},
+			Adder:         newNoisy(width, 5, 0.2, 2),
+			EnergyPerOpFJ: 48,
+			CharBER:       0.02,
+		},
+		{
+			Triad:         triad.Triad{Tclk: 0.5, Vdd: 1.0, Vbb: 0},
+			Adder:         core.ExactAdder{W: width},
+			EnergyPerOpFJ: 186,
+			CharBER:       0,
+		},
+	}
+}
+
+func uniformPairs(width int, seed uint64) func() (uint64, uint64) {
+	rng := rand.New(rand.NewPCG(seed, 3))
+	mask := uint64(1)<<uint(width) - 1
+	return func() (uint64, uint64) { return rng.Uint64() & mask, rng.Uint64() & mask }
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Margin: -0.1, Window: 8, CheckEvery: 1, Hysteresis: 0.5},
+		{Margin: 1.0, Window: 8, CheckEvery: 1, Hysteresis: 0.5},
+		{Margin: 0.1, Window: 0, CheckEvery: 1, Hysteresis: 0.5},
+		{Margin: 0.1, Window: 8, CheckEvery: 0, Hysteresis: 0.5},
+		{Margin: 0.1, Window: 8, CheckEvery: 1, Hysteresis: 0},
+		{Margin: 0.1, Window: 8, CheckEvery: 1, Hysteresis: 1},
+		{Margin: 0.1, Window: 8, CheckEvery: 1, Hysteresis: 0.5, CooldownOps: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(ladder(8), cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(nil, DefaultConfig(0.1)); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	mixed := ladder(8)
+	mixed[0].Adder = core.ExactAdder{W: 4}
+	if _, err := New(mixed, DefaultConfig(0.1)); err == nil {
+		t.Error("mixed widths accepted")
+	}
+}
+
+func TestInitialRungRespectsMargin(t *testing.T) {
+	// Tight margin: must start on the exact rung.
+	g, err := New(ladder(8), DefaultConfig(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Current().CharBER > 0.001 {
+		t.Fatalf("initial rung BER %v above margin", g.Current().CharBER)
+	}
+	// Loose margin: must start on the cheapest rung.
+	g, err = New(ladder(8), DefaultConfig(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Current().EnergyPerOpFJ != 25 {
+		t.Fatalf("loose margin should pick cheapest rung, got %+v", g.Current())
+	}
+}
+
+func TestGovernorHoldsMargin(t *testing.T) {
+	cfg := DefaultConfig(0.05)
+	g, err := New(ladder(8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Run(30000, uniformPairs(8, 42))
+	if tr.ObservedBER > 2.5*cfg.Margin {
+		t.Fatalf("observed BER %v far above margin %v", tr.ObservedBER, cfg.Margin)
+	}
+	// It should still save energy versus the accurate rung.
+	if tr.MeanEnergy >= 186 {
+		t.Fatalf("no energy saving: %v fJ", tr.MeanEnergy)
+	}
+}
+
+func TestGovernorEscalatesOffMarginRung(t *testing.T) {
+	// Margin tighter than the cheap rungs can deliver: governor must end
+	// on the exact rung.
+	cfg := DefaultConfig(0.002)
+	cfg.CooldownOps = 64
+	cfg.Window = 64
+	g, err := New(ladder(8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force-start on the cheapest rung to watch it climb.
+	g.cur = 0
+	tr := g.Run(20000, uniformPairs(8, 43))
+	if tr.Final.Vdd != 1.0 {
+		t.Fatalf("governor did not escalate to accurate rung: final %+v after %d switches",
+			tr.Final, tr.Switches)
+	}
+	if tr.Switches == 0 {
+		t.Fatal("no switches recorded")
+	}
+	ups := 0
+	for _, s := range g.Switches() {
+		if s.Up {
+			ups++
+		}
+	}
+	if ups == 0 {
+		t.Fatal("no upward switches")
+	}
+}
+
+func TestGovernorDescendsWhenClean(t *testing.T) {
+	// All rungs exact, margin loose: governor should migrate down to the
+	// cheapest rung.
+	ops := []Operator{
+		{Triad: triad.Triad{Tclk: 0.13, Vdd: 0.4, Vbb: 2}, Adder: core.ExactAdder{W: 8}, EnergyPerOpFJ: 25, CharBER: 0.01},
+		{Triad: triad.Triad{Tclk: 0.28, Vdd: 0.5, Vbb: 2}, Adder: core.ExactAdder{W: 8}, EnergyPerOpFJ: 48, CharBER: 0.001},
+		{Triad: triad.Triad{Tclk: 0.5, Vdd: 1.0, Vbb: 0}, Adder: core.ExactAdder{W: 8}, EnergyPerOpFJ: 186, CharBER: 0},
+	}
+	cfg := DefaultConfig(0.05)
+	cfg.CooldownOps = 128
+	cfg.Window = 64
+	g, err := New(ops, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.cur = 2 // start safe
+	tr := g.Run(20000, uniformPairs(8, 44))
+	if tr.Final.Vdd != 0.4 {
+		t.Fatalf("governor did not descend: final %+v", tr.Final)
+	}
+	if tr.ObservedBER != 0 {
+		t.Fatalf("exact rungs produced BER %v", tr.ObservedBER)
+	}
+}
+
+func TestEstimatedBERTracksWindow(t *testing.T) {
+	g, err := New(ladder(8), DefaultConfig(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EstimatedBER() != 0 {
+		t.Fatal("empty window must estimate 0")
+	}
+	g.Run(5000, uniformPairs(8, 45))
+	est := g.EstimatedBER()
+	if est <= 0 || est > 1 {
+		t.Fatalf("estimate %v out of range", est)
+	}
+}
+
+func TestSwitchTraceConsistency(t *testing.T) {
+	cfg := DefaultConfig(0.01)
+	cfg.CooldownOps = 64
+	cfg.Window = 64
+	g, err := New(ladder(8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.cur = 0
+	g.Run(20000, uniformPairs(8, 46))
+	for i, s := range g.Switches() {
+		if s.From == s.To {
+			t.Fatalf("switch %d is a no-op", i)
+		}
+		if s.Op == 0 {
+			t.Fatalf("switch %d at op 0", i)
+		}
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig(0.1).validate(); err != nil {
+		t.Fatal(err)
+	}
+}

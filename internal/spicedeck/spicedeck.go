@@ -1,0 +1,183 @@
+// Package spicedeck exports gate-level netlists as SPICE decks — the
+// artifact the paper's Fig. 4 flow hands to Eldo ("the output netlist is
+// then simulated at transistor level using SPICE"). A user with a real
+// 28nm PDK can drop the generated .sp file into Eldo/HSPICE/ngspice,
+// replace the behavioural subcircuits with foundry cells, and re-run the
+// characterization against silicon-calibrated models.
+//
+// Cells are emitted as behavioural subcircuits (switch-style pull-up/
+// pull-down around the cell's boolean function via B-sources, plus the
+// library's input capacitance and drive resistance), parameterized by the
+// operating triad: supply VDD, body-bias VBN/VBP rails, and a PULSE-driven
+// pattern source per input bit.
+package spicedeck
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/triad"
+)
+
+// Options parameterize the exported testbench.
+type Options struct {
+	// Triad sets VDD and the body-bias rails; its clock becomes the
+	// stimulus period.
+	Triad triad.Triad
+	// Patterns are the operand-pair stimuli applied at consecutive clock
+	// edges (each entry assigns every primary input port, LSB-first per
+	// port, ports in netlist order).
+	Patterns [][]uint64
+	// Title overrides the deck title line.
+	Title string
+}
+
+// expr returns the boolean expression of a cell kind over SPICE node
+// voltages v(in0), v(in1), v(in2), using 0.5*VDD thresholds.
+func expr(k cell.Kind) string {
+	in := func(i int) string {
+		return fmt.Sprintf("(v(in%d) > 'vdd/2' ? 1 : 0)", i)
+	}
+	switch k {
+	case cell.INV:
+		return fmt.Sprintf("1 - %s", in(0))
+	case cell.BUF:
+		return in(0)
+	case cell.NAND2:
+		return fmt.Sprintf("1 - (%s * %s)", in(0), in(1))
+	case cell.NOR2:
+		return fmt.Sprintf("1 - min(%s + %s, 1)", in(0), in(1))
+	case cell.AND2:
+		return fmt.Sprintf("%s * %s", in(0), in(1))
+	case cell.OR2:
+		return fmt.Sprintf("min(%s + %s, 1)", in(0), in(1))
+	case cell.XOR2:
+		return fmt.Sprintf("(%s + %s == 1 ? 1 : 0)", in(0), in(1))
+	case cell.XNOR2:
+		return fmt.Sprintf("(%s + %s == 1 ? 0 : 1)", in(0), in(1))
+	case cell.AOI21:
+		return fmt.Sprintf("1 - min(%s + %s*%s, 1)", in(0), in(1), in(2))
+	case cell.OAI21:
+		return fmt.Sprintf("1 - %s*min(%s + %s, 1)", in(0), in(1), in(2))
+	case cell.AO21:
+		return fmt.Sprintf("min(%s + %s*%s, 1)", in(0), in(1), in(2))
+	case cell.MAJ3:
+		return fmt.Sprintf("(%s + %s + %s >= 2 ? 1 : 0)", in(0), in(1), in(2))
+	default:
+		return "0"
+	}
+}
+
+// Write emits the deck.
+func Write(w io.Writer, nl *netlist.Netlist, lib *cell.Library, opt Options) error {
+	if err := opt.Triad.Validate(); err != nil {
+		return err
+	}
+	if len(opt.Patterns) == 0 {
+		return fmt.Errorf("spicedeck: no stimulus patterns")
+	}
+	inputBits := 0
+	for _, p := range nl.Inputs {
+		inputBits += len(p.Bits)
+	}
+	for i, pat := range opt.Patterns {
+		if len(pat) != len(nl.Inputs) {
+			return fmt.Errorf("spicedeck: pattern %d assigns %d ports, want %d",
+				i, len(pat), len(nl.Inputs))
+		}
+	}
+	bw := bufio.NewWriter(w)
+	title := opt.Title
+	if title == "" {
+		title = fmt.Sprintf("repro VOS characterization deck: %s at %s", nl.Name, opt.Triad.Label())
+	}
+	fmt.Fprintf(bw, "* %s\n", title)
+	fmt.Fprintf(bw, ".param vdd=%g\n.param vbb=%g\n.param tclk=%gn\n\n",
+		opt.Triad.Vdd, opt.Triad.Vbb, opt.Triad.Tclk)
+	fmt.Fprintf(bw, "vdd vdd 0 'vdd'\nvbn vbn 0 'vbb'\nvbp vbp 0 '-vbb'\n\n")
+
+	// One behavioural subcircuit per cell kind used.
+	kinds := make(map[cell.Kind]bool)
+	for gi := range nl.Gates {
+		kinds[nl.Gates[gi].Kind] = true
+	}
+	for k := cell.Kind(0); k < 32; k++ {
+		if !kinds[k] {
+			continue
+		}
+		c := lib.Cell(k)
+		if c == nil {
+			return fmt.Errorf("spicedeck: library lacks %v", k)
+		}
+		n := k.NumInputs()
+		var pins []string
+		for i := 0; i < n; i++ {
+			pins = append(pins, fmt.Sprintf("in%d", i))
+		}
+		fmt.Fprintf(bw, ".subckt %s %s out vdd vbn vbp\n", strings.ToLower(k.String()), strings.Join(pins, " "))
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(bw, "cin%d in%d 0 %gf\n", i, i, c.InputCap)
+		}
+		fmt.Fprintf(bw, "bout x 0 v='vdd*(%s)'\n", expr(k))
+		fmt.Fprintf(bw, "rout x out %gk\n", c.DriveRes*1000) // ns/fF == kΩ·... documented scale
+		fmt.Fprintf(bw, "cout out 0 1f\n")
+		fmt.Fprintf(bw, ".ends %s\n\n", strings.ToLower(k.String()))
+	}
+
+	// Pattern sources: one PWL per input net.
+	fmt.Fprintf(bw, "* stimulus: %d vectors at tclk intervals\n", len(opt.Patterns))
+	portIdx := 0
+	for _, p := range nl.Inputs {
+		for bit, net := range p.Bits {
+			fmt.Fprintf(bw, "v%s n%d 0 PWL(", sanitize(fmt.Sprintf("%s_%d", p.Name, bit)), net)
+			for vi, pat := range opt.Patterns {
+				level := "0"
+				if pat[portIdx]>>uint(bit)&1 == 1 {
+					level = "'vdd'"
+				}
+				t := float64(vi)
+				if vi > 0 {
+					fmt.Fprintf(bw, " %gn %s", t*opt.Triad.Tclk+0.001, level)
+				}
+				fmt.Fprintf(bw, " %gn %s", (t+1)*opt.Triad.Tclk, level)
+			}
+			fmt.Fprintf(bw, ")\n")
+		}
+		portIdx++
+	}
+	fmt.Fprintf(bw, "\n* gate instances\n")
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		var pins []string
+		for _, in := range g.Inputs {
+			pins = append(pins, fmt.Sprintf("n%d", in))
+		}
+		pins = append(pins, fmt.Sprintf("n%d", g.Output))
+		fmt.Fprintf(bw, "x%d %s vdd vbn vbp %s\n", gi, strings.Join(pins, " "), strings.ToLower(g.Kind.String()))
+	}
+	fmt.Fprintf(bw, "\n* probes\n")
+	for _, p := range nl.Outputs {
+		for bit, net := range p.Bits {
+			fmt.Fprintf(bw, ".probe v(n%d) $ %s[%d]\n", net, p.Name, bit)
+		}
+	}
+	fmt.Fprintf(bw, "\n.tran 1p %gn\n.end\n", float64(len(opt.Patterns))*opt.Triad.Tclk)
+	return bw.Flush()
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,134 @@
+package spicedeck
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/synth"
+	"repro/internal/triad"
+)
+
+func deckFor(t *testing.T, width int, patterns [][]uint64) string {
+	t.Helper()
+	nl, err := synth.RCA(synth.AdderConfig{Width: width})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = Write(&buf, nl, cell.Default28nmLVT(), Options{
+		Triad:    triad.Triad{Tclk: 0.28, Vdd: 0.5, Vbb: 2},
+		Patterns: patterns,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestDeckStructure(t *testing.T) {
+	deck := deckFor(t, 4, [][]uint64{{0xF, 0x1}, {0x3, 0x5}})
+	// Balanced subcircuits.
+	if o, e := strings.Count(deck, ".subckt"), strings.Count(deck, ".ends"); o != e || o == 0 {
+		t.Fatalf("unbalanced subckts: %d vs %d", o, e)
+	}
+	// One instance per gate (4-bit RCA: 1 HA + 3 FA → 11 cells).
+	if got := strings.Count(deck, "\nx"); got != 11 {
+		t.Fatalf("instances = %d, want 11", got)
+	}
+	// Parameters carried through.
+	for _, want := range []string{
+		".param vdd=0.5", ".param vbb=2", ".param tclk=0.28n",
+		"vbn vbn 0 'vbb'", "vbp vbp 0 '-vbb'",
+		".tran 1p 0.56n", ".end",
+	} {
+		if !strings.Contains(deck, want) {
+			t.Fatalf("deck missing %q", want)
+		}
+	}
+	// Probes for every output bit (4 sums + cout).
+	if got := strings.Count(deck, ".probe"); got != 5 {
+		t.Fatalf("probes = %d, want 5", got)
+	}
+	// Every input bit gets a PWL source (8 operand bits).
+	if got := strings.Count(deck, "PWL("); got != 8 {
+		t.Fatalf("sources = %d, want 8", got)
+	}
+}
+
+func TestDeckStimulusLevels(t *testing.T) {
+	deck := deckFor(t, 4, [][]uint64{{0xF, 0x0}})
+	// All a-bits high, all b-bits low in the single vector.
+	for i := 0; i < 4; i++ {
+		aLine := lineWith(t, deck, "va_"+string(rune('0'+i)))
+		if !strings.Contains(aLine, "'vdd'") {
+			t.Fatalf("a[%d] source not driven high: %s", i, aLine)
+		}
+		bLine := lineWith(t, deck, "vb_"+string(rune('0'+i)))
+		if strings.Contains(bLine, "'vdd'") {
+			t.Fatalf("b[%d] source driven high: %s", i, bLine)
+		}
+	}
+}
+
+func lineWith(t *testing.T, text, prefix string) string {
+	t.Helper()
+	for _, l := range strings.Split(text, "\n") {
+		if strings.HasPrefix(l, prefix) {
+			return l
+		}
+	}
+	t.Fatalf("no line starting with %q", prefix)
+	return ""
+}
+
+func TestDeckValidation(t *testing.T) {
+	nl, _ := synth.RCA(synth.AdderConfig{Width: 4})
+	lib := cell.Default28nmLVT()
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, lib, Options{
+		Triad: triad.Triad{Tclk: 0.28, Vdd: 0.5}, Patterns: nil,
+	}); err == nil {
+		t.Fatal("empty patterns accepted")
+	}
+	if err := Write(&buf, nl, lib, Options{
+		Triad: triad.Triad{Tclk: 0, Vdd: 0.5}, Patterns: [][]uint64{{1, 2}},
+	}); err == nil {
+		t.Fatal("invalid triad accepted")
+	}
+	if err := Write(&buf, nl, lib, Options{
+		Triad: triad.Triad{Tclk: 0.28, Vdd: 0.5}, Patterns: [][]uint64{{1}},
+	}); err == nil {
+		t.Fatal("short pattern accepted")
+	}
+}
+
+func TestAllKindsHaveExpressions(t *testing.T) {
+	for _, k := range cell.Default28nmLVT().Kinds() {
+		if e := expr(k); e == "0" {
+			t.Errorf("kind %v has no behavioural expression", k)
+		}
+	}
+}
+
+func TestDeckCoversAllArchitectures(t *testing.T) {
+	lib := cell.Default28nmLVT()
+	for _, arch := range synth.Arches() {
+		nl, err := synth.NewAdder(arch, synth.AdderConfig{Width: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		err = Write(&buf, nl, lib, Options{
+			Triad:    triad.Triad{Tclk: 0.3, Vdd: 0.6, Vbb: 2},
+			Patterns: [][]uint64{{1, 2}, {200, 100}},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		if strings.Count(buf.String(), "\nx") != nl.NumGates() {
+			t.Fatalf("%s: instance count mismatch", arch)
+		}
+	}
+}

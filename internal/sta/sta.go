@@ -1,0 +1,167 @@
+// Package sta implements static timing analysis over gate-level netlists:
+// per-net worst-case arrival times, critical-path extraction, and slack
+// reports at arbitrary FDSOI operating points. It provides the "synthesis
+// timing report" half of the paper's Fig. 4 flow and the clock-period
+// sanity checks used by the characterization sweeps.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+)
+
+// Analysis holds the result of one STA run.
+type Analysis struct {
+	// Arrival[net] is the worst-case settling time (ns) of each net after
+	// an input transition at t = 0; primary inputs arrive at 0.
+	Arrival []float64
+	// GateDelay[gate] is the pin-to-pin delay (ns) used for each gate.
+	GateDelay []float64
+	// CriticalDelay is the largest arrival over all primary outputs (ns).
+	CriticalDelay float64
+	// CriticalNet is the primary-output net achieving CriticalDelay.
+	CriticalNet netlist.NetID
+}
+
+// GateDelays computes the per-gate propagation delays (ns) of every gate in
+// nl at operating point op, including per-instance threshold mismatch and
+// load-dependent terms.
+func GateDelays(nl *netlist.Netlist, lib *cell.Library, proc fdsoi.Params, op fdsoi.OperatingPoint) []float64 {
+	d := make([]float64, nl.NumGates())
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		c := lib.MustCell(g.Kind)
+		load := nl.NetLoad(lib, g.Output)
+		d[gi] = c.Delay(load) * proc.DelayScale(op, g.VtOffset)
+	}
+	return d
+}
+
+// Analyze runs STA on nl at the given operating point.
+func Analyze(nl *netlist.Netlist, lib *cell.Library, proc fdsoi.Params, op fdsoi.OperatingPoint) *Analysis {
+	a := &Analysis{
+		Arrival:   make([]float64, nl.NumNets()),
+		GateDelay: GateDelays(nl, lib, proc, op),
+	}
+	for _, gid := range nl.Topological() {
+		g := &nl.Gates[gid]
+		worst := 0.0
+		for _, in := range g.Inputs {
+			if t := a.Arrival[in]; t > worst {
+				worst = t
+			}
+		}
+		a.Arrival[g.Output] = worst + a.GateDelay[gid]
+	}
+	a.CriticalDelay = -1
+	for _, p := range nl.Outputs {
+		for _, b := range p.Bits {
+			if t := a.Arrival[b]; t > a.CriticalDelay {
+				a.CriticalDelay = t
+				a.CriticalNet = b
+			}
+		}
+	}
+	return a
+}
+
+// CriticalPath walks back from the critical output and returns the gates on
+// the longest path, input-side first.
+func (a *Analysis) CriticalPath(nl *netlist.Netlist) []netlist.GateID {
+	var path []netlist.GateID
+	net := a.CriticalNet
+	for {
+		g := nl.Driver(net)
+		if g == netlist.NoGate {
+			break
+		}
+		path = append(path, g)
+		// Choose the fanin whose arrival dominates.
+		worst, worstNet := -1.0, netlist.NetID(-1)
+		for _, in := range nl.Gates[g].Inputs {
+			if a.Arrival[in] > worst {
+				worst, worstNet = a.Arrival[in], in
+			}
+		}
+		if worstNet < 0 {
+			break
+		}
+		net = worstNet
+	}
+	// Reverse to input-side-first order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Slack returns Tclk minus the worst arrival of each output port bit.
+func (a *Analysis) Slack(nl *netlist.Netlist, tclk float64) map[string][]float64 {
+	s := make(map[string][]float64, len(nl.Outputs))
+	for _, p := range nl.Outputs {
+		v := make([]float64, len(p.Bits))
+		for i, b := range p.Bits {
+			v[i] = tclk - a.Arrival[b]
+		}
+		s[p.Name] = v
+	}
+	return s
+}
+
+// WorstNegativeSlack returns the most negative slack at tclk, or 0 if all
+// outputs meet timing.
+func (a *Analysis) WorstNegativeSlack(tclk float64) float64 {
+	wns := tclk - a.CriticalDelay
+	if wns > 0 {
+		return 0
+	}
+	return wns
+}
+
+// MeetsTiming reports whether every output settles within tclk.
+func (a *Analysis) MeetsTiming(tclk float64) bool {
+	return a.CriticalDelay <= tclk
+}
+
+// MinClock performs a binary search for the smallest clock period (ns) at
+// which the netlist meets timing at op — trivially CriticalDelay, exposed
+// for symmetry with the characterization flow's use of real clocks.
+func MinClock(nl *netlist.Netlist, lib *cell.Library, proc fdsoi.Params, op fdsoi.OperatingPoint) float64 {
+	return Analyze(nl, lib, proc, op).CriticalDelay
+}
+
+// PathDelayHistogram buckets the arrival times of all primary outputs into
+// n equal bins between 0 and the critical delay; useful to visualize how
+// many near-critical paths an architecture has (RCA: few; BKA: many).
+func (a *Analysis) PathDelayHistogram(nl *netlist.Netlist, bins int) []int {
+	if bins <= 0 || a.CriticalDelay <= 0 {
+		return nil
+	}
+	h := make([]int, bins)
+	for _, p := range nl.Outputs {
+		for _, b := range p.Bits {
+			f := a.Arrival[b] / a.CriticalDelay
+			idx := int(f * float64(bins))
+			if idx >= bins {
+				idx = bins - 1
+			}
+			h[idx]++
+		}
+	}
+	return h
+}
+
+// CheckFinite validates that the analysis produced finite, non-negative
+// arrivals (guards against broken operating points).
+func (a *Analysis) CheckFinite() error {
+	for i, t := range a.Arrival {
+		if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+			return fmt.Errorf("sta: net %d has invalid arrival %v", i, t)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package sta_test
+
+import (
+	"math"
+	"repro/internal/sta"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+func chainNetlist(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("chain")
+	a := b.InputBus("a", 2)
+	x := b.Gate(cell.AND2, a[0], a[1])
+	y := b.Gate(cell.INV, x)
+	z := b.Gate(cell.OR2, y, a[0])
+	b.OutputBus("o", []netlist.NetID{z})
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestArrivalMatchesHandComputation(t *testing.T) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl := chainNetlist(t)
+	an := sta.Analyze(nl, lib, proc, proc.Nominal())
+
+	and := lib.MustCell(cell.AND2)
+	inv := lib.MustCell(cell.INV)
+	or := lib.MustCell(cell.OR2)
+	// Loads: AND2 output feeds INV; INV output feeds OR2; OR2 output is a
+	// primary output (capture cap only).
+	dAnd := and.Delay(lib.NetLoad([]float64{inv.InputCap}))
+	dInv := inv.Delay(lib.NetLoad([]float64{or.InputCap}))
+	dOr := or.Delay(lib.NetLoad(nil) + cell.CaptureCap)
+	want := dAnd + dInv + dOr
+	if math.Abs(an.CriticalDelay-want) > 1e-12 {
+		t.Fatalf("critical delay = %v, want %v", an.CriticalDelay, want)
+	}
+}
+
+func TestCriticalPathExtraction(t *testing.T) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl := chainNetlist(t)
+	an := sta.Analyze(nl, lib, proc, proc.Nominal())
+	path := an.CriticalPath(nl)
+	if len(path) != 3 {
+		t.Fatalf("critical path length = %d, want 3", len(path))
+	}
+	// Input-side first: AND2, INV, OR2.
+	kinds := []cell.Kind{cell.AND2, cell.INV, cell.OR2}
+	for i, g := range path {
+		if nl.Gates[g].Kind != kinds[i] {
+			t.Fatalf("path[%d] = %s, want %s", i, nl.Gates[g].Kind, kinds[i])
+		}
+	}
+}
+
+func TestDelayGrowsAsVddDrops(t *testing.T) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl, _ := synth.RCA(synth.AdderConfig{Width: 8})
+	prev := 0.0
+	for vdd := 1.0; vdd >= 0.4-1e-9; vdd -= 0.1 {
+		an := sta.Analyze(nl, lib, proc, fdsoi.OperatingPoint{Vdd: vdd})
+		if an.CriticalDelay <= prev {
+			t.Fatalf("critical delay not increasing as Vdd drops: %v at %.1fV", an.CriticalDelay, vdd)
+		}
+		prev = an.CriticalDelay
+	}
+}
+
+func TestForwardBodyBiasShortensCriticalPath(t *testing.T) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl, _ := synth.RCA(synth.AdderConfig{Width: 8})
+	noBias := sta.Analyze(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.5})
+	fbb := sta.Analyze(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.5, Vbb: 2})
+	if fbb.CriticalDelay >= noBias.CriticalDelay {
+		t.Fatal("FBB did not shorten critical path")
+	}
+}
+
+func TestSlackAndTiming(t *testing.T) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl := chainNetlist(t)
+	an := sta.Analyze(nl, lib, proc, proc.Nominal())
+	tclk := an.CriticalDelay + 0.01
+	if !an.MeetsTiming(tclk) {
+		t.Fatal("should meet relaxed clock")
+	}
+	if an.MeetsTiming(an.CriticalDelay - 0.001) {
+		t.Fatal("should fail tight clock")
+	}
+	if wns := an.WorstNegativeSlack(tclk); wns != 0 {
+		t.Fatalf("WNS at relaxed clock = %v, want 0", wns)
+	}
+	if wns := an.WorstNegativeSlack(an.CriticalDelay - 0.01); math.Abs(wns+0.01) > 1e-9 {
+		t.Fatalf("WNS = %v, want -0.01", wns)
+	}
+	slack := an.Slack(nl, tclk)
+	if len(slack["o"]) != 1 || math.Abs(slack["o"][0]-0.01) > 1e-9 {
+		t.Fatalf("slack = %v", slack)
+	}
+}
+
+func TestMinClockEqualsCriticalDelay(t *testing.T) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl := chainNetlist(t)
+	an := sta.Analyze(nl, lib, proc, proc.Nominal())
+	if got := sta.MinClock(nl, lib, proc, proc.Nominal()); got != an.CriticalDelay {
+		t.Fatalf("MinClock = %v, want %v", got, an.CriticalDelay)
+	}
+}
+
+func TestPathDelayHistogram(t *testing.T) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	rca, _ := synth.RCA(synth.AdderConfig{Width: 16})
+	bka, _ := synth.BKA(synth.AdderConfig{Width: 16})
+	anR := sta.Analyze(rca, lib, proc, proc.Nominal())
+	anB := sta.Analyze(bka, lib, proc, proc.Nominal())
+	hr := anR.PathDelayHistogram(rca, 4)
+	hb := anB.PathDelayHistogram(bka, 4)
+	total := func(h []int) (n int) {
+		for _, v := range h {
+			n += v
+		}
+		return
+	}
+	if total(hr) != 17 || total(hb) != 17 {
+		t.Fatalf("histograms must count 17 outputs, got %d and %d", total(hr), total(hb))
+	}
+	// BKA packs more outputs into the slowest band than RCA (many
+	// equal-length paths — the staircase BER origin).
+	if hb[3] <= hr[3] {
+		t.Fatalf("expected BKA to have more near-critical outputs: bka=%v rca=%v", hb, hr)
+	}
+	if anR.PathDelayHistogram(rca, 0) != nil {
+		t.Fatal("zero-bin histogram should be nil")
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl := chainNetlist(t)
+	an := sta.Analyze(nl, lib, proc, proc.Nominal())
+	if err := an.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+	an.Arrival[0] = math.NaN()
+	if err := an.CheckFinite(); err == nil {
+		t.Fatal("NaN arrival accepted")
+	}
+}
+
+func TestMismatchPerturbsTiming(t *testing.T) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	mm := fdsoi.NewMismatchSampler(0.02, 3)
+	nl, _ := synth.RCA(synth.AdderConfig{Width: 8, Mismatch: mm})
+	ref, _ := synth.RCA(synth.AdderConfig{Width: 8})
+	a := sta.Analyze(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.5})
+	b := sta.Analyze(ref, lib, proc, fdsoi.OperatingPoint{Vdd: 0.5})
+	if a.CriticalDelay == b.CriticalDelay {
+		t.Fatal("mismatch had no timing effect at low Vdd")
+	}
+}

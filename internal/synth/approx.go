@@ -1,0 +1,145 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Static (design-time) approximate adders — the baselines the paper's
+// Section II reviews and argues against: they trade accuracy for energy by
+// construction, whereas VOS keeps an exact netlist and moves the operating
+// triad. Building them lets the ablation benches quantify the comparison
+// on equal footing (same cell library, same simulator, same metrics).
+//
+//   - LOA   (lower-part OR adder): the k LSBs are approximated by a
+//     bitwise OR, the upper bits by an exact RCA — the classic
+//     accurate/approximate split of the paper's Fig. 1 and ref [7].
+//   - TRA   (truncated adder): the k LSBs are passed through from operand
+//     a (their addition is dropped entirely).
+//
+// Both keep the standard adder ports, so every tool in this repository
+// (synthesis report, STA, timing simulation, characterization, model
+// training) runs on them unchanged.
+
+// ApproxConfig parameterizes the static approximate adders.
+type ApproxConfig struct {
+	// Width is the total operand width.
+	Width int
+	// ApproxBits is the number of least-significant approximated bits
+	// (0 ≤ ApproxBits ≤ Width).
+	ApproxBits int
+}
+
+func (c ApproxConfig) validate() error {
+	if c.Width < 1 {
+		return fmt.Errorf("synth: width %d < 1", c.Width)
+	}
+	if c.ApproxBits < 0 || c.ApproxBits > c.Width {
+		return fmt.Errorf("synth: approx bits %d outside [0, %d]", c.ApproxBits, c.Width)
+	}
+	return nil
+}
+
+// LOA builds a lower-part OR adder: s[i] = a[i] | b[i] for the low k bits,
+// with the upper (n−k)-bit exact RCA seeded by the carry proxy
+// a[k−1] & b[k−1] (the standard LOA carry-in heuristic).
+func LOA(cfg ApproxConfig) (*netlist.Netlist, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n, k := cfg.Width, cfg.ApproxBits
+	b := netlist.NewBuilder(fmt.Sprintf("loa%d_%d", n, k))
+	a := b.InputBus(PortA, n)
+	bb := b.InputBus(PortB, n)
+	sum := make([]netlist.NetID, n)
+	for i := 0; i < k; i++ {
+		sum[i] = b.Gate(cell.OR2, a[i], bb[i])
+	}
+	var carry netlist.NetID
+	haveCarry := false
+	if k > 0 {
+		carry = b.Gate(cell.AND2, a[k-1], bb[k-1])
+		haveCarry = true
+	}
+	for i := k; i < n; i++ {
+		if haveCarry {
+			sum[i], carry = fullAdder(b, a[i], bb[i], carry)
+		} else {
+			sum[i], carry = halfAdder(b, a[i], bb[i])
+			haveCarry = true
+		}
+	}
+	if !haveCarry {
+		// Fully approximated adder (k == n == 0 impossible; k == n): no
+		// carry chain at all; cout is constantly the AND of the MSBs'
+		// proxy — reuse the last OR's inputs.
+		carry = b.Gate(cell.AND2, a[n-1], bb[n-1])
+	}
+	b.OutputBus(PortSum, sum)
+	b.OutputBus(PortCout, []netlist.NetID{carry})
+	return b.Build()
+}
+
+// TRA builds a truncated adder: the low k sum bits are a[i] passed through
+// a buffer (their addition is dropped), the upper bits are an exact RCA
+// with no carry from the truncated part.
+func TRA(cfg ApproxConfig) (*netlist.Netlist, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n, k := cfg.Width, cfg.ApproxBits
+	b := netlist.NewBuilder(fmt.Sprintf("tra%d_%d", n, k))
+	a := b.InputBus(PortA, n)
+	bb := b.InputBus(PortB, n)
+	sum := make([]netlist.NetID, n)
+	for i := 0; i < k; i++ {
+		sum[i] = b.Gate(cell.BUF, a[i])
+	}
+	var carry netlist.NetID
+	haveCarry := false
+	for i := k; i < n; i++ {
+		if haveCarry {
+			sum[i], carry = fullAdder(b, a[i], bb[i], carry)
+		} else {
+			sum[i], carry = halfAdder(b, a[i], bb[i])
+			haveCarry = true
+		}
+	}
+	if !haveCarry {
+		inv := b.Gate(cell.INV, a[0])
+		carry = b.Gate(cell.AND2, a[0], inv) // constant 0: fully truncated
+	}
+	b.OutputBus(PortSum, sum)
+	b.OutputBus(PortCout, []netlist.NetID{carry})
+	return b.Build()
+}
+
+// LOAModel and TRAModel are zero-cost behavioural equivalents (for use as
+// core.HardwareAdder baselines without simulation).
+
+// LOAModel computes the lower-part OR adder functionally.
+func LOAModel(a, b uint64, width, approxBits int) uint64 {
+	mask := uint64(1)<<uint(width) - 1
+	a, b = a&mask, b&mask
+	low := uint64(0)
+	for i := 0; i < approxBits; i++ {
+		low |= ((a | b) >> uint(i) & 1) << uint(i)
+	}
+	var cin uint64
+	if approxBits > 0 {
+		cin = (a >> uint(approxBits-1)) & (b >> uint(approxBits-1)) & 1
+	}
+	hi := (a >> uint(approxBits)) + (b >> uint(approxBits)) + cin
+	return low | hi<<uint(approxBits)
+}
+
+// TRAModel computes the truncated adder functionally.
+func TRAModel(a, b uint64, width, approxBits int) uint64 {
+	mask := uint64(1)<<uint(width) - 1
+	a, b = a&mask, b&mask
+	lowMask := uint64(1)<<uint(approxBits) - 1
+	hi := (a >> uint(approxBits)) + (b >> uint(approxBits))
+	return (a & lowMask) | hi<<uint(approxBits)
+}

@@ -1,0 +1,131 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+// approxOut evaluates an approximate-adder netlist behaviourally.
+func approxOut(t *testing.T, nl *netlist.Netlist, a, b uint64) (uint64, uint64) {
+	t.Helper()
+	return addOut(t, nl, a, b, 0)
+}
+
+func TestLOANetlistMatchesModel(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 4, 8} {
+		nl, err := LOA(ApproxConfig{Width: 8, ApproxBits: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(x, y uint8) bool {
+			a, b := uint64(x), uint64(y)
+			s, _ := approxOut(t, nl, a, b)
+			want := LOAModel(a, b, 8, k) & 0xff
+			return s == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestTRANetlistMatchesModel(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 4, 8} {
+		nl, err := TRA(ApproxConfig{Width: 8, ApproxBits: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(x, y uint8) bool {
+			a, b := uint64(x), uint64(y)
+			s, _ := approxOut(t, nl, a, b)
+			want := TRAModel(a, b, 8, k) & 0xff
+			return s == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestLOAZeroApproxIsExact(t *testing.T) {
+	nl, err := LOA(ApproxConfig{Width: 8, ApproxBits: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x, y uint8) bool {
+		a, b := uint64(x), uint64(y)
+		s, co := approxOut(t, nl, a, b)
+		return s|co<<8 == a+b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLOAErrorGrowsWithApproxBits(t *testing.T) {
+	// Mean squared error must grow monotonically with k.
+	prev := -1.0
+	for _, k := range []int{0, 2, 4, 6} {
+		var sum float64
+		for a := uint64(0); a < 256; a += 5 {
+			for b := uint64(0); b < 256; b += 5 {
+				d := float64(LOAModel(a, b, 8, k)) - float64(a+b)
+				sum += d * d
+			}
+		}
+		if sum < prev {
+			t.Fatalf("LOA MSE not monotone at k=%d", k)
+		}
+		prev = sum
+	}
+}
+
+func TestApproxAddersAreFasterAndSmaller(t *testing.T) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	exact, _ := RCA(AdderConfig{Width: 8})
+	loa, err := LOA(ApproxConfig{Width: 8, ApproxBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tra, err := TRA(ApproxConfig{Width: 8, ApproxBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpExact := sta.Analyze(exact, lib, proc, proc.Nominal()).CriticalDelay
+	cpLOA := sta.Analyze(loa, lib, proc, proc.Nominal()).CriticalDelay
+	cpTRA := sta.Analyze(tra, lib, proc, proc.Nominal()).CriticalDelay
+	if !(cpLOA < cpExact && cpTRA < cpExact) {
+		t.Fatalf("approx adders not faster: exact=%.3f loa=%.3f tra=%.3f", cpExact, cpLOA, cpTRA)
+	}
+	if !(loa.Area(lib) < exact.Area(lib) && tra.Area(lib) < exact.Area(lib)) {
+		t.Fatal("approx adders not smaller")
+	}
+}
+
+func TestApproxConfigValidation(t *testing.T) {
+	if _, err := LOA(ApproxConfig{Width: 0, ApproxBits: 0}); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := LOA(ApproxConfig{Width: 8, ApproxBits: 9}); err == nil {
+		t.Fatal("approx bits > width accepted")
+	}
+	if _, err := TRA(ApproxConfig{Width: 8, ApproxBits: -1}); err == nil {
+		t.Fatal("negative approx bits accepted")
+	}
+}
+
+func TestModelsMaskInputs(t *testing.T) {
+	// Out-of-range operand bits must not leak into the result.
+	if got := LOAModel(0xF00, 0x00F, 8, 2); got != LOAModel(0x00, 0x0F, 8, 2) {
+		t.Fatalf("LOAModel does not mask: %#x", got)
+	}
+	if got := TRAModel(0x1FF, 0, 8, 0); got != TRAModel(0xFF, 0, 8, 0) {
+		t.Fatalf("TRAModel does not mask: %#x", got)
+	}
+}

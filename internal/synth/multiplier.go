@@ -1,0 +1,85 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+)
+
+// MultiplierConfig parameterizes the array-multiplier generator.
+type MultiplierConfig struct {
+	Width    int
+	Mismatch *fdsoi.MismatchSampler
+}
+
+// ArrayMultiplier builds an unsigned n×n → 2n-bit schoolbook array
+// multiplier: AND-gate partial products reduced by a ladder of ripple rows.
+// This extends the paper's operator set beyond adders ("basic arithmetic
+// operators"); its long, data-dependent carry structure makes it an
+// interesting VOS subject in the ablation benches.
+func ArrayMultiplier(cfg MultiplierConfig) (*netlist.Netlist, error) {
+	n := cfg.Width
+	if n < 1 {
+		return nil, fmt.Errorf("synth: multiplier width %d < 1", n)
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("mul%d", n))
+	if cfg.Mismatch != nil {
+		b.SetMismatch(cfg.Mismatch)
+	}
+	a := b.InputBus(PortA, n)
+	bb := b.InputBus(PortB, n)
+
+	// Partial products pp[i][j] = a[j] & b[i], weight 2^(i+j).
+	pp := make([][]netlist.NetID, n)
+	for i := 0; i < n; i++ {
+		pp[i] = make([]netlist.NetID, n)
+		for j := 0; j < n; j++ {
+			pp[i][j] = b.Gate(cell.AND2, a[j], bb[i])
+		}
+	}
+
+	// acc[q] is the running sum bit of weight 2^q; row i ripples its
+	// partial products into positions i..i+n-1 and leaves its carry at
+	// position i+n. Positions below i are final once row i runs.
+	acc := make([]netlist.NetID, 2*n)
+	valid := make([]bool, 2*n)
+	for j := 0; j < n; j++ {
+		acc[j], valid[j] = pp[0][j], true
+	}
+	for i := 1; i < n; i++ {
+		var carry netlist.NetID
+		haveCarry := false
+		for j := 0; j < n; j++ {
+			q := i + j
+			x := pp[i][j]
+			switch {
+			case valid[q] && haveCarry:
+				acc[q], carry = fullAdder(b, x, acc[q], carry)
+			case valid[q]:
+				acc[q], carry = halfAdder(b, x, acc[q])
+				haveCarry = true
+			case haveCarry:
+				acc[q], carry = halfAdder(b, x, carry)
+				valid[q] = true
+			default:
+				acc[q], valid[q] = x, true
+			}
+		}
+		if haveCarry {
+			acc[i+n], valid[i+n] = carry, true
+		}
+	}
+	// Any still-invalid positions (only the top bit of a 1×1 multiplier)
+	// are constant zero; synthesize x·x̄ to avoid constant nets.
+	for q := 0; q < 2*n; q++ {
+		if !valid[q] {
+			inv := b.Gate(cell.INV, acc[0])
+			acc[q] = b.Gate(cell.AND2, acc[0], inv)
+			valid[q] = true
+		}
+	}
+	b.OutputBus(PortProd, acc)
+	return b.Build()
+}

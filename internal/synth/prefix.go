@@ -1,0 +1,224 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// This file adds further parallel-prefix and composite adder
+// architectures beyond the paper's RCA/BKA pair. The paper's framework
+// claims to be "compliant with different arithmetic configurations"; these
+// generators back that claim and feed the architecture ablation benches:
+//
+//   - Kogge-Stone: minimal depth, maximal wiring — many equal-length paths,
+//     so its VOS failure onset is even steeper than Brent-Kung's.
+//   - Sklansky: minimal depth with high-fanout nodes — fanout-loaded delays
+//     make its mid prefix levels the first casualties.
+//   - Carry-select: duplicated blocks with late multiplexing — a serial/
+//     parallel hybrid between RCA and the prefix trees.
+
+// prefixState carries the running (G, P) nodes of a prefix network build.
+type prefixState struct {
+	b         *netlist.Builder
+	G, P      []netlist.NetID
+	spansZero []bool
+}
+
+func newPrefixState(b *netlist.Builder, a, bb []netlist.NetID) *prefixState {
+	n := len(a)
+	st := &prefixState{
+		b:         b,
+		G:         make([]netlist.NetID, n),
+		P:         make([]netlist.NetID, n),
+		spansZero: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		st.G[i] = b.Gate(cell.AND2, a[i], bb[i])
+		st.P[i] = b.Gate(cell.XOR2, a[i], bb[i])
+		st.spansZero[i] = i == 0
+	}
+	return st
+}
+
+// combineInto writes the merge of node lo into node hi at destination dst
+// (dst == hi for in-place networks; Kogge-Stone needs fresh columns, which
+// callers manage by copying state between levels).
+func (st *prefixState) combine(hi, lo int) {
+	st.G[hi] = st.b.Gate(cell.AO21, st.G[hi], st.P[hi], st.G[lo])
+	if st.spansZero[lo] {
+		st.spansZero[hi] = true
+	} else {
+		st.P[hi] = st.b.Gate(cell.AND2, st.P[hi], st.P[lo])
+	}
+}
+
+// finishSums emits the sum and carry-out ports from a completed prefix
+// network (G[i] spans [0..i] for every i).
+func (st *prefixState) finishSums(p []netlist.NetID, cin netlist.NetID, hasCin bool) {
+	n := len(st.G)
+	sum := make([]netlist.NetID, n)
+	if hasCin {
+		sum[0] = st.b.Gate(cell.XOR2, p[0], cin)
+	} else {
+		sum[0] = st.b.Gate(cell.BUF, p[0])
+	}
+	for i := 1; i < n; i++ {
+		sum[i] = st.b.Gate(cell.XOR2, p[i], st.G[i-1])
+	}
+	st.b.OutputBus(PortSum, sum)
+	st.b.OutputBus(PortCout, []netlist.NetID{st.G[n-1]})
+}
+
+// KSA builds a Kogge-Stone adder: log2(n) levels, every column combined at
+// every level (radix-2, minimal depth, O(n log n) cells).
+func KSA(cfg AdderConfig) (*netlist.Netlist, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Width
+	b := netlist.NewBuilder(fmt.Sprintf("ksa%d", n))
+	if cfg.Mismatch != nil {
+		b.SetMismatch(cfg.Mismatch)
+	}
+	a := b.InputBus(PortA, n)
+	bb := b.InputBus(PortB, n)
+	st := newPrefixState(b, a, bb)
+	p := append([]netlist.NetID(nil), st.P...)
+	var cin netlist.NetID
+	if cfg.WithCin {
+		c := b.InputBus(PortCin, 1)
+		cin = c[0]
+		t := b.Gate(cell.AND2, st.P[0], cin)
+		st.G[0] = b.Gate(cell.OR2, st.G[0], t)
+	}
+	for d := 1; d < n; d *= 2 {
+		// Kogge-Stone combines columns top-down within a level using the
+		// *previous* level's values; snapshot before mutating.
+		prevG := append([]netlist.NetID(nil), st.G...)
+		prevP := append([]netlist.NetID(nil), st.P...)
+		prevZ := append([]bool(nil), st.spansZero...)
+		for i := n - 1; i >= d; i-- {
+			lo := i - d
+			st.G[i] = b.Gate(cell.AO21, prevG[i], prevP[i], prevG[lo])
+			if prevZ[lo] {
+				st.spansZero[i] = true
+			} else {
+				st.P[i] = b.Gate(cell.AND2, prevP[i], prevP[lo])
+			}
+		}
+	}
+	st.finishSums(p, cin, cfg.WithCin)
+	return b.Build()
+}
+
+// Sklansky builds a divide-and-conquer (Sklansky) adder: log2(n) levels
+// with fanout doubling at each level.
+func Sklansky(cfg AdderConfig) (*netlist.Netlist, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Width
+	b := netlist.NewBuilder(fmt.Sprintf("skl%d", n))
+	if cfg.Mismatch != nil {
+		b.SetMismatch(cfg.Mismatch)
+	}
+	a := b.InputBus(PortA, n)
+	bb := b.InputBus(PortB, n)
+	st := newPrefixState(b, a, bb)
+	p := append([]netlist.NetID(nil), st.P...)
+	var cin netlist.NetID
+	if cfg.WithCin {
+		c := b.InputBus(PortCin, 1)
+		cin = c[0]
+		t := b.Gate(cell.AND2, st.P[0], cin)
+		st.G[0] = b.Gate(cell.OR2, st.G[0], t)
+	}
+	for d := 1; d < n; d *= 2 {
+		for blk := d; blk < n; blk += 2 * d {
+			pivot := blk - 1 // completed prefix node feeding the block
+			for i := blk; i < blk+d && i < n; i++ {
+				st.combine(i, pivot)
+			}
+		}
+	}
+	st.finishSums(p, cin, cfg.WithCin)
+	return b.Build()
+}
+
+// CSelA builds a carry-select adder from fixed-size RCA blocks: each block
+// beyond the first is duplicated for carry-in 0 and 1, with 2:1 muxes
+// (AO21 + INV based) picking the late-arriving true case.
+func CSelA(cfg AdderConfig, blockSize int) (*netlist.Netlist, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if blockSize < 1 {
+		return nil, fmt.Errorf("synth: carry-select block size %d", blockSize)
+	}
+	if cfg.WithCin {
+		return nil, fmt.Errorf("synth: carry-select generator does not support cin")
+	}
+	n := cfg.Width
+	b := netlist.NewBuilder(fmt.Sprintf("csel%d", n))
+	if cfg.Mismatch != nil {
+		b.SetMismatch(cfg.Mismatch)
+	}
+	a := b.InputBus(PortA, n)
+	bb := b.InputBus(PortB, n)
+	sum := make([]netlist.NetID, n)
+
+	// mux2 returns s ? x1 : x0 as AO21(AND(x1,s), INV(s)... ) built from
+	// basic cells: out = (x1 & s) | (x0 & !s).
+	mux2 := func(x0, x1, s netlist.NetID) netlist.NetID {
+		ns := b.Gate(cell.INV, s)
+		t0 := b.Gate(cell.AND2, x0, ns)
+		return b.Gate(cell.AO21, t0, x1, s)
+	}
+
+	// rcaBlock ripples width bits from constant carry-in cin01 (0 or 1
+	// encoded structurally): for cin=0 the first position is a half adder;
+	// for cin=1 it is a half adder plus increment (x ^ y ^ 1 = XNOR,
+	// carry = x | y).
+	rcaBlock := func(lo, width int, cinOne bool) (s []netlist.NetID, cout netlist.NetID) {
+		s = make([]netlist.NetID, width)
+		var carry netlist.NetID
+		for j := 0; j < width; j++ {
+			x, y := a[lo+j], bb[lo+j]
+			switch {
+			case j == 0 && !cinOne:
+				s[j], carry = halfAdder(b, x, y)
+			case j == 0 && cinOne:
+				s[j] = b.Gate(cell.XNOR2, x, y)
+				carry = b.Gate(cell.OR2, x, y)
+			default:
+				s[j], carry = fullAdder(b, x, y, carry)
+			}
+		}
+		return s, carry
+	}
+
+	// Block 0 computes directly.
+	first := blockSize
+	if first > n {
+		first = n
+	}
+	s0, carry := rcaBlock(0, first, false)
+	copy(sum, s0)
+	for lo := first; lo < n; lo += blockSize {
+		w := blockSize
+		if lo+w > n {
+			w = n - lo
+		}
+		sA, cA := rcaBlock(lo, w, false) // assuming cin = 0
+		sB, cB := rcaBlock(lo, w, true)  // assuming cin = 1
+		for j := 0; j < w; j++ {
+			sum[lo+j] = mux2(sA[j], sB[j], carry)
+		}
+		carry = mux2(cA, cB, carry)
+	}
+	b.OutputBus(PortSum, sum)
+	b.OutputBus(PortCout, []netlist.NetID{carry})
+	return b.Build()
+}

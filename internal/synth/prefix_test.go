@@ -1,0 +1,171 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+func TestKSAExhaustiveSmall(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		exhaustiveAdderCheckArch(t, ArchKSA, w, false)
+	}
+	exhaustiveAdderCheckArch(t, ArchKSA, 5, true)
+}
+
+func TestSklanskyExhaustiveSmall(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		exhaustiveAdderCheckArch(t, ArchSklansky, w, false)
+	}
+	exhaustiveAdderCheckArch(t, ArchSklansky, 5, true)
+}
+
+func TestCSelExhaustiveSmall(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9} {
+		exhaustiveAdderCheckArch(t, ArchCSel, w, false)
+	}
+}
+
+// exhaustiveAdderCheckArch mirrors exhaustiveAdderCheck for the extended
+// architectures (kept separate so the original paper-pair test stays
+// focused).
+func exhaustiveAdderCheckArch(t *testing.T, arch Arch, width int, withCin bool) {
+	t.Helper()
+	nl, err := NewAdder(arch, AdderConfig{Width: width, WithCin: withCin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := uint64(1)<<uint(width) - 1
+	cins := []uint64{0}
+	if withCin {
+		cins = []uint64{0, 1}
+	}
+	for a := uint64(0); a <= mask; a++ {
+		for b := uint64(0); b <= mask; b++ {
+			for _, cin := range cins {
+				s, co := addOut(t, nl, a, b, cin)
+				want := a + b + cin
+				if s != want&mask || co != want>>uint(width) {
+					t.Fatalf("%s%d(%d,%d,cin=%d) = (s=%d, co=%d), want %d",
+						arch, width, a, b, cin, s, co, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllArchesAgreeRandom(t *testing.T) {
+	const w = 16
+	adders := Arches()
+	built := make(map[Arch]*netlist.Netlist)
+	for _, a := range adders {
+		nl, err := NewAdder(a, AdderConfig{Width: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		built[a] = nl
+	}
+	f := func(x, y uint16) bool {
+		a, b := uint64(x), uint64(y)
+		ref, refCo := addOut(t, built[ArchRCA], a, b, 0)
+		for _, arch := range adders[1:] {
+			s, co := addOut(t, built[arch], a, b, 0)
+			if s != ref || co != refCo {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixDepthOrdering(t *testing.T) {
+	// Logic depth: KSA ≈ Sklansky ≈ BKA ≪ CSel < RCA at 16 bits.
+	depth := map[Arch]int{}
+	for _, a := range Arches() {
+		nl, err := NewAdder(a, AdderConfig{Width: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		depth[a] = nl.MaxLevel()
+	}
+	if !(depth[ArchKSA] < depth[ArchRCA] && depth[ArchSklansky] < depth[ArchRCA] &&
+		depth[ArchBKA] < depth[ArchRCA]) {
+		t.Fatalf("prefix adders not shallower than RCA: %v", depth)
+	}
+	if !(depth[ArchCSel] < depth[ArchRCA]) {
+		t.Fatalf("carry-select not shallower than RCA: %v", depth)
+	}
+}
+
+func TestPrefixTimingOrdering(t *testing.T) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	cp := map[Arch]float64{}
+	for _, a := range Arches() {
+		nl, err := NewAdder(a, AdderConfig{Width: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp[a] = sta.Analyze(nl, lib, proc, proc.Nominal()).CriticalDelay
+	}
+	if !(cp[ArchKSA] < cp[ArchRCA]) {
+		t.Fatalf("KSA not faster than RCA: %v", cp)
+	}
+	if !(cp[ArchSklansky] < cp[ArchRCA]) {
+		t.Fatalf("Sklansky not faster than RCA: %v", cp)
+	}
+	if !(cp[ArchCSel] < cp[ArchRCA]) {
+		t.Fatalf("CSel not faster than RCA: %v", cp)
+	}
+}
+
+func TestKSALargestArea(t *testing.T) {
+	// Kogge-Stone pays for its speed in cells: largest area of the
+	// prefix family at 16 bits.
+	lib := cell.Default28nmLVT()
+	area := map[Arch]float64{}
+	for _, a := range []Arch{ArchBKA, ArchKSA, ArchSklansky} {
+		nl, err := NewAdder(a, AdderConfig{Width: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		area[a] = nl.Area(lib)
+	}
+	if !(area[ArchKSA] > area[ArchBKA] && area[ArchKSA] > area[ArchSklansky]) {
+		t.Fatalf("KSA area not largest: %v", area)
+	}
+}
+
+func TestCSelValidation(t *testing.T) {
+	if _, err := CSelA(AdderConfig{Width: 8}, 0); err == nil {
+		t.Fatal("block size 0 accepted")
+	}
+	if _, err := CSelA(AdderConfig{Width: 8, WithCin: true}, 4); err == nil {
+		t.Fatal("cin accepted")
+	}
+	if _, err := CSelA(AdderConfig{Width: 0}, 4); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+}
+
+func TestArchesListsAll(t *testing.T) {
+	if len(Arches()) != 5 {
+		t.Fatalf("Arches() = %v", Arches())
+	}
+	names := map[string]bool{}
+	for _, a := range Arches() {
+		names[a.String()] = true
+	}
+	for _, want := range []string{"RCA", "BKA", "KSA", "SKL", "CSEL"} {
+		if !names[want] {
+			t.Fatalf("missing arch %s", want)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package synth
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+// STAMargin is the pessimism factor EDA flows add on top of the true
+// longest path (clock-path pessimism, OCV derates). The paper calls this
+// out explicitly: "EDA tools introduce additional timing margin in the
+// datapaths during STA due to clock path pessimism. This additional timing
+// prevents timing errors due to variability effects." It is exactly this
+// margin that lets moderate voltage over-scaling run error-free (the 0%-BER
+// half of Fig. 8).
+const STAMargin = 1.28
+
+// Report mirrors the columns of the paper's Table II plus the quantities
+// the rest of the flow needs.
+type Report struct {
+	Name      string
+	GateCount int
+	// Area is the total cell area (µm²).
+	Area float64
+	// CriticalPath is the reported (margined) critical path (ns) at the
+	// nominal operating point — the number a synthesis timing report would
+	// print and the clock the paper derives its triads from.
+	CriticalPath float64
+	// TrueCriticalPath is the raw STA longest path (ns) without margin.
+	TrueCriticalPath float64
+	// TotalPower, DynamicPower, LeakagePower are µW at the nominal
+	// operating point with the circuit clocked at CriticalPath.
+	TotalPower   float64
+	DynamicPower float64
+	LeakagePower float64
+	// EnergyPerOp is the average switching+leakage energy (fJ) per
+	// operation at the nominal point and CriticalPath clock.
+	EnergyPerOp float64
+}
+
+// Synthesize produces the synthesis report for a netlist: area from the
+// library, critical path from STA with the pessimism margin, and power from
+// zero-delay switching activity over random vectors (the standard
+// synthesis-time power estimate).
+func Synthesize(nl *netlist.Netlist, lib *cell.Library, proc fdsoi.Params, activityVectors int, seed uint64) (*Report, error) {
+	an := sta.Analyze(nl, lib, proc, proc.Nominal())
+	if err := an.CheckFinite(); err != nil {
+		return nil, err
+	}
+	r := &Report{
+		Name:             nl.Name,
+		GateCount:        nl.NumGates(),
+		Area:             nl.Area(lib),
+		TrueCriticalPath: an.CriticalDelay,
+		CriticalPath:     an.CriticalDelay * STAMargin,
+		LeakagePower:     nl.LeakagePower(lib),
+	}
+	// Zero-delay activity estimation: average energy of input-vector
+	// transitions, each toggled gate output costing ½CV² + internal energy.
+	toggles, err := averageToggleEnergy(nl, lib, activityVectors, seed)
+	if err != nil {
+		return nil, err
+	}
+	r.EnergyPerOp = toggles + r.LeakagePower*r.CriticalPath // fJ (µW·ns = fJ)
+	r.DynamicPower = toggles / r.CriticalPath
+	r.TotalPower = r.DynamicPower + r.LeakagePower
+	return r, nil
+}
+
+// averageToggleEnergy estimates the mean switching energy (fJ) per input
+// transition at the nominal supply using zero-delay evaluation.
+func averageToggleEnergy(nl *netlist.Netlist, lib *cell.Library, vectors int, seed uint64) (float64, error) {
+	if vectors < 2 {
+		vectors = 2
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xda7a))
+	in := make(map[netlist.NetID]uint8)
+	randomize := func() {
+		for _, p := range nl.Inputs {
+			for _, b := range p.Bits {
+				in[b] = uint8(rng.Uint64() & 1)
+			}
+		}
+	}
+	randomize()
+	prev, err := nl.Evaluate(in)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for v := 1; v < vectors; v++ {
+		randomize()
+		cur, err := nl.Evaluate(in)
+		if err != nil {
+			return 0, err
+		}
+		for gi := range nl.Gates {
+			g := &nl.Gates[gi]
+			if cur[g.Output] != prev[g.Output] {
+				c := lib.MustCell(g.Kind)
+				load := nl.NetLoad(lib, g.Output)
+				total += fdsoi.SwitchingEnergy(load, 1.0) + c.InternalEnergy
+			}
+		}
+		prev = cur
+	}
+	return total / float64(vectors-1), nil
+}

@@ -1,0 +1,111 @@
+package triad
+
+import (
+	"testing"
+)
+
+func TestLabelFormat(t *testing.T) {
+	cases := []struct {
+		tr   Triad
+		want string
+	}{
+		{Triad{Tclk: 0.28, Vdd: 0.5, Vbb: 2}, "0.28,0.5,±2"},
+		{Triad{Tclk: 0.5, Vdd: 1.0, Vbb: 0}, "0.5,1,0"},
+		{Triad{Tclk: 0.064, Vdd: 0.4, Vbb: 2}, "0.064,0.4,±2"},
+	}
+	for _, tc := range cases {
+		if got := tc.tr.Label(); got != tc.want {
+			t.Errorf("Label(%+v) = %q, want %q", tc.tr, got, tc.want)
+		}
+	}
+}
+
+func TestOperatingPoint(t *testing.T) {
+	tr := Triad{Tclk: 0.28, Vdd: 0.7, Vbb: 2}
+	op := tr.OperatingPoint()
+	if op.Vdd != 0.7 || op.Vbb != 2 {
+		t.Fatalf("op = %+v", op)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Triad{Tclk: 0.5, Vdd: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Triad{
+		{Tclk: 0, Vdd: 1},
+		{Tclk: 0.5, Vdd: 0},
+		{Tclk: 0.5, Vdd: 1, Vbb: -1},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSetHas43Triads(t *testing.T) {
+	// The paper's sweep: 1 nominal + 3 clocks × 7 Vdd × 2 Vbb = 43.
+	clocks := PaperClockRatios("RCA", 8).Clocks(0.28)
+	set := Set(DefaultSweep(clocks))
+	if len(set) != 43 {
+		t.Fatalf("triad set size = %d, want 43", len(set))
+	}
+	// All triads valid and distinct.
+	seen := map[string]bool{}
+	for _, tr := range set {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		l := tr.Label()
+		if seen[l] {
+			t.Fatalf("duplicate triad %s", l)
+		}
+		seen[l] = true
+	}
+	// Nominal first: relaxed clock, 1.0 V, no bias.
+	nom := Nominal(set)
+	if nom.Vdd != 1.0 || nom.Vbb != 0 || nom.Tclk != clocks[0] {
+		t.Fatalf("nominal = %+v", nom)
+	}
+}
+
+func TestPaperClockRatiosKnownRows(t *testing.T) {
+	// 8-bit RCA at CP=0.28 must reproduce the paper's Table III row
+	// (0.5, 0.28, 0.19, 0.13) to rounding.
+	c := PaperClockRatios("RCA", 8).Clocks(0.28)
+	want := [4]float64{0.501, 0.28, 0.19, 0.129}
+	for i := range c {
+		if diff := c[i] - want[i]; diff > 0.001 || diff < -0.001 {
+			t.Errorf("clock[%d] = %v, want ≈%v", i, c[i], want[i])
+		}
+	}
+	// Unknown configurations fall back to the generic spread.
+	g := PaperClockRatios("RCA", 32)
+	if g != (ClockRatios{1.80, 1.00, 0.70, 0.45}) {
+		t.Errorf("generic ratios = %v", g)
+	}
+}
+
+func TestClocksRounded(t *testing.T) {
+	c := ClockRatios{1.333333, 1, 0.5, 0.25}.Clocks(0.3)
+	for _, v := range c {
+		r := v * 1000
+		if r != float64(int64(r+0.5)) && r != float64(int64(r)) {
+			t.Fatalf("clock %v not rounded to 3 decimals", v)
+		}
+	}
+}
+
+func TestSortByBERThenEnergy(t *testing.T) {
+	ber := []float64{0, 0.5, 0, 0.2}
+	energy := []float64{5, 1, 3, 2}
+	idx := SortByBERThenEnergy(4, func(i int) float64 { return ber[i] },
+		func(i int) float64 { return energy[i] })
+	want := []int{2, 0, 3, 1} // BER 0 (E 3), BER 0 (E 5), BER .2, BER .5
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("order = %v, want %v", idx, want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package vcd writes IEEE-1364 Value Change Dump waveforms from the
+// timing simulator, so VOS failures can be inspected in any standard
+// waveform viewer (GTKWave etc.): late carry arrivals, glitch trains and
+// capture-edge races become directly visible.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// Writer streams one VCD file. Create with NewWriter, feed monotonically
+// non-decreasing timestamps through Change, and Close to flush.
+type Writer struct {
+	bw        *bufio.Writer
+	ids       map[netlist.NetID]string
+	lastTime  int64 // in timescale units
+	headerOut bool
+	timePS    float64 // picoseconds per unit
+	err       error
+}
+
+// NewWriter emits the VCD header for all nets of nl. The timescale is
+// 1 ps, which resolves every delay the FDSOI model produces.
+func NewWriter(w io.Writer, nl *netlist.Netlist) *Writer {
+	vw := &Writer{
+		bw:       bufio.NewWriter(w),
+		ids:      make(map[netlist.NetID]string, nl.NumNets()),
+		lastTime: -1,
+		timePS:   1,
+	}
+	for id := range nl.Nets {
+		vw.ids[netlist.NetID(id)] = idCode(id)
+	}
+	vw.writeHeader(nl)
+	return vw
+}
+
+// idCode maps an index to a VCD identifier (printable ASCII 33..126,
+// little-endian multi-character).
+func idCode(i int) string {
+	const lo, n = 33, 94
+	var sb strings.Builder
+	for {
+		sb.WriteByte(byte(lo + i%n))
+		i /= n
+		if i == 0 {
+			return sb.String()
+		}
+		i--
+	}
+}
+
+func (w *Writer) writeHeader(nl *netlist.Netlist) {
+	fmt.Fprintf(w.bw, "$date repro $end\n$version repro-vos simulator $end\n")
+	fmt.Fprintf(w.bw, "$timescale 1ps $end\n")
+	fmt.Fprintf(w.bw, "$scope module %s $end\n", sanitizeName(nl.Name))
+	// Emit ports first (stable, sorted), then internal nets.
+	emitted := make(map[netlist.NetID]bool)
+	for _, p := range append(append([]netlist.Port{}, nl.Inputs...), nl.Outputs...) {
+		for i, b := range p.Bits {
+			if emitted[b] {
+				continue
+			}
+			emitted[b] = true
+			fmt.Fprintf(w.bw, "$var wire 1 %s %s[%d] $end\n", w.ids[b], sanitizeName(p.Name), i)
+		}
+	}
+	rest := make([]int, 0, nl.NumNets())
+	for id := range nl.Nets {
+		if !emitted[netlist.NetID(id)] {
+			rest = append(rest, id)
+		}
+	}
+	sort.Ints(rest)
+	for _, id := range rest {
+		fmt.Fprintf(w.bw, "$var wire 1 %s %s $end\n",
+			w.ids[netlist.NetID(id)], sanitizeName(nl.Nets[id].Name))
+	}
+	fmt.Fprintf(w.bw, "$upscope $end\n$enddefinitions $end\n")
+}
+
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '[', r == ']', r == '.':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// DumpInitial records the initial value of every net ($dumpvars block).
+// Call once, before any Change.
+func (w *Writer) DumpInitial(values []uint8) {
+	if w.err != nil {
+		return
+	}
+	fmt.Fprintf(w.bw, "$dumpvars\n")
+	for id := 0; id < len(values); id++ {
+		fmt.Fprintf(w.bw, "%d%s\n", values[id]&1, w.ids[netlist.NetID(id)])
+	}
+	fmt.Fprintf(w.bw, "$end\n")
+	w.lastTime = -1
+}
+
+// Change records a net transition at tNs nanoseconds (converted to ps).
+// Timestamps must not decrease.
+func (w *Writer) Change(tNs float64, net netlist.NetID, v uint8) {
+	if w.err != nil {
+		return
+	}
+	t := int64(tNs*1000/w.timePS + 0.5)
+	if t < w.lastTime {
+		w.err = fmt.Errorf("vcd: time went backwards: %d after %d", t, w.lastTime)
+		return
+	}
+	if t != w.lastTime {
+		fmt.Fprintf(w.bw, "#%d\n", t)
+		w.lastTime = t
+	}
+	fmt.Fprintf(w.bw, "%d%s\n", v&1, w.ids[net])
+}
+
+// Marker emits a comment-like dummy timestamp advance, useful to delimit
+// operations (e.g. the capture edge) in the waveform.
+func (w *Writer) Marker(tNs float64) {
+	if w.err != nil {
+		return
+	}
+	t := int64(tNs*1000/w.timePS + 0.5)
+	if t > w.lastTime {
+		fmt.Fprintf(w.bw, "#%d\n", t)
+		w.lastTime = t
+	}
+}
+
+// Close flushes buffered output and reports any deferred error.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
