@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/charz"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fdsoi"
 	"repro/internal/netlist"
 	"repro/internal/patterns"
@@ -195,14 +197,21 @@ func BenchmarkFig7(b *testing.B) {
 }
 
 // BenchmarkFig8 regenerates the BER vs energy/operation sweep across all
-// 43 triads for each adder.
+// 43 triads for each adder. The sweep runs through the engine: the first
+// iteration simulates all 43 points, every further iteration is served
+// from the content-addressed cache, so per-op times collapse once b.N>1.
 func BenchmarkFig8(b *testing.B) {
 	for _, bd := range paperBenches {
 		bd := bd
 		b.Run(fmt.Sprintf("%s%d", bd.arch, bd.width), func(b *testing.B) {
+			eng, err := engine.New(engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
 			cfg := charz.Config{Arch: bd.arch, Width: bd.width, Patterns: benchPatterns, Seed: 1}
 			for i := 0; i < b.N; i++ {
-				res, err := charz.Run(cfg)
+				res, err := charz.RunWith(context.Background(), eng, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -217,7 +226,34 @@ func BenchmarkFig8(b *testing.B) {
 					b.ReportMetric(res.NominalEnergyFJ, "fJ/op@nominal")
 				}
 			}
+			b.ReportMetric(float64(eng.Executions()), "sim-points")
 		})
+	}
+}
+
+// BenchmarkEngineWarmSweep measures a fully cache-warm 43-triad sweep
+// through the engine — the steady-state cost a vosd client pays for a
+// repeated operating-point query (deserialization only, no simulation).
+func BenchmarkEngineWarmSweep(b *testing.B) {
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	cfg := charz.Config{Arch: synth.ArchRCA, Width: 8, Patterns: benchPatterns, Seed: 1}
+	if _, err := charz.RunWith(context.Background(), eng, cfg); err != nil {
+		b.Fatal(err)
+	}
+	warmed := eng.Executions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := charz.RunWith(context.Background(), eng, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := eng.Executions(); got != warmed {
+		b.Fatalf("warm sweep simulated %d extra points", got-warmed)
 	}
 }
 

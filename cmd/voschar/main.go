@@ -8,11 +8,16 @@
 //
 //	voschar [-bench all|rca8|bka8|rca16|bka16] [-patterns 20000]
 //	        [-seed 1] [-csv] [-table2] [-table3] [-fig5] [-fig8] [-table4]
+//	        [-cache-dir DIR] [-workers N]
 //
-// Without experiment flags, everything runs.
+// Without experiment flags, everything runs. All simulation goes through
+// the internal/engine sweep engine: operating points shared between
+// experiments are simulated once, and -cache-dir persists results across
+// invocations, so re-running with different experiment flags is near-free.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/charz"
+	"repro/internal/engine"
 	"repro/internal/report"
 	"repro/internal/synth"
 	"repro/internal/triad"
@@ -51,6 +57,8 @@ func main() {
 		fFig5    = flag.Bool("fig5", false, "only Fig. 5 (per-bit BER vs Vdd)")
 		fFig8    = flag.Bool("fig8", false, "only Fig. 8 (BER & energy per triad)")
 		fTable4  = flag.Bool("table4", false, "only Table IV (efficiency per BER band)")
+		cacheDir = flag.String("cache-dir", "", "persist characterization results here (re-runs become near-free)")
+		workers  = flag.Int("workers", 0, "sweep-engine worker-pool size (0 = NumCPU)")
 	)
 	flag.Parse()
 
@@ -60,10 +68,17 @@ func main() {
 	}
 	runAll := !(*fTable2 || *fTable3 || *fFig5 || *fFig8 || *fTable4)
 
+	eng, err := engine.New(engine.Options{Workers: *workers, CacheDir: *cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+
 	results := make(map[string]*charz.Result)
 	for _, b := range benches {
 		cfg := charz.Config{Arch: b.arch, Width: b.width, Patterns: *patterns, Seed: *seed}
-		res, err := charz.Run(cfg)
+		res, err := charz.RunWith(ctx, eng, cfg)
 		if err != nil {
 			log.Fatalf("%s: %v", b.name, err)
 		}
@@ -110,7 +125,7 @@ func main() {
 				continue // the paper plots Fig. 5 for the 8-bit RCA
 			}
 			cfg := charz.Config{Arch: b.arch, Width: b.width, Patterns: *patterns, Seed: *seed}
-			pts, err := charz.Fig5(cfg, []float64{0.8, 0.7, 0.6, 0.5})
+			pts, err := charz.Fig5With(ctx, eng, cfg, []float64{0.8, 0.7, 0.6, 0.5})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -182,6 +197,9 @@ func main() {
 		}
 		emit(t)
 	}
+
+	stats := eng.CacheStats()
+	log.Printf("engine: %d points simulated, %d served from cache", eng.Executions(), stats.Hits())
 }
 
 func selectBenches(name string) ([]benchDef, error) {

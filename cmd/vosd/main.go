@@ -1,0 +1,186 @@
+// Command vosd is the characterization-sweep daemon: it wraps the
+// internal/engine subsystem in an HTTP API so many clients can share one
+// worker pool and one content-addressed result cache.
+//
+// Usage:
+//
+//	vosd [-addr :8420] [-workers N] [-cache-dir DIR]
+//
+// API:
+//
+//	POST /v1/sweeps            submit a sweep (engine.Request JSON) → 202 {"id": ...}
+//	GET  /v1/sweeps            list all sweeps (status + progress, no results)
+//	GET  /v1/sweeps/{id}       one sweep's status and progress
+//	GET  /v1/sweeps/{id}/results  full results once done (409 while running)
+//	DELETE /v1/sweeps/{id}     cancel a pending/running sweep
+//	GET  /v1/cache/stats       result-cache and execution counters
+//	GET  /healthz              liveness probe
+//
+// See README.md for curl examples.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vosd: ")
+	var (
+		addr     = flag.String("addr", ":8420", "listen address")
+		workers  = flag.Int("workers", 0, "worker-pool size (0 = NumCPU)")
+		cacheDir = flag.String("cache-dir", "", "on-disk result cache root (empty = memory only)")
+	)
+	flag.Parse()
+
+	eng, err := engine.New(engine.Options{Workers: *workers, CacheDir: *cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      newServer(eng).mux(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 120 * time.Second,
+	}
+	log.Printf("listening on %s (%d workers, cache %s)", *addr, eng.Workers(), cacheDesc(*cacheDir))
+	err = srv.ListenAndServe()
+	eng.Close() // not deferred: log.Fatal would skip it
+	log.Fatal(err)
+}
+
+func cacheDesc(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return "in-memory + " + dir
+}
+
+// server holds the daemon's HTTP handlers around one Engine.
+type server struct {
+	eng *engine.Engine
+}
+
+func newServer(eng *engine.Engine) *server { return &server{eng: eng} }
+
+// mux wires the v1 routes.
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("POST /v1/sweeps", s.submitSweep)
+	m.HandleFunc("GET /v1/sweeps", s.listSweeps)
+	m.HandleFunc("GET /v1/sweeps/{id}", s.getSweep)
+	m.HandleFunc("GET /v1/sweeps/{id}/results", s.getResults)
+	m.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
+	m.HandleFunc("GET /v1/cache/stats", s.cacheStats)
+	m.HandleFunc("GET /healthz", s.healthz)
+	return m
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *server) submitSweep(w http.ResponseWriter, r *http.Request) {
+	var req engine.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	id, err := s.eng.Submit(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, struct {
+		ID string `json:"id"`
+	}{ID: id})
+}
+
+// statusOnly strips the (potentially large) results from a sweep snapshot
+// for the status and list endpoints.
+func statusOnly(sw engine.Sweep) engine.Sweep {
+	sw.Results = nil
+	return sw
+}
+
+func (s *server) listSweeps(w http.ResponseWriter, r *http.Request) {
+	sweeps := s.eng.List()
+	for i := range sweeps {
+		sweeps[i] = statusOnly(sweeps[i])
+	}
+	writeJSON(w, http.StatusOK, sweeps)
+}
+
+func (s *server) getSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.eng.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOnly(sw))
+}
+
+func (s *server) getResults(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.eng.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	switch sw.Status {
+	case engine.StatusDone:
+		writeJSON(w, http.StatusOK, sw)
+	case engine.StatusFailed, engine.StatusCanceled:
+		writeError(w, http.StatusGone, "sweep %s %s: %s", sw.ID, sw.Status, sw.Error)
+	default:
+		// Not done yet: tell the client to keep polling, with progress.
+		writeJSON(w, http.StatusConflict, statusOnly(sw))
+	}
+}
+
+func (s *server) cancelSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.eng.Cancel(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) cacheStats(w http.ResponseWriter, r *http.Request) {
+	stats := s.eng.CacheStats()
+	writeJSON(w, http.StatusOK, struct {
+		engine.CacheStats
+		Hits       uint64 `json:"hits"`
+		Executions uint64 `json:"executions"`
+	}{CacheStats: stats, Hits: stats.Hits(), Executions: s.eng.Executions()})
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}{Status: "ok", Workers: s.eng.Workers()})
+}

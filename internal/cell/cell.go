@@ -12,8 +12,11 @@
 package cell
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Kind identifies a cell's logic function.
@@ -198,6 +201,23 @@ func (l *Library) Kinds() []Kind {
 		}
 	}
 	return ks
+}
+
+// Fingerprint returns a stable content hash of the library: its name,
+// interconnect constants and every cell figure. Two libraries with equal
+// fingerprints produce identical timing, energy and synthesis results, so
+// the fingerprint is safe to use as the library component of a
+// characterization cache key.
+func (l *Library) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lib %s wire=%g fanout=%g\n", l.Name, l.WireCap, l.WireCapPerFanout)
+	for _, k := range l.Kinds() {
+		c := l.cells[k]
+		fmt.Fprintf(&b, "%s area=%g cin=%g tint=%g rdrv=%g eint=%g leak=%g\n",
+			k, c.Area, c.InputCap, c.Intrinsic, c.DriveRes, c.InternalEnergy, c.Leakage)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
 }
 
 // Validate checks every cell and the interconnect constants.

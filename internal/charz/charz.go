@@ -7,6 +7,7 @@
 package charz
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -107,6 +108,19 @@ func (c *Config) setDefaults() error {
 	return nil
 }
 
+// Canonical returns a copy of the Config with all defaults applied — the
+// form under which two Configs are behaviorally identical if and only if
+// their canonical fields (and the contents of Proc/Lib) are equal. Cache
+// keys must be derived from canonical Configs so that an explicit
+// "Patterns: 2000, PropagateP: 0.5" and the equivalent zero-value Config
+// hash identically.
+func (c Config) Canonical() (Config, error) {
+	if err := (&c).setDefaults(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
 // TriadResult is the per-triad outcome of a sweep.
 type TriadResult struct {
 	Triad triad.Triad
@@ -143,10 +157,21 @@ func (c Config) BenchName() string {
 	return fmt.Sprintf("%d-bit %s", c.Width, c.Arch)
 }
 
-// Run executes the full flow. Triads are simulated in parallel; each
-// worker owns a private Engine over the shared read-only netlist and an
-// identical pattern stream ("same set of input patterns" per the paper).
-func Run(cfg Config) (*Result, error) {
+// Prepared is a synthesized operator ready for point simulation: the
+// netlist, its synthesis report and the fully-defaulted Config that built
+// them. Preparation is the expensive, triad-independent prefix of the
+// Fig. 4 flow (generate + synthesize); the per-triad sweep then reuses it
+// for every operating point.
+type Prepared struct {
+	Config  Config
+	Netlist *netlist.Netlist
+	Report  *synth.Report
+}
+
+// Prepare runs the triad-independent half of the flow: apply defaults,
+// generate the operator with per-gate mismatch, synthesize it. The result
+// is deterministic in the Config (same seed → same netlist and report).
+func Prepare(cfg Config) (*Prepared, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
@@ -162,12 +187,73 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	set := cfg.Triads
-	if set == nil {
-		ratios := triad.PaperClockRatios(cfg.Arch.String(), cfg.Width)
-		set = triad.Set(triad.DefaultSweep(ratios.Clocks(rep.CriticalPath)))
+	return &Prepared{Config: cfg, Netlist: nl, Report: rep}, nil
+}
+
+// TriadSet returns the operating points this configuration sweeps: the
+// Config's explicit override if set, otherwise the paper's Table III
+// triads derived from the synthesis timing report.
+func (p *Prepared) TriadSet() []triad.Triad {
+	if p.Config.Triads != nil {
+		return p.Config.Triads
 	}
-	res := &Result{Config: cfg, Netlist: nl, Report: rep, Triads: make([]TriadResult, len(set))}
+	ratios := triad.PaperClockRatios(p.Config.Arch.String(), p.Config.Width)
+	return triad.Set(triad.DefaultSweep(ratios.Clocks(p.Report.CriticalPath)))
+}
+
+// RunTriad simulates one operating point against the prepared operator.
+func (p *Prepared) RunTriad(tr triad.Triad) (*TriadResult, error) {
+	return sweepTriad(p.Netlist, p.Config, tr)
+}
+
+// Runner abstracts the execution of point jobs so frontends can swap the
+// direct in-process flow for a scheduling/caching engine (internal/engine)
+// without changing the experiment code.
+type Runner interface {
+	// Prepare returns the synthesized operator for cfg. Implementations
+	// may memoize: Prepare is deterministic in cfg.
+	Prepare(ctx context.Context, cfg Config) (*Prepared, error)
+	// RunPoint simulates one operating point of a prepared operator.
+	// Implementations may serve the result from a cache keyed by the
+	// prepared Config and the triad.
+	RunPoint(ctx context.Context, p *Prepared, tr triad.Triad) (*TriadResult, error)
+}
+
+// Direct is the no-frills Runner: synthesize and simulate in-process,
+// nothing cached. It is the backend of Run and Fig5.
+type Direct struct{}
+
+// Prepare implements Runner.
+func (Direct) Prepare(_ context.Context, cfg Config) (*Prepared, error) { return Prepare(cfg) }
+
+// RunPoint implements Runner.
+func (Direct) RunPoint(_ context.Context, p *Prepared, tr triad.Triad) (*TriadResult, error) {
+	return p.RunTriad(tr)
+}
+
+// Run executes the full flow. Triads are simulated in parallel; each
+// worker owns a private Engine over the shared read-only netlist and an
+// identical pattern stream ("same set of input patterns" per the paper).
+func Run(cfg Config) (*Result, error) {
+	return RunWith(context.Background(), Direct{}, cfg)
+}
+
+// RunWith executes the full flow through a Runner. Point jobs are issued
+// concurrently (bounded by Config.Parallelism) and the context cancels
+// outstanding work; with a caching Runner, previously characterized
+// points are served without touching the simulator.
+func RunWith(ctx context.Context, r Runner, cfg Config) (*Result, error) {
+	prep, err := r.Prepare(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	set := prep.TriadSet()
+	if len(set) == 0 {
+		return nil, fmt.Errorf("charz: empty triad set")
+	}
+	cfg = prep.Config
+	res := &Result{Config: cfg, Netlist: prep.Netlist, Report: prep.Report,
+		Triads: make([]TriadResult, len(set))}
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Parallelism)
@@ -178,7 +264,11 @@ func Run(cfg Config) (*Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out, err := sweepTriad(nl, cfg, tr)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			out, err := r.RunPoint(ctx, prep, tr)
 			if err != nil {
 				errs[i] = err
 				return

@@ -1,11 +1,11 @@
 package charz
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
-	"repro/internal/fdsoi"
 	"repro/internal/netlist"
 	"repro/internal/patterns"
 	"repro/internal/sim"
@@ -93,25 +93,22 @@ type Fig5Point struct {
 // output bits of the adder as Vdd scales down at the synthesis clock with
 // no body bias.
 func Fig5(cfg Config, vdds []float64) ([]Fig5Point, error) {
-	if err := cfg.setDefaults(); err != nil {
-		return nil, err
-	}
-	var mm *fdsoi.MismatchSampler
-	if cfg.MismatchSigma > 0 {
-		mm = fdsoi.NewMismatchSampler(cfg.MismatchSigma, cfg.Seed^0x715317)
-	}
-	nl, err := synth.NewAdder(cfg.Arch, synth.AdderConfig{Width: cfg.Width, Mismatch: mm})
-	if err != nil {
-		return nil, err
-	}
-	rep, err := synth.Synthesize(nl, cfg.Lib, *cfg.Proc, 2000, cfg.Seed)
+	return Fig5With(context.Background(), Direct{}, cfg, vdds)
+}
+
+// Fig5With runs the Fig. 5 experiment through a Runner: each supply
+// voltage is one point job at the synthesis clock. A caching Runner
+// shares these points with any other sweep that visits the same operating
+// triads, so re-plotting Fig. 5 after a Table IV run is near-free.
+func Fig5With(ctx context.Context, r Runner, cfg Config, vdds []float64) ([]Fig5Point, error) {
+	prep, err := r.Prepare(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Fig5Point, 0, len(vdds))
 	for _, vdd := range vdds {
-		tr := triad.Triad{Tclk: rep.CriticalPath, Vdd: vdd, Vbb: 0}
-		res, err := sweepTriad(nl, cfg, tr)
+		tr := triad.Triad{Tclk: prep.Report.CriticalPath, Vdd: vdd, Vbb: 0}
+		res, err := r.RunPoint(ctx, prep, tr)
 		if err != nil {
 			return nil, err
 		}

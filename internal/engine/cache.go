@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/charz"
+	"repro/internal/fdsoi"
+	"repro/internal/triad"
+)
+
+// keySchemaVersion is baked into every cache key; bump it whenever the
+// simulation semantics or the serialized result format change so stale
+// entries can never be returned for new code.
+const keySchemaVersion = 1
+
+// keyMaterial is the canonical content that identifies one operating-point
+// result. Everything that can change the simulator's output is in here —
+// and nothing else: Config.Parallelism (a scheduling knob) and
+// Config.Triads (the sweep set, not the point) are deliberately absent.
+type keyMaterial struct {
+	Version       int          `json:"v"`
+	Arch          string       `json:"arch"`
+	Width         int          `json:"width"`
+	Patterns      int          `json:"patterns"`
+	Seed          uint64       `json:"seed"`
+	PropagateP    float64      `json:"propagateP"`
+	MismatchSigma float64      `json:"mismatchSigma"`
+	Backend       string       `json:"backend"`
+	Streaming     bool         `json:"streaming"`
+	Proc          fdsoi.Params `json:"proc"`
+	LibFP         string       `json:"libFP"`
+	Tclk          float64      `json:"tclk"`
+	Vdd           float64      `json:"vdd"`
+	Vbb           float64      `json:"vbb"`
+}
+
+// PointKey returns the content-addressed cache key of one operating point:
+// a stable hash of the canonicalized Config, the triad, and the process and
+// library fingerprints. Identical keys imply byte-identical results.
+func PointKey(cfg charz.Config, tr triad.Triad) (string, error) {
+	canon, err := cfg.Canonical()
+	if err != nil {
+		return "", err
+	}
+	m := keyMaterial{
+		Version:       keySchemaVersion,
+		Arch:          canon.Arch.String(),
+		Width:         canon.Width,
+		Patterns:      canon.Patterns,
+		Seed:          canon.Seed,
+		PropagateP:    canon.PropagateP,
+		MismatchSigma: canon.MismatchSigma,
+		Backend:       canon.Backend.String(),
+		Streaming:     canon.Streaming,
+		Proc:          *canon.Proc,
+		LibFP:         canon.Lib.Fingerprint(),
+		Tclk:          tr.Tclk,
+		Vdd:           tr.Vdd,
+		Vbb:           tr.Vbb,
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// prepKey identifies a prepared (synthesized) operator: the subset of
+// keyMaterial that influences netlist generation and the synthesis report.
+func prepKey(cfg charz.Config) (string, error) {
+	canon, err := cfg.Canonical()
+	if err != nil {
+		return "", err
+	}
+	m := keyMaterial{
+		Version:       keySchemaVersion,
+		Arch:          canon.Arch.String(),
+		Width:         canon.Width,
+		Seed:          canon.Seed,
+		MismatchSigma: canon.MismatchSigma,
+		Proc:          *canon.Proc,
+		LibFP:         canon.Lib.Fingerprint(),
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// CacheStats reports the cache's activity counters.
+type CacheStats struct {
+	// MemHits and DiskHits count Gets served from each layer; Misses
+	// count Gets that found nothing.
+	MemHits  uint64 `json:"memHits"`
+	DiskHits uint64 `json:"diskHits"`
+	Misses   uint64 `json:"misses"`
+	// Stores counts Puts; WriteErrors counts disk writes that failed
+	// (the entry still lands in the memory layer).
+	Stores      uint64 `json:"stores"`
+	WriteErrors uint64 `json:"writeErrors"`
+	// MemEntries is the current size of the in-memory layer.
+	MemEntries int `json:"memEntries"`
+}
+
+// Hits returns the total hit count across layers.
+func (s CacheStats) Hits() uint64 { return s.MemHits + s.DiskHits }
+
+// maxMemEntries bounds the in-memory layer of a disk-backed cache so a
+// long-running daemon's memory stays flat: beyond it, the oldest entries
+// are dropped (they remain on disk). A memory-only cache is unbounded —
+// eviction there would silently discard results.
+const maxMemEntries = 8192
+
+// Cache is a two-layer content-addressed result store: a map in memory and
+// an optional JSON-file-per-key directory on disk. Disk entries survive
+// process restarts, so repeated CLI runs and benchmark re-runs are served
+// without simulation. All methods are safe for concurrent use.
+type Cache struct {
+	dir string
+
+	mu    sync.Mutex
+	mem   map[string][]byte
+	order []string // insertion order of mem keys, for FIFO eviction
+	stats CacheStats
+}
+
+// NewCache returns a cache rooted at dir; an empty dir means memory-only.
+func NewCache(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("engine: cache dir: %w", err)
+		}
+	}
+	return &Cache{dir: dir, mem: make(map[string][]byte)}, nil
+}
+
+// insertLocked adds an entry to the memory layer, evicting the oldest
+// entries beyond the cap when a disk layer backs them. Callers hold mu.
+func (c *Cache) insertLocked(key string, data []byte) {
+	if _, ok := c.mem[key]; !ok {
+		c.order = append(c.order, key)
+	}
+	c.mem[key] = data
+	if c.dir == "" {
+		return
+	}
+	for len(c.mem) > maxMemEntries && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.mem, oldest)
+	}
+}
+
+// path shards entries by the first key byte to keep directories small.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get returns the stored bytes for key, consulting memory then disk. A
+// disk hit is promoted into the memory layer.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if data, ok := c.mem[key]; ok {
+		c.stats.MemHits++
+		c.mu.Unlock()
+		return data, true
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.path(key)); err == nil {
+			c.mu.Lock()
+			c.insertLocked(key, data)
+			c.stats.DiskHits++
+			c.mu.Unlock()
+			return data, true
+		}
+	}
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores the bytes under key in both layers. Disk failures are
+// recorded in the stats but do not fail the Put: the memory layer is the
+// source of truth for the current process.
+func (c *Cache) Put(key string, data []byte) {
+	var writeErr bool
+	if c.dir != "" {
+		p := c.path(key)
+		err := os.MkdirAll(filepath.Dir(p), 0o755)
+		if err == nil {
+			// Write-then-rename keeps readers (including other processes
+			// sharing the directory) from seeing a partial entry.
+			var tmp *os.File
+			if tmp, err = os.CreateTemp(filepath.Dir(p), key+".tmp*"); err == nil {
+				if _, err = tmp.Write(data); err == nil {
+					err = tmp.Close()
+				} else {
+					tmp.Close()
+				}
+				if err == nil {
+					err = os.Rename(tmp.Name(), p)
+				} else {
+					os.Remove(tmp.Name())
+				}
+			}
+		}
+		writeErr = err != nil
+	}
+	c.mu.Lock()
+	c.insertLocked(key, data)
+	c.stats.Stores++
+	if writeErr {
+		c.stats.WriteErrors++
+	}
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the activity counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.MemEntries = len(c.mem)
+	return s
+}

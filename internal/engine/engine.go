@@ -1,0 +1,298 @@
+// Package engine is the concurrent characterization-sweep subsystem: it
+// expands sweep requests over the (architecture × width × operating
+// triad × backend × stimulus profile) configuration space into point
+// jobs, executes them on a context-cancellable worker pool through the
+// charz flow, and serves repeated points from a content-addressed result
+// cache (memory + JSON-on-disk). Every frontend — cmd/voschar, cmd/vosd,
+// the benchmarks — runs its sweeps through one Engine, so each operating
+// point of the paper's evaluation is simulated at most once per cache.
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/charz"
+	"repro/internal/triad"
+)
+
+// ErrClosed is returned for work submitted after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Options configures a new Engine.
+type Options struct {
+	// Workers is the worker-pool size; ≤0 means runtime.NumCPU().
+	Workers int
+	// CacheDir is the on-disk cache layer's root; empty keeps the cache
+	// memory-only. Ignored when Cache is set.
+	CacheDir string
+	// Cache overrides the engine's result cache, letting several engines
+	// (or tests) share one store.
+	Cache *Cache
+}
+
+// Engine schedules point jobs onto a bounded worker pool and memoizes
+// their results. It implements charz.Runner, so charz.RunWith and
+// charz.Fig5With can be pointed at an Engine unchanged.
+type Engine struct {
+	workers int
+	cache   *Cache
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	jobs   chan func()
+	wg     sync.WaitGroup
+	// sweepWg tracks runSweep goroutines so Close can wait for full
+	// quiescence, not just the worker pool.
+	sweepWg sync.WaitGroup
+
+	// preps memoizes synthesized operators by prepKey.
+	preps sync.Map // string -> *prepEntry
+
+	// inflight deduplicates concurrent executions of the same point, so a
+	// sweep whose plan visits one triad twice (e.g. Fig. 5 sharing a grid
+	// point with the Table III set) simulates it once.
+	flightMu sync.Mutex
+	inflight map[string]*flight
+
+	// executions counts actual simulator runs (cache misses that reached
+	// a worker). The cache-effectiveness tests assert this stays flat
+	// across repeated identical sweeps.
+	executions atomic.Uint64
+
+	// sweep registry (sweep.go). closed gates Submit so no sweep
+	// goroutine can start once Close begins waiting.
+	sweepMu sync.Mutex
+	sweeps  map[string]*sweepState
+	seq     uint64
+	closed  bool
+}
+
+type prepEntry struct {
+	once sync.Once
+	prep *charz.Prepared
+	err  error
+}
+
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// New starts an Engine and its worker pool.
+func New(opts Options) (*Engine, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	cache := opts.Cache
+	if cache == nil {
+		var err error
+		if cache, err = NewCache(opts.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		workers:  opts.Workers,
+		cache:    cache,
+		ctx:      ctx,
+		cancel:   cancel,
+		jobs:     make(chan func()),
+		inflight: make(map[string]*flight),
+		sweeps:   make(map[string]*sweepState),
+	}
+	for i := 0; i < e.workers; i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for {
+				select {
+				case job := <-e.jobs:
+					job()
+				case <-e.ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	return e, nil
+}
+
+// Close cancels all outstanding work and waits for sweeps and workers to
+// stop.
+func (e *Engine) Close() {
+	e.sweepMu.Lock()
+	e.closed = true
+	e.sweepMu.Unlock()
+	e.cancel()
+	e.sweepWg.Wait()
+	e.wg.Wait()
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// CacheStats returns the result cache's activity counters.
+func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
+
+// Executions returns how many point jobs actually reached the simulator
+// (cache misses) over the Engine's lifetime.
+func (e *Engine) Executions() uint64 { return e.executions.Load() }
+
+// exec runs f on a pool worker and waits for it, honoring both the
+// caller's context and engine shutdown while queued.
+func (e *Engine) exec(ctx context.Context, f func()) error {
+	done := make(chan struct{})
+	job := func() {
+		defer close(done)
+		f()
+	}
+	select {
+	case e.jobs <- job:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.ctx.Done():
+		return ErrClosed
+	}
+	select {
+	case <-done:
+		return nil
+	case <-e.ctx.Done():
+		return ErrClosed
+	}
+}
+
+// Prepare implements charz.Runner: synthesized operators are memoized by
+// content key, so a sweep over 43 triads (or two sweeps over the same
+// configuration) synthesizes once.
+func (e *Engine) Prepare(ctx context.Context, cfg charz.Config) (*charz.Prepared, error) {
+	key, err := prepKey(cfg)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := e.preps.LoadOrStore(key, &prepEntry{})
+	entry := v.(*prepEntry)
+	entry.once.Do(func() {
+		entry.prep, entry.err = charz.Prepare(cfg)
+	})
+	if entry.err != nil {
+		return nil, entry.err
+	}
+	// The memo is keyed on netlist-relevant fields only; rebind the
+	// caller's full canonical Config (patterns, backend, …) around the
+	// shared netlist and report.
+	canon, err := cfg.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	return &charz.Prepared{Config: canon, Netlist: entry.prep.Netlist, Report: entry.prep.Report}, nil
+}
+
+// RunPoint implements charz.Runner: serve the point from the cache, or
+// simulate it on the pool and store the result.
+func (e *Engine) RunPoint(ctx context.Context, p *charz.Prepared, tr triad.Triad) (*charz.TriadResult, error) {
+	res, _, err := e.runPoint(ctx, p, tr)
+	return res, err
+}
+
+// runPoint additionally reports whether the result came from the cache.
+func (e *Engine) runPoint(ctx context.Context, p *charz.Prepared, tr triad.Triad) (*charz.TriadResult, bool, error) {
+	key, err := PointKey(p.Config, tr)
+	if err != nil {
+		return nil, false, err
+	}
+	for {
+		if data, ok := e.cache.Get(key); ok {
+			if res, err := decodePoint(data); err == nil {
+				return res, true, nil
+			}
+			// A corrupt entry (truncated disk file, stale format) is a
+			// miss, not a permanent failure: fall through, recompute,
+			// and overwrite it.
+		}
+
+		e.flightMu.Lock()
+		if f, ok := e.inflight[key]; ok {
+			e.flightMu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			case <-e.ctx.Done():
+				return nil, false, ErrClosed
+			}
+			if f.err != nil {
+				// The flight owner's *own* context died; that says
+				// nothing about this caller's. Retry — either the cache
+				// is warm by now or we become the new owner.
+				if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+					if err := ctx.Err(); err != nil {
+						return nil, false, err
+					}
+					continue
+				}
+				return nil, false, f.err
+			}
+			res, err := decodePoint(f.data)
+			return res, true, err
+		}
+		f := &flight{done: make(chan struct{})}
+		e.inflight[key] = f
+		e.flightMu.Unlock()
+		return e.ownPoint(ctx, p, tr, key, f)
+	}
+}
+
+// ownPoint executes a point as the singleflight owner and publishes the
+// outcome to any waiters.
+func (e *Engine) ownPoint(ctx context.Context, p *charz.Prepared, tr triad.Triad, key string, f *flight) (*charz.TriadResult, bool, error) {
+	defer func() {
+		e.flightMu.Lock()
+		delete(e.inflight, key)
+		e.flightMu.Unlock()
+		close(f.done)
+	}()
+
+	var res *charz.TriadResult
+	var runErr error
+	if err := e.exec(ctx, func() {
+		e.executions.Add(1)
+		res, runErr = p.RunTriad(tr)
+	}); err != nil {
+		f.err = err
+		return nil, false, err
+	}
+	if runErr != nil {
+		f.err = runErr
+		return nil, false, runErr
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		f.err = err
+		return nil, false, err
+	}
+	e.cache.Put(key, data)
+	f.data = data
+	// Decode the stored bytes rather than returning res directly: callers
+	// see byte-identical results whether or not the cache was warm.
+	out, err := decodePoint(data)
+	if err != nil {
+		f.err = err
+		return nil, false, err
+	}
+	return out, false, nil
+}
+
+func decodePoint(data []byte) (*charz.TriadResult, error) {
+	var res charz.TriadResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("engine: corrupt cached point: %w", err)
+	}
+	return &res, nil
+}

@@ -1,0 +1,469 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/charz"
+	"repro/internal/fdsoi"
+	"repro/internal/synth"
+	"repro/internal/triad"
+)
+
+// testConfig is a small, fast operator configuration shared by the tests.
+func testConfig() charz.Config {
+	return charz.Config{Arch: synth.ArchRCA, Width: 4, Patterns: 40, Seed: 7}
+}
+
+func newTestEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestRepeatedSweepHitsCacheEverywhere is the headline acceptance
+// property: an identical repeated sweep must be served entirely from the
+// cache, with the simulator-invocation count staying exactly flat.
+func TestRepeatedSweepHitsCacheEverywhere(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 4})
+	req := Request{Arches: []string{"RCA"}, Widths: []int{4}, Patterns: 40, Seed: 7}
+
+	id, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != StatusDone {
+		t.Fatalf("first sweep: status %s (%s)", first.Status, first.Error)
+	}
+	if first.Progress.Executed == 0 {
+		t.Fatal("first sweep executed nothing")
+	}
+	execAfterFirst := e.Executions()
+
+	id2, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Wait(context.Background(), id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Status != StatusDone {
+		t.Fatalf("second sweep: status %s (%s)", second.Status, second.Error)
+	}
+	if got := e.Executions(); got != execAfterFirst {
+		t.Errorf("second identical sweep ran the simulator %d more times, want 0",
+			got-execAfterFirst)
+	}
+	if second.Progress.Executed != 0 {
+		t.Errorf("second sweep Executed = %d, want 0", second.Progress.Executed)
+	}
+	if second.Progress.CacheHits != second.Progress.TotalPoints {
+		t.Errorf("second sweep CacheHits = %d, want %d",
+			second.Progress.CacheHits, second.Progress.TotalPoints)
+	}
+}
+
+// TestCachedResultsByteIdentical checks that a cache hit reproduces the
+// fresh result bit-for-bit, and that both match the direct (engine-less)
+// flow for the same seed.
+func TestCachedResultsByteIdentical(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 4})
+	ctx := context.Background()
+	cfg := testConfig()
+
+	marshal := func(res *charz.Result) []byte {
+		t.Helper()
+		data, err := json.Marshal(res.Triads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	fresh, err := charz.RunWith(ctx, e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := charz.RunWith(ctx, e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := charz.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshJSON, cachedJSON, directJSON := marshal(fresh), marshal(cached), marshal(direct)
+	if !bytes.Equal(freshJSON, cachedJSON) {
+		t.Error("cached sweep result differs from fresh result")
+	}
+	if !bytes.Equal(freshJSON, directJSON) {
+		t.Error("engine sweep result differs from direct charz.Run result")
+	}
+}
+
+// TestDiskCacheSurvivesEngineRestart runs a sweep, rebuilds the engine
+// over the same cache directory, and expects zero simulator invocations.
+func TestDiskCacheSurvivesEngineRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{Arches: []string{"RCA"}, Widths: []int{4}, Patterns: 40, Seed: 7,
+		Policy: PolicyVddGrid, Vdds: []float64{1.0, 0.6, 0.5}}
+
+	e1 := newTestEngine(t, Options{Workers: 2, CacheDir: dir})
+	id, err := e1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := e1.Wait(context.Background(), id); err != nil || s.Status != StatusDone {
+		t.Fatalf("first engine sweep: %v status=%v", err, s.Status)
+	}
+
+	e2 := newTestEngine(t, Options{Workers: 2, CacheDir: dir})
+	id, err = e2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e2.Wait(context.Background(), id)
+	if err != nil || s.Status != StatusDone {
+		t.Fatalf("second engine sweep: %v status=%v", err, s.Status)
+	}
+	if got := e2.Executions(); got != 0 {
+		t.Errorf("restarted engine executed %d points, want 0 (disk cache)", got)
+	}
+	if stats := e2.CacheStats(); stats.DiskHits == 0 {
+		t.Errorf("restarted engine reported no disk hits: %+v", stats)
+	}
+}
+
+// TestCorruptCacheEntryRecovers overwrites a disk cache entry with
+// garbage and expects the engine to treat it as a miss and re-simulate,
+// not to fail forever.
+func TestCorruptCacheEntryRecovers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	tr := triad.Triad{Tclk: 0.5, Vdd: 0.8, Vbb: 0}
+	key, err := PointKey(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e1 := newTestEngine(t, Options{Workers: 1, CacheDir: dir})
+	prep, err := e1.Prepare(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e1.RunPoint(context.Background(), prep, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entry := filepath.Join(dir, key[:2], key+".json")
+	if err := os.WriteFile(entry, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := newTestEngine(t, Options{Workers: 1, CacheDir: dir})
+	prep2, err := e2.Prepare(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e2.RunPoint(context.Background(), prep2, tr)
+	if err != nil {
+		t.Fatalf("corrupt entry was not recomputed: %v", err)
+	}
+	if e2.Executions() != 1 {
+		t.Errorf("executions = %d, want 1 (recompute)", e2.Executions())
+	}
+	if got.BER() != want.BER() || got.EnergyPerOpFJ != want.EnergyPerOpFJ {
+		t.Error("recomputed result differs from original")
+	}
+	// The overwritten entry must now be valid again.
+	data, err := os.ReadFile(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Error("cache entry not repaired on disk")
+	}
+}
+
+// TestFailedSweepReportsFailedNotCanceled: an execution error cancels the
+// sweep's remaining points (fail fast) but the terminal status must stay
+// "failed" with the root-cause error.
+func TestFailedSweepReportsFailedNotCanceled(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 2})
+	// The RC backend rejects streaming capture at point-execution time,
+	// after planning succeeds — a genuine mid-sweep failure.
+	id, err := e.Submit(Request{Arches: []string{"RCA"}, Widths: []int{4}, Patterns: 20,
+		Seed: 1, Backend: "rc", Streaming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusFailed {
+		t.Fatalf("status = %s, want failed", s.Status)
+	}
+	if !strings.Contains(s.Error, "streaming") {
+		t.Errorf("error %q does not name the root cause", s.Error)
+	}
+}
+
+// TestPointKeySensitivity: the content-addressed key must change when any
+// result-relevant Config field (or the triad, process or library) changes,
+// and must NOT change for scheduling-only knobs.
+func TestPointKeySensitivity(t *testing.T) {
+	base := testConfig()
+	tr := triad.Triad{Tclk: 0.5, Vdd: 0.8, Vbb: 0}
+	baseKey, err := PointKey(base, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	altProc := fdsoi.Default()
+	altProc.Vt0 += 0.01
+	altLib := cell.Default28nmLVT()
+	altLib.WireCap += 0.05
+
+	mutations := map[string]func() (charz.Config, triad.Triad){
+		"Arch":          func() (charz.Config, triad.Triad) { c := base; c.Arch = synth.ArchBKA; return c, tr },
+		"Width":         func() (charz.Config, triad.Triad) { c := base; c.Width = 5; return c, tr },
+		"Patterns":      func() (charz.Config, triad.Triad) { c := base; c.Patterns = 41; return c, tr },
+		"Seed":          func() (charz.Config, triad.Triad) { c := base; c.Seed = 8; return c, tr },
+		"PropagateP":    func() (charz.Config, triad.Triad) { c := base; c.PropagateP = 0.7; return c, tr },
+		"MismatchSigma": func() (charz.Config, triad.Triad) { c := base; c.MismatchSigma = 0.009; return c, tr },
+		"Backend":       func() (charz.Config, triad.Triad) { c := base; c.Backend = charz.BackendRC; return c, tr },
+		"Streaming":     func() (charz.Config, triad.Triad) { c := base; c.Streaming = true; return c, tr },
+		"Proc":          func() (charz.Config, triad.Triad) { c := base; c.Proc = &altProc; return c, tr },
+		"Lib":           func() (charz.Config, triad.Triad) { c := base; c.Lib = altLib; return c, tr },
+		"Triad.Tclk":    func() (charz.Config, triad.Triad) { u := tr; u.Tclk = 0.4; return base, u },
+		"Triad.Vdd":     func() (charz.Config, triad.Triad) { u := tr; u.Vdd = 0.7; return base, u },
+		"Triad.Vbb":     func() (charz.Config, triad.Triad) { u := tr; u.Vbb = 2; return base, u },
+	}
+	seen := map[string]string{baseKey: "base"}
+	for name, mutate := range mutations {
+		cfg, u := mutate()
+		key, err := PointKey(cfg, u)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("mutating %s produced the same key as %s", name, prev)
+		}
+		seen[key] = name
+	}
+
+	// Scheduling knobs and the sweep-set override must not perturb the key.
+	for name, mutate := range map[string]func() charz.Config{
+		"Parallelism": func() charz.Config { c := base; c.Parallelism = 3; return c },
+		"Triads":      func() charz.Config { c := base; c.Triads = []triad.Triad{tr}; return c },
+	} {
+		key, err := PointKey(mutate(), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != baseKey {
+			t.Errorf("scheduling knob %s changed the cache key", name)
+		}
+	}
+
+	// Defaults canonicalize: explicit default values hash like zero values.
+	explicit := base
+	explicit.PropagateP = 0.5
+	explicit.Proc = func() *fdsoi.Params { p := fdsoi.Default(); return &p }()
+	explicit.Lib = cell.Default28nmLVT()
+	key, err := PointKey(explicit, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != baseKey {
+		t.Error("explicitly spelled-out defaults changed the cache key")
+	}
+}
+
+// TestConcurrentSubmissions exercises the submission path, the shared
+// prep memo, the singleflight layer and the progress accounting under
+// concurrency; go test -race is the real assertion here.
+func TestConcurrentSubmissions(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 4})
+	reqs := []Request{
+		{Arches: []string{"RCA"}, Widths: []int{4}, Patterns: 30, Seed: 7},
+		{Arches: []string{"RCA"}, Widths: []int{4}, Patterns: 30, Seed: 7},
+		{Arches: []string{"RCA"}, Widths: []int{4}, Patterns: 30, Seed: 9,
+			Policy: PolicyVddGrid, Vdds: []float64{0.9, 0.5}},
+		{Arches: []string{"BKA"}, Widths: []int{4}, Patterns: 30, Seed: 7,
+			Policy: PolicyVddGrid, Vdds: []float64{0.8}},
+	}
+	var wg sync.WaitGroup
+	ids := make([]string, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			id, err := e.Submit(req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = id
+			s, err := e.Wait(context.Background(), id)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if s.Status != StatusDone {
+				errs[i] = fmt.Errorf("sweep %s: status %s (%s)", id, s.Status, s.Error)
+			}
+		}(i, req)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("submission %d: %v", i, err)
+		}
+	}
+	if got := len(e.List()); got != len(reqs) {
+		t.Errorf("List() returned %d sweeps, want %d", got, len(reqs))
+	}
+}
+
+// TestFig5SharesPointsWithGridSweep runs a vddgrid sweep and then the
+// Fig. 5 experiment through the same engine: every Fig. 5 voltage that
+// the grid already visited must be a cache hit.
+func TestFig5SharesPointsWithGridSweep(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 2})
+	vdds := []float64{0.8, 0.6}
+	id, err := e.Submit(Request{Arches: []string{"RCA"}, Widths: []int{4}, Patterns: 40,
+		Seed: 7, Policy: PolicyVddGrid, Vdds: vdds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := e.Wait(context.Background(), id); err != nil || s.Status != StatusDone {
+		t.Fatalf("grid sweep: %v status=%v", err, s.Status)
+	}
+	before := e.Executions()
+	pts, err := charz.Fig5With(context.Background(), e, testConfig(), vdds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(vdds) {
+		t.Fatalf("Fig5 returned %d points, want %d", len(pts), len(vdds))
+	}
+	if got := e.Executions(); got != before {
+		t.Errorf("Fig5 re-simulated %d grid points, want 0", got-before)
+	}
+}
+
+// TestSweepCancel cancels a running sweep and expects a canceled status.
+func TestSweepCancel(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1})
+	// Enough patterns that the sweep is still running when we cancel.
+	id, err := e.Submit(Request{Arches: []string{"RCA", "BKA"}, Widths: []int{8, 12},
+		Patterns: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Cancel(id) {
+		t.Fatal("Cancel: unknown id")
+	}
+	s, err := e.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusCanceled && s.Status != StatusDone {
+		t.Fatalf("status after cancel = %s", s.Status)
+	}
+}
+
+// TestEmptyTriadOverrideErrors: an explicitly empty sweep set must be an
+// error, not an index panic.
+func TestEmptyTriadOverrideErrors(t *testing.T) {
+	cfg := testConfig()
+	cfg.Triads = []triad.Triad{}
+	if _, err := charz.Run(cfg); err == nil {
+		t.Fatal("empty triad override accepted")
+	}
+}
+
+// TestCloseStopsSweeps: Close must leave no live sweep goroutines and
+// reject further submissions.
+func TestCloseStopsSweeps(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1})
+	id, err := e.Submit(Request{Arches: []string{"RCA"}, Widths: []int{8}, Patterns: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if s, ok := e.Get(id); !ok || s.Status == StatusRunning || s.Status == StatusPending {
+		t.Errorf("sweep %s still live after Close (status %v)", id, s.Status)
+	}
+	if _, err := e.Submit(Request{}); err != ErrClosed {
+		t.Errorf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestRequestValidation rejects malformed sweep requests.
+func TestRequestValidation(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1})
+	for name, req := range map[string]Request{
+		"bad arch":      {Arches: []string{"CLA"}},
+		"bad width":     {Widths: []int{0}},
+		"bad backend":   {Backend: "spice"},
+		"bad policy":    {Policy: "everything"},
+		"bad count":     {Patterns: -4},
+		"bad propagate": {PropagateP: 1.5},
+		"bad vdd":       {Policy: PolicyVddGrid, Vdds: []float64{-0.5}},
+		"bad vbb":       {Policy: PolicyVddGrid, VbbValues: []float64{-1}},
+	} {
+		if _, err := e.Submit(req); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestPlanExpansion checks the planner's fan-out arithmetic.
+func TestPlanExpansion(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 2})
+	req := &Request{Arches: []string{"RCA", "BKA"}, Widths: []int{4, 6}, Patterns: 10,
+		Seed: 1, Policy: PolicyVddGrid, Vdds: []float64{1.0, 0.7}, VbbValues: []float64{0, 2}}
+	plans, err := e.Plan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 4 {
+		t.Fatalf("got %d operator plans, want 4", len(plans))
+	}
+	for _, p := range plans {
+		if len(p.Triads) != 4 {
+			t.Errorf("%s: %d triads, want 4 (2 Vdd × 2 Vbb)", p.Config.BenchName(), len(p.Triads))
+		}
+	}
+	// Paper policy expands to the 43-triad Table III set.
+	paper := &Request{Arches: []string{"RCA"}, Widths: []int{4}, Patterns: 10, Seed: 1}
+	plans, err = e.Plan(context.Background(), paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plans[0].Triads); got != 43 {
+		t.Errorf("paper policy expanded to %d triads, want 43", got)
+	}
+}

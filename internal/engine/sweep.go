@@ -1,0 +1,518 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/charz"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+	"repro/internal/triad"
+)
+
+// Triad policies: how a Request's operating points are derived.
+const (
+	// PolicyPaper sweeps the paper's Table III set — 43 triads per
+	// operator, derived from the synthesis timing report.
+	PolicyPaper = "paper"
+	// PolicyVddGrid sweeps a Vdd × Vbb grid at the synthesis clock (the
+	// Fig. 5 axis).
+	PolicyVddGrid = "vddgrid"
+)
+
+// Request describes one characterization sweep over a configuration
+// space: every combination of the listed architectures and widths is one
+// operator, expanded into point jobs by the triad policy.
+type Request struct {
+	// Arches are synth architecture names ("RCA", "BKA", "KSA",
+	// "Sklansky", "CSel"); default ["RCA"].
+	Arches []string `json:"arches"`
+	// Widths are operand widths; default [8].
+	Widths []int `json:"widths"`
+	// Patterns is the stimulus count per point; default 2000.
+	Patterns int `json:"patterns"`
+	// Seed drives pattern generation and mismatch sampling; default 1.
+	Seed uint64 `json:"seed"`
+	// PropagateP is the stimulus carry-propagate probability; default 0.5.
+	PropagateP float64 `json:"propagateP,omitempty"`
+	// Backend is "gate" (default) or "rc".
+	Backend string `json:"backend,omitempty"`
+	// Streaming selects free-running capture (gate backend only).
+	Streaming bool `json:"streaming,omitempty"`
+	// Policy is PolicyPaper (default) or PolicyVddGrid.
+	Policy string `json:"policy,omitempty"`
+	// Vdds overrides the PolicyVddGrid supply list; default
+	// 1.0 → 0.4 in 0.1 steps.
+	Vdds []float64 `json:"vdds,omitempty"`
+	// VbbValues are the PolicyVddGrid body-bias magnitudes; default {0}.
+	VbbValues []float64 `json:"vbbValues,omitempty"`
+}
+
+// archByName resolves the synth architecture names.
+func archByName(name string) (synth.Arch, error) {
+	for _, a := range synth.Arches() {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown architecture %q", name)
+}
+
+// backendByName resolves the charz backend names.
+func backendByName(name string) (charz.Backend, error) {
+	switch name {
+	case "", charz.BackendGate.String():
+		return charz.BackendGate, nil
+	case charz.BackendRC.String():
+		return charz.BackendRC, nil
+	}
+	return 0, fmt.Errorf("engine: unknown backend %q", name)
+}
+
+// normalize validates the request and fills defaults in place.
+func (r *Request) normalize() error {
+	if len(r.Arches) == 0 {
+		r.Arches = []string{synth.ArchRCA.String()}
+	}
+	if len(r.Widths) == 0 {
+		r.Widths = []int{8}
+	}
+	if r.Patterns == 0 {
+		r.Patterns = 2000
+	}
+	if r.Patterns < 1 {
+		return fmt.Errorf("engine: patterns %d < 1", r.Patterns)
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.PropagateP < 0 || r.PropagateP > 1 {
+		return fmt.Errorf("engine: propagate probability %v outside [0, 1]", r.PropagateP)
+	}
+	for _, v := range r.Vdds {
+		if v <= 0 {
+			return fmt.Errorf("engine: non-positive Vdd %v", v)
+		}
+	}
+	for _, v := range r.VbbValues {
+		if v < 0 {
+			return fmt.Errorf("engine: negative Vbb magnitude %v", v)
+		}
+	}
+	for _, name := range r.Arches {
+		if _, err := archByName(name); err != nil {
+			return err
+		}
+	}
+	for _, w := range r.Widths {
+		if w < 1 || w > 32 {
+			return fmt.Errorf("engine: width %d outside [1, 32]", w)
+		}
+	}
+	if _, err := backendByName(r.Backend); err != nil {
+		return err
+	}
+	switch r.Policy {
+	case "":
+		r.Policy = PolicyPaper
+	case PolicyPaper, PolicyVddGrid:
+	default:
+		return fmt.Errorf("engine: unknown triad policy %q", r.Policy)
+	}
+	if r.Policy == PolicyVddGrid {
+		if len(r.Vdds) == 0 {
+			for vdd := 1.0; vdd >= 0.4-1e-9; vdd -= 0.1 {
+				r.Vdds = append(r.Vdds, float64(int(vdd*100+0.5))/100)
+			}
+		}
+		if len(r.VbbValues) == 0 {
+			r.VbbValues = []float64{0}
+		}
+	}
+	return nil
+}
+
+// config builds the charz.Config of one operator of the request.
+func (r *Request) config(arch synth.Arch, width int) charz.Config {
+	backend, _ := backendByName(r.Backend)
+	return charz.Config{
+		Arch:       arch,
+		Width:      width,
+		Patterns:   r.Patterns,
+		Seed:       r.Seed,
+		PropagateP: r.PropagateP,
+		Backend:    backend,
+		Streaming:  r.Streaming,
+	}
+}
+
+// OperatorPlan is the expanded job list of one operator of a sweep.
+type OperatorPlan struct {
+	Config charz.Config
+	Prep   *charz.Prepared
+	Triads []triad.Triad
+}
+
+// Plan expands a request into per-operator point-job lists. Planning
+// prepares (synthesizes) each operator, because the paper's triads are
+// functions of the synthesis timing report; preparations are memoized in
+// the engine, so re-planning is cheap.
+func (e *Engine) Plan(ctx context.Context, req *Request) ([]OperatorPlan, error) {
+	if err := req.normalize(); err != nil {
+		return nil, err
+	}
+	var plans []OperatorPlan
+	for _, name := range req.Arches {
+		arch, err := archByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, width := range req.Widths {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cfg := req.config(arch, width)
+			prep, err := e.Prepare(ctx, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("engine: prepare %d-bit %s: %w", width, name, err)
+			}
+			var set []triad.Triad
+			switch req.Policy {
+			case PolicyVddGrid:
+				for _, vdd := range req.Vdds {
+					for _, vbb := range req.VbbValues {
+						set = append(set, triad.Triad{
+							Tclk: prep.Report.CriticalPath, Vdd: vdd, Vbb: vbb})
+					}
+				}
+			default:
+				set = prep.TriadSet()
+			}
+			plans = append(plans, OperatorPlan{Config: prep.Config, Prep: prep, Triads: set})
+		}
+	}
+	return plans, nil
+}
+
+// Status is a sweep's lifecycle state.
+type Status string
+
+// Sweep lifecycle states.
+const (
+	StatusPending  Status = "pending"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Progress is the streaming counter set shared by all frontends: the CLI
+// renders it as a progress line, the daemon serves it from the status
+// endpoint.
+type Progress struct {
+	TotalPoints int `json:"totalPoints"`
+	Completed   int `json:"completed"`
+	// CacheHits and Executed split Completed by how each point was
+	// served.
+	CacheHits int `json:"cacheHits"`
+	Executed  int `json:"executed"`
+}
+
+// PointSummary is the serializable per-point outcome.
+type PointSummary struct {
+	Triad         triad.Triad        `json:"triad"`
+	Stats         metrics.ErrorStats `json:"stats"`
+	BER           float64            `json:"ber"`
+	WER           float64            `json:"wer"`
+	PerBit        []float64          `json:"perBit"`
+	EnergyPerOpFJ float64            `json:"energyPerOpFJ"`
+	LateFraction  float64            `json:"lateFraction"`
+	Efficiency    float64            `json:"efficiency"`
+	FromCache     bool               `json:"fromCache"`
+}
+
+// OperatorResult is one operator's share of a sweep result.
+type OperatorResult struct {
+	Bench  string         `json:"bench"`
+	Arch   string         `json:"arch"`
+	Width  int            `json:"width"`
+	Report *synth.Report  `json:"report"`
+	Points []PointSummary `json:"points"`
+	// SortedIdx orders Points the way the paper's Fig. 8 x-axis does
+	// (ascending BER, ties by energy).
+	SortedIdx []int `json:"sortedIdx"`
+}
+
+// Sweep is the public snapshot of a submitted sweep job.
+type Sweep struct {
+	ID       string    `json:"id"`
+	Request  Request   `json:"request"`
+	Status   Status    `json:"status"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	Progress Progress  `json:"progress"`
+	// Results is populated once Status is done.
+	Results []OperatorResult `json:"results,omitempty"`
+}
+
+// sweepState is the engine-internal mutable job record.
+type sweepState struct {
+	mu     sync.Mutex
+	snap   Sweep
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func (s *sweepState) update(f func(*Sweep)) {
+	s.mu.Lock()
+	f(&s.snap)
+	s.mu.Unlock()
+}
+
+// snapshot deep-copies enough that callers can't race the runner.
+func (s *sweepState) snapshot() Sweep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.snap
+	out.Results = append([]OperatorResult(nil), s.snap.Results...)
+	return out
+}
+
+// Submit registers a sweep and starts it asynchronously, returning its ID.
+func (e *Engine) Submit(req Request) (string, error) {
+	if err := req.normalize(); err != nil {
+		return "", err
+	}
+	ctx, cancel := context.WithCancel(e.ctx)
+	e.sweepMu.Lock()
+	if e.closed {
+		e.sweepMu.Unlock()
+		cancel()
+		return "", ErrClosed
+	}
+	e.sweepWg.Add(1)
+	e.seq++
+	id := fmt.Sprintf("s-%06d", e.seq)
+	st := &sweepState{
+		snap:   Sweep{ID: id, Request: req, Status: StatusPending, Created: time.Now()},
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	e.sweeps[id] = st
+	e.pruneSweepsLocked()
+	e.sweepMu.Unlock()
+	go func() {
+		defer e.sweepWg.Done()
+		e.runSweep(ctx, st)
+	}()
+	return id, nil
+}
+
+// maxRetainedSweeps bounds the registry: a long-running daemon would
+// otherwise accumulate every finished sweep's results forever.
+const maxRetainedSweeps = 256
+
+// pruneSweepsLocked evicts the oldest finished sweeps beyond the
+// retention cap. Running sweeps are never evicted. Callers hold sweepMu.
+func (e *Engine) pruneSweepsLocked() {
+	if len(e.sweeps) <= maxRetainedSweeps {
+		return
+	}
+	ids := make([]string, 0, len(e.sweeps))
+	for id := range e.sweeps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // zero-padded sequence numbers: lexicographic = chronological
+	for _, id := range ids {
+		if len(e.sweeps) <= maxRetainedSweeps {
+			return
+		}
+		select {
+		case <-e.sweeps[id].done:
+			delete(e.sweeps, id)
+		default:
+		}
+	}
+}
+
+// Get returns a snapshot of the sweep with the given ID.
+func (e *Engine) Get(id string) (Sweep, bool) {
+	e.sweepMu.Lock()
+	st, ok := e.sweeps[id]
+	e.sweepMu.Unlock()
+	if !ok {
+		return Sweep{}, false
+	}
+	return st.snapshot(), true
+}
+
+// List returns snapshots of all sweeps, oldest first.
+func (e *Engine) List() []Sweep {
+	e.sweepMu.Lock()
+	states := make([]*sweepState, 0, len(e.sweeps))
+	for _, st := range e.sweeps {
+		states = append(states, st)
+	}
+	e.sweepMu.Unlock()
+	out := make([]Sweep, 0, len(states))
+	for _, st := range states {
+		out = append(out, st.snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Cancel cancels a pending or running sweep. It reports whether the ID
+// exists.
+func (e *Engine) Cancel(id string) bool {
+	e.sweepMu.Lock()
+	st, ok := e.sweeps[id]
+	e.sweepMu.Unlock()
+	if ok {
+		st.cancel()
+	}
+	return ok
+}
+
+// Wait blocks until the sweep finishes (any terminal status) or the
+// context is canceled, returning the final snapshot.
+func (e *Engine) Wait(ctx context.Context, id string) (Sweep, error) {
+	e.sweepMu.Lock()
+	st, ok := e.sweeps[id]
+	e.sweepMu.Unlock()
+	if !ok {
+		return Sweep{}, fmt.Errorf("engine: unknown sweep %q", id)
+	}
+	select {
+	case <-st.done:
+		return st.snapshot(), nil
+	case <-ctx.Done():
+		return st.snapshot(), ctx.Err()
+	}
+}
+
+// runSweep executes one sweep: plan, fan the points out over the pool,
+// fold the results.
+func (e *Engine) runSweep(ctx context.Context, st *sweepState) {
+	defer close(st.done)
+	defer st.cancel()
+
+	req := st.snapshot().Request
+	plans, err := e.Plan(ctx, &req)
+	if err != nil {
+		e.finishSweep(st, err)
+		return
+	}
+	total := 0
+	for _, p := range plans {
+		total += len(p.Triads)
+	}
+	st.update(func(s *Sweep) {
+		s.Status = StatusRunning
+		s.Started = time.Now()
+		s.Progress.TotalPoints = total
+	})
+
+	results := make([]OperatorResult, len(plans))
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	// fail records the first error and cancels the sweep context so the
+	// remaining points fail fast instead of burning the pool for a sweep
+	// that will be reported failed anyway.
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			st.cancel()
+		}
+		errMu.Unlock()
+	}
+	for pi := range plans {
+		p := &plans[pi]
+		results[pi] = OperatorResult{
+			Bench:  p.Config.BenchName(),
+			Arch:   p.Config.Arch.String(),
+			Width:  p.Config.Width,
+			Report: p.Prep.Report,
+			Points: make([]PointSummary, len(p.Triads)),
+		}
+		for ti, tr := range p.Triads {
+			wg.Add(1)
+			go func(pi, ti int, tr triad.Triad) {
+				defer wg.Done()
+				res, cached, err := e.runPoint(ctx, plans[pi].Prep, tr)
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[pi].Points[ti] = PointSummary{
+					Triad:         res.Triad,
+					Stats:         res.Acc.Snapshot(),
+					BER:           res.BER(),
+					WER:           res.Acc.WER(),
+					PerBit:        res.Acc.PerBitErrorProb(),
+					EnergyPerOpFJ: res.EnergyPerOpFJ,
+					LateFraction:  res.LateFraction,
+					FromCache:     cached,
+				}
+				st.update(func(s *Sweep) {
+					s.Progress.Completed++
+					if cached {
+						s.Progress.CacheHits++
+					} else {
+						s.Progress.Executed++
+					}
+				})
+			}(pi, ti, tr)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		e.finishSweep(st, firstErr)
+		return
+	}
+
+	// Efficiency is relative to each operator's first point — the nominal
+	// triad under PolicyPaper, the highest-supply grid point otherwise.
+	for pi := range results {
+		pts := results[pi].Points
+		if len(pts) == 0 {
+			continue
+		}
+		nominal := pts[0].EnergyPerOpFJ
+		for i := range pts {
+			pts[i].Efficiency = metrics.EnergyEfficiency(pts[i].EnergyPerOpFJ, nominal)
+		}
+		results[pi].SortedIdx = triad.SortByBERThenEnergy(len(pts),
+			func(i int) float64 { return pts[i].BER },
+			func(i int) float64 { return pts[i].EnergyPerOpFJ })
+	}
+	st.update(func(s *Sweep) {
+		s.Status = StatusDone
+		s.Finished = time.Now()
+		s.Results = results
+	})
+}
+
+// finishSweep records a terminal error state. The status is derived from
+// the first error itself, not from the sweep context: a simulation error
+// cancels the context to fail the remaining points fast, and that must
+// still be reported as failed, not canceled.
+func (e *Engine) finishSweep(st *sweepState, err error) {
+	status := StatusFailed
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		status = StatusCanceled
+	}
+	st.update(func(s *Sweep) {
+		s.Status = status
+		s.Error = err.Error()
+		s.Finished = time.Now()
+	})
+}

@@ -7,6 +7,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/bits"
@@ -164,6 +165,79 @@ func (a *ErrorAccumulator) SNR() float64 {
 		return math.Inf(-1)
 	}
 	return 10 * math.Log10(a.sumSqSig/a.sumSqErr)
+}
+
+// ErrorStats is the exported, serializable snapshot of an
+// ErrorAccumulator. It carries the raw sufficient statistics rather than
+// derived ratios, so a reconstructed accumulator reproduces every metric
+// bit-for-bit — the property the characterization result cache relies on.
+type ErrorStats struct {
+	Width       int      `json:"width"`
+	Words       uint64   `json:"words"`
+	FaultyBits  uint64   `json:"faultyBits"`
+	FaultyWords uint64   `json:"faultyWords"`
+	PerBit      []uint64 `json:"perBit"`
+	SumSqErr    float64  `json:"sumSqErr"`
+	SumSqSig    float64  `json:"sumSqSig"`
+	Hamming     uint64   `json:"hamming"`
+	Weighted    float64  `json:"weighted"`
+}
+
+// Snapshot captures the accumulator's full state.
+func (a *ErrorAccumulator) Snapshot() ErrorStats {
+	s := ErrorStats{
+		Width:       a.width,
+		Words:       a.words,
+		FaultyBits:  a.faultyBits,
+		FaultyWords: a.faultyWord,
+		PerBit:      make([]uint64, len(a.perBit)),
+		SumSqErr:    a.sumSqErr,
+		SumSqSig:    a.sumSqSig,
+		Hamming:     a.hamming,
+		Weighted:    a.weighted,
+	}
+	copy(s.PerBit, a.perBit)
+	return s
+}
+
+// Accumulator reconstructs an accumulator from the snapshot.
+func (s ErrorStats) Accumulator() (*ErrorAccumulator, error) {
+	if s.Width < 1 {
+		return nil, fmt.Errorf("metrics: snapshot width %d", s.Width)
+	}
+	if len(s.PerBit) != s.Width {
+		return nil, fmt.Errorf("metrics: snapshot has %d per-bit counters for width %d",
+			len(s.PerBit), s.Width)
+	}
+	a := NewErrorAccumulator(s.Width)
+	a.words = s.Words
+	a.faultyBits = s.FaultyBits
+	a.faultyWord = s.FaultyWords
+	copy(a.perBit, s.PerBit)
+	a.sumSqErr = s.SumSqErr
+	a.sumSqSig = s.SumSqSig
+	a.hamming = s.Hamming
+	a.weighted = s.Weighted
+	return a, nil
+}
+
+// MarshalJSON serializes the accumulator via its snapshot.
+func (a *ErrorAccumulator) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.Snapshot())
+}
+
+// UnmarshalJSON restores the accumulator from a snapshot.
+func (a *ErrorAccumulator) UnmarshalJSON(data []byte) error {
+	var s ErrorStats
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	b, err := s.Accumulator()
+	if err != nil {
+		return err
+	}
+	*a = *b
+	return nil
 }
 
 // Merge folds the observations of b into a. Widths must match.

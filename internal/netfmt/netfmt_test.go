@@ -2,7 +2,9 @@ package netfmt
 
 import (
 	"bytes"
+	"flag"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -11,6 +13,11 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/synth"
 )
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./internal/netfmt -update
+var update = flag.Bool("update", false, "rewrite golden files from current output")
 
 func writeString(t *testing.T, nl *netlist.Netlist) string {
 	t.Helper()
@@ -173,17 +180,27 @@ func TestFromPartsValidation(t *testing.T) {
 func TestGoldenFile(t *testing.T) {
 	// The canonical serialization of the 4-bit RCA is pinned as a golden
 	// file: any format or generator change that alters it must be
-	// deliberate (regenerate testdata/rca4.golden.vnet).
-	want, err := os.ReadFile("testdata/rca4.golden.vnet")
-	if err != nil {
-		t.Fatal(err)
-	}
+	// deliberate (regenerate with go test ./internal/netfmt -update).
+	golden := filepath.Join("testdata", "rca4.golden.vnet")
 	nl, err := synth.RCA(synth.AdderConfig{Width: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
 	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != string(want) {

@@ -14,13 +14,13 @@ import (
 // Triad is one operating point of the characterization sweep.
 type Triad struct {
 	// Tclk is the capture clock period (ns).
-	Tclk float64
+	Tclk float64 `json:"tclk"`
 	// Vdd is the supply voltage (V).
-	Vdd float64
+	Vdd float64 `json:"vdd"`
 	// Vbb is the forward-body-bias magnitude (V). The paper biases both
 	// wells symmetrically (n-well +Vbb, p-well −Vbb), hence its "±2"
 	// labels; 0 means no bias.
-	Vbb float64
+	Vbb float64 `json:"vbb"`
 }
 
 // Label formats the triad the way the paper's Fig. 8 x-axes do:
