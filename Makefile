@@ -1,0 +1,27 @@
+# Developer entry points. CI runs the same targets.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the simulation hot-path benchmarks at a meaningful iteration
+# count and records machine-readable results in BENCH_sim.json.
+bench:
+	$(GO) run ./cmd/vosbench -benchtime 1000x -out BENCH_sim.json
+
+# bench-smoke is the fast CI variant: enough iterations to catch gross
+# hot-path regressions, cheap enough to run on every push.
+bench-smoke:
+	$(GO) run ./cmd/vosbench -benchtime 100x -out BENCH_sim.json
+
+clean:
+	rm -f BENCH_sim.json

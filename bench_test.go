@@ -642,6 +642,136 @@ func BenchmarkSimStepBKA16(b *testing.B) {
 	}
 }
 
+// BenchmarkSimStepDenseRCA8 is BenchmarkSimStepRCA8 on the dense
+// zero-allocation fast path the characterization sweeps use.
+func BenchmarkSimStepDenseRCA8(b *testing.B) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl, _ := synth.RCA(synth.AdderConfig{Width: 8})
+	eng := sim.New(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.6, Vbb: 2})
+	stim := netlist.CompileStimulus(nl)
+	slotA, slotB := stim.MustSlot(synth.PortA), stim.MustSlot(synth.PortB)
+	if err := eng.ResetDense(stim.Values()); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stim.SetSlot(slotA, rng.Uint64()&0xff)
+		stim.SetSlot(slotB, rng.Uint64()&0xff)
+		if _, err := eng.StepDense(stim.Values(), 0.183); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimStepDenseBKA16 is the 16-bit Brent-Kung variant.
+func BenchmarkSimStepDenseBKA16(b *testing.B) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl, _ := synth.BKA(synth.AdderConfig{Width: 16})
+	eng := sim.New(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.6, Vbb: 2})
+	stim := netlist.CompileStimulus(nl)
+	slotA, slotB := stim.MustSlot(synth.PortA), stim.MustSlot(synth.PortB)
+	if err := eng.ResetDense(stim.Values()); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stim.SetSlot(slotA, rng.Uint64()&0xffff)
+		stim.SetSlot(slotB, rng.Uint64()&0xffff)
+		if _, err := eng.StepDense(stim.Values(), 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInputBindingMap isolates the legacy input-binding cost: scatter
+// two operand words into the assignment map, then gather every input net
+// back out, exactly the per-vector map traffic the old applyInputs paid.
+func BenchmarkInputBindingMap(b *testing.B) {
+	nl, _ := synth.BKA(synth.AdderConfig{Width: 16})
+	binder := sim.NewBinder(nl)
+	var inputNets []netlist.NetID
+	for _, p := range nl.Inputs {
+		inputNets = append(inputNets, p.Bits...)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	var sink uint8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binder.MustSet(synth.PortA, rng.Uint64()&0xffff)
+		binder.MustSet(synth.PortB, rng.Uint64()&0xffff)
+		m := binder.Inputs()
+		for _, id := range inputNets {
+			sink += m[id]
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkInputBindingDense is the same scatter+gather through the
+// compiled Stimulus and its dense image.
+func BenchmarkInputBindingDense(b *testing.B) {
+	nl, _ := synth.BKA(synth.AdderConfig{Width: 16})
+	stim := netlist.CompileStimulus(nl)
+	slotA, slotB := stim.MustSlot(synth.PortA), stim.MustSlot(synth.PortB)
+	var inputNets []netlist.NetID
+	for _, p := range nl.Inputs {
+		inputNets = append(inputNets, p.Bits...)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	var sink uint8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stim.SetSlot(slotA, rng.Uint64()&0xffff)
+		stim.SetSlot(slotB, rng.Uint64()&0xffff)
+		vals := stim.Values()
+		for _, id := range inputNets {
+			sink += vals[id]
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkEvaluateScalar and BenchmarkEvaluateBatch measure the
+// zero-delay reference cost per 64 vectors: one bit-sliced pass versus 64
+// scalar passes.
+func BenchmarkEvaluateScalar(b *testing.B) {
+	nl, _ := synth.BKA(synth.AdderConfig{Width: 16})
+	rng := rand.New(rand.NewPCG(1, 1))
+	in := make(map[netlist.NetID]uint8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < netlist.BatchLanes; k++ {
+			for _, p := range nl.Inputs {
+				netlist.AssignPort(in, p, rng.Uint64())
+			}
+			if _, err := nl.Evaluate(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkEvaluateBatch(b *testing.B) {
+	nl, _ := synth.BKA(synth.AdderConfig{Width: 16})
+	rng := rand.New(rand.NewPCG(1, 1))
+	lanes := make([]uint64, nl.NumNets())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < netlist.BatchLanes; k++ {
+			for _, p := range nl.Inputs {
+				netlist.AssignPortLane(lanes, p, uint(k), rng.Uint64())
+			}
+		}
+		if err := nl.EvaluateBatch(lanes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkApproxAdd(b *testing.B) {
 	model := &core.Model{Width: 16, Metric: core.MetricMSE, Table: core.Identity(16)}
 	approx, err := core.NewApproxAdder(model, 1)

@@ -1,0 +1,181 @@
+// Command vosbench runs the repository's simulation benchmarks and writes
+// the results as machine-readable JSON (BENCH_sim.json), so the hot-path
+// performance trajectory is tracked commit over commit instead of living
+// in scrollback. It shells out to `go test -bench` and parses the standard
+// benchmark output format.
+//
+// Usage:
+//
+//	vosbench [-bench REGEX] [-benchtime 1000x] [-out BENCH_sim.json]
+//	         [-pkg .] [-keep-going]
+//
+// The default benchmark set covers the dense-state hot path: the per-step
+// micro-benchmarks, the input-binding and batch-evaluation costs, and the
+// Fig. 8-class sweep.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name  string  `json:"name"`
+	Iters int64   `json:"iters"`
+	NsOp  float64 `json:"ns_per_op"`
+	// BOp/AllocsOp are present with -benchmem.
+	BOp      *float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other "value unit" pair, including custom
+	// b.ReportMetric units (fJ/op@nominal, sim-points, …).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_sim.json schema.
+type File struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Command    string   `json:"command"`
+	RunAt      string   `json:"run_at"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// The default run has two groups: per-step micro-benchmarks at a fixed
+// iteration count, and the Fig. 8-class sweep at exactly one iteration so
+// the recorded number is the cold (cache-empty) sweep cost rather than a
+// mostly-cache-warm average.
+const (
+	defaultMicroBench = "SimStep|InputBinding|EvaluateScalar|EvaluateBatch|RCSimStep"
+	defaultSweepBench = "Fig8"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vosbench: ")
+	var (
+		bench     = flag.String("bench", "", "override: run only this selection regex at -benchtime")
+		benchtime = flag.String("benchtime", "1000x", "per-benchmark budget for the micro group (go test -benchtime)")
+		sweeptime = flag.String("sweeptime", "1x", "per-benchmark budget for the sweep group")
+		out       = flag.String("out", "BENCH_sim.json", "output JSON path")
+		pkg       = flag.String("pkg", ".", "package to bench")
+		keepGoing = flag.Bool("keep-going", false, "write whatever parsed even if go test failed")
+	)
+	flag.Parse()
+
+	type group struct{ re, bt string }
+	groups := []group{{defaultMicroBench, *benchtime}, {defaultSweepBench, *sweeptime}}
+	if *bench != "" {
+		groups = []group{{*bench, *benchtime}}
+	}
+
+	var results []Result
+	var cmds []string
+	var runErr error
+	for _, g := range groups {
+		args := []string{"test", "-run", "^$", "-bench", g.re, "-benchmem",
+			"-benchtime", g.bt, "-count", "1", *pkg}
+		cmds = append(cmds, "go "+strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if !*keepGoing {
+				log.Fatalf("go %s: %v", strings.Join(args, " "), err)
+			}
+			runErr = err
+		}
+		results = append(results, Parse(buf.String())...)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines parsed")
+	}
+	f := File{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Command:    strings.Join(cmds, " && "),
+		RunAt:      time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(f, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmarks to %s", len(results), *out)
+	for _, r := range results {
+		fmt.Printf("  %-28s %12.1f ns/op\n", r.Name, r.NsOp)
+	}
+	if runErr != nil {
+		os.Exit(1)
+	}
+}
+
+// Parse extracts benchmark results from `go test -bench` output. Lines look
+// like:
+//
+//	BenchmarkSimStepRCA8-8   2000   2117 ns/op   162 B/op   3 allocs/op
+//
+// with optional custom metric pairs mixed in.
+func Parse(out string) []Result {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		all := strings.Fields(line)
+		if len(all) < 4 || !strings.HasPrefix(all[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(all[0], "Benchmark")
+		// Strip the -GOMAXPROCS suffix.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		fields := all[1:]
+		iters, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: name, Iters: iters, NsOp: -1}
+		for i := 1; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsOp = val
+			case "B/op":
+				v := val
+				r.BOp = &v
+			case "allocs/op":
+				v := val
+				r.AllocsOp = &v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = val
+			}
+		}
+		if r.NsOp < 0 {
+			continue
+		}
+		results = append(results, r)
+	}
+	return results
+}

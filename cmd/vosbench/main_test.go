@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkSimStepRCA8-8   	    2000	      2117 ns/op	     162 B/op	       3 allocs/op
+BenchmarkSimStepDenseRCA8 	    2000	      1673 ns/op	       4 B/op	       0 allocs/op
+BenchmarkFig8/RCA8        	       1	 114120000 ns/op	       199.8 fJ/op@nominal	        43.00 sim-points	 2943880 B/op	   10152 allocs/op
+--- BENCH: BenchmarkFig8/RCA8
+    bench_test.go:225: Fig 8 8-bit RCA:
+PASS
+ok  	repro	1.234s
+`
+
+func TestParse(t *testing.T) {
+	rs := Parse(sample)
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rs))
+	}
+	if rs[0].Name != "SimStepRCA8" || rs[0].Iters != 2000 || rs[0].NsOp != 2117 {
+		t.Fatalf("first result: %+v", rs[0])
+	}
+	if rs[0].AllocsOp == nil || *rs[0].AllocsOp != 3 {
+		t.Fatalf("allocs/op: %+v", rs[0].AllocsOp)
+	}
+	if rs[2].Name != "Fig8/RCA8" {
+		t.Fatalf("sub-benchmark name: %q", rs[2].Name)
+	}
+	if rs[2].Metrics["fJ/op@nominal"] != 199.8 || rs[2].Metrics["sim-points"] != 43 {
+		t.Fatalf("custom metrics: %+v", rs[2].Metrics)
+	}
+	if rs[2].BOp == nil || *rs[2].BOp != 2943880 {
+		t.Fatalf("B/op: %+v", rs[2].BOp)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	if rs := Parse("BenchmarkBroken\tnot-a-number 12 ns/op\nrandom text\n"); len(rs) != 0 {
+		t.Fatalf("parsed garbage: %+v", rs)
+	}
+}

@@ -9,6 +9,7 @@
 //	voschar [-bench all|rca8|bka8|rca16|bka16] [-patterns 20000]
 //	        [-seed 1] [-csv] [-table2] [-table3] [-fig5] [-fig8] [-table4]
 //	        [-cache-dir DIR] [-workers N]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // Without experiment flags, everything runs. All simulation goes through
 // the internal/engine sweep engine: operating points shared between
@@ -22,6 +23,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/charz"
@@ -44,50 +47,97 @@ var allBenches = []benchDef{
 	{"bka16", synth.ArchBKA, 16},
 }
 
+// options carries the parsed flags into run.
+type options struct {
+	bench                                   string
+	patterns                                int
+	seed                                    uint64
+	csv                                     bool
+	fTable2, fTable3, fFig5, fFig8, fTable4 bool
+	cacheDir                                string
+	workers                                 int
+	cpuProf, memProf                        string
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("voschar: ")
-	var (
-		bench    = flag.String("bench", "all", "benchmark: all, rca8, bka8, rca16, bka16")
-		patterns = flag.Int("patterns", 20000, "stimulus vectors per operating triad")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		fTable2  = flag.Bool("table2", false, "only Table II (synthesis results)")
-		fTable3  = flag.Bool("table3", false, "only Table III (operating triads)")
-		fFig5    = flag.Bool("fig5", false, "only Fig. 5 (per-bit BER vs Vdd)")
-		fFig8    = flag.Bool("fig8", false, "only Fig. 8 (BER & energy per triad)")
-		fTable4  = flag.Bool("table4", false, "only Table IV (efficiency per BER band)")
-		cacheDir = flag.String("cache-dir", "", "persist characterization results here (re-runs become near-free)")
-		workers  = flag.Int("workers", 0, "sweep-engine worker-pool size (0 = NumCPU)")
-	)
+	var o options
+	flag.StringVar(&o.bench, "bench", "all", "benchmark: all, rca8, bka8, rca16, bka16")
+	flag.IntVar(&o.patterns, "patterns", 20000, "stimulus vectors per operating triad")
+	flag.Uint64Var(&o.seed, "seed", 1, "experiment seed")
+	flag.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables")
+	flag.BoolVar(&o.fTable2, "table2", false, "only Table II (synthesis results)")
+	flag.BoolVar(&o.fTable3, "table3", false, "only Table III (operating triads)")
+	flag.BoolVar(&o.fFig5, "fig5", false, "only Fig. 5 (per-bit BER vs Vdd)")
+	flag.BoolVar(&o.fFig8, "fig8", false, "only Fig. 8 (BER & energy per triad)")
+	flag.BoolVar(&o.fTable4, "table4", false, "only Table IV (efficiency per BER band)")
+	flag.StringVar(&o.cacheDir, "cache-dir", "", "persist characterization results here (re-runs become near-free)")
+	flag.IntVar(&o.workers, "workers", 0, "sweep-engine worker-pool size (0 = NumCPU)")
+	flag.StringVar(&o.cpuProf, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&o.memProf, "memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
-	benches, err := selectBenches(*bench)
-	if err != nil {
+	// Errors return through run so its defers — profile flushing, engine
+	// shutdown — fire even on a failed experiment.
+	if err := run(o); err != nil {
 		log.Fatal(err)
 	}
-	runAll := !(*fTable2 || *fTable3 || *fFig5 || *fFig8 || *fTable4)
+}
 
-	eng, err := engine.New(engine.Options{Workers: *workers, CacheDir: *cacheDir})
+func run(o options) error {
+	if o.cpuProf != "" {
+		f, err := os.Create(o.cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.memProf != "" {
+		defer func() {
+			f, err := os.Create(o.memProf)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
+
+	benches, err := selectBenches(o.bench)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	runAll := !(o.fTable2 || o.fTable3 || o.fFig5 || o.fFig8 || o.fTable4)
+
+	eng, err := engine.New(engine.Options{Workers: o.workers, CacheDir: o.cacheDir})
+	if err != nil {
+		return err
 	}
 	defer eng.Close()
 	ctx := context.Background()
 
 	results := make(map[string]*charz.Result)
 	for _, b := range benches {
-		cfg := charz.Config{Arch: b.arch, Width: b.width, Patterns: *patterns, Seed: *seed}
+		cfg := charz.Config{Arch: b.arch, Width: b.width, Patterns: o.patterns, Seed: o.seed}
 		res, err := charz.RunWith(ctx, eng, cfg)
 		if err != nil {
-			log.Fatalf("%s: %v", b.name, err)
+			return fmt.Errorf("%s: %w", b.name, err)
 		}
 		results[b.name] = res
 	}
 
 	out := os.Stdout
 	emit := func(t *report.Table) {
-		if *csv {
+		if o.csv {
 			t.CSV(out)
 		} else {
 			t.Render(out)
@@ -95,7 +145,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
-	if runAll || *fTable2 {
+	if runAll || o.fTable2 {
 		t := report.NewTable("Table II — Synthesis results (paper: area 114.7/174.1/224.5/265.5 µm², CP 0.28/0.19/0.53/0.25 ns)",
 			"Benchmark", "Gates", "Area (µm²)", "Total Power (µW)", "Critical Path (ns)")
 		for _, b := range benches {
@@ -105,7 +155,7 @@ func main() {
 		emit(t)
 	}
 
-	if runAll || *fTable3 {
+	if runAll || o.fTable3 {
 		t := report.NewTable("Table III — Operating triads per benchmark (derived from synthesis timing, paper methodology)",
 			"Benchmark", "Tclk (ns)", "Vdd (V)", "Vbb (V)", "Triads")
 		for _, b := range benches {
@@ -119,15 +169,15 @@ func main() {
 		emit(t)
 	}
 
-	if runAll || *fFig5 {
+	if runAll || o.fFig5 {
 		for _, b := range benches {
-			if b.name != "rca8" && *bench == "all" {
+			if b.name != "rca8" && o.bench == "all" {
 				continue // the paper plots Fig. 5 for the 8-bit RCA
 			}
-			cfg := charz.Config{Arch: b.arch, Width: b.width, Patterns: *patterns, Seed: *seed}
+			cfg := charz.Config{Arch: b.arch, Width: b.width, Patterns: o.patterns, Seed: o.seed}
 			pts, err := charz.Fig5With(ctx, eng, cfg, []float64{0.8, 0.7, 0.6, 0.5})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			t := report.NewTable(fmt.Sprintf("Fig. 5 — BER %% per output bit, %s at synthesis clock, Vbb=0 (LSB→MSB incl. cout)", cfg.BenchName()),
 				append([]string{"Vdd (V)"}, bitHeaders(b.width+1)...)...)
@@ -139,7 +189,7 @@ func main() {
 				t.AddRow(row...)
 			}
 			emit(t)
-			if !*csv {
+			if !o.csv {
 				for _, p := range pts {
 					fmt.Fprintf(out, "  %.1fV |%s| (BER %.1f%%)\n", p.Vdd,
 						report.Sparkline(p.PerBit, 0.6), p.BER*100)
@@ -149,7 +199,7 @@ func main() {
 		}
 	}
 
-	if runAll || *fFig8 {
+	if runAll || o.fFig8 {
 		for _, b := range benches {
 			res := results[b.name]
 			idx := res.SortedIndices()
@@ -167,7 +217,7 @@ func main() {
 					fmt.Sprintf("%.4f", energy[i]), fmt.Sprintf("%.1f", tr.Efficiency*100))
 			}
 			emit(t)
-			if !*csv {
+			if !o.csv {
 				report.DualSeries(out, fmt.Sprintf("  %s profile", res.Config.BenchName()),
 					labels, ber, "BER %", energy, "E/op pJ", 30)
 				fmt.Fprintln(out)
@@ -175,7 +225,7 @@ func main() {
 		}
 	}
 
-	if runAll || *fTable4 {
+	if runAll || o.fTable4 {
 		t := report.NewTable("Table IV — Energy efficiency and BER bands (paper: max 92/89/90.8/84 % within ≤25% BER)",
 			"BER band", "Benchmark", "Triads", "Max energy efficiency (%)", "BER at max (%)", "Best triad")
 		for _, band := range charz.Table4Bands {
@@ -200,6 +250,7 @@ func main() {
 
 	stats := eng.CacheStats()
 	log.Printf("engine: %d points simulated, %d served from cache", eng.Executions(), stats.Hits())
+	return nil
 }
 
 func selectBenches(name string) ([]benchDef, error) {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/engine"
@@ -81,6 +82,13 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
 	m.HandleFunc("GET /v1/cache/stats", s.cacheStats)
 	m.HandleFunc("GET /healthz", s.healthz)
+	// In-situ profiling of a live daemon (the sweep engine is the hot
+	// path): `go tool pprof http://host:8420/debug/pprof/profile`.
+	m.HandleFunc("/debug/pprof/", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return m
 }
 

@@ -225,3 +225,24 @@ func TestBadRequests(t *testing.T) {
 		t.Errorf("DELETE unknown: status %d, want 404", resp.StatusCode)
 	}
 }
+
+// TestDebugPprof checks the profiling mux is wired.
+func TestDebugPprof(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+	resp2, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d", resp2.StatusCode)
+	}
+}

@@ -111,6 +111,41 @@ func (k Kind) Eval(in []uint8) uint8 {
 	}
 }
 
+// EvalWord computes the cell's function bitwise over 64 independent lanes:
+// bit k of each operand belongs to evaluation k, so one call performs 64
+// scalar Evals. Operands beyond NumInputs are ignored. It is the primitive
+// of netlist.EvaluateBatch, the bit-sliced zero-delay reference evaluator.
+func (k Kind) EvalWord(a, b, c uint64) uint64 {
+	switch k {
+	case INV:
+		return ^a
+	case BUF:
+		return a
+	case NAND2:
+		return ^(a & b)
+	case NOR2:
+		return ^(a | b)
+	case AND2:
+		return a & b
+	case OR2:
+		return a | b
+	case XOR2:
+		return a ^ b
+	case XNOR2:
+		return ^(a ^ b)
+	case AOI21:
+		return ^(a | (b & c))
+	case OAI21:
+		return ^(a & (b | c))
+	case AO21:
+		return a | (b & c)
+	case MAJ3:
+		return (a & b) | (a & c) | (b & c)
+	default:
+		panic(fmt.Sprintf("cell: EvalWord on invalid kind %d", k))
+	}
+}
+
 // Cell is one library entry.
 type Cell struct {
 	Kind Kind

@@ -166,6 +166,35 @@ type Prepared struct {
 	Config  Config
 	Netlist *netlist.Netlist
 	Report  *synth.Report
+
+	// The stimulus stream and its zero-delay reference are identical for
+	// every triad of a sweep ("same set of input patterns" per the paper),
+	// so they are generated once per Prepared and shared read-only by the
+	// concurrent point simulations.
+	stimOnce sync.Once
+	stimA    []uint64
+	stimB    []uint64
+	stimWant []uint64
+	stimErr  error
+}
+
+// stimulusSet lazily generates the sweep's stimulus pairs and their
+// batched zero-delay reference words.
+func (p *Prepared) stimulusSet() (as, bs, want []uint64, err error) {
+	p.stimOnce.Do(func() {
+		gen, err := patterns.NewPropagateProfile(p.Config.Width, p.Config.PropagateP, p.Config.Seed)
+		if err != nil {
+			p.stimErr = err
+			return
+		}
+		p.stimA = make([]uint64, p.Config.Patterns)
+		p.stimB = make([]uint64, p.Config.Patterns)
+		for i := range p.stimA {
+			p.stimA[i], p.stimB[i] = gen.Next()
+		}
+		p.stimWant, p.stimErr = batchReference(p.Netlist, p.Config.Width, p.stimA, p.stimB)
+	})
+	return p.stimA, p.stimB, p.stimWant, p.stimErr
 }
 
 // Prepare runs the triad-independent half of the flow: apply defaults,
@@ -203,7 +232,7 @@ func (p *Prepared) TriadSet() []triad.Triad {
 
 // RunTriad simulates one operating point against the prepared operator.
 func (p *Prepared) RunTriad(tr triad.Triad) (*TriadResult, error) {
-	return sweepTriad(p.Netlist, p.Config, tr)
+	return p.sweepTriad(tr)
 }
 
 // Runner abstracts the execution of point jobs so frontends can swap the
@@ -290,85 +319,123 @@ func RunWith(ctx context.Context, r Runner, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// stepFunc abstracts one clocked two-vector experiment over either
-// backend: it returns the captured full output word (sum plus carry-out),
-// the step energy and the late flag.
-type stepFunc func(tclk float64) (got uint64, energyFJ float64, late bool, err error)
+// NewStepper builds the backend engine for one operating point behind the
+// sim.Stepper seam: the gate-level engine or the switch-level RC engine,
+// both driven through the same dense pattern loop. Frontends that need a
+// raw engine at a characterized point (rather than a full sweep) should
+// come through here so backend selection stays in one place.
+func (p *Prepared) NewStepper(tr triad.Triad) (sim.Stepper, error) {
+	return newStepper(p.Netlist, p.Config, tr)
+}
 
-// makeStepper builds the backend-specific step closure.
-func makeStepper(nl *netlist.Netlist, cfg Config, tr triad.Triad, binder *sim.Binder) (stepFunc, error) {
+func newStepper(nl *netlist.Netlist, cfg Config, tr triad.Triad) (sim.Stepper, error) {
 	switch cfg.Backend {
 	case BackendGate:
-		eng := sim.New(nl, cfg.Lib, *cfg.Proc, tr.OperatingPoint())
-		if err := eng.Reset(binder.Inputs()); err != nil {
-			return nil, err
-		}
-		return func(tclk float64) (uint64, float64, bool, error) {
-			var res *sim.Result
-			var err error
-			if cfg.Streaming {
-				res, err = eng.StreamStep(binder.Inputs(), tclk)
-			} else {
-				res, err = eng.Step(binder.Inputs(), tclk)
-			}
-			if err != nil {
-				return 0, 0, false, err
-			}
-			sum, _ := res.CapturedWord(nl, synth.PortSum)
-			cout, _ := res.CapturedWord(nl, synth.PortCout)
-			return sum | cout<<uint(cfg.Width), res.EnergyFJ, res.Late, nil
-		}, nil
+		return sim.New(nl, cfg.Lib, *cfg.Proc, tr.OperatingPoint()), nil
 	case BackendRC:
 		if cfg.Streaming {
 			return nil, fmt.Errorf("charz: streaming capture is gate-backend only")
 		}
-		eng := rcsim.New(nl, cfg.Lib, *cfg.Proc, tr.OperatingPoint())
-		if err := eng.Reset(binder.Inputs()); err != nil {
-			return nil, err
-		}
-		return func(tclk float64) (uint64, float64, bool, error) {
-			res, err := eng.Step(binder.Inputs(), tclk)
-			if err != nil {
-				return 0, 0, false, err
-			}
-			sum, _ := res.CapturedWord(nl, synth.PortSum)
-			cout, _ := res.CapturedWord(nl, synth.PortCout)
-			return sum | cout<<uint(cfg.Width), res.EnergyFJ, res.Late, nil
-		}, nil
+		return rcsim.New(nl, cfg.Lib, *cfg.Proc, tr.OperatingPoint()), nil
 	default:
 		return nil, fmt.Errorf("charz: unknown backend %v", cfg.Backend)
 	}
 }
 
-// sweepTriad runs the stimulus set through one triad.
-func sweepTriad(nl *netlist.Netlist, cfg Config, tr triad.Triad) (*TriadResult, error) {
+// batchReference computes the zero-delay reference word (sum plus
+// carry-out) for every stimulus pair through the netlist itself,
+// netlist.BatchLanes vectors per bit-sliced EvaluateBatch pass. Using the
+// netlist rather than host arithmetic keeps the reference honest for any
+// operator wired to the adder ports, at ~1/64 of the scalar Evaluate cost.
+func batchReference(nl *netlist.Netlist, width int, as, bs []uint64) ([]uint64, error) {
+	pa, ok := nl.InputPort(synth.PortA)
+	if !ok {
+		return nil, fmt.Errorf("charz: netlist %s lacks input port %q", nl.Name, synth.PortA)
+	}
+	pb, ok := nl.InputPort(synth.PortB)
+	if !ok {
+		return nil, fmt.Errorf("charz: netlist %s lacks input port %q", nl.Name, synth.PortB)
+	}
+	psum, ok := nl.OutputPort(synth.PortSum)
+	if !ok {
+		return nil, fmt.Errorf("charz: netlist %s lacks output port %q", nl.Name, synth.PortSum)
+	}
+	pcout, ok := nl.OutputPort(synth.PortCout)
+	if !ok {
+		return nil, fmt.Errorf("charz: netlist %s lacks output port %q", nl.Name, synth.PortCout)
+	}
+	lanes := make([]uint64, nl.NumNets())
+	want := make([]uint64, len(as))
+	for base := 0; base < len(as); base += netlist.BatchLanes {
+		n := len(as) - base
+		if n > netlist.BatchLanes {
+			n = netlist.BatchLanes
+		}
+		for k := 0; k < n; k++ {
+			netlist.AssignPortLane(lanes, pa, uint(k), as[base+k])
+			netlist.AssignPortLane(lanes, pb, uint(k), bs[base+k])
+		}
+		if err := nl.EvaluateBatch(lanes); err != nil {
+			return nil, err
+		}
+		for k := 0; k < n; k++ {
+			want[base+k] = netlist.PortLaneValue(psum, lanes, uint(k)) |
+				netlist.PortLaneValue(pcout, lanes, uint(k))<<uint(width)
+		}
+	}
+	return want, nil
+}
+
+// sweepTriad runs the stimulus set through one triad. Everything
+// per-vector is hoisted out of the pattern loop — or out of the sweep
+// entirely: the stimulus pairs and their bit-sliced batch references are
+// shared across all triads, the port bindings are compiled once, and the
+// dense step path reuses the engine's result buffers, so the loop itself
+// allocates nothing.
+func (p *Prepared) sweepTriad(tr triad.Triad) (*TriadResult, error) {
+	nl, cfg := p.Netlist, p.Config
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	gen, err := patterns.NewPropagateProfile(cfg.Width, cfg.PropagateP, cfg.Seed)
+	as, bs, want, err := p.stimulusSet()
 	if err != nil {
 		return nil, err
 	}
-	binder := sim.NewBinder(nl)
-	step, err := makeStepper(nl, cfg, tr, binder)
+	stepper, err := newStepper(nl, cfg, tr)
 	if err != nil {
 		return nil, err
 	}
+	streamer, _ := stepper.(sim.StreamStepper)
+	if cfg.Streaming && streamer == nil {
+		return nil, fmt.Errorf("charz: %v backend cannot stream", cfg.Backend)
+	}
+	st := netlist.CompileStimulus(nl)
+	slotA, slotB := st.MustSlot(synth.PortA), st.MustSlot(synth.PortB)
+	if err := stepper.ResetDense(st.Values()); err != nil {
+		return nil, err
+	}
+	psum, _ := nl.OutputPort(synth.PortSum)
+	pcout, _ := nl.OutputPort(synth.PortCout)
 	acc := metrics.NewErrorAccumulator(cfg.Width + 1)
 	var energy metrics.EnergyAccumulator
 	late := 0
 	for i := 0; i < cfg.Patterns; i++ {
-		a, b := gen.Next()
-		binder.MustSet(synth.PortA, a)
-		binder.MustSet(synth.PortB, b)
-		got, e, wasLate, err := step(tr.Tclk)
+		st.SetSlot(slotA, as[i])
+		st.SetSlot(slotB, bs[i])
+		var res *sim.Result
+		if cfg.Streaming {
+			res, err = streamer.StreamStepDense(st.Values(), tr.Tclk)
+		} else {
+			res, err = stepper.StepDense(st.Values(), tr.Tclk)
+		}
 		if err != nil {
 			return nil, err
 		}
-		want := (a + b) & (1<<uint(cfg.Width+1) - 1)
-		acc.Add(want, got)
-		energy.Add(e)
-		if wasLate {
+		got := netlist.PortValue(psum, res.Captured) |
+			netlist.PortValue(pcout, res.Captured)<<uint(cfg.Width)
+		acc.Add(want[i], got)
+		energy.Add(res.EnergyFJ)
+		if res.Late {
 			late++
 		}
 	}

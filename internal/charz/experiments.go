@@ -18,13 +18,15 @@ import (
 // Each Add runs one two-vector timing experiment (the previous operands
 // are the launch state, exactly like the characterization sweep).
 type EngineAdder struct {
-	eng    *sim.Engine
-	nl     *netlist.Netlist
-	binder *sim.Binder
-	width  int
-	tclk   float64
-	energy float64
-	ops    uint64
+	eng          *sim.Engine
+	nl           *netlist.Netlist
+	stim         *netlist.Stimulus
+	slotA, slotB int
+	psum, pcout  netlist.Port
+	width        int
+	tclk         float64
+	energy       float64
+	ops          uint64
 }
 
 // NewEngineAdder builds the oracle. The netlist must expose the synth
@@ -41,13 +43,16 @@ func NewEngineAdder(nl *netlist.Netlist, cfg Config, tr triad.Triad) (*EngineAdd
 		return nil, fmt.Errorf("charz: netlist %s lacks port %q", nl.Name, synth.PortA)
 	}
 	e := &EngineAdder{
-		eng:    sim.New(nl, cfg.Lib, *cfg.Proc, tr.OperatingPoint()),
-		nl:     nl,
-		binder: sim.NewBinder(nl),
-		width:  len(pa.Bits),
-		tclk:   tr.Tclk,
+		eng:   sim.New(nl, cfg.Lib, *cfg.Proc, tr.OperatingPoint()),
+		nl:    nl,
+		stim:  netlist.CompileStimulus(nl),
+		width: len(pa.Bits),
+		tclk:  tr.Tclk,
 	}
-	if err := e.eng.Reset(e.binder.Inputs()); err != nil {
+	e.slotA, e.slotB = e.stim.MustSlot(synth.PortA), e.stim.MustSlot(synth.PortB)
+	e.psum, _ = nl.OutputPort(synth.PortSum)
+	e.pcout, _ = nl.OutputPort(synth.PortCout)
+	if err := e.eng.ResetDense(e.stim.Values()); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -60,14 +65,14 @@ func (e *EngineAdder) Width() int { return e.width }
 // in-range operands, so Add panics rather than returning an error (the
 // interface mirrors real hardware, which has no error channel either).
 func (e *EngineAdder) Add(a, b uint64) uint64 {
-	e.binder.MustSet(synth.PortA, a)
-	e.binder.MustSet(synth.PortB, b)
-	res, err := e.eng.Step(e.binder.Inputs(), e.tclk)
+	e.stim.SetSlot(e.slotA, a)
+	e.stim.SetSlot(e.slotB, b)
+	res, err := e.eng.StepDense(e.stim.Values(), e.tclk)
 	if err != nil {
 		panic(fmt.Sprintf("charz: simulation failed: %v", err))
 	}
-	sum, _ := res.CapturedWord(e.nl, synth.PortSum)
-	cout, _ := res.CapturedWord(e.nl, synth.PortCout)
+	sum := netlist.PortValue(e.psum, res.Captured)
+	cout := netlist.PortValue(e.pcout, res.Captured)
 	e.energy += res.EnergyFJ
 	e.ops++
 	return sum | cout<<uint(e.width)

@@ -116,6 +116,8 @@ func SweepOperator(op Operator, cfg Config, set []triad.Triad) ([]TriadResult, e
 	if len(set) == 0 {
 		return nil, fmt.Errorf("charz: empty triad set")
 	}
+	st := netlist.CompileStimulus(op.Netlist)
+	slotA, slotB := st.MustSlot(synth.PortA), st.MustSlot(synth.PortB)
 	results := make([]TriadResult, len(set))
 	for i, tr := range set {
 		if err := tr.Validate(); err != nil {
@@ -126,8 +128,11 @@ func SweepOperator(op Operator, cfg Config, set []triad.Triad) ([]TriadResult, e
 			return nil, err
 		}
 		eng := sim.New(op.Netlist, cfg.Lib, *cfg.Proc, tr.OperatingPoint())
-		binder := sim.NewBinder(op.Netlist)
-		if err := eng.Reset(binder.Inputs()); err != nil {
+		// Every triad starts from the all-zero settled state, as if freshly
+		// powered: clear the operand slots left over from the previous triad.
+		st.SetSlot(slotA, 0)
+		st.SetSlot(slotB, 0)
+		if err := eng.ResetDense(st.Values()); err != nil {
 			return nil, err
 		}
 		acc := metrics.NewErrorAccumulator(op.OutWidth)
@@ -135,9 +140,9 @@ func SweepOperator(op Operator, cfg Config, set []triad.Triad) ([]TriadResult, e
 		late := 0
 		for v := 0; v < cfg.Patterns; v++ {
 			a, b := gen.Next()
-			binder.MustSet(synth.PortA, a)
-			binder.MustSet(synth.PortB, b)
-			res, err := eng.Step(binder.Inputs(), tr.Tclk)
+			st.SetSlot(slotA, a)
+			st.SetSlot(slotB, b)
+			res, err := eng.StepDense(st.Values(), tr.Tclk)
 			if err != nil {
 				return nil, err
 			}

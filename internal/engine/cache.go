@@ -17,7 +17,16 @@ import (
 // keySchemaVersion is baked into every cache key; bump it whenever the
 // simulation semantics or the serialized result format change so stale
 // entries can never be returned for new code.
-const keySchemaVersion = 1
+//
+// History:
+//
+//	1: original map+binary-heap simulation core.
+//	2: dense-state core (calendar queue, dense stimulus, bit-sliced batch
+//	   reference). Point results are proven bit-identical to v1 by the
+//	   golden parity test, but entries computed by the old core must not
+//	   be served as equal keys for the new one: equality of keys has to
+//	   imply the exact code path, not a proof obligation.
+const keySchemaVersion = 2
 
 // keyMaterial is the canonical content that identifies one operating-point
 // result. Everything that can change the simulator's output is in here —

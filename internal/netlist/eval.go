@@ -2,41 +2,93 @@ package netlist
 
 import "fmt"
 
+// EvaluateInto computes the steady-state boolean value of every driven net
+// in place, in topological order. values must be a dense per-net image of
+// length NumNets whose primary-input entries are already assigned; every
+// gate-driven entry is overwritten. It is the allocation-free core of the
+// zero-delay functional reference: callers that step one netlist many times
+// (the simulator's Reset, the characterization sweeps) reuse one image
+// instead of rebuilding a map per vector.
+func (n *Netlist) EvaluateInto(values []uint8) error {
+	if len(values) != len(n.Nets) {
+		return fmt.Errorf("netlist %s: value image has %d entries, want %d",
+			n.Name, len(values), len(n.Nets))
+	}
+	for _, p := range n.Inputs {
+		for _, b := range p.Bits {
+			if values[b] > 1 {
+				return fmt.Errorf("netlist %s: input %q non-boolean value %d",
+					n.Name, n.Nets[b].Name, values[b])
+			}
+		}
+	}
+	for _, gid := range n.topo {
+		g := &n.Gates[gid]
+		var a, b, c uint8
+		switch len(g.Inputs) {
+		case 1:
+			a = values[g.Inputs[0]]
+		case 2:
+			a, b = values[g.Inputs[0]], values[g.Inputs[1]]
+		case 3:
+			a, b, c = values[g.Inputs[0]], values[g.Inputs[1]], values[g.Inputs[2]]
+		}
+		values[g.Output] = uint8(g.Kind.EvalWord(uint64(a), uint64(b), uint64(c)) & 1)
+	}
+	return nil
+}
+
 // Evaluate computes the steady-state boolean value of every net given the
-// values of the primary inputs, in topological order. It is the zero-delay
-// functional reference against which the timing simulator's captured values
-// are compared. The inputs map assigns one bit per primary-input net; all
-// primary inputs must be covered.
+// values of the primary inputs. It is the map-based compatibility wrapper
+// around EvaluateInto; the inputs map assigns one bit per primary-input
+// net, and all primary inputs must be covered.
 func (n *Netlist) Evaluate(inputs map[NetID]uint8) ([]uint8, error) {
 	values := make([]uint8, len(n.Nets))
-	seen := make([]bool, len(n.Nets))
 	for _, p := range n.Inputs {
 		for _, b := range p.Bits {
 			v, ok := inputs[b]
 			if !ok {
 				return nil, fmt.Errorf("netlist %s: input %q unassigned", n.Name, n.Nets[b].Name)
 			}
-			if v > 1 {
-				return nil, fmt.Errorf("netlist %s: input %q non-boolean value %d", n.Name, n.Nets[b].Name, v)
-			}
 			values[b] = v
-			seen[b] = true
 		}
 	}
-	in := make([]uint8, 3)
-	for _, gid := range n.topo {
-		g := &n.Gates[gid]
-		for i, src := range g.Inputs {
-			if !seen[src] && n.driver[src] == NoGate {
-				return nil, fmt.Errorf("netlist %s: gate %d reads unassigned net %q",
-					n.Name, gid, n.Nets[src].Name)
-			}
-			in[i] = values[src]
-		}
-		values[g.Output] = g.Kind.Eval(in[:len(g.Inputs)])
-		seen[g.Output] = true
+	if err := n.EvaluateInto(values); err != nil {
+		return nil, err
 	}
 	return values, nil
+}
+
+// BatchLanes is the number of stimulus vectors one EvaluateBatch pass
+// computes: each lane word carries one net's value across BatchLanes
+// vectors, vector k in bit k.
+const BatchLanes = 64
+
+// EvaluateBatch computes the zero-delay steady state of up to BatchLanes
+// stimulus vectors in one bit-sliced pass: lanes must be a dense per-net
+// image of length NumNets whose primary-input lane words are already
+// filled (bit k = net value under vector k); every gate-driven lane is
+// overwritten in topological order. One pass costs one word op per gate
+// input — the per-vector reference cost is 64× below scalar Evaluate.
+func (n *Netlist) EvaluateBatch(lanes []uint64) error {
+	if len(lanes) != len(n.Nets) {
+		return fmt.Errorf("netlist %s: lane image has %d entries, want %d",
+			n.Name, len(lanes), len(n.Nets))
+	}
+	for _, gid := range n.topo {
+		g := &n.Gates[gid]
+		var a, b, c uint64
+		switch len(g.Inputs) {
+		case 1:
+			a = lanes[g.Inputs[0]]
+		case 2:
+			a, b = lanes[g.Inputs[0]], lanes[g.Inputs[1]]
+		case 3:
+			a, b, c = lanes[g.Inputs[0]], lanes[g.Inputs[1]], lanes[g.Inputs[2]]
+		}
+		lanes[g.Output] = g.Kind.EvalWord(a, b, c)
+	}
+	return nil
 }
 
 // PortValue packs the bits of port p (from the given net-value vector) into
@@ -55,4 +107,27 @@ func AssignPort(inputs map[NetID]uint8, p Port, w uint64) {
 	for i, b := range p.Bits {
 		inputs[b] = uint8(w>>uint(i)) & 1
 	}
+}
+
+// AssignPortLane scatters the low bits of word w onto port p's lane words
+// for batch vector k (bit position k of each lane).
+func AssignPortLane(lanes []uint64, p Port, k uint, w uint64) {
+	bit := uint64(1) << k
+	for i, b := range p.Bits {
+		if w>>uint(i)&1 != 0 {
+			lanes[b] |= bit
+		} else {
+			lanes[b] &^= bit
+		}
+	}
+}
+
+// PortLaneValue gathers batch vector k's value of port p from the lane
+// image into a little-endian word.
+func PortLaneValue(p Port, lanes []uint64, k uint) uint64 {
+	var w uint64
+	for i, b := range p.Bits {
+		w |= (lanes[b] >> k & 1) << uint(i)
+	}
+	return w
 }

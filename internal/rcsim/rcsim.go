@@ -29,6 +29,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/fdsoi"
 	"repro/internal/netlist"
+	"repro/internal/sim"
 )
 
 // ln2 converts a 50%-crossing delay into an RC time constant.
@@ -86,10 +87,22 @@ type Engine struct {
 	inputNets []netlist.NetID
 	evalBuf   [3]uint8
 
+	// scratch backs the map-based wrappers and the dense reset evaluation.
+	scratch []uint8
+
+	// res and its buffers are reused by the dense entry points.
+	res         Result
+	capturedBuf []uint8
+	settledBuf  []uint8
+
 	// Stats
 	crossings uint64
 	energyFJ  float64
 }
+
+// Compile-time check: the RC engine plugs into the same Stepper seam as the
+// gate-level engine.
+var _ sim.Stepper = (*Engine)(nil)
 
 // New builds an RC engine. The per-net time constant is chosen so a full
 // rail-to-rail transition crosses Vdd/2 after exactly the cell's
@@ -108,6 +121,7 @@ func New(nl *netlist.Netlist, lib *cell.Library, proc fdsoi.Params, op fdsoi.Ope
 		binary:     make([]uint8, n),
 		segV:       make([]float64, n),
 		gen:        make([]uint32, n),
+		scratch:    make([]uint8, n),
 	}
 	dyn := proc.DynamicEnergyScale(op)
 	var leakNW float64
@@ -140,10 +154,17 @@ func (e *Engine) voltage(id netlist.NetID, t float64) float64 {
 	return e.target[id] + (e.v0[id]-e.target[id])*math.Exp(-dt/tau)
 }
 
-// Reset settles the engine instantly on the given input assignment.
-func (e *Engine) Reset(inputs map[netlist.NetID]uint8) error {
-	vals, err := e.nl.Evaluate(inputs)
-	if err != nil {
+// ResetDense settles the engine instantly on the dense input image
+// (indexed by NetID; only primary-input entries are read).
+func (e *Engine) ResetDense(values []uint8) error {
+	if len(values) != len(e.scratch) {
+		return fmt.Errorf("rcsim: input image has %d entries, want %d", len(values), len(e.scratch))
+	}
+	for _, id := range e.inputNets {
+		e.scratch[id] = values[id]
+	}
+	vals := e.scratch
+	if err := e.nl.EvaluateInto(vals); err != nil {
 		return err
 	}
 	for id := range e.v0 {
@@ -155,6 +176,27 @@ func (e *Engine) Reset(inputs map[netlist.NetID]uint8) error {
 	}
 	e.queue = e.queue[:0]
 	e.now = 0
+	return nil
+}
+
+// Reset is the map-based compatibility wrapper around ResetDense.
+func (e *Engine) Reset(inputs map[netlist.NetID]uint8) error {
+	if err := e.scatter(inputs); err != nil {
+		return err
+	}
+	return e.ResetDense(e.scratch)
+}
+
+// scatter copies a map assignment into the dense scratch image, preserving
+// the map API's unassigned-input errors.
+func (e *Engine) scatter(inputs map[netlist.NetID]uint8) error {
+	for _, id := range e.inputNets {
+		v, ok := inputs[id]
+		if !ok {
+			return fmt.Errorf("rcsim: input net %q unassigned", e.nl.Nets[id].Name)
+		}
+		e.scratch[id] = v
+	}
 	return nil
 }
 
@@ -207,44 +249,31 @@ func (e *Engine) propagate(id netlist.NetID, t float64) {
 	}
 }
 
-// Result is the outcome of one clocked RC step.
-type Result struct {
-	// Captured holds the binarized output voltages at the capture edge.
-	Captured []uint8
-	// Settled holds the final rails after quiescence.
-	Settled []uint8
-	// EnergyFJ is the switching energy of the whole step (including
-	// post-capture settling — rcsim quantifies physics, not per-cycle
-	// billing) plus leakage over Tclk.
-	EnergyFJ float64
-	// Late reports whether any crossing happened after the capture edge.
-	Late bool
-}
+// Result is the outcome of one clocked RC step. It is the shared step
+// outcome of the Stepper seam; for rcsim, EnergyFJ is the switching energy
+// of the whole step (including post-capture settling — rcsim quantifies
+// physics, not per-cycle billing) plus leakage over Tclk, and Captured
+// holds the binarized output voltages at the capture edge.
+type Result = sim.Result
 
-// CapturedWord packs the captured bits of an output port.
-func (r *Result) CapturedWord(nl *netlist.Netlist, name string) (uint64, bool) {
-	p, ok := nl.OutputPort(name)
-	if !ok {
-		return 0, false
-	}
-	return netlist.PortValue(p, r.Captured), true
-}
-
-// Step runs the two-vector experiment: from the settled previous state,
-// inputs step at t = 0, outputs are sampled (analytically) at t = tclk,
-// and the network then settles fully.
-func (e *Engine) Step(inputs map[netlist.NetID]uint8, tclk float64) (*Result, error) {
+// StepDense runs the two-vector experiment on a dense input image: from
+// the settled previous state, inputs step at t = 0, outputs are sampled
+// (analytically) at t = tclk, and the network then settles fully.
+//
+// The returned Result and its slices are owned by the engine and valid
+// until the next step.
+func (e *Engine) StepDense(values []uint8, tclk float64) (*Result, error) {
 	if tclk <= 0 {
 		return nil, fmt.Errorf("rcsim: non-positive tclk %v", tclk)
+	}
+	if len(values) != len(e.binary) {
+		return nil, fmt.Errorf("rcsim: input image has %d entries, want %d", len(values), len(e.binary))
 	}
 	e.now = 0
 	startEnergy := e.energyFJ
 	// Ideal input steps.
 	for _, id := range e.inputNets {
-		v, ok := inputs[id]
-		if !ok {
-			return nil, fmt.Errorf("rcsim: input net %q unassigned", e.nl.Nets[id].Name)
-		}
+		v := values[id]
 		if v > 1 {
 			return nil, fmt.Errorf("rcsim: non-boolean input on %q", e.nl.Nets[id].Name)
 		}
@@ -257,13 +286,19 @@ func (e *Engine) Step(inputs map[netlist.NetID]uint8, tclk float64) (*Result, er
 		e.gen[id]++
 		e.propagate(id, 0)
 	}
-	res := &Result{}
+	res := &e.res
+	res.Captured, res.Settled, res.EnergyFJ, res.Late = nil, nil, 0, false
 	captured := false
 	capture := func(t float64) {
-		res.Captured = make([]uint8, len(e.binary))
+		if cap(e.capturedBuf) < len(e.binary) {
+			e.capturedBuf = make([]uint8, len(e.binary))
+		}
+		res.Captured = e.capturedBuf[:len(e.binary)]
 		for id := range res.Captured {
 			if e.voltage(netlist.NetID(id), t) >= 0.5 {
 				res.Captured[id] = 1
+			} else {
+				res.Captured[id] = 0
 			}
 		}
 		captured = true
@@ -289,7 +324,10 @@ func (e *Engine) Step(inputs map[netlist.NetID]uint8, tclk float64) (*Result, er
 	}
 	// Quiescence: every net ends on its target rail; charge the final
 	// segments.
-	res.Settled = make([]uint8, len(e.binary))
+	if cap(e.settledBuf) < len(e.binary) {
+		e.settledBuf = make([]uint8, len(e.binary))
+	}
+	res.Settled = e.settledBuf[:len(e.binary)]
 	for id := range e.v0 {
 		nid := netlist.NetID(id)
 		if g := e.nl.Driver(nid); g != netlist.NoGate {
@@ -303,6 +341,22 @@ func (e *Engine) Step(inputs map[netlist.NetID]uint8, tclk float64) (*Result, er
 	res.EnergyFJ = e.energyFJ - startEnergy + e.leakPower*tclk
 	e.now = 0
 	return res, nil
+}
+
+// Step is the map-based compatibility wrapper around StepDense; it returns
+// a freshly allocated Result the caller may keep.
+func (e *Engine) Step(inputs map[netlist.NetID]uint8, tclk float64) (*Result, error) {
+	if err := e.scatter(inputs); err != nil {
+		return nil, err
+	}
+	res, err := e.StepDense(e.scratch, tclk)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{EnergyFJ: res.EnergyFJ, Late: res.Late}
+	out.Captured = append([]uint8(nil), res.Captured...)
+	out.Settled = append([]uint8(nil), res.Settled...)
+	return out, nil
 }
 
 // Crossings returns the total number of threshold crossings simulated —

@@ -10,43 +10,24 @@
 // captured word. Glitches propagate (transport delay) and are charged to
 // the per-operation energy, which also integrates operating-point-scaled
 // leakage over the clock period.
+//
+// The hot path is dense and index-addressed: input vectors arrive as a
+// per-net []uint8 image (netlist.Stimulus compiles port bindings into one),
+// the event queue is a bucketed time-wheel rather than a binary heap, and
+// the dense entry points (ResetDense, StepDense, StreamStepDense) reuse the
+// engine's result buffers so a characterization sweep allocates nothing per
+// vector. The map-based Reset/Step/StreamStep remain as thin compatibility
+// wrappers.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 
 	"repro/internal/cell"
 	"repro/internal/fdsoi"
 	"repro/internal/netlist"
 )
-
-// event is one scheduled output change.
-type event struct {
-	time  float64
-	seq   uint64 // tie-break so equal-time events fire in schedule order
-	gate  netlist.GateID
-	value uint8
-}
-
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
-}
 
 // Engine simulates one netlist at one fixed operating point. It is not
 // safe for concurrent use; characterization sweeps run one Engine per
@@ -61,16 +42,37 @@ type Engine struct {
 	gateEnergy []float64 // fJ per output transition at op
 	leakPower  float64   // µW at op
 
+	// Flattened per-gate tables: the event loop touches only these dense
+	// arrays, never the netlist's slice-of-slice structures. Gates with
+	// fewer than three inputs repeat in0, and tt holds the gate's 8-entry
+	// truth table (bit a|b<<1|c<<2), so re-evaluation is one shift-and-mask
+	// with no switch.
+	tt            []uint8
+	in0, in1, in2 []netlist.NetID
+	gateOut       []netlist.NetID
+	// Fanouts in CSR form: net id's consumers are foList[foOff[id]:foOff[id+1]].
+	foOff  []int32
+	foList []netlist.GateID
+
 	value     []uint8 // current net values
 	scheduled []uint8 // per gate: last scheduled output value
-	queue     eventQueue
+	queue     calQueue
 	seq       uint64
 	now       float64
 
 	inputNets          []netlist.NetID
-	inputEnergy        map[netlist.NetID]float64 // fJ per input toggle at op
+	inputEnergy        []float64 // per net (indexed by NetID): fJ per input toggle at op
 	pendingInputEnergy float64
-	evalBuf            [3]uint8
+
+	// scratch backs the map-based compatibility wrappers: the assignment
+	// map is scattered into it once per call, then the dense path runs.
+	scratch []uint8
+
+	// res and its backing buffers are reused by the dense entry points:
+	// StepDense/StreamStepDense return &res, valid until the next call.
+	res         Result
+	capturedBuf []uint8
+	settledBuf  []uint8
 
 	// Stats since last ResetStats.
 	stats Stats
@@ -110,27 +112,62 @@ func (s Stats) EnergyFJ() float64 { return s.DynamicEnergy + s.LeakageEnergy }
 // are precomputed once.
 func New(nl *netlist.Netlist, lib *cell.Library, proc fdsoi.Params, op fdsoi.OperatingPoint) *Engine {
 	e := &Engine{
-		nl:         nl,
-		lib:        lib,
-		proc:       proc,
-		op:         op,
-		gateDelay:  make([]float64, nl.NumGates()),
-		gateEnergy: make([]float64, nl.NumGates()),
-		value:      make([]uint8, nl.NumNets()),
-		scheduled:  make([]uint8, nl.NumGates()),
+		nl:          nl,
+		lib:         lib,
+		proc:        proc,
+		op:          op,
+		gateDelay:   make([]float64, nl.NumGates()),
+		gateEnergy:  make([]float64, nl.NumGates()),
+		value:       make([]uint8, nl.NumNets()),
+		scheduled:   make([]uint8, nl.NumGates()),
+		inputEnergy: make([]float64, nl.NumNets()),
+		scratch:     make([]uint8, nl.NumNets()),
 	}
+	e.tt = make([]uint8, nl.NumGates())
+	e.in0 = make([]netlist.NetID, nl.NumGates())
+	e.in1 = make([]netlist.NetID, nl.NumGates())
+	e.in2 = make([]netlist.NetID, nl.NumGates())
+	e.gateOut = make([]netlist.NetID, nl.NumGates())
 	dyn := proc.DynamicEnergyScale(op)
 	var leakNW float64
+	minDelay, maxDelay := math.Inf(1), 0.0
 	for gi := range nl.Gates {
 		g := &nl.Gates[gi]
 		c := lib.MustCell(g.Kind)
 		load := nl.NetLoad(lib, g.Output)
-		e.gateDelay[gi] = c.Delay(load) * proc.DelayScale(op, g.VtOffset)
+		d := c.Delay(load) * proc.DelayScale(op, g.VtOffset)
+		e.gateDelay[gi] = d
 		e.gateEnergy[gi] = fdsoi.SwitchingEnergy(load, op.Vdd) + c.InternalEnergy*dyn
 		leakNW += c.Leakage
+		if d > 0 && d < minDelay {
+			minDelay = d
+		}
+		if d > maxDelay {
+			maxDelay = d
+		}
+		for m := uint8(0); m < 8; m++ {
+			bit := g.Kind.EvalWord(uint64(m&1), uint64(m>>1&1), uint64(m>>2&1)) & 1
+			e.tt[gi] |= uint8(bit) << m
+		}
+		e.gateOut[gi] = g.Output
+		e.in0[gi], e.in1[gi], e.in2[gi] = g.Inputs[0], g.Inputs[0], g.Inputs[0]
+		if len(g.Inputs) > 1 {
+			e.in1[gi] = g.Inputs[1]
+		}
+		if len(g.Inputs) > 2 {
+			e.in2[gi] = g.Inputs[2]
+		}
 	}
+	e.foOff = make([]int32, nl.NumNets()+1)
+	for id := 0; id < nl.NumNets(); id++ {
+		e.foOff[id+1] = e.foOff[id] + int32(len(nl.Fanouts(netlist.NetID(id))))
+	}
+	e.foList = make([]netlist.GateID, e.foOff[nl.NumNets()])
+	for id := 0; id < nl.NumNets(); id++ {
+		copy(e.foList[e.foOff[id]:], nl.Fanouts(netlist.NetID(id)))
+	}
+	e.queue.init(minDelay, maxDelay)
 	e.leakPower = leakNW / 1000 * proc.LeakageScale(op)
-	e.inputEnergy = make(map[netlist.NetID]float64)
 	for _, p := range nl.Inputs {
 		e.inputNets = append(e.inputNets, p.Bits...)
 		for _, b := range p.Bits {
@@ -163,30 +200,61 @@ func (e *Engine) Stats() Stats { return e.stats }
 // ResetStats zeroes the accumulated statistics.
 func (e *Engine) ResetStats() { e.stats = Stats{} }
 
-// Reset instantly settles the circuit to the steady state of the given
-// input assignment, discarding pending events. It is the starting point of
-// every two-vector experiment.
-func (e *Engine) Reset(inputs map[netlist.NetID]uint8) error {
-	vals, err := e.nl.Evaluate(inputs)
-	if err != nil {
+// ResetDense instantly settles the circuit to the steady state of the
+// dense input image (indexed by NetID; only primary-input entries are
+// read), discarding pending events. It is the starting point of every
+// two-vector experiment.
+func (e *Engine) ResetDense(values []uint8) error {
+	if len(values) != len(e.value) {
+		return fmt.Errorf("sim: input image has %d entries, want %d", len(values), len(e.value))
+	}
+	// Validate before touching engine state: a failed Reset must leave the
+	// previous settled state intact.
+	for _, id := range e.inputNets {
+		if values[id] > 1 {
+			return fmt.Errorf("sim: non-boolean input %d on %q", values[id], e.nl.Nets[id].Name)
+		}
+	}
+	for _, id := range e.inputNets {
+		e.value[id] = values[id]
+	}
+	if err := e.nl.EvaluateInto(e.value); err != nil {
 		return err
 	}
-	copy(e.value, vals)
 	for gi := range e.nl.Gates {
 		e.scheduled[gi] = e.value[e.nl.Gates[gi].Output]
 	}
-	e.queue = e.queue[:0]
+	e.queue.clear()
 	e.now = 0
 	return nil
 }
 
-// eval recomputes gate gi's output from current net values.
-func (e *Engine) eval(gi netlist.GateID) uint8 {
-	g := &e.nl.Gates[gi]
-	for i, src := range g.Inputs {
-		e.evalBuf[i] = e.value[src]
+// Reset is the map-based compatibility wrapper around ResetDense.
+func (e *Engine) Reset(inputs map[netlist.NetID]uint8) error {
+	if err := e.scatter(inputs); err != nil {
+		return err
 	}
-	return g.Kind.Eval(e.evalBuf[:len(g.Inputs)])
+	return e.ResetDense(e.scratch)
+}
+
+// scatter copies a map assignment into the dense scratch image, preserving
+// the map API's unassigned-input errors.
+func (e *Engine) scatter(inputs map[netlist.NetID]uint8) error {
+	for _, id := range e.inputNets {
+		v, ok := inputs[id]
+		if !ok {
+			return fmt.Errorf("sim: input net %q unassigned", e.nl.Nets[id].Name)
+		}
+		e.scratch[id] = v
+	}
+	return nil
+}
+
+// eval recomputes gate gi's output from current net values: one truth-table
+// lookup, branchless.
+func (e *Engine) eval(gi netlist.GateID) uint8 {
+	idx := e.value[e.in0[gi]] | e.value[e.in1[gi]]<<1 | e.value[e.in2[gi]]<<2
+	return e.tt[gi] >> idx & 1
 }
 
 // touch re-evaluates a gate after one of its inputs changed and schedules
@@ -199,7 +267,7 @@ func (e *Engine) touch(gi netlist.GateID) {
 	}
 	e.scheduled[gi] = v
 	e.seq++
-	heap.Push(&e.queue, event{
+	e.queue.push(event{
 		time:  e.now + e.gateDelay[gi],
 		seq:   e.seq,
 		gate:  gi,
@@ -207,14 +275,14 @@ func (e *Engine) touch(gi netlist.GateID) {
 	})
 }
 
-// applyInputs forces the primary inputs to the values in the map at the
+// applyInputs forces the primary inputs to the dense image's values at the
 // current time and seeds the event wave.
-func (e *Engine) applyInputs(inputs map[netlist.NetID]uint8) error {
+func (e *Engine) applyInputs(values []uint8) error {
+	if len(values) != len(e.value) {
+		return fmt.Errorf("sim: input image has %d entries, want %d", len(values), len(e.value))
+	}
 	for _, id := range e.inputNets {
-		v, ok := inputs[id]
-		if !ok {
-			return fmt.Errorf("sim: input net %q unassigned", e.nl.Nets[id].Name)
-		}
+		v := values[id]
 		if v > 1 {
 			return fmt.Errorf("sim: non-boolean input %d on %q", v, e.nl.Nets[id].Name)
 		}
@@ -226,7 +294,7 @@ func (e *Engine) applyInputs(inputs map[netlist.NetID]uint8) error {
 		if e.tracer != nil {
 			e.tracer(e.now, id, v)
 		}
-		for _, fo := range e.nl.Fanouts(id) {
+		for _, fo := range e.foList[e.foOff[id]:e.foOff[id+1]] {
 			e.touch(fo)
 		}
 	}
@@ -267,88 +335,46 @@ func (r *Result) SettledWord(nl *netlist.Netlist, name string) (uint64, bool) {
 	return netlist.PortValue(p, r.Settled), true
 }
 
-// Step performs the two-vector timing experiment of the characterization
-// flow: from the current settled state, the inputs switch to the given
-// values at t = 0; outputs are captured at t = tclk; simulation then runs
-// to quiescence so the next step starts settled (mirroring a test bench
-// that allows full settling between launch edges).
-func (e *Engine) Step(inputs map[netlist.NetID]uint8, tclk float64) (*Result, error) {
-	if tclk <= 0 {
-		return nil, fmt.Errorf("sim: non-positive tclk %v", tclk)
+// clone deep-copies a reused Result for the compatibility wrappers, whose
+// callers may retain what they were handed.
+func (r *Result) clone() *Result {
+	out := &Result{EnergyFJ: r.EnergyFJ, Late: r.Late}
+	out.Captured = append([]uint8(nil), r.Captured...)
+	if r.Settled != nil {
+		out.Settled = append([]uint8(nil), r.Settled...)
 	}
-	e.now = 0
-	e.pendingInputEnergy = 0
-	if err := e.applyInputs(inputs); err != nil {
-		return nil, err
-	}
-	res := &Result{}
-	dynBefore := e.pendingInputEnergy
-	captured := false
-	capture := func() {
-		res.Captured = make([]uint8, len(e.value))
-		copy(res.Captured, e.value)
-		captured = true
-	}
-	for e.queue.Len() > 0 {
-		ev := e.queue[0]
-		if !captured && ev.time > tclk {
-			capture()
-		}
-		heap.Pop(&e.queue)
-		e.now = ev.time
-		out := e.nl.Gates[ev.gate].Output
-		if e.value[out] == ev.value {
-			continue
-		}
-		e.value[out] = ev.value
-		e.stats.Transitions++
-		if e.tracer != nil {
-			e.tracer(ev.time, out, ev.value)
-		}
-		if ev.time <= tclk {
-			dynBefore += e.gateEnergy[ev.gate]
-		} else {
-			res.Late = true
-			e.stats.LateTransitions++
-		}
-		for _, fo := range e.nl.Fanouts(out) {
-			e.touch(fo)
-		}
-	}
-	if !captured {
-		capture()
-	}
-	res.Settled = make([]uint8, len(e.value))
-	copy(res.Settled, e.value)
-	leak := e.leakPower * tclk
-	res.EnergyFJ = dynBefore + leak
-	e.stats.DynamicEnergy += dynBefore
-	e.stats.LeakageEnergy += leak
-	e.stats.Steps++
-	e.now = 0
-	return res, nil
+	return out
 }
 
-// StreamStep applies the inputs at the current simulation time and samples
-// the outputs one clock period later without waiting for quiescence:
-// leftover events from earlier vectors keep firing, exactly like a
-// free-running datapath clocked faster than it settles. Use Reset first to
-// establish an initial state.
-func (e *Engine) StreamStep(inputs map[netlist.NetID]uint8, tclk float64) (*Result, error) {
+// StepDense performs the two-vector timing experiment of the
+// characterization flow: from the current settled state, the inputs switch
+// to the dense image's values at t = 0; outputs are captured at t = tclk;
+// simulation then runs to quiescence so the next step starts settled
+// (mirroring a test bench that allows full settling between launch edges).
+//
+// The returned Result and its slices are owned by the engine and valid
+// until the next step; a 20 000-vector sweep allocates nothing here.
+func (e *Engine) StepDense(values []uint8, tclk float64) (*Result, error) {
 	if tclk <= 0 {
 		return nil, fmt.Errorf("sim: non-positive tclk %v", tclk)
 	}
+	e.now = 0
 	e.pendingInputEnergy = 0
-	if err := e.applyInputs(inputs); err != nil {
+	if err := e.applyInputs(values); err != nil {
 		return nil, err
 	}
-	deadline := e.now + tclk
-	res := &Result{}
+	res := &e.res
+	res.Captured, res.Settled, res.EnergyFJ, res.Late = nil, nil, 0, false
 	dynBefore := e.pendingInputEnergy
-	for e.queue.Len() > 0 && e.queue[0].time <= deadline {
-		ev := heap.Pop(&e.queue).(event)
+	// Phase 1: events up to the capture edge. Splitting at tclk removes
+	// the captured/late branches from both per-event loops.
+	for {
+		ev, ok := e.queue.popIfBefore(tclk)
+		if !ok {
+			break
+		}
 		e.now = ev.time
-		out := e.nl.Gates[ev.gate].Output
+		out := e.gateOut[ev.gate]
 		if e.value[out] == ev.value {
 			continue
 		}
@@ -358,15 +384,103 @@ func (e *Engine) StreamStep(inputs map[netlist.NetID]uint8, tclk float64) (*Resu
 			e.tracer(ev.time, out, ev.value)
 		}
 		dynBefore += e.gateEnergy[ev.gate]
-		for _, fo := range e.nl.Fanouts(out) {
+		for _, fo := range e.foList[e.foOff[out]:e.foOff[out+1]] {
+			e.touch(fo)
+		}
+	}
+	res.Captured = append(e.capturedBuf[:0], e.value...)
+	e.capturedBuf = res.Captured
+	// Phase 2: post-capture settling; transitions here are late and charged
+	// to the next cycle.
+	for {
+		ev, ok := e.queue.popMin()
+		if !ok {
+			break
+		}
+		e.now = ev.time
+		out := e.gateOut[ev.gate]
+		if e.value[out] == ev.value {
+			continue
+		}
+		e.value[out] = ev.value
+		e.stats.Transitions++
+		if e.tracer != nil {
+			e.tracer(ev.time, out, ev.value)
+		}
+		res.Late = true
+		e.stats.LateTransitions++
+		for _, fo := range e.foList[e.foOff[out]:e.foOff[out+1]] {
+			e.touch(fo)
+		}
+	}
+	res.Settled = append(e.settledBuf[:0], e.value...)
+	e.settledBuf = res.Settled
+	leak := e.leakPower * tclk
+	res.EnergyFJ = dynBefore + leak
+	e.stats.DynamicEnergy += dynBefore
+	e.stats.LeakageEnergy += leak
+	e.stats.Steps++
+	e.now = 0
+	return res, nil
+}
+
+// Step is the map-based compatibility wrapper around StepDense; it returns
+// a freshly allocated Result the caller may keep.
+func (e *Engine) Step(inputs map[netlist.NetID]uint8, tclk float64) (*Result, error) {
+	if err := e.scatter(inputs); err != nil {
+		return nil, err
+	}
+	res, err := e.StepDense(e.scratch, tclk)
+	if err != nil {
+		return nil, err
+	}
+	return res.clone(), nil
+}
+
+// StreamStepDense applies the dense image's inputs at the current
+// simulation time and samples the outputs one clock period later without
+// waiting for quiescence: leftover events from earlier vectors keep firing,
+// exactly like a free-running datapath clocked faster than it settles. Use
+// ResetDense first to establish an initial state.
+//
+// The returned Result is owned by the engine and valid until the next step.
+func (e *Engine) StreamStepDense(values []uint8, tclk float64) (*Result, error) {
+	if tclk <= 0 {
+		return nil, fmt.Errorf("sim: non-positive tclk %v", tclk)
+	}
+	e.pendingInputEnergy = 0
+	if err := e.applyInputs(values); err != nil {
+		return nil, err
+	}
+	deadline := e.now + tclk
+	res := &e.res
+	res.Captured, res.Settled, res.EnergyFJ, res.Late = nil, nil, 0, false
+	dynBefore := e.pendingInputEnergy
+	for {
+		ev, ok := e.queue.popIfBefore(deadline)
+		if !ok {
+			break
+		}
+		e.now = ev.time
+		out := e.gateOut[ev.gate]
+		if e.value[out] == ev.value {
+			continue
+		}
+		e.value[out] = ev.value
+		e.stats.Transitions++
+		if e.tracer != nil {
+			e.tracer(ev.time, out, ev.value)
+		}
+		dynBefore += e.gateEnergy[ev.gate]
+		for _, fo := range e.foList[e.foOff[out]:e.foOff[out+1]] {
 			e.touch(fo)
 		}
 	}
 	// Pending events are not timing-charged here: they will fire (and be
 	// counted) inside a later step's window.
-	res.Late = e.queue.Len() > 0
-	res.Captured = make([]uint8, len(e.value))
-	copy(res.Captured, e.value)
+	res.Late = e.queue.len() > 0
+	res.Captured = append(e.capturedBuf[:0], e.value...)
+	e.capturedBuf = res.Captured
 	e.now = deadline
 	leak := e.leakPower * tclk
 	res.EnergyFJ = dynBefore + leak
@@ -374,4 +488,17 @@ func (e *Engine) StreamStep(inputs map[netlist.NetID]uint8, tclk float64) (*Resu
 	e.stats.LeakageEnergy += leak
 	e.stats.Steps++
 	return res, nil
+}
+
+// StreamStep is the map-based compatibility wrapper around
+// StreamStepDense; it returns a freshly allocated Result.
+func (e *Engine) StreamStep(inputs map[netlist.NetID]uint8, tclk float64) (*Result, error) {
+	if err := e.scatter(inputs); err != nil {
+		return nil, err
+	}
+	res, err := e.StreamStepDense(e.scratch, tclk)
+	if err != nil {
+		return nil, err
+	}
+	return res.clone(), nil
 }
