@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke clean
+.PHONY: build test race bench bench-smoke bench-diff clean
 
 build:
 	$(GO) build ./...
@@ -14,14 +14,31 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the simulation hot-path benchmarks at a meaningful iteration
-# count and records machine-readable results in BENCH_sim.json.
+# count and records machine-readable results in BENCH_sim.json — the
+# committed baseline the bench-diff gate compares against. Best of three
+# samples, the same protocol as bench-diff, so baseline and fresh runs
+# see the same noise floor.
 bench:
-	$(GO) run ./cmd/vosbench -benchtime 1000x -out BENCH_sim.json
+	$(GO) run ./cmd/vosbench -benchtime 1000x -count 3 -out BENCH_sim.json
 
-# bench-smoke is the fast CI variant: enough iterations to catch gross
-# hot-path regressions, cheap enough to run on every push.
+# bench-smoke is a quick ungated run for local iteration: enough
+# iterations to eyeball gross hot-path changes. It writes to the scratch
+# file — the committed BENCH_sim.json baseline is only rewritten by a
+# deliberate `make bench`.
 bench-smoke:
-	$(GO) run ./cmd/vosbench -benchtime 100x -out BENCH_sim.json
+	$(GO) run ./cmd/vosbench -benchtime 100x -out BENCH_sim.new.json
+
+# bench-diff re-runs the benchmarks into a scratch file and compares them
+# against the committed BENCH_sim.json baseline, failing on a >20% ns/op
+# regression of any SimStep*/Fig8 benchmark. The iteration budget matches
+# `make bench` — comparing a short warm-up-dominated run against a full
+# baseline reads as a phantom regression — and -count 3 keeps the best of
+# three samples, so a single contended-scheduler outlier (the Fig8 sweeps
+# are one wall-clock sample each) cannot fail the gate on its own. CI
+# runs this on every push; run it locally before committing hot-path
+# changes.
+bench-diff:
+	$(GO) run ./cmd/vosbench -benchtime 1000x -count 3 -out BENCH_sim.new.json -diff BENCH_sim.json
 
 clean:
-	rm -f BENCH_sim.json
+	rm -f BENCH_sim.new.json

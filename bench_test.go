@@ -687,6 +687,68 @@ func BenchmarkSimStepDenseBKA16(b *testing.B) {
 	}
 }
 
+// benchWordChunks prepares alternating (prev, cur) lane-image pairs from
+// a chained random pattern stream, the steady-state shape of the
+// characterization sweep's chunk loop.
+func benchWordChunks(nl *netlist.Netlist, mask uint64) [2][2][]uint64 {
+	pa, _ := nl.InputPort(synth.PortA)
+	pb, _ := nl.InputPort(synth.PortB)
+	rng := rand.New(rand.NewPCG(1, 1))
+	var pairs [2][2][]uint64
+	prevA, prevB := uint64(0), uint64(0)
+	for c := 0; c < 2; c++ {
+		prevW := make([]uint64, nl.NumNets())
+		curW := make([]uint64, nl.NumNets())
+		for k := 0; k < sim.WordLanes; k++ {
+			a, bb := rng.Uint64()&mask, rng.Uint64()&mask
+			netlist.AssignPortLane(prevW, pa, uint(k), prevA)
+			netlist.AssignPortLane(prevW, pb, uint(k), prevB)
+			netlist.AssignPortLane(curW, pa, uint(k), a)
+			netlist.AssignPortLane(curW, pb, uint(k), bb)
+			prevA, prevB = a, bb
+		}
+		pairs[c] = [2][]uint64{prevW, curW}
+	}
+	return pairs
+}
+
+// BenchmarkSimStepWordRCA8 measures the word engine's cost per 64-pattern
+// chunk at the same over-scaled operating point as the scalar SimStep
+// benches; the ns/pattern metric is the figure to compare against one
+// scalar StepDense.
+func BenchmarkSimStepWordRCA8(b *testing.B) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl, _ := synth.RCA(synth.AdderConfig{Width: 8})
+	eng := sim.NewWord(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.6, Vbb: 2})
+	pairs := benchWordChunks(nl, 0xff)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&1]
+		if _, err := eng.StepWordChunk(p[0], p[1], 0.183); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sim.WordLanes), "ns/pattern")
+}
+
+// BenchmarkSimStepWordBKA16 is the 16-bit Brent-Kung variant.
+func BenchmarkSimStepWordBKA16(b *testing.B) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	nl, _ := synth.BKA(synth.AdderConfig{Width: 16})
+	eng := sim.NewWord(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.6, Vbb: 2})
+	pairs := benchWordChunks(nl, 0xffff)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&1]
+		if _, err := eng.StepWordChunk(p[0], p[1], 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sim.WordLanes), "ns/pattern")
+}
+
 // BenchmarkInputBindingMap isolates the legacy input-binding cost: scatter
 // two operand words into the assignment map, then gather every input net
 // back out, exactly the per-vector map traffic the old applyInputs paid.
@@ -737,18 +799,21 @@ func BenchmarkInputBindingDense(b *testing.B) {
 
 // BenchmarkEvaluateScalar and BenchmarkEvaluateBatch measure the
 // zero-delay reference cost per 64 vectors: one bit-sliced pass versus 64
-// scalar passes.
+// scalar passes. The scalar pass reuses one compiled stimulus image
+// through EvaluateInto — the allocation-free form the reference paths in
+// the parity and cross-check tests use — so the comparison is pure
+// evaluation cost, not map and garbage traffic.
 func BenchmarkEvaluateScalar(b *testing.B) {
 	nl, _ := synth.BKA(synth.AdderConfig{Width: 16})
 	rng := rand.New(rand.NewPCG(1, 1))
-	in := make(map[netlist.NetID]uint8)
+	stim := netlist.CompileStimulus(nl)
+	slotA, slotB := stim.MustSlot(synth.PortA), stim.MustSlot(synth.PortB)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for k := 0; k < netlist.BatchLanes; k++ {
-			for _, p := range nl.Inputs {
-				netlist.AssignPort(in, p, rng.Uint64())
-			}
-			if _, err := nl.Evaluate(in); err != nil {
+			stim.SetSlot(slotA, rng.Uint64())
+			stim.SetSlot(slotB, rng.Uint64())
+			if err := nl.EvaluateInto(stim.Values()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -930,22 +995,24 @@ func BenchmarkAblationStaticVsVOS(b *testing.B) {
 }
 
 // BenchmarkRCSimStep measures the switch-level engine's per-operation cost
-// relative to BenchmarkSimStepRCA8.
+// relative to BenchmarkSimStepDenseRCA8, on the dense zero-allocation
+// path the characterization sweeps use.
 func BenchmarkRCSimStep(b *testing.B) {
 	lib := cell.Default28nmLVT()
 	proc := fdsoi.Default()
 	nl, _ := synth.RCA(synth.AdderConfig{Width: 8})
 	eng := rcsim.New(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.6, Vbb: 2})
-	binder := sim.NewBinder(nl)
-	if err := eng.Reset(binder.Inputs()); err != nil {
+	stim := netlist.CompileStimulus(nl)
+	slotA, slotB := stim.MustSlot(synth.PortA), stim.MustSlot(synth.PortB)
+	if err := eng.ResetDense(stim.Values()); err != nil {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewPCG(1, 1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		binder.MustSet(synth.PortA, rng.Uint64()&0xff)
-		binder.MustSet(synth.PortB, rng.Uint64()&0xff)
-		if _, err := eng.Step(binder.Inputs(), 0.183); err != nil {
+		stim.SetSlot(slotA, rng.Uint64()&0xff)
+		stim.SetSlot(slotB, rng.Uint64()&0xff)
+		if _, err := eng.StepDense(stim.Values(), 0.183); err != nil {
 			b.Fatal(err)
 		}
 	}

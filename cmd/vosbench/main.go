@@ -8,10 +8,17 @@
 //
 //	vosbench [-bench REGEX] [-benchtime 1000x] [-out BENCH_sim.json]
 //	         [-pkg .] [-keep-going]
+//	         [-diff BASELINE.json] [-diff-filter ^(SimStep|Fig8)]
+//	         [-diff-threshold 0.20]
 //
 // The default benchmark set covers the dense-state hot path: the per-step
 // micro-benchmarks, the input-binding and batch-evaluation costs, and the
 // Fig. 8-class sweep.
+//
+// With -diff, the fresh run is compared against a committed baseline file
+// and the command exits non-zero when any benchmark matched by
+// -diff-filter regressed by more than -diff-threshold in ns/op — the CI
+// guard against hot-path regressions (`make bench-diff`).
 package main
 
 import (
@@ -19,9 +26,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -70,6 +79,11 @@ func main() {
 		out       = flag.String("out", "BENCH_sim.json", "output JSON path")
 		pkg       = flag.String("pkg", ".", "package to bench")
 		keepGoing = flag.Bool("keep-going", false, "write whatever parsed even if go test failed")
+		count     = flag.Int("count", 1, "samples per benchmark (go test -count); the best (min ns/op) sample is kept")
+
+		diffPath  = flag.String("diff", "", "baseline JSON to compare against; exit non-zero on regression")
+		diffRe    = flag.String("diff-filter", "^(SimStep|Fig8)", "benchmarks the -diff gate applies to")
+		threshold = flag.Float64("diff-threshold", 0.20, "fractional ns/op regression that fails the -diff gate")
 	)
 	flag.Parse()
 
@@ -84,7 +98,7 @@ func main() {
 	var runErr error
 	for _, g := range groups {
 		args := []string{"test", "-run", "^$", "-bench", g.re, "-benchmem",
-			"-benchtime", g.bt, "-count", "1", *pkg}
+			"-benchtime", g.bt, "-count", strconv.Itoa(*count), *pkg}
 		cmds = append(cmds, "go "+strings.Join(args, " "))
 		cmd := exec.Command("go", args...)
 		var buf bytes.Buffer
@@ -98,6 +112,7 @@ func main() {
 		}
 		results = append(results, Parse(buf.String())...)
 	}
+	results = BestSamples(results)
 	if len(results) == 0 {
 		log.Fatal("no benchmark lines parsed")
 	}
@@ -120,9 +135,95 @@ func main() {
 	for _, r := range results {
 		fmt.Printf("  %-28s %12.1f ns/op\n", r.Name, r.NsOp)
 	}
+	if *diffPath != "" {
+		if err := Diff(os.Stdout, *diffPath, results, *diffRe, *threshold); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if runErr != nil {
 		os.Exit(1)
 	}
+}
+
+// BestSamples collapses repeated samples of one benchmark (-count > 1)
+// to the minimum-ns/op one, preserving first-appearance order. Min — not
+// mean — because scheduler noise and cold caches only ever inflate a
+// run: the fastest sample is the closest observation of the code's true
+// cost, which is what a cross-run regression gate should compare.
+func BestSamples(results []Result) []Result {
+	best := make(map[string]int, len(results))
+	out := results[:0]
+	for _, r := range results {
+		if i, ok := best[r.Name]; ok {
+			if r.NsOp < out[i].NsOp {
+				out[i] = r
+			}
+			continue
+		}
+		best[r.Name] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
+// Diff compares fresh results against the baseline file and returns an
+// error when any benchmark matched by filter regressed beyond threshold
+// (fractional ns/op increase). Benchmarks absent from the baseline are
+// reported as new and never fail the gate — a fresh optimization's bench
+// lands before its first committed baseline — while filtered baseline
+// entries missing from the fresh run do fail it: a silently dropped
+// benchmark must not read as a pass.
+func Diff(w io.Writer, baselinePath string, fresh []Result, filter string, threshold float64) error {
+	re, err := regexp.Compile(filter)
+	if err != nil {
+		return fmt.Errorf("bad -diff-filter: %w", err)
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	old := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		old[r.Name] = r
+	}
+	fmt.Fprintf(w, "diff vs %s (gate: %s, +%.0f%%):\n", baselinePath, filter, threshold*100)
+	var regressed []string
+	seen := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		if !re.MatchString(r.Name) {
+			continue
+		}
+		seen[r.Name] = true
+		b, ok := old[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-28s %12.1f ns/op  (new, not gated)\n", r.Name, r.NsOp)
+			continue
+		}
+		delta := r.NsOp/b.NsOp - 1
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSED"
+			regressed = append(regressed, r.Name)
+		}
+		fmt.Fprintf(w, "  %-28s %12.1f -> %12.1f ns/op  %+6.1f%%%s\n",
+			r.Name, b.NsOp, r.NsOp, delta*100, mark)
+	}
+	for _, r := range base.Benchmarks {
+		if re.MatchString(r.Name) && !seen[r.Name] {
+			regressed = append(regressed, r.Name+" (missing from fresh run)")
+			fmt.Fprintf(w, "  %-28s MISSING from fresh run\n", r.Name)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("bench-diff: %d benchmark(s) regressed beyond %.0f%%: %s",
+			len(regressed), threshold*100, strings.Join(regressed, ", "))
+	}
+	fmt.Fprintln(w, "  no gated regressions")
+	return nil
 }
 
 // Parse extracts benchmark results from `go test -bench` output. Lines look

@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 const sample = `goos: linux
 goarch: amd64
@@ -39,5 +47,90 @@ func TestParse(t *testing.T) {
 func TestParseIgnoresGarbage(t *testing.T) {
 	if rs := Parse("BenchmarkBroken\tnot-a-number 12 ns/op\nrandom text\n"); len(rs) != 0 {
 		t.Fatalf("parsed garbage: %+v", rs)
+	}
+}
+
+// writeBaseline commits a synthetic baseline file for the diff-gate tests.
+func writeBaseline(t *testing.T, results []Result) string {
+	t.Helper()
+	data, err := json.Marshal(File{Benchmarks: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDiffGate(t *testing.T) {
+	base := writeBaseline(t, []Result{
+		{Name: "SimStepDenseRCA8", NsOp: 1000},
+		{Name: "Fig8/RCA8", NsOp: 100e6},
+		{Name: "EvaluateBatch", NsOp: 500}, // outside the filter
+	})
+	filter := "^(SimStep|Fig8)"
+
+	// Within threshold, plus an ungated bench regressing wildly, plus a
+	// brand-new gated bench: all pass.
+	fresh := []Result{
+		{Name: "SimStepDenseRCA8", NsOp: 1100},
+		{Name: "Fig8/RCA8", NsOp: 90e6},
+		{Name: "EvaluateBatch", NsOp: 5000},
+		{Name: "SimStepWordRCA8", NsOp: 7000},
+	}
+	var report bytes.Buffer
+	if err := Diff(&report, base, fresh, filter, 0.20); err != nil {
+		t.Fatalf("within-threshold diff failed: %v", err)
+	}
+	if out := report.String(); !strings.Contains(out, "not gated") || !strings.Contains(out, "no gated regressions") {
+		t.Fatalf("diff report:\n%s", out)
+	}
+
+	// A gated benchmark beyond the threshold fails.
+	fresh[0].NsOp = 1300
+	report.Reset()
+	err := Diff(&report, base, fresh, filter, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "SimStepDenseRCA8") {
+		t.Fatalf("regression not flagged: %v", err)
+	}
+	if !strings.Contains(report.String(), "REGRESSED") {
+		t.Fatalf("diff report:\n%s", report.String())
+	}
+
+	// A gated baseline benchmark missing from the fresh run fails too.
+	fresh[0] = Result{Name: "Other", NsOp: 1}
+	err = Diff(io.Discard, base, fresh, filter, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing benchmark not flagged: %v", err)
+	}
+}
+
+func TestBestSamples(t *testing.T) {
+	rs := BestSamples([]Result{
+		{Name: "A", NsOp: 300},
+		{Name: "B", NsOp: 10},
+		{Name: "A", NsOp: 100},
+		{Name: "A", NsOp: 200},
+	})
+	if len(rs) != 2 {
+		t.Fatalf("collapsed to %d results, want 2", len(rs))
+	}
+	if rs[0].Name != "A" || rs[0].NsOp != 100 {
+		t.Fatalf("best A sample: %+v", rs[0])
+	}
+	if rs[1].Name != "B" || rs[1].NsOp != 10 {
+		t.Fatalf("order not preserved: %+v", rs[1])
+	}
+}
+
+func TestDiffBadInputs(t *testing.T) {
+	if err := Diff(io.Discard, "does-not-exist.json", nil, ".", 0.2); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	base := writeBaseline(t, nil)
+	if err := Diff(io.Discard, base, nil, "(", 0.2); err == nil {
+		t.Fatal("bad filter regex accepted")
 	}
 }

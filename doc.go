@@ -2,9 +2,11 @@
 // for Error-Resilient Applications" (Ragavan, Barrois, Killian, Sentieys —
 // DATE 2017) as a self-contained Go library: gate-level adder generators,
 // a 28nm-FDSOI-like timing/energy model, an event-driven VOS timing
-// simulator, the paper's statistical carry-chain operator model, a
-// characterization flow regenerating every table and figure, a dynamic
-// triad-speculation governor, and error-resilient application kernels.
+// simulator with a 64-lane word-parallel core (64 patterns per event
+// wave, bit-identical to the scalar reference), the paper's statistical
+// carry-chain operator model, a characterization flow regenerating every
+// table and figure, a dynamic triad-speculation governor, and
+// error-resilient application kernels.
 //
 // See README.md for the layout and DESIGN.md for the system inventory;
 // bench_test.go regenerates each experiment (go test -bench=.).

@@ -9,6 +9,7 @@ package charz
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 
@@ -342,6 +343,24 @@ func newStepper(nl *netlist.Netlist, cfg Config, tr triad.Triad) (sim.Stepper, e
 	}
 }
 
+// NewWordStepper builds the 64-lane pattern-parallel engine for one
+// operating point, when the configured backend supports it: the gate
+// backend's two-vector protocol has data-independent event schedules, so
+// 64 patterns share one event wave. Streaming capture (temporally serial)
+// and the RC backend (per-pattern analog state) return nil: callers fall
+// back to the scalar Stepper loop.
+func (p *Prepared) NewWordStepper(tr triad.Triad) (sim.WordStepper, error) {
+	if p.Config.Backend != BackendGate || p.Config.Streaming || wordPathDisabled {
+		return nil, nil
+	}
+	return sim.NewWord(p.Netlist, p.Config.Lib, *p.Config.Proc, tr.OperatingPoint()), nil
+}
+
+// wordPathDisabled forces the scalar reference loop for the gate backend;
+// the cross-check tests flip it to prove the word path changes nothing
+// but speed.
+var wordPathDisabled bool
+
 // batchReference computes the zero-delay reference word (sum plus
 // carry-out) for every stimulus pair through the netlist itself,
 // netlist.BatchLanes vectors per bit-sliced EvaluateBatch pass. Using the
@@ -386,12 +405,19 @@ func batchReference(nl *netlist.Netlist, width int, as, bs []uint64) ([]uint64, 
 	return want, nil
 }
 
-// sweepTriad runs the stimulus set through one triad. Everything
-// per-vector is hoisted out of the pattern loop — or out of the sweep
-// entirely: the stimulus pairs and their bit-sliced batch references are
-// shared across all triads, the port bindings are compiled once, and the
-// dense step path reuses the engine's result buffers, so the loop itself
-// allocates nothing.
+// sweepTriad runs the stimulus set through one triad in word-sized chunks
+// of sim.WordLanes patterns. The gate backend's two-vector protocol rides
+// the 64-lane word engine — one event wave per 64 patterns — while
+// streaming capture and the RC backend step the scalar engine inside the
+// same chunked loop. Either way the chunk's captured outputs land in
+// bit-sliced lane words and are folded into the error statistics with
+// metrics.AddLanes, without unpacking to per-pattern scalars.
+//
+// Everything per-vector is hoisted out of the pattern loop — or out of
+// the sweep entirely: the stimulus pairs and their bit-sliced batch
+// references are shared across all triads, the port/lane bindings are
+// compiled once, and both step paths reuse the engine's result buffers,
+// so the loop itself allocates nothing.
 func (p *Prepared) sweepTriad(tr triad.Triad) (*TriadResult, error) {
 	nl, cfg := p.Netlist, p.Config
 	if err := tr.Validate(); err != nil {
@@ -401,42 +427,92 @@ func (p *Prepared) sweepTriad(tr triad.Triad) (*TriadResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	stepper, err := newStepper(nl, cfg, tr)
+	psum, _ := nl.OutputPort(synth.PortSum)
+	pcout, _ := nl.OutputPort(synth.PortCout)
+	// The accumulator's bit order is sum LSB-first, then carry-out — the
+	// same packing as the batch reference words.
+	outNets := make([]netlist.NetID, 0, cfg.Width+1)
+	outNets = append(outNets, psum.Bits...)
+	outNets = append(outNets, pcout.Bits...)
+	acc := metrics.NewErrorAccumulator(len(outNets))
+	var energy metrics.EnergyAccumulator
+	late := 0
+	gotBits := make([]uint64, len(outNets))
+
+	words, err := p.NewWordStepper(tr)
 	if err != nil {
 		return nil, err
 	}
-	streamer, _ := stepper.(sim.StreamStepper)
-	if cfg.Streaming && streamer == nil {
-		return nil, fmt.Errorf("charz: %v backend cannot stream", cfg.Backend)
-	}
-	st := netlist.CompileStimulus(nl)
-	slotA, slotB := st.MustSlot(synth.PortA), st.MustSlot(synth.PortB)
-	if err := stepper.ResetDense(st.Values()); err != nil {
-		return nil, err
-	}
-	psum, _ := nl.OutputPort(synth.PortSum)
-	pcout, _ := nl.OutputPort(synth.PortCout)
-	acc := metrics.NewErrorAccumulator(cfg.Width + 1)
-	var energy metrics.EnergyAccumulator
-	late := 0
-	for i := 0; i < cfg.Patterns; i++ {
-		st.SetSlot(slotA, as[i])
-		st.SetSlot(slotB, bs[i])
-		var res *sim.Result
-		if cfg.Streaming {
-			res, err = streamer.StreamStepDense(st.Values(), tr.Tclk)
-		} else {
-			res, err = stepper.StepDense(st.Values(), tr.Tclk)
+	var chunk func(base, n int) error
+	if words != nil {
+		step := newLaneStimulus(nl, as, bs)
+		chunk = func(base, n int) error {
+			prevW, curW := step.images(base, n)
+			wres, err := words.StepWordChunk(prevW, curW, tr.Tclk)
+			if err != nil {
+				return err
+			}
+			for i, id := range outNets {
+				gotBits[i] = wres.CapturedW[id]
+			}
+			for k := 0; k < n; k++ {
+				energy.Add(wres.EnergyFJ[k])
+			}
+			late += bits.OnesCount64(wres.LateW & laneMask(n))
+			return nil
 		}
+	} else {
+		stepper, err := newStepper(nl, cfg, tr)
 		if err != nil {
 			return nil, err
 		}
-		got := netlist.PortValue(psum, res.Captured) |
-			netlist.PortValue(pcout, res.Captured)<<uint(cfg.Width)
-		acc.Add(want[i], got)
-		energy.Add(res.EnergyFJ)
-		if res.Late {
-			late++
+		streamer, _ := stepper.(sim.StreamStepper)
+		if cfg.Streaming && streamer == nil {
+			return nil, fmt.Errorf("charz: %v backend cannot stream", cfg.Backend)
+		}
+		st := netlist.CompileStimulus(nl)
+		slotA, slotB := st.MustSlot(synth.PortA), st.MustSlot(synth.PortB)
+		if err := stepper.ResetDense(st.Values()); err != nil {
+			return nil, err
+		}
+		chunk = func(base, n int) error {
+			for i := range gotBits {
+				gotBits[i] = 0
+			}
+			for k := 0; k < n; k++ {
+				st.SetSlot(slotA, as[base+k])
+				st.SetSlot(slotB, bs[base+k])
+				var res *sim.Result
+				var err error
+				if cfg.Streaming {
+					res, err = streamer.StreamStepDense(st.Values(), tr.Tclk)
+				} else {
+					res, err = stepper.StepDense(st.Values(), tr.Tclk)
+				}
+				if err != nil {
+					return err
+				}
+				for i, id := range outNets {
+					gotBits[i] |= uint64(res.Captured[id]&1) << uint(k)
+				}
+				energy.Add(res.EnergyFJ)
+				if res.Late {
+					late++
+				}
+			}
+			return nil
+		}
+	}
+	for base := 0; base < cfg.Patterns; base += sim.WordLanes {
+		n := cfg.Patterns - base
+		if n > sim.WordLanes {
+			n = sim.WordLanes
+		}
+		if err := chunk(base, n); err != nil {
+			return nil, err
+		}
+		if err := acc.AddLanes(want[base:base+n], gotBits); err != nil {
+			return nil, err
 		}
 	}
 	return &TriadResult{
@@ -445,6 +521,71 @@ func (p *Prepared) sweepTriad(tr triad.Triad) (*TriadResult, error) {
 		EnergyPerOpFJ: energy.MeanFJ(),
 		LateFraction:  float64(late) / float64(cfg.Patterns),
 	}, nil
+}
+
+// laneMask selects the low n of 64 lanes.
+func laneMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// laneStimulus assembles the word engine's per-chunk input images from
+// the operand streams: bit k of curW[id] is net id's value under pattern
+// base+k, and prevW carries each lane's predecessor pattern — lane 0's
+// predecessor being the previous chunk's last pattern (or the all-zero
+// reset state for the first chunk), so the chunked word sweep replays
+// exactly the scalar protocol's settled-state chaining.
+type laneStimulus struct {
+	nl      *netlist.Netlist
+	pa, pb  netlist.Port
+	as, bs  []uint64
+	prevW   []uint64
+	curW    []uint64
+	lastBit []uint64 // per input net: the previous chunk's lane-63 value
+}
+
+func newLaneStimulus(nl *netlist.Netlist, as, bs []uint64) *laneStimulus {
+	pa, _ := nl.InputPort(synth.PortA)
+	pb, _ := nl.InputPort(synth.PortB)
+	return &laneStimulus{
+		nl: nl, pa: pa, pb: pb, as: as, bs: bs,
+		prevW:   make([]uint64, nl.NumNets()),
+		curW:    make([]uint64, nl.NumNets()),
+		lastBit: make([]uint64, nl.NumNets()),
+	}
+}
+
+// images builds the (prev, cur) lane images for the chunk starting at
+// base with n active lanes: one 64×64 bit transpose per operand turns the
+// pattern-indexed words into bit-indexed lane words (per-bit scattering
+// was the sweep's top profile entry). Ragged chunks leave lanes ≥ n equal
+// in both images (inert: no events, leakage-only energy, ignored by the
+// caller).
+func (s *laneStimulus) images(base, n int) (prevW, curW []uint64) {
+	var ta, tb [64]uint64
+	copy(ta[:], s.as[base:base+n])
+	copy(tb[:], s.bs[base:base+n])
+	metrics.Transpose64(&ta) // ta[i]: bit i of every pattern in the chunk
+	metrics.Transpose64(&tb)
+	for i, id := range s.pa.Bits {
+		s.curW[id] = ta[i]
+	}
+	for i, id := range s.pb.Bits {
+		s.curW[id] = tb[i]
+	}
+	lm := laneMask(n)
+	for _, port := range s.nl.Inputs {
+		for _, id := range port.Bits {
+			cw := s.curW[id]
+			// Lane k's predecessor is lane k-1's current vector; lane 0
+			// chains from the previous chunk.
+			s.prevW[id] = (cw<<1 | s.lastBit[id]) & lm
+			s.lastBit[id] = cw >> 63 // consumed only after full chunks
+		}
+	}
+	return s.prevW, s.curW
 }
 
 // SortedIndices returns triad indices in the paper's Fig. 8 x-axis order:

@@ -1,0 +1,126 @@
+package charz
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/triad"
+)
+
+// runBothPaths characterizes cfg twice — once on the default word-parallel
+// path, once with the scalar reference loop forced — and requires
+// bit-identical triad results: same error-statistics snapshots, same
+// energy bits, same late fractions.
+func runBothPaths(t *testing.T, cfg Config) {
+	t.Helper()
+	if wordPathDisabled {
+		t.Fatal("wordPathDisabled left set by another test")
+	}
+	word, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wordPathDisabled = true
+	defer func() { wordPathDisabled = false }()
+	scalar, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(word.Triads) != len(scalar.Triads) {
+		t.Fatalf("triad counts: word %d scalar %d", len(word.Triads), len(scalar.Triads))
+	}
+	for i := range word.Triads {
+		w, s := &word.Triads[i], &scalar.Triads[i]
+		if !reflect.DeepEqual(w.Acc.Snapshot(), s.Acc.Snapshot()) {
+			t.Errorf("%s: error stats diverged\nword:   %+v\nscalar: %+v",
+				w.Triad.Label(), w.Acc.Snapshot(), s.Acc.Snapshot())
+		}
+		if math.Float64bits(w.EnergyPerOpFJ) != math.Float64bits(s.EnergyPerOpFJ) {
+			t.Errorf("%s: energy diverged: word %v scalar %v",
+				w.Triad.Label(), w.EnergyPerOpFJ, s.EnergyPerOpFJ)
+		}
+		if w.LateFraction != s.LateFraction {
+			t.Errorf("%s: late fraction diverged: word %v scalar %v",
+				w.Triad.Label(), w.LateFraction, s.LateFraction)
+		}
+	}
+}
+
+// speculativeTriads is a (Vdd, Tclk) grid around and beyond the paper's
+// most aggressive operating points: every regime from error-free to
+// capture-mid-wave, where per-lane late events and glitch energy differ
+// pattern by pattern.
+func speculativeTriads(cp float64) []triad.Triad {
+	var set []triad.Triad
+	for _, tclk := range []float64{cp * 1.05, cp * 0.6, cp * 0.3, cp * 0.12} {
+		for _, vdd := range []float64{1.0, 0.7, 0.5} {
+			set = append(set, triad.Triad{Tclk: tclk, Vdd: vdd, Vbb: 0})
+		}
+		set = append(set, triad.Triad{Tclk: tclk, Vdd: 0.45, Vbb: 2})
+	}
+	return set
+}
+
+// TestWordPathMatchesScalarPath is the flow-level half of the word-parity
+// argument: the full characterization — stimulus chaining across chunks,
+// ragged final chunk (patterns not a multiple of 64), lane-accumulated
+// statistics — must be bit-identical between the word engine and the
+// scalar reference loop, for both adder architectures across a
+// speculative triad grid.
+func TestWordPathMatchesScalarPath(t *testing.T) {
+	for _, arch := range []synth.Arch{synth.ArchRCA, synth.ArchBKA} {
+		cfg := Config{
+			Arch:     arch,
+			Width:    8,
+			Patterns: 201, // 3 full chunks + ragged 9-lane tail
+			Seed:     23,
+			Triads:   speculativeTriads(0.30),
+		}
+		runBothPaths(t, cfg)
+	}
+}
+
+// TestWordPathSubChunkSweep covers sweeps smaller than one chunk, where
+// the very first (and only) chunk is ragged and chains from the reset
+// state.
+func TestWordPathSubChunkSweep(t *testing.T) {
+	cfg := Config{
+		Arch:     synth.ArchRCA,
+		Width:    4,
+		Patterns: 37,
+		Seed:     5,
+		Triads:   speculativeTriads(0.16),
+	}
+	runBothPaths(t, cfg)
+}
+
+// TestWordStepperSelection pins which configurations get the word path:
+// the gate backend's two-vector protocol does; streaming capture and the
+// RC backend fall back to the scalar loop (their chunked accumulation is
+// covered by the golden parity suite).
+func TestWordStepperSelection(t *testing.T) {
+	tr := triad.Triad{Tclk: 0.3, Vdd: 1.0}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		want bool
+	}{
+		{"gate", Config{Arch: synth.ArchRCA, Width: 4, Patterns: 10, Seed: 1}, true},
+		{"gate-stream", Config{Arch: synth.ArchRCA, Width: 4, Patterns: 10, Seed: 1, Streaming: true}, false},
+		{"rc", Config{Arch: synth.ArchRCA, Width: 4, Patterns: 10, Seed: 1, Backend: BackendRC}, false},
+	} {
+		p, err := Prepare(tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := p.NewWordStepper(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (ws != nil) != tc.want {
+			t.Errorf("%s: word stepper = %v, want %v", tc.name, ws != nil, tc.want)
+		}
+	}
+}

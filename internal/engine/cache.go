@@ -26,7 +26,10 @@ import (
 //	   golden parity test, but entries computed by the old core must not
 //	   be served as equal keys for the new one: equality of keys has to
 //	   imply the exact code path, not a proof obligation.
-const keySchemaVersion = 2
+//	3: word-parallel core (64-lane bit-sliced event waves as the default
+//	   gate-backend path, lane-accumulated error statistics). Again proven
+//	   bit-identical by the golden parity suite, again keyed apart.
+const keySchemaVersion = 3
 
 // keyMaterial is the canonical content that identifies one operating-point
 // result. Everything that can change the simulator's output is in here —

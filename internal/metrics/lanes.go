@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Lanes is the observation parallelism of AddLanes: one uint64 lane word
+// carries one bit per pattern, matching the simulator's word-parallel
+// core (sim.WordLanes, netlist.BatchLanes).
+const Lanes = 64
+
+// Transpose64 transposes the 64×64 bit matrix held in x in place (after:
+// row k, bit i holds what row i, bit k held): the classic recursive
+// block-swap (Hacker's Delight 7-3), 6 rounds of masked exchanges instead
+// of 4096 single-bit moves. It converts between the two layouts the
+// word-parallel flow uses — per-pattern words (pattern-indexed rows) and
+// per-bit lane words (bit-position-indexed rows) — and is exported for
+// the characterization flow's lane-image assembly.
+func Transpose64(x *[64]uint64) {
+	for j := 32; j != 0; j >>= 1 {
+		// m selects the columns whose index has bit j clear (the low half
+		// of each 2j-wide block).
+		m := ^uint64(0) / (1<<uint(j) + 1)
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			// Swap the high-column bits of low row k with the low-column
+			// bits of high row k+j: (k, c+j) ↔ (k+j, c).
+			t := (x[k]>>uint(j) ^ x[k+j]) & m
+			x[k] ^= t << uint(j)
+			x[k+j] ^= t
+		}
+	}
+}
+
+// AddLanes records up to Lanes observations held in bit-sliced form: refs
+// carries the golden words pattern by pattern (len(refs) = n ≤ 64), and
+// got carries the observed values as one lane word per output bit
+// position (bit k of got[i] = output bit i under pattern k — exactly the
+// layout of the word simulator's captured image, so a characterization
+// sweep feeds it without unpacking). len(got) must equal the
+// accumulator's width.
+//
+// The bit-counting statistics (BER, WER, per-bit error probabilities,
+// Hamming) are accumulated lane-parallel — one popcount per output bit
+// per 64 patterns. The value statistics (MSE, SNR, weighted Hamming) need
+// per-pattern words, recovered with one 64×64 bit transpose and summed in
+// ascending pattern order with the identical floating-point operations as
+// n scalar Add calls — AddLanes is bit-for-bit interchangeable with the
+// scalar loop it replaces (for widths ≤ 53, where a word's weighted
+// distance is exactly representable; the simulator's outputs are ≤ 33
+// bits).
+func (a *ErrorAccumulator) AddLanes(refs []uint64, got []uint64) error {
+	n := len(refs)
+	if n == 0 {
+		return nil
+	}
+	if n > Lanes {
+		return fmt.Errorf("metrics: %d observations exceed %d lanes", n, Lanes)
+	}
+	if a.width > Lanes {
+		return fmt.Errorf("metrics: width %d exceeds the %d-bit lane transpose", a.width, Lanes)
+	}
+	if len(got) != a.width {
+		return fmt.Errorf("metrics: %d lane words for width %d", len(got), a.width)
+	}
+	laneMask := ^uint64(0)
+	if n < Lanes {
+		laneMask = uint64(1)<<uint(n) - 1
+	}
+	// Bit-sliced counting: diff the reference lane words against the
+	// observed ones, one word per output bit position.
+	var ref, gotW [64]uint64
+	copy(ref[:], refs)
+	Transpose64(&ref) // ref[i] now holds bit i of every pattern
+	var any uint64
+	var faulty uint64
+	for i := 0; i < a.width; i++ {
+		d := (ref[i] ^ got[i]) & laneMask
+		c := uint64(bits.OnesCount64(d))
+		a.perBit[i] += c
+		faulty += c
+		any |= d
+	}
+	a.faultyBits += faulty
+	a.hamming += faulty
+	a.faultyWord += uint64(bits.OnesCount64(any))
+	a.words += uint64(n)
+	// Per-pattern value statistics, in pattern order: recover the observed
+	// words by transposing the captured lane image.
+	copy(gotW[:], got)
+	Transpose64(&gotW) // gotW[k] now holds pattern k's observed word
+	m := mask(a.width)
+	for k := 0; k < n; k++ {
+		r, g := refs[k]&m, gotW[k]&m
+		// float64(r^g) == WeightedHamming(r, g, width) exactly: the diff
+		// word is an integer below 2^width ≤ 2^53.
+		a.weighted += float64(r ^ g)
+		a.sumSqErr += SquaredError(r, g)
+		s := float64(r)
+		a.sumSqSig += s * s
+	}
+	return nil
+}

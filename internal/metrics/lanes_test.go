@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// TestTranspose64 pins the transpose orientation: out[k] bit i == in[i]
+// bit k.
+func TestTranspose64(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	var x, orig [64]uint64
+	for i := range x {
+		x[i] = rng.Uint64()
+	}
+	orig = x
+	Transpose64(&x)
+	for i := 0; i < 64; i++ {
+		for k := 0; k < 64; k++ {
+			if x[k]>>uint(i)&1 != orig[i]>>uint(k)&1 {
+				t.Fatalf("transpose64: out[%d] bit %d != in[%d] bit %d", k, i, i, k)
+			}
+		}
+	}
+	// Involution: transposing twice restores the input.
+	Transpose64(&x)
+	if x != orig {
+		t.Fatal("transpose64 is not an involution")
+	}
+}
+
+// TestAddLanesMatchesAdd feeds identical observation streams through the
+// scalar Add loop and through chunked AddLanes (including ragged final
+// chunks) and requires byte-identical snapshots — the property that lets
+// the characterization flow switch to lane accumulation without
+// perturbing the golden parity results.
+func TestAddLanesMatchesAdd(t *testing.T) {
+	for _, tc := range []struct {
+		width, n int
+		errp     float64
+	}{
+		{9, 300, 0.3},   // parity-golden shape: 8-bit adder + carry, ragged tail
+		{17, 256, 0.05}, // 16-bit adder + carry, exact chunks
+		{33, 1000, 0.7}, // widest simulator output, dense errors
+		{5, 63, 1.0},    // sub-chunk stream, every word faulty
+	} {
+		rng := rand.New(rand.NewPCG(uint64(tc.width), uint64(tc.n)))
+		m := mask(tc.width)
+		refs := make([]uint64, tc.n)
+		gots := make([]uint64, tc.n)
+		for i := range refs {
+			refs[i] = rng.Uint64() & m
+			gots[i] = refs[i]
+			if rng.Float64() < tc.errp {
+				gots[i] ^= rng.Uint64() & m
+			}
+		}
+
+		scalar := NewErrorAccumulator(tc.width)
+		for i := range refs {
+			scalar.Add(refs[i], gots[i])
+		}
+
+		lanes := NewErrorAccumulator(tc.width)
+		got := make([]uint64, tc.width)
+		for base := 0; base < tc.n; base += Lanes {
+			n := tc.n - base
+			if n > Lanes {
+				n = Lanes
+			}
+			for i := range got {
+				got[i] = 0
+			}
+			for k := 0; k < n; k++ {
+				for i := 0; i < tc.width; i++ {
+					got[i] |= gots[base+k] >> uint(i) & 1 << uint(k)
+				}
+			}
+			if err := lanes.AddLanes(refs[base:base+n], got); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if s, l := scalar.Snapshot(), lanes.Snapshot(); !reflect.DeepEqual(s, l) {
+			t.Fatalf("width %d n %d: snapshots diverged\nscalar: %+v\nlanes:  %+v",
+				tc.width, tc.n, s, l)
+		}
+	}
+}
+
+// TestAddLanesValidation pins the error behavior.
+func TestAddLanesValidation(t *testing.T) {
+	a := NewErrorAccumulator(4)
+	if err := a.AddLanes(nil, nil); err != nil {
+		t.Fatalf("empty AddLanes: %v", err)
+	}
+	if err := a.AddLanes(make([]uint64, 65), make([]uint64, 4)); err == nil {
+		t.Fatal("oversized chunk accepted")
+	}
+	if err := a.AddLanes(make([]uint64, 3), make([]uint64, 5)); err == nil {
+		t.Fatal("wrong lane-word count accepted")
+	}
+	wide := NewErrorAccumulator(70)
+	if err := wide.AddLanes(make([]uint64, 3), make([]uint64, 70)); err == nil {
+		t.Fatal("width beyond the 64-bit transpose accepted")
+	}
+	if a.Words() != 0 {
+		t.Fatal("failed AddLanes mutated the accumulator")
+	}
+}

@@ -22,7 +22,6 @@
 package rcsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -43,23 +42,58 @@ type crossEvent struct {
 	gen  uint32 // generation: stale events are ignored
 }
 
+// crossQueue is a typed binary min-heap over (time, seq) — the direct
+// replacement for container/heap, whose interface plumbing boxed every
+// pushed and popped crossEvent into an allocation. (time, seq) is a
+// strict total order, so the pop sequence — and therefore every captured
+// word and energy figure — is identical to the interface heap's.
 type crossQueue []crossEvent
 
-func (q crossQueue) Len() int { return len(q) }
-func (q crossQueue) Less(i, j int) bool {
+func (q crossQueue) less(i, j int) bool {
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time
 	}
 	return q[i].seq < q[j].seq
 }
-func (q crossQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *crossQueue) Push(x any)   { *q = append(*q, x.(crossEvent)) }
-func (q *crossQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+func (q *crossQueue) push(ev crossEvent) {
+	h := append(*q, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	*q = h
+}
+
+func (q *crossQueue) pop() crossEvent {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(l, min) {
+			min = l
+		}
+		if r < n && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	*q = h
+	return top
 }
 
 // Engine simulates one netlist at one operating point with RC
@@ -238,7 +272,7 @@ func (e *Engine) retarget(gi netlist.GateID, newTarget uint8, t float64) {
 		}
 	}
 	e.seq++
-	heap.Push(&e.queue, crossEvent{time: t + dt, seq: e.seq, net: out, gen: e.gen[out]})
+	e.queue.push(crossEvent{time: t + dt, seq: e.seq, net: out, gen: e.gen[out]})
 }
 
 // propagate recomputes every fanout gate of net id after its binary state
@@ -246,6 +280,22 @@ func (e *Engine) retarget(gi netlist.GateID, newTarget uint8, t float64) {
 func (e *Engine) propagate(id netlist.NetID, t float64) {
 	for _, gi := range e.nl.Fanouts(id) {
 		e.retarget(gi, e.eval(gi), t)
+	}
+}
+
+// capture binarizes every net's analytic voltage at time t into the
+// engine-owned captured buffer.
+func (e *Engine) capture(t float64) {
+	if cap(e.capturedBuf) < len(e.binary) {
+		e.capturedBuf = make([]uint8, len(e.binary))
+	}
+	e.res.Captured = e.capturedBuf[:len(e.binary)]
+	for id := range e.res.Captured {
+		if e.voltage(netlist.NetID(id), t) >= 0.5 {
+			e.res.Captured[id] = 1
+		} else {
+			e.res.Captured[id] = 0
+		}
 	}
 }
 
@@ -289,27 +339,14 @@ func (e *Engine) StepDense(values []uint8, tclk float64) (*Result, error) {
 	res := &e.res
 	res.Captured, res.Settled, res.EnergyFJ, res.Late = nil, nil, 0, false
 	captured := false
-	capture := func(t float64) {
-		if cap(e.capturedBuf) < len(e.binary) {
-			e.capturedBuf = make([]uint8, len(e.binary))
-		}
-		res.Captured = e.capturedBuf[:len(e.binary)]
-		for id := range res.Captured {
-			if e.voltage(netlist.NetID(id), t) >= 0.5 {
-				res.Captured[id] = 1
-			} else {
-				res.Captured[id] = 0
-			}
-		}
-		captured = true
-	}
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(crossEvent)
+	for len(e.queue) > 0 {
+		ev := e.queue.pop()
 		if ev.gen != e.gen[ev.net] {
 			continue // stale: the trajectory was retargeted
 		}
 		if !captured && ev.time > tclk {
-			capture(tclk)
+			e.capture(tclk)
+			captured = true
 		}
 		e.now = ev.time
 		if ev.time > tclk {
@@ -320,7 +357,7 @@ func (e *Engine) StepDense(values []uint8, tclk float64) (*Result, error) {
 		e.propagate(ev.net, ev.time)
 	}
 	if !captured {
-		capture(tclk)
+		e.capture(tclk)
 	}
 	// Quiescence: every net ends on its target rail; charge the final
 	// segments.

@@ -1,24 +1,21 @@
 package sim
 
-import (
-	"math"
+import "math"
 
-	"repro/internal/netlist"
-)
-
-// event is one scheduled output change. It is kept at 24 bytes — the
-// queue's cost is cache traffic, not arithmetic. The bucket index is not
-// stored: int64(time*inv) is a pure function of the stored time, so push
-// and pop recompute the identical value.
-type event struct {
-	time  float64
-	seq   uint64 // tie-break so equal-time events fire in schedule order
-	gate  netlist.GateID
-	value uint8
+// qev is one scheduled event: a (time, seq) ordering key plus an engine
+// payload. The queue's cost is cache traffic, not arithmetic, so payloads
+// stay small: the scalar engine's gateValue keeps the event at 24 bytes,
+// the word engine's gateWord at 32. The bucket index is not stored:
+// int64(time*inv) is a pure function of the stored time, so push and pop
+// recompute the identical value.
+type qev[P any] struct {
+	time    float64
+	seq     uint64 // tie-break so equal-time events fire in schedule order
+	payload P
 }
 
 // before is the queue's total order: strictly (time, seq).
-func (x *event) before(y *event) bool {
+func (x *qev[P]) before(y *qev[P]) bool {
 	if x.time != y.time {
 		return x.time < y.time
 	}
@@ -26,27 +23,29 @@ func (x *event) before(y *event) bool {
 }
 
 // bucket is one ring slot: a slice consumed from head after a lazy sort.
-type bucket struct {
-	evs    []event
+type bucket[P any] struct {
+	evs    []qev[P]
 	head   int
 	sorted bool
 }
 
-// calQueue is a bucketed time-wheel (calendar) event queue. Pending event
-// times always span at most one maximum gate delay (events are scheduled
-// at now+delay and popped in time order), so a power-of-two ring covering
-// ⌈maxDelay/width⌉+2 buckets holds every in-flight event; push appends to
-// the bucket floor(time/width) masked into the ring. When the cursor
-// reaches a bucket it is sorted once by (time, seq) — buckets whose events
-// arrived already ordered, notably a wave of simultaneous events pushed in
-// seq order, skip the sort entirely — and consumed sequentially. Pushes
-// are branch-predictable appends; there is no heap sift traffic.
+// calQueue is a bucketed time-wheel (calendar) event queue, generic over
+// the event payload so the scalar and the 64-lane word engine share one
+// implementation with no boxing and no comparator indirection. Pending
+// event times always span at most one maximum gate delay (events are
+// scheduled at now+delay and popped in time order), so a power-of-two ring
+// covering ⌈maxDelay/width⌉+2 buckets holds every in-flight event; push
+// appends to the bucket floor(time/width) masked into the ring. When the
+// cursor reaches a bucket it is sorted once by (time, seq) — buckets whose
+// events arrived already ordered, notably a wave of simultaneous events
+// pushed in seq order, skip the sort entirely — and consumed sequentially.
+// Pushes are branch-predictable appends; there is no heap sift traffic.
 //
 // Ordering is identical to the heap it replaces: the strict (time, seq)
 // minimum is returned, so event schedules — and therefore captured words,
 // energies and statistics — are bit-identical to the pre-calendar core.
-type calQueue struct {
-	buckets []bucket
+type calQueue[P any] struct {
+	buckets []bucket[P]
 	mask    int64 // len(buckets)-1; the ring length is a power of two
 	width   float64
 	inv     float64 // 1/width: pushes multiply instead of divide
@@ -67,7 +66,14 @@ const maxCalBuckets = 4096
 // smallest positive gate delay: with width ≤ minDelay, an event pushed
 // while a bucket is being consumed can never land in that same bucket,
 // which keeps the lazy sort a once-per-revolution affair.
-func (q *calQueue) init(minDelay, maxDelay float64) {
+//
+// fineness divides the bucket width below that baseline: the word engine
+// carries ~64× the scalar engine's event density, and narrower buckets
+// keep per-bucket populations inside the cheap nearly-sorted
+// insertion-sort regime. Any fineness ≥ 1 is correct (the no-push-into-
+// consumed-bucket margin only tightens); it is purely a sort-granularity
+// knob.
+func (q *calQueue[P]) init(minDelay, maxDelay float64, fineness float64) {
 	if minDelay <= 0 || math.IsInf(minDelay, 0) || maxDelay <= 0 {
 		// Degenerate netlists (no gates, or all zero delays): any ring works
 		// because every event lands in the cursor's bucket.
@@ -76,11 +82,11 @@ func (q *calQueue) init(minDelay, maxDelay float64) {
 		q.grow(4)
 		return
 	}
-	// Target width: half the minimum delay. Besides spreading simultaneous
-	// wave generations over more buckets (smaller sorts), the full-bucket
-	// margin guarantees a push can never land in the bucket being consumed,
-	// even at floating-point boundaries.
-	target := minDelay / 2
+	// Baseline target width: half the minimum delay. Besides spreading
+	// simultaneous wave generations over more buckets (smaller sorts), the
+	// full-bucket margin guarantees a push can never land in the bucket
+	// being consumed, even at floating-point boundaries.
+	target := minDelay / (2 * fineness)
 	need := int(math.Ceil(maxDelay/target)) + 2
 	nb := 4
 	for nb < need && nb < maxCalBuckets {
@@ -95,14 +101,14 @@ func (q *calQueue) init(minDelay, maxDelay float64) {
 }
 
 // grow installs a fresh power-of-two ring of nb buckets.
-func (q *calQueue) grow(nb int) {
-	q.buckets = make([]bucket, nb)
+func (q *calQueue[P]) grow(nb int) {
+	q.buckets = make([]bucket[P], nb)
 	q.mask = int64(nb - 1)
 	q.curSlot = q.curIdx & q.mask
 }
 
 // clear discards all pending events, keeping bucket capacity.
-func (q *calQueue) clear() {
+func (q *calQueue[P]) clear() {
 	for i := range q.buckets {
 		b := &q.buckets[i]
 		b.evs, b.head, b.sorted = b.evs[:0], 0, true
@@ -112,14 +118,14 @@ func (q *calQueue) clear() {
 	q.curSlot = 0
 }
 
-func (q *calQueue) len() int { return q.count }
+func (q *calQueue[P]) len() int { return q.count }
 
 // push schedules ev. The bucket index is int64(time*inv) — a pure function
 // of the stored time (non-negative, so integer truncation is floor) — and
 // pop qualification recomputes the identical expression, so placement and
 // qualification can never disagree through floating-point boundary
 // rounding.
-func (q *calQueue) push(ev event) {
+func (q *calQueue[P]) push(ev qev[P]) {
 	idx := int64(ev.time * q.inv)
 	if q.count == 0 || idx < q.curIdx {
 		q.curIdx = idx
@@ -141,7 +147,7 @@ func (q *calQueue) push(ev event) {
 }
 
 // regrow widens the ring until idx fits alongside the current cursor.
-func (q *calQueue) regrow(idx int64) {
+func (q *calQueue[P]) regrow(idx int64) {
 	nb := len(q.buckets)
 	for idx-q.curIdx >= int64(nb) {
 		nb *= 2
@@ -161,7 +167,7 @@ func (q *calQueue) regrow(idx int64) {
 
 // advance resets the exhausted or foreign current bucket state and moves
 // the cursor one bucket forward.
-func (q *calQueue) advance(b *bucket) {
+func (q *calQueue[P]) advance(b *bucket[P]) {
 	if b.head >= len(b.evs) {
 		b.evs, b.head, b.sorted = b.evs[:0], 0, true
 	} else {
@@ -175,9 +181,10 @@ func (q *calQueue) advance(b *bucket) {
 }
 
 // popMin removes and returns the (time, seq)-minimal pending event.
-func (q *calQueue) popMin() (event, bool) {
+func (q *calQueue[P]) popMin() (qev[P], bool) {
 	if q.count == 0 {
-		return event{}, false
+		var zero qev[P]
+		return zero, false
 	}
 	for {
 		b := &q.buckets[q.curSlot]
@@ -206,9 +213,10 @@ func (q *calQueue) popMin() (event, bool) {
 // so smaller idx can never follow larger time. Advancing past buckets that
 // hold only future-revolution events is sound — their idx exceeds the
 // cursor, so they are revisited on a later revolution.
-func (q *calQueue) popIfBefore(bound float64) (event, bool) {
+func (q *calQueue[P]) popIfBefore(bound float64) (qev[P], bool) {
 	if q.count == 0 {
-		return event{}, false
+		var zero qev[P]
+		return zero, false
 	}
 	for {
 		b := &q.buckets[q.curSlot]
@@ -226,7 +234,8 @@ func (q *calQueue) popIfBefore(bound float64) (event, bool) {
 			continue
 		}
 		if ev.time > bound {
-			return event{}, false
+			var zero qev[P]
+			return zero, false
 		}
 		b.head++
 		q.count--
@@ -238,7 +247,7 @@ func (q *calQueue) popIfBefore(bound float64) (event, bool) {
 // no comparator indirection. Small runs use insertion sort; larger ones
 // quicksort on a median-of-three pivot. Any correct sort yields the same
 // order: (time, seq) is total.
-func sortEvents(evs []event) {
+func sortEvents[P any](evs []qev[P]) {
 	for len(evs) > 20 {
 		lo, hi := 0, len(evs)-1
 		mid := lo + (hi-lo)/2

@@ -18,16 +18,39 @@
 // engine's result buffers so a characterization sweep allocates nothing per
 // vector. The map-based Reset/Step/StreamStep remain as thin compatibility
 // wrappers.
+//
+// # The word-parallel core
+//
+// At a fixed operating point every gate delay is data-independent, so the
+// classic parallel-pattern single-delay trick applies: WordEngine carries
+// a 64-lane bit-sliced []uint64 net image (lane k of every word belongs
+// to pattern k) through the same event schedule. A gate is re-evaluated
+// across all 64 lanes with one cell.Kind.EvalWord call, an event fires
+// when any lane changes (old ^ new != 0), and per-lane energy, late flags
+// and transition counts are attributed from the changed-lane mask. Lane
+// k's event times, captured values and energy sums are bit-identical to a
+// scalar run of pattern k (the golden parity suite and the randomized
+// cross-checks enforce this): lanes only ever share work, never semantics.
+// The scalar dense engine remains as the reference implementation and as
+// the backend of the streaming protocol, which is temporally serial (each
+// vector launches into the unsettled wake of the previous one) and
+// therefore cannot be pattern-parallelized.
 package sim
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/cell"
 	"repro/internal/fdsoi"
 	"repro/internal/netlist"
 )
+
+// gateValue is the scalar engine's event payload: one scheduled output
+// change. The full event (qev[gateValue]) is kept at 24 bytes.
+type gateValue struct {
+	gate  netlist.GateID
+	value uint8
+}
 
 // Engine simulates one netlist at one fixed operating point. It is not
 // safe for concurrent use; characterization sweeps run one Engine per
@@ -38,30 +61,16 @@ type Engine struct {
 	proc fdsoi.Params
 	op   fdsoi.OperatingPoint
 
-	gateDelay  []float64 // ns per gate at op
-	gateEnergy []float64 // fJ per output transition at op
-	leakPower  float64   // µW at op
-
-	// Flattened per-gate tables: the event loop touches only these dense
-	// arrays, never the netlist's slice-of-slice structures. Gates with
-	// fewer than three inputs repeat in0, and tt holds the gate's 8-entry
-	// truth table (bit a|b<<1|c<<2), so re-evaluation is one shift-and-mask
-	// with no switch.
-	tt            []uint8
-	in0, in1, in2 []netlist.NetID
-	gateOut       []netlist.NetID
-	// Fanouts in CSR form: net id's consumers are foList[foOff[id]:foOff[id+1]].
-	foOff  []int32
-	foList []netlist.GateID
+	// tables holds the compiled per-gate/per-net dense arrays (delays,
+	// energies, truth tables, CSR fanouts), shared with WordEngine.
+	*tables
 
 	value     []uint8 // current net values
 	scheduled []uint8 // per gate: last scheduled output value
-	queue     calQueue
+	queue     calQueue[gateValue]
 	seq       uint64
 	now       float64
 
-	inputNets          []netlist.NetID
-	inputEnergy        []float64 // per net (indexed by NetID): fJ per input toggle at op
 	pendingInputEnergy float64
 
 	// scratch backs the map-based compatibility wrappers: the assignment
@@ -90,7 +99,9 @@ func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
 
 // Stats accumulates simulation activity.
 type Stats struct {
-	// Transitions is the number of net value changes that fired.
+	// Transitions is the number of net value changes that fired. The word
+	// engine counts per-lane changes, so one fired word event contributes
+	// one transition per changed lane.
 	Transitions uint64
 	// LateTransitions is the subset that fired after the capture instant
 	// of their step (energy spent in the next cycle).
@@ -101,7 +112,11 @@ type Stats struct {
 	// LeakageEnergy is the integrated leakage (fJ) over the stepped clock
 	// periods.
 	LeakageEnergy float64
-	// Steps counts Step/StreamStep calls.
+	// Steps counts Step/StreamStep calls; the word engine counts WordLanes
+	// steps per chunk — including the inert tail lanes of a ragged final
+	// chunk, whose pure-leakage energy is likewise booked. Transition
+	// counts are exact per lane; Steps and LeakageEnergy are exact only
+	// for chunk-aligned sweeps.
 	Steps uint64
 }
 
@@ -112,72 +127,16 @@ func (s Stats) EnergyFJ() float64 { return s.DynamicEnergy + s.LeakageEnergy }
 // are precomputed once.
 func New(nl *netlist.Netlist, lib *cell.Library, proc fdsoi.Params, op fdsoi.OperatingPoint) *Engine {
 	e := &Engine{
-		nl:          nl,
-		lib:         lib,
-		proc:        proc,
-		op:          op,
-		gateDelay:   make([]float64, nl.NumGates()),
-		gateEnergy:  make([]float64, nl.NumGates()),
-		value:       make([]uint8, nl.NumNets()),
-		scheduled:   make([]uint8, nl.NumGates()),
-		inputEnergy: make([]float64, nl.NumNets()),
-		scratch:     make([]uint8, nl.NumNets()),
+		nl:        nl,
+		lib:       lib,
+		proc:      proc,
+		op:        op,
+		tables:    compileTables(nl, lib, proc, op),
+		value:     make([]uint8, nl.NumNets()),
+		scheduled: make([]uint8, nl.NumGates()),
+		scratch:   make([]uint8, nl.NumNets()),
 	}
-	e.tt = make([]uint8, nl.NumGates())
-	e.in0 = make([]netlist.NetID, nl.NumGates())
-	e.in1 = make([]netlist.NetID, nl.NumGates())
-	e.in2 = make([]netlist.NetID, nl.NumGates())
-	e.gateOut = make([]netlist.NetID, nl.NumGates())
-	dyn := proc.DynamicEnergyScale(op)
-	var leakNW float64
-	minDelay, maxDelay := math.Inf(1), 0.0
-	for gi := range nl.Gates {
-		g := &nl.Gates[gi]
-		c := lib.MustCell(g.Kind)
-		load := nl.NetLoad(lib, g.Output)
-		d := c.Delay(load) * proc.DelayScale(op, g.VtOffset)
-		e.gateDelay[gi] = d
-		e.gateEnergy[gi] = fdsoi.SwitchingEnergy(load, op.Vdd) + c.InternalEnergy*dyn
-		leakNW += c.Leakage
-		if d > 0 && d < minDelay {
-			minDelay = d
-		}
-		if d > maxDelay {
-			maxDelay = d
-		}
-		for m := uint8(0); m < 8; m++ {
-			bit := g.Kind.EvalWord(uint64(m&1), uint64(m>>1&1), uint64(m>>2&1)) & 1
-			e.tt[gi] |= uint8(bit) << m
-		}
-		e.gateOut[gi] = g.Output
-		e.in0[gi], e.in1[gi], e.in2[gi] = g.Inputs[0], g.Inputs[0], g.Inputs[0]
-		if len(g.Inputs) > 1 {
-			e.in1[gi] = g.Inputs[1]
-		}
-		if len(g.Inputs) > 2 {
-			e.in2[gi] = g.Inputs[2]
-		}
-	}
-	e.foOff = make([]int32, nl.NumNets()+1)
-	for id := 0; id < nl.NumNets(); id++ {
-		e.foOff[id+1] = e.foOff[id] + int32(len(nl.Fanouts(netlist.NetID(id))))
-	}
-	e.foList = make([]netlist.GateID, e.foOff[nl.NumNets()])
-	for id := 0; id < nl.NumNets(); id++ {
-		copy(e.foList[e.foOff[id]:], nl.Fanouts(netlist.NetID(id)))
-	}
-	e.queue.init(minDelay, maxDelay)
-	e.leakPower = leakNW / 1000 * proc.LeakageScale(op)
-	for _, p := range nl.Inputs {
-		e.inputNets = append(e.inputNets, p.Bits...)
-		for _, b := range p.Bits {
-			// The external driver charges the input pin capacitance on
-			// every stimulus edge; this keeps deep-VOS operating points
-			// (where no internal gate completes within Tclk) from
-			// reporting zero energy.
-			e.inputEnergy[b] = fdsoi.SwitchingEnergy(nl.NetLoad(lib, b), op.Vdd)
-		}
-	}
+	e.queue.init(e.minDelay, e.maxDelay, 1)
 	return e
 }
 
@@ -267,11 +226,10 @@ func (e *Engine) touch(gi netlist.GateID) {
 	}
 	e.scheduled[gi] = v
 	e.seq++
-	e.queue.push(event{
-		time:  e.now + e.gateDelay[gi],
-		seq:   e.seq,
-		gate:  gi,
-		value: v,
+	e.queue.push(qev[gateValue]{
+		time:    e.now + e.gateDelay[gi],
+		seq:     e.seq,
+		payload: gateValue{gate: gi, value: v},
 	})
 }
 
@@ -374,16 +332,16 @@ func (e *Engine) StepDense(values []uint8, tclk float64) (*Result, error) {
 			break
 		}
 		e.now = ev.time
-		out := e.gateOut[ev.gate]
-		if e.value[out] == ev.value {
+		out := e.gateOut[ev.payload.gate]
+		if e.value[out] == ev.payload.value {
 			continue
 		}
-		e.value[out] = ev.value
+		e.value[out] = ev.payload.value
 		e.stats.Transitions++
 		if e.tracer != nil {
-			e.tracer(ev.time, out, ev.value)
+			e.tracer(ev.time, out, ev.payload.value)
 		}
-		dynBefore += e.gateEnergy[ev.gate]
+		dynBefore += e.gateEnergy[ev.payload.gate]
 		for _, fo := range e.foList[e.foOff[out]:e.foOff[out+1]] {
 			e.touch(fo)
 		}
@@ -398,14 +356,14 @@ func (e *Engine) StepDense(values []uint8, tclk float64) (*Result, error) {
 			break
 		}
 		e.now = ev.time
-		out := e.gateOut[ev.gate]
-		if e.value[out] == ev.value {
+		out := e.gateOut[ev.payload.gate]
+		if e.value[out] == ev.payload.value {
 			continue
 		}
-		e.value[out] = ev.value
+		e.value[out] = ev.payload.value
 		e.stats.Transitions++
 		if e.tracer != nil {
-			e.tracer(ev.time, out, ev.value)
+			e.tracer(ev.time, out, ev.payload.value)
 		}
 		res.Late = true
 		e.stats.LateTransitions++
@@ -462,16 +420,16 @@ func (e *Engine) StreamStepDense(values []uint8, tclk float64) (*Result, error) 
 			break
 		}
 		e.now = ev.time
-		out := e.gateOut[ev.gate]
-		if e.value[out] == ev.value {
+		out := e.gateOut[ev.payload.gate]
+		if e.value[out] == ev.payload.value {
 			continue
 		}
-		e.value[out] = ev.value
+		e.value[out] = ev.payload.value
 		e.stats.Transitions++
 		if e.tracer != nil {
-			e.tracer(ev.time, out, ev.value)
+			e.tracer(ev.time, out, ev.payload.value)
 		}
-		dynBefore += e.gateEnergy[ev.gate]
+		dynBefore += e.gateEnergy[ev.payload.gate]
 		for _, fo := range e.foList[e.foOff[out]:e.foOff[out+1]] {
 			e.touch(fo)
 		}

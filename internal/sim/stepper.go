@@ -26,6 +26,19 @@ type StreamStepper interface {
 	StreamStepDense(values []uint8, tclk float64) (*Result, error)
 }
 
+// WordStepper is the 64-lane pattern-parallel seam: one call runs
+// WordLanes independent two-vector experiments, lane k settling on prev's
+// lane-k input bits and switching to cur's at t = 0. Backends whose event
+// schedules are data-independent (the gate-level WordEngine) implement
+// it; backends with per-pattern analog state (rcsim) do not, and the
+// characterization flow falls back to the scalar Stepper loop for them.
+// Lane images are dense per-net []uint64 slices indexed by
+// netlist.NetID. Implementations own the returned WordResult, which stays
+// valid only until the next call.
+type WordStepper interface {
+	StepWordChunk(prev, cur []uint64, tclk float64) (*WordResult, error)
+}
+
 // Compile-time seam checks.
 var (
 	_ Stepper       = (*Engine)(nil)

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+)
+
+// tables is the compiled, operating-point-resolved image of one netlist:
+// every dense array the event loops touch, shared verbatim by the scalar
+// engine (Engine) and the 64-lane word engine (WordEngine). Compiling once
+// and embedding keeps the two cores in lockstep by construction — same
+// delays, same truth tables, same CSR fanouts — which is half of the
+// word-path parity argument.
+type tables struct {
+	gateDelay  []float64 // ns per gate at op
+	gateEnergy []float64 // fJ per output transition at op
+	leakPower  float64   // µW at op
+
+	// Flattened per-gate tables: the event loops touch only these dense
+	// arrays, never the netlist's slice-of-slice structures. Gates with
+	// fewer than three inputs repeat in0; tt holds the gate's 8-entry
+	// truth table (bit a|b<<1|c<<2) for the scalar shift-and-mask eval,
+	// and kinds the cell function for the word engine's bitwise
+	// cell.Kind.EvalWord eval — both derived from the same EvalWord, so
+	// lane k of the word eval is exactly the scalar tt lookup.
+	tt            []uint8
+	kinds         []cell.Kind
+	in0, in1, in2 []netlist.NetID
+	gateOut       []netlist.NetID
+	// Fanouts in CSR form: net id's consumers are foList[foOff[id]:foOff[id+1]].
+	foOff  []int32
+	foList []netlist.GateID
+
+	inputNets   []netlist.NetID
+	inputEnergy []float64 // per net (indexed by NetID): fJ per input toggle at op
+
+	// minDelay/maxDelay size the calendar queues.
+	minDelay, maxDelay float64
+}
+
+// compileTables resolves nl at operating point op into the dense image.
+func compileTables(nl *netlist.Netlist, lib *cell.Library, proc fdsoi.Params, op fdsoi.OperatingPoint) *tables {
+	t := &tables{
+		gateDelay:   make([]float64, nl.NumGates()),
+		gateEnergy:  make([]float64, nl.NumGates()),
+		tt:          make([]uint8, nl.NumGates()),
+		kinds:       make([]cell.Kind, nl.NumGates()),
+		in0:         make([]netlist.NetID, nl.NumGates()),
+		in1:         make([]netlist.NetID, nl.NumGates()),
+		in2:         make([]netlist.NetID, nl.NumGates()),
+		gateOut:     make([]netlist.NetID, nl.NumGates()),
+		inputEnergy: make([]float64, nl.NumNets()),
+	}
+	dyn := proc.DynamicEnergyScale(op)
+	var leakNW float64
+	minDelay, maxDelay := math.Inf(1), 0.0
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		c := lib.MustCell(g.Kind)
+		load := nl.NetLoad(lib, g.Output)
+		d := c.Delay(load) * proc.DelayScale(op, g.VtOffset)
+		t.gateDelay[gi] = d
+		t.gateEnergy[gi] = fdsoi.SwitchingEnergy(load, op.Vdd) + c.InternalEnergy*dyn
+		leakNW += c.Leakage
+		if d > 0 && d < minDelay {
+			minDelay = d
+		}
+		if d > maxDelay {
+			maxDelay = d
+		}
+		for m := uint8(0); m < 8; m++ {
+			bit := g.Kind.EvalWord(uint64(m&1), uint64(m>>1&1), uint64(m>>2&1)) & 1
+			t.tt[gi] |= uint8(bit) << m
+		}
+		t.kinds[gi] = g.Kind
+		t.gateOut[gi] = g.Output
+		t.in0[gi], t.in1[gi], t.in2[gi] = g.Inputs[0], g.Inputs[0], g.Inputs[0]
+		if len(g.Inputs) > 1 {
+			t.in1[gi] = g.Inputs[1]
+		}
+		if len(g.Inputs) > 2 {
+			t.in2[gi] = g.Inputs[2]
+		}
+	}
+	t.foOff = make([]int32, nl.NumNets()+1)
+	for id := 0; id < nl.NumNets(); id++ {
+		t.foOff[id+1] = t.foOff[id] + int32(len(nl.Fanouts(netlist.NetID(id))))
+	}
+	t.foList = make([]netlist.GateID, t.foOff[nl.NumNets()])
+	for id := 0; id < nl.NumNets(); id++ {
+		copy(t.foList[t.foOff[id]:], nl.Fanouts(netlist.NetID(id)))
+	}
+	t.minDelay, t.maxDelay = minDelay, maxDelay
+	t.leakPower = leakNW / 1000 * proc.LeakageScale(op)
+	for _, p := range nl.Inputs {
+		t.inputNets = append(t.inputNets, p.Bits...)
+		for _, b := range p.Bits {
+			// The external driver charges the input pin capacitance on
+			// every stimulus edge; this keeps deep-VOS operating points
+			// (where no internal gate completes within Tclk) from
+			// reporting zero energy.
+			t.inputEnergy[b] = fdsoi.SwitchingEnergy(nl.NetLoad(lib, b), op.Vdd)
+		}
+	}
+	return t
+}

@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+)
+
+// WordLanes is the pattern parallelism of the word engine: one uint64 net
+// word carries one bit per concurrently simulated pattern.
+const WordLanes = netlist.BatchLanes
+
+// gateWord is the word engine's event payload: one scheduled 64-lane
+// output word. The full event (qev[gateWord]) is 32 bytes.
+type gateWord struct {
+	word uint64
+	gate netlist.GateID
+}
+
+// WordResult is the outcome of one 64-lane two-vector chunk. It is owned
+// by the engine and valid until the next StepWordChunk call.
+type WordResult struct {
+	// CapturedW holds the per-net lane words sampled at the capture
+	// instant: bit k of CapturedW[id] is net id's value under pattern k.
+	// Output-port lane words can be read directly (gotBits[i] :=
+	// CapturedW[port.Bits[i]]) — the captured image is already bit-sliced.
+	CapturedW []uint64
+	// EnergyFJ is the per-lane energy of the chunk: lane k's switching
+	// before capture plus leakage over Tclk, bit-identical to the
+	// EnergyFJ a scalar StepDense of pattern k reports.
+	EnergyFJ [WordLanes]float64
+	// LateW flags lanes with at least one post-capture transition.
+	LateW uint64
+}
+
+// WordEngine is the 64-way bit-sliced variant of Engine: net state is one
+// uint64 word per net, lane k of every word belonging to pattern k, and
+// one event wave serves all 64 patterns. It shares the compiled tables
+// (delays, energies, truth tables, CSR fanouts) with the scalar engine,
+// evaluates gates with cell.Kind.EvalWord, and schedules an output event
+// whenever any lane's target changes. Because gate delays are
+// data-independent at a fixed operating point, lane k's transition times,
+// captured values and energy accumulation order are exactly those of a
+// scalar simulation of pattern k — the word path is an optimization, not
+// a semantics change.
+//
+// The engine only implements the two-vector protocol: each lane's
+// experiment starts from its own settled predecessor state, which is a
+// pure (zero-delay) function of the predecessor vector and therefore
+// batch-computable. The streaming protocol is temporally serial and stays
+// on the scalar engine. Not safe for concurrent use.
+type WordEngine struct {
+	nl  *netlist.Netlist
+	lib *cell.Library
+	op  fdsoi.OperatingPoint
+
+	*tables
+
+	valueW     []uint64 // current per-net lane words
+	scheduledW []uint64 // per gate: last scheduled output lane word
+	queue      calQueue[gateWord]
+	seq        uint64
+	now        float64
+
+	laneEnergy [WordLanes]float64
+
+	res         WordResult
+	capturedBuf []uint64
+
+	stats Stats
+}
+
+// Compile-time seam check.
+var _ WordStepper = (*WordEngine)(nil)
+
+// wordQueueFineness narrows the word engine's calendar buckets relative
+// to the scalar baseline. One word chunk merges 64 pattern waves, so a
+// scalar-width bucket collects ~64× the events and pays quicksorts where
+// the scalar engine pays nearly-free small insertion sorts; splitting the
+// same time span across more buckets restores the small-sort regime.
+// Purely a performance knob: pop order is (time, seq) at any fineness.
+const wordQueueFineness = 8
+
+// NewWord builds a word engine for nl at operating point op.
+func NewWord(nl *netlist.Netlist, lib *cell.Library, proc fdsoi.Params, op fdsoi.OperatingPoint) *WordEngine {
+	e := &WordEngine{
+		nl:         nl,
+		lib:        lib,
+		op:         op,
+		tables:     compileTables(nl, lib, proc, op),
+		valueW:     make([]uint64, nl.NumNets()),
+		scheduledW: make([]uint64, nl.NumGates()),
+	}
+	e.queue.init(e.minDelay, e.maxDelay, wordQueueFineness)
+	return e
+}
+
+// Netlist returns the simulated netlist.
+func (e *WordEngine) Netlist() *netlist.Netlist { return e.nl }
+
+// OperatingPoint returns the engine's electrical operating point.
+func (e *WordEngine) OperatingPoint() fdsoi.OperatingPoint { return e.op }
+
+// Stats returns the accumulated statistics. Counts are per-lane: one
+// fired word event contributes one transition per changed lane, so a
+// chunk-aligned sweep's totals equal the scalar engine's. Every chunk
+// books WordLanes steps and lane-leakage terms, so the inert tail lanes
+// of a ragged final chunk are included in Steps and LeakageEnergy
+// (results ignore those lanes; the diagnostics deliberately count what
+// was simulated, which is always full words).
+func (e *WordEngine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the accumulated statistics.
+func (e *WordEngine) ResetStats() { e.stats = Stats{} }
+
+// touch re-evaluates a gate across all 64 lanes after one of its input
+// words changed and schedules an output event when any lane's target
+// differs from the last scheduled word.
+func (e *WordEngine) touch(gi netlist.GateID) {
+	w := e.kinds[gi].EvalWord(e.valueW[e.in0[gi]], e.valueW[e.in1[gi]], e.valueW[e.in2[gi]])
+	if w == e.scheduledW[gi] {
+		return
+	}
+	e.scheduledW[gi] = w
+	e.seq++
+	e.queue.push(qev[gateWord]{
+		time:    e.now + e.gateDelay[gi],
+		seq:     e.seq,
+		payload: gateWord{word: w, gate: gi},
+	})
+}
+
+// StepWordChunk runs 64 independent two-vector timing experiments through
+// one event wave: lane k settles instantly on prev's lane-k input bits,
+// switches to cur's lane-k input bits at t = 0, is captured at t = tclk,
+// and then settles to quiescence. prev and cur are dense per-net lane
+// images indexed by netlist.NetID (bit k of entry id = net id's input
+// value under pattern k; only primary-input entries are read, and input
+// bits are boolean by construction).
+//
+// Lanes whose prev and cur input bits coincide launch no events and
+// report pure-leakage energy; a ragged final chunk therefore simply
+// leaves its unused lanes equal in both images and ignores them in the
+// result.
+//
+// The returned WordResult is owned by the engine and valid until the next
+// call; a steady-state sweep allocates nothing here.
+func (e *WordEngine) StepWordChunk(prev, cur []uint64, tclk float64) (*WordResult, error) {
+	if tclk <= 0 {
+		return nil, fmt.Errorf("sim: non-positive tclk %v", tclk)
+	}
+	if len(prev) != len(e.valueW) || len(cur) != len(e.valueW) {
+		return nil, fmt.Errorf("sim: lane images have %d/%d entries, want %d",
+			len(prev), len(cur), len(e.valueW))
+	}
+	// Settle every lane on its predecessor vector: the settled state of a
+	// combinational netlist is its zero-delay steady state, so one
+	// bit-sliced batch evaluation replaces 64 event-driven settles.
+	for _, id := range e.inputNets {
+		e.valueW[id] = prev[id]
+	}
+	if err := e.nl.EvaluateBatch(e.valueW); err != nil {
+		return nil, err
+	}
+	for gi := range e.scheduledW {
+		e.scheduledW[gi] = e.valueW[e.gateOut[gi]]
+	}
+	e.queue.clear()
+	e.now = 0
+	for k := range e.laneEnergy {
+		e.laneEnergy[k] = 0
+	}
+	res := &e.res
+	res.LateW = 0
+	// Switch the inputs to the current vectors and seed the wave. Nets are
+	// visited in the same order as the scalar applyInputs, so each lane's
+	// input-energy accumulation order matches the scalar path exactly.
+	for _, id := range e.inputNets {
+		nv := cur[id]
+		diff := e.valueW[id] ^ nv
+		if diff == 0 {
+			continue
+		}
+		e.valueW[id] = nv
+		ie := e.inputEnergy[id]
+		for d := diff; d != 0; d &= d - 1 {
+			e.laneEnergy[bits.TrailingZeros64(d)] += ie
+		}
+		for _, fo := range e.foList[e.foOff[id]:e.foOff[id+1]] {
+			e.touch(fo)
+		}
+	}
+	// Phase 1: events up to the capture edge; energy is attributed to each
+	// changed lane in event order, which per lane is the scalar firing
+	// order.
+	for {
+		ev, ok := e.queue.popIfBefore(tclk)
+		if !ok {
+			break
+		}
+		e.now = ev.time
+		out := e.gateOut[ev.payload.gate]
+		diff := e.valueW[out] ^ ev.payload.word
+		if diff == 0 {
+			continue
+		}
+		e.valueW[out] = ev.payload.word
+		e.stats.Transitions += uint64(bits.OnesCount64(diff))
+		ge := e.gateEnergy[ev.payload.gate]
+		for d := diff; d != 0; d &= d - 1 {
+			e.laneEnergy[bits.TrailingZeros64(d)] += ge
+		}
+		for _, fo := range e.foList[e.foOff[out]:e.foOff[out+1]] {
+			e.touch(fo)
+		}
+	}
+	res.CapturedW = append(e.capturedBuf[:0], e.valueW...)
+	e.capturedBuf = res.CapturedW
+	// Phase 2: post-capture settling; transitions here are late and
+	// charged to the next cycle, per lane.
+	for {
+		ev, ok := e.queue.popMin()
+		if !ok {
+			break
+		}
+		e.now = ev.time
+		out := e.gateOut[ev.payload.gate]
+		diff := e.valueW[out] ^ ev.payload.word
+		if diff == 0 {
+			continue
+		}
+		e.valueW[out] = ev.payload.word
+		n := uint64(bits.OnesCount64(diff))
+		e.stats.Transitions += n
+		e.stats.LateTransitions += n
+		res.LateW |= diff
+		for _, fo := range e.foList[e.foOff[out]:e.foOff[out+1]] {
+			e.touch(fo)
+		}
+	}
+	leak := e.leakPower * tclk
+	var dyn float64
+	for k := range res.EnergyFJ {
+		res.EnergyFJ[k] = e.laneEnergy[k] + leak
+		dyn += e.laneEnergy[k]
+	}
+	e.stats.DynamicEnergy += dyn
+	e.stats.LeakageEnergy += leak * WordLanes
+	e.stats.Steps += WordLanes
+	e.now = 0
+	return res, nil
+}

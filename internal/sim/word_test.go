@@ -1,0 +1,179 @@
+package sim_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// wordCrossCheck drives the identical pattern stream through the scalar
+// dense engine (one StepDense per pattern) and the word engine (one
+// StepWordChunk per 64 patterns) and requires bit-identical captured
+// values, energies and late flags per pattern — the parity property the
+// word-parallel default path of the characterization flow rests on.
+func wordCrossCheck(t *testing.T, nl *netlist.Netlist, op fdsoi.OperatingPoint, tclk float64, patterns int, seed uint64) {
+	t.Helper()
+	lib, proc := cell.Default28nmLVT(), fdsoi.Default()
+	scalar := sim.New(nl, lib, proc, op)
+	word := sim.NewWord(nl, lib, proc, op)
+
+	stim := netlist.CompileStimulus(nl)
+	slotA, slotB := stim.MustSlot(synth.PortA), stim.MustSlot(synth.PortB)
+	if err := scalar.ResetDense(stim.Values()); err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := nl.InputPort(synth.PortA)
+	pb, _ := nl.InputPort(synth.PortB)
+	mask := uint64(1)<<uint(len(pa.Bits)) - 1
+
+	rng := rand.New(rand.NewPCG(seed, 17))
+	as := make([]uint64, patterns)
+	bs := make([]uint64, patterns)
+	for i := range as {
+		as[i], bs[i] = rng.Uint64()&mask, rng.Uint64()&mask
+	}
+
+	// Scalar reference results, pattern by pattern.
+	type scalarStep struct {
+		captured []uint8
+		energy   float64
+		late     bool
+	}
+	refs := make([]scalarStep, patterns)
+	for i := 0; i < patterns; i++ {
+		stim.SetSlot(slotA, as[i])
+		stim.SetSlot(slotB, bs[i])
+		res, err := scalar.StepDense(stim.Values(), tclk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = scalarStep{
+			captured: append([]uint8(nil), res.Captured...),
+			energy:   res.EnergyFJ,
+			late:     res.Late,
+		}
+	}
+
+	// Word engine, chunk by chunk (including a ragged final chunk when
+	// patterns is not a multiple of 64).
+	prevW := make([]uint64, nl.NumNets())
+	curW := make([]uint64, nl.NumNets())
+	for base := 0; base < patterns; base += sim.WordLanes {
+		n := patterns - base
+		if n > sim.WordLanes {
+			n = sim.WordLanes
+		}
+		for id := range prevW {
+			prevW[id], curW[id] = 0, 0
+		}
+		for k := 0; k < n; k++ {
+			pA, pB := uint64(0), uint64(0)
+			if i := base + k - 1; i >= 0 {
+				pA, pB = as[i], bs[i]
+			}
+			netlist.AssignPortLane(prevW, pa, uint(k), pA)
+			netlist.AssignPortLane(prevW, pb, uint(k), pB)
+			netlist.AssignPortLane(curW, pa, uint(k), as[base+k])
+			netlist.AssignPortLane(curW, pb, uint(k), bs[base+k])
+		}
+		wres, err := word.StepWordChunk(prevW, curW, tclk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < n; k++ {
+			ref := refs[base+k]
+			for id := range ref.captured {
+				if got := uint8(wres.CapturedW[id] >> uint(k) & 1); got != ref.captured[id] {
+					t.Fatalf("pattern %d net %d: word captured %d, scalar %d",
+						base+k, id, got, ref.captured[id])
+				}
+			}
+			if got := wres.EnergyFJ[k]; got != ref.energy {
+				t.Fatalf("pattern %d: word energy %v (bits %x), scalar %v (bits %x)",
+					base+k, got, math.Float64bits(got), ref.energy, math.Float64bits(ref.energy))
+			}
+			if got := wres.LateW>>uint(k)&1 == 1; got != ref.late {
+				t.Fatalf("pattern %d: word late %v, scalar %v", base+k, got, ref.late)
+			}
+		}
+		// Lanes past a ragged end must stay inert: equal prev/cur inputs
+		// mean pure-leakage energy and no late flag.
+		leak := wres.EnergyFJ[sim.WordLanes-1]
+		for k := n; k < sim.WordLanes; k++ {
+			if wres.LateW>>uint(k)&1 == 1 {
+				t.Fatalf("inert lane %d flagged late", k)
+			}
+			if wres.EnergyFJ[k] != leak && n < sim.WordLanes {
+				t.Fatalf("inert lane %d energy %v, want leakage-only %v", k, wres.EnergyFJ[k], leak)
+			}
+		}
+	}
+
+	// The word engine's per-lane transition totals must equal the scalar
+	// stream's.
+	ss, ws := scalar.Stats(), word.Stats()
+	if ss.Transitions != ws.Transitions || ss.LateTransitions != ws.LateTransitions {
+		t.Fatalf("stats diverged: scalar %+v word %+v", ss, ws)
+	}
+}
+
+// TestWordStepMatchesScalarDense sweeps a (Vdd, Tclk) grid from safely
+// settled to deeply over-scaled (every capture mid-wave, plenty of late
+// events) for both adder architectures, with per-gate mismatch so no two
+// gate delays coincide exactly.
+func TestWordStepMatchesScalarDense(t *testing.T) {
+	archs := []struct {
+		arch  synth.Arch
+		width int
+	}{
+		{synth.ArchRCA, 8},
+		{synth.ArchBKA, 8},
+	}
+	vdds := []float64{1.0, 0.7, 0.55}
+	tclks := []float64{0.05, 0.12, 0.3, 2.0}
+	for _, ad := range archs {
+		mm := fdsoi.NewMismatchSampler(0.03, 7)
+		nl, err := synth.NewAdder(ad.arch, synth.AdderConfig{Width: ad.width, Mismatch: mm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, vdd := range vdds {
+			for _, tclk := range tclks {
+				name := fmt.Sprintf("%s%d/%.2fV/%.2fns", ad.arch, ad.width, vdd, tclk)
+				t.Run(name, func(t *testing.T) {
+					// 130 patterns: two full chunks plus a ragged tail.
+					wordCrossCheck(t, nl, fdsoi.OperatingPoint{Vdd: vdd, Vbb: 0}, tclk, 130, 11)
+				})
+			}
+		}
+	}
+}
+
+// TestWordStepValidation pins the word path's error behavior.
+func TestWordStepValidation(t *testing.T) {
+	nl, err := synth.RCA(synth.AdderConfig{Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewWord(nl, cell.Default28nmLVT(), fdsoi.Default(), fdsoi.OperatingPoint{Vdd: 1.0})
+	lanes := make([]uint64, nl.NumNets())
+	if _, err := eng.StepWordChunk(lanes, lanes, 0); err == nil {
+		t.Fatal("non-positive tclk accepted")
+	}
+	if _, err := eng.StepWordChunk(lanes[:1], lanes, 0.5); err == nil {
+		t.Fatal("short prev image accepted")
+	}
+	if _, err := eng.StepWordChunk(lanes, lanes[:1], 0.5); err == nil {
+		t.Fatal("short cur image accepted")
+	}
+	if _, err := eng.StepWordChunk(lanes, lanes, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
