@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-diff clean
+.PHONY: build test race bench bench-smoke bench-diff apicheck apicheck-update clean
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,19 @@ bench-smoke:
 # changes.
 bench-diff:
 	$(GO) run ./cmd/vosbench -benchtime 1000x -count 3 -out BENCH_sim.new.json -diff BENCH_sim.json
+
+# apicheck fails when the exported surface of the public vos SDK drifts
+# from the committed api/vos.txt golden (`go doc -all`, so doc-comment
+# changes count as API changes too — they are part of the contract).
+# After a deliberate API change, regenerate with `make apicheck-update`
+# and commit the refreshed golden; CI runs apicheck on every push.
+apicheck:
+	@$(GO) doc -all ./vos | diff -u api/vos.txt - \
+		|| { echo "error: exported vos API drifted from api/vos.txt; run 'make apicheck-update' and commit if intended" >&2; exit 1; }
+	@echo "vos API matches api/vos.txt"
+
+apicheck-update:
+	$(GO) doc -all ./vos > api/vos.txt
 
 clean:
 	rm -f BENCH_sim.new.json

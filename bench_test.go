@@ -21,7 +21,6 @@ import (
 	"repro/internal/cell"
 	"repro/internal/charz"
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/fdsoi"
 	"repro/internal/netlist"
 	"repro/internal/patterns"
@@ -31,6 +30,7 @@ import (
 	"repro/internal/sta"
 	"repro/internal/synth"
 	"repro/internal/triad"
+	"repro/vos"
 )
 
 // benchPatterns is the per-triad stimulus count used by the experiment
@@ -197,63 +197,73 @@ func BenchmarkFig7(b *testing.B) {
 }
 
 // BenchmarkFig8 regenerates the BER vs energy/operation sweep across all
-// 43 triads for each adder. The sweep runs through the engine: the first
-// iteration simulates all 43 points, every further iteration is served
-// from the content-addressed cache, so per-op times collapse once b.N>1.
+// 43 triads for each adder. The sweep runs through the public vos SDK
+// (the same path voschar and vosd clients take): the first iteration
+// simulates all 43 points, every further iteration is served from the
+// engine's content-addressed cache, so per-op times collapse once b.N>1.
 func BenchmarkFig8(b *testing.B) {
 	for _, bd := range paperBenches {
 		bd := bd
 		b.Run(fmt.Sprintf("%s%d", bd.arch, bd.width), func(b *testing.B) {
-			eng, err := engine.New(engine.Options{})
+			cli, err := vos.NewLocal(vos.LocalOptions{})
 			if err != nil {
 				b.Fatal(err)
 			}
-			defer eng.Close()
-			cfg := charz.Config{Arch: bd.arch, Width: bd.width, Patterns: benchPatterns, Seed: 1}
+			defer cli.Close()
+			spec := vos.NewSpec().Arches(bd.arch.String()).Widths(bd.width).
+				Patterns(benchPatterns).Seed(1)
 			for i := 0; i < b.N; i++ {
-				res, err := charz.RunWith(context.Background(), eng, cfg)
+				res, err := cli.Run(context.Background(), spec)
 				if err != nil {
 					b.Fatal(err)
 				}
 				if i == 0 {
+					op := res.Operator(bd.arch.String(), bd.width)
 					var rows []string
-					for _, j := range res.SortedIndices() {
-						tr := res.Triads[j]
+					for _, pt := range op.Fig8() {
 						rows = append(rows, fmt.Sprintf("%-14s BER=%6.2f%% E/op=%6.1ffJ eff=%5.1f%%",
-							tr.Triad.Label(), tr.BER()*100, tr.EnergyPerOpFJ, tr.Efficiency*100))
+							pt.Triad.Label(), pt.BER*100, pt.EnergyPerOpFJ, pt.Efficiency*100))
 					}
-					b.Logf("Fig 8 %s:\n%s", cfg.BenchName(), strings.Join(rows, "\n"))
-					b.ReportMetric(res.NominalEnergyFJ, "fJ/op@nominal")
+					b.Logf("Fig 8 %s:\n%s", op.Bench, strings.Join(rows, "\n"))
+					b.ReportMetric(op.Nominal().EnergyPerOpFJ, "fJ/op@nominal")
 				}
 			}
-			b.ReportMetric(float64(eng.Executions()), "sim-points")
+			if stats, err := cli.CacheStats(context.Background()); err == nil {
+				b.ReportMetric(float64(stats.Executions), "sim-points")
+			}
 		})
 	}
 }
 
 // BenchmarkEngineWarmSweep measures a fully cache-warm 43-triad sweep
-// through the engine — the steady-state cost a vosd client pays for a
+// through the SDK — the steady-state cost a vosd client pays for a
 // repeated operating-point query (deserialization only, no simulation).
 func BenchmarkEngineWarmSweep(b *testing.B) {
-	eng, err := engine.New(engine.Options{})
+	cli, err := vos.NewLocal(vos.LocalOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer eng.Close()
-	cfg := charz.Config{Arch: synth.ArchRCA, Width: 8, Patterns: benchPatterns, Seed: 1}
-	if _, err := charz.RunWith(context.Background(), eng, cfg); err != nil {
+	defer cli.Close()
+	spec := vos.NewSpec().Arches("RCA").Widths(8).Patterns(benchPatterns).Seed(1)
+	if _, err := cli.Run(context.Background(), spec); err != nil {
 		b.Fatal(err)
 	}
-	warmed := eng.Executions()
+	stats, err := cli.CacheStats(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	warmed := stats.Executions
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := charz.RunWith(context.Background(), eng, cfg); err != nil {
+		if _, err := cli.Run(context.Background(), spec); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
-	if got := eng.Executions(); got != warmed {
-		b.Fatalf("warm sweep simulated %d extra points", got-warmed)
+	if stats, err = cli.CacheStats(context.Background()); err != nil {
+		b.Fatal(err)
+	} else if stats.Executions != warmed {
+		b.Fatalf("warm sweep simulated %d extra points", stats.Executions-warmed)
 	}
 }
 

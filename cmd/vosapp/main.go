@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,11 +24,10 @@ import (
 	"strings"
 
 	"repro/internal/apps"
-	"repro/internal/charz"
 	"repro/internal/core"
 	"repro/internal/patterns"
 	"repro/internal/report"
-	"repro/internal/synth"
+	"repro/vos"
 )
 
 func main() {
@@ -47,15 +47,26 @@ func main() {
 		log.Fatalf("bad -image %q", *imgDim)
 	}
 
-	// Characterize the 16-bit RCA (the kernels' datapath width).
-	cfg := charz.Config{Arch: synth.ArchRCA, Width: apps.Word, Patterns: *pat, Seed: *seed}
-	res, err := charz.Run(cfg)
+	// Characterize the 16-bit RCA (the kernels' datapath width) through
+	// the vos SDK's in-process client.
+	ctx := context.Background()
+	cli, err := vos.NewLocal(vos.LocalOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cli.Close()
+	spec := vos.NewSpec().Arches("RCA").Widths(apps.Word).Patterns(*pat).Seed(*seed)
+	res, err := cli.Run(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	op := res.Operator("RCA", apps.Word)
+	if op == nil {
+		log.Fatal("sweep result lacks the RCA operator")
+	}
 
 	// Study triads: accurate, mild, medium, aggressive from the sweep.
-	picks := pickStudyTriads(res)
+	picks := pickStudyTriads(op)
 	img := apps.Synthetic(w, h, *seed)
 	sig := apps.TwoTone(*sigLen, *seed)
 	exactAr, err := apps.NewArith(core.ExactAdder{W: apps.Word})
@@ -67,11 +78,11 @@ func main() {
 	refFIR := apps.BinomialFIR().Apply(sig, exactAr)
 
 	t := report.NewTable(
-		fmt.Sprintf("Application quality vs energy on %s adders (backend: %s)", cfg.BenchName(), *use),
+		fmt.Sprintf("Application quality vs energy on %s adders (backend: %s)", op.Bench, *use),
 		"Triad", "Adder BER (%)", "E/op (fJ)", "Blur PSNR (dB)", "Sobel PSNR (dB)", "FIR SNR (dB)")
 	for _, i := range picks {
-		tr := res.Triads[i]
-		adder, err := makeAdder(*use, res, cfg, i, *trainN, *seed)
+		pt := op.Points[i]
+		adder, err := makeAdder(ctx, cli, spec, *use, op, i, *trainN, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -82,9 +93,9 @@ func main() {
 		blur := apps.GaussianBlur3(img, ar)
 		sobel := apps.Sobel(img, ar)
 		fir := apps.BinomialFIR().Apply(sig, ar)
-		t.AddRow(tr.Triad.Label(),
-			fmt.Sprintf("%.2f", tr.BER()*100),
-			fmt.Sprintf("%.1f", tr.EnergyPerOpFJ),
+		t.AddRow(pt.Triad.Label(),
+			fmt.Sprintf("%.2f", pt.BER*100),
+			fmt.Sprintf("%.1f", pt.EnergyPerOpFJ),
 			fmt.Sprintf("%.1f", apps.PSNR(refBlur, blur)),
 			fmt.Sprintf("%.1f", apps.PSNR(refSobel, sobel)),
 			fmt.Sprintf("%.1f", apps.SignalSNR(refFIR, fir)))
@@ -94,14 +105,14 @@ func main() {
 }
 
 // pickStudyTriads selects the nominal triad plus three rising-BER rungs.
-func pickStudyTriads(res *charz.Result) []int {
-	idx := res.SortedIndices()
+func pickStudyTriads(op *vos.Operator) []int {
+	idx := op.SortedIdx
 	targets := []float64{0, 0.01, 0.05, 0.15}
 	var picks []int
 	for _, tgt := range targets {
 		best, diff := -1, 10.0
 		for _, i := range idx {
-			d := res.Triads[i].BER() - tgt
+			d := op.Points[i].BER - tgt
 			if d < 0 {
 				d = -d
 			}
@@ -122,9 +133,9 @@ func pickStudyTriads(res *charz.Result) []int {
 	return picks
 }
 
-func makeAdder(use string, res *charz.Result, cfg charz.Config, triadIdx int, trainN int, seed uint64) (core.HardwareAdder, error) {
-	tr := res.Triads[triadIdx]
-	hw, err := charz.NewEngineAdder(res.Netlist, cfg, tr.Triad)
+func makeAdder(ctx context.Context, cli *vos.Local, spec *vos.Spec, use string, op *vos.Operator, pointIdx int, trainN int, seed uint64) (core.HardwareAdder, error) {
+	pt := op.Points[pointIdx]
+	hw, err := cli.Adder(ctx, spec, op.Arch, op.Width, pt.Triad)
 	if err != nil {
 		return nil, err
 	}
@@ -132,15 +143,15 @@ func makeAdder(use string, res *charz.Result, cfg charz.Config, triadIdx int, tr
 	case "sim":
 		return hw, nil
 	case "model":
-		if tr.BER() == 0 {
+		if pt.BER == 0 {
 			// Error-free triads are exactly the exact adder; skip training.
-			return core.ExactAdder{W: cfg.Width}, nil
+			return core.ExactAdder{W: op.Width}, nil
 		}
-		gen, err := patterns.NewUniform(cfg.Width, seed)
+		gen, err := patterns.NewUniform(op.Width, seed)
 		if err != nil {
 			return nil, err
 		}
-		model, err := core.TrainModel(hw, gen, trainN, core.MetricMSE, tr.Triad.Label())
+		model, err := core.TrainModel(hw, gen, trainN, core.MetricMSE, pt.Triad.Label())
 		if err != nil {
 			return nil, err
 		}

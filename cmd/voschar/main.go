@@ -8,13 +8,16 @@
 //
 //	voschar [-bench all|rca8|bka8|rca16|bka16] [-patterns 20000]
 //	        [-seed 1] [-csv] [-table2] [-table3] [-fig5] [-fig8] [-table4]
-//	        [-cache-dir DIR] [-workers N]
+//	        [-server URL] [-cache-dir DIR] [-workers N]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // Without experiment flags, everything runs. All simulation goes through
-// the internal/engine sweep engine: operating points shared between
-// experiments are simulated once, and -cache-dir persists results across
-// invocations, so re-running with different experiment flags is near-free.
+// the vos SDK: by default on an in-process engine (where -cache-dir
+// persists results across invocations and -workers sizes the pool), or —
+// with -server — on a remote vosd daemon, sharing its worker pool and
+// result cache with every other client. The tables are rendered from the
+// same SDK result types either way, so local and remote runs produce
+// byte-identical output.
 package main
 
 import (
@@ -27,24 +30,21 @@ import (
 	"runtime/pprof"
 	"strings"
 
-	"repro/internal/charz"
-	"repro/internal/engine"
 	"repro/internal/report"
-	"repro/internal/synth"
-	"repro/internal/triad"
+	"repro/vos"
 )
 
 type benchDef struct {
 	name  string
-	arch  synth.Arch
+	arch  string
 	width int
 }
 
 var allBenches = []benchDef{
-	{"rca8", synth.ArchRCA, 8},
-	{"bka8", synth.ArchBKA, 8},
-	{"rca16", synth.ArchRCA, 16},
-	{"bka16", synth.ArchBKA, 16},
+	{"rca8", "RCA", 8},
+	{"bka8", "BKA", 8},
+	{"rca16", "RCA", 16},
+	{"bka16", "BKA", 16},
 }
 
 // options carries the parsed flags into run.
@@ -54,6 +54,7 @@ type options struct {
 	seed                                    uint64
 	csv                                     bool
 	fTable2, fTable3, fFig5, fFig8, fTable4 bool
+	server                                  string
 	cacheDir                                string
 	workers                                 int
 	cpuProf, memProf                        string
@@ -72,17 +73,29 @@ func main() {
 	flag.BoolVar(&o.fFig5, "fig5", false, "only Fig. 5 (per-bit BER vs Vdd)")
 	flag.BoolVar(&o.fFig8, "fig8", false, "only Fig. 8 (BER & energy per triad)")
 	flag.BoolVar(&o.fTable4, "table4", false, "only Table IV (efficiency per BER band)")
-	flag.StringVar(&o.cacheDir, "cache-dir", "", "persist characterization results here (re-runs become near-free)")
-	flag.IntVar(&o.workers, "workers", 0, "sweep-engine worker-pool size (0 = NumCPU)")
+	flag.StringVar(&o.server, "server", "", "run sweeps on this vosd daemon (e.g. http://localhost:8420) instead of in-process")
+	flag.StringVar(&o.cacheDir, "cache-dir", "", "persist characterization results here (in-process mode only)")
+	flag.IntVar(&o.workers, "workers", 0, "sweep-engine worker-pool size (0 = NumCPU; in-process mode only)")
 	flag.StringVar(&o.cpuProf, "cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&o.memProf, "memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
-	// Errors return through run so its defers — profile flushing, engine
+	// Errors return through run so its defers — profile flushing, client
 	// shutdown — fire even on a failed experiment.
 	if err := run(o); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// newClient picks the execution site from the flags.
+func newClient(o options) (vos.Client, error) {
+	if o.server != "" {
+		if o.cacheDir != "" || o.workers != 0 {
+			log.Print("note: -cache-dir/-workers are ignored with -server (the daemon owns its engine)")
+		}
+		return vos.NewRemote(o.server, vos.RemoteOptions{})
+	}
+	return vos.NewLocal(vos.LocalOptions{Workers: o.workers, CacheDir: o.cacheDir})
 }
 
 func run(o options) error {
@@ -118,21 +131,27 @@ func run(o options) error {
 	}
 	runAll := !(o.fTable2 || o.fTable3 || o.fFig5 || o.fFig8 || o.fTable4)
 
-	eng, err := engine.New(engine.Options{Workers: o.workers, CacheDir: o.cacheDir})
+	cli, err := newClient(o)
 	if err != nil {
 		return err
 	}
-	defer eng.Close()
+	defer cli.Close()
 	ctx := context.Background()
 
-	results := make(map[string]*charz.Result)
+	spec := func(b benchDef) *vos.Spec {
+		return vos.NewSpec().Arches(b.arch).Widths(b.width).Patterns(o.patterns).Seed(o.seed)
+	}
+	results := make(map[string]*vos.Operator)
 	for _, b := range benches {
-		cfg := charz.Config{Arch: b.arch, Width: b.width, Patterns: o.patterns, Seed: o.seed}
-		res, err := charz.RunWith(ctx, eng, cfg)
+		res, err := cli.Run(ctx, spec(b))
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.name, err)
 		}
-		results[b.name] = res
+		op := res.Operator(b.arch, b.width)
+		if op == nil {
+			return fmt.Errorf("%s: sweep result lacks the operator", b.name)
+		}
+		results[b.name] = op
 	}
 
 	out := os.Stdout
@@ -149,8 +168,9 @@ func run(o options) error {
 		t := report.NewTable("Table II — Synthesis results (paper: area 114.7/174.1/224.5/265.5 µm², CP 0.28/0.19/0.53/0.25 ns)",
 			"Benchmark", "Gates", "Area (µm²)", "Total Power (µW)", "Critical Path (ns)")
 		for _, b := range benches {
-			r := results[b.name].Report
-			t.AddRow(results[b.name].Config.BenchName(), r.GateCount, r.Area, r.TotalPower, r.CriticalPath)
+			op := results[b.name]
+			r := op.Report
+			t.AddRow(op.Bench, r.GateCount, r.Area, r.TotalPower, r.CriticalPath)
 		}
 		emit(t)
 	}
@@ -159,12 +179,11 @@ func run(o options) error {
 		t := report.NewTable("Table III — Operating triads per benchmark (derived from synthesis timing, paper methodology)",
 			"Benchmark", "Tclk (ns)", "Vdd (V)", "Vbb (V)", "Triads")
 		for _, b := range benches {
-			res := results[b.name]
-			ratios := triad.PaperClockRatios(b.arch.String(), b.width)
-			clocks := ratios.Clocks(res.Report.CriticalPath)
-			t.AddRow(res.Config.BenchName(),
+			op := results[b.name]
+			clocks := op.TriadClocks()
+			t.AddRow(op.Bench,
 				fmt.Sprintf("%.3g, %.3g, %.3g, %.3g", clocks[0], clocks[1], clocks[2], clocks[3]),
-				"1.0 to 0.4", "0, ±2", len(res.Triads))
+				"1.0 to 0.4", "0, ±2", len(op.Points))
 		}
 		emit(t)
 	}
@@ -174,12 +193,16 @@ func run(o options) error {
 			if b.name != "rca8" && o.bench == "all" {
 				continue // the paper plots Fig. 5 for the 8-bit RCA
 			}
-			cfg := charz.Config{Arch: b.arch, Width: b.width, Patterns: o.patterns, Seed: o.seed}
-			pts, err := charz.Fig5With(ctx, eng, cfg, []float64{0.8, 0.7, 0.6, 0.5})
+			res, err := cli.Run(ctx, spec(b).VddGrid([]float64{0.8, 0.7, 0.6, 0.5}, nil))
 			if err != nil {
 				return err
 			}
-			t := report.NewTable(fmt.Sprintf("Fig. 5 — BER %% per output bit, %s at synthesis clock, Vbb=0 (LSB→MSB incl. cout)", cfg.BenchName()),
+			op := res.Operator(b.arch, b.width)
+			if op == nil {
+				return fmt.Errorf("%s: fig5 sweep result lacks the operator", b.name)
+			}
+			pts := op.Fig5()
+			t := report.NewTable(fmt.Sprintf("Fig. 5 — BER %% per output bit, %s at synthesis clock, Vbb=0 (LSB→MSB incl. cout)", op.Bench),
 				append([]string{"Vdd (V)"}, bitHeaders(b.width+1)...)...)
 			for _, p := range pts {
 				row := []any{fmt.Sprintf("%.1f", p.Vdd)}
@@ -201,24 +224,23 @@ func run(o options) error {
 
 	if runAll || o.fFig8 {
 		for _, b := range benches {
-			res := results[b.name]
-			idx := res.SortedIndices()
-			labels := make([]string, len(idx))
-			ber := make([]float64, len(idx))
-			energy := make([]float64, len(idx))
-			t := report.NewTable(fmt.Sprintf("Fig. 8 — BER vs Energy/Operation, %s (sorted as the paper's x-axis)", res.Config.BenchName()),
+			op := results[b.name]
+			pts := op.Fig8()
+			labels := make([]string, len(pts))
+			ber := make([]float64, len(pts))
+			energy := make([]float64, len(pts))
+			t := report.NewTable(fmt.Sprintf("Fig. 8 — BER vs Energy/Operation, %s (sorted as the paper's x-axis)", op.Bench),
 				"Triad (Tclk,Vdd,Vbb)", "BER (%)", "Energy/Op (pJ)", "Efficiency (%)")
-			for i, j := range idx {
-				tr := res.Triads[j]
-				labels[i] = tr.Triad.Label()
-				ber[i] = tr.BER() * 100
-				energy[i] = tr.EnergyPerOpFJ / 1000
+			for i, p := range pts {
+				labels[i] = p.Triad.Label()
+				ber[i] = p.BER * 100
+				energy[i] = p.EnergyPerOpFJ / 1000
 				t.AddRow(labels[i], fmt.Sprintf("%.2f", ber[i]),
-					fmt.Sprintf("%.4f", energy[i]), fmt.Sprintf("%.1f", tr.Efficiency*100))
+					fmt.Sprintf("%.4f", energy[i]), fmt.Sprintf("%.1f", p.Efficiency*100))
 			}
 			emit(t)
 			if !o.csv {
-				report.DualSeries(out, fmt.Sprintf("  %s profile", res.Config.BenchName()),
+				report.DualSeries(out, fmt.Sprintf("  %s profile", op.Bench),
 					labels, ber, "BER %", energy, "E/op pJ", 30)
 				fmt.Fprintln(out)
 			}
@@ -228,18 +250,18 @@ func run(o options) error {
 	if runAll || o.fTable4 {
 		t := report.NewTable("Table IV — Energy efficiency and BER bands (paper: max 92/89/90.8/84 % within ≤25% BER)",
 			"BER band", "Benchmark", "Triads", "Max energy efficiency (%)", "BER at max (%)", "Best triad")
-		for _, band := range charz.Table4Bands {
+		for _, band := range vos.Table4Bands {
 			for _, b := range benches {
-				res := results[b.name]
-				for _, s := range res.Table4() {
+				op := results[b.name]
+				for _, s := range op.Table4() {
 					if s.Band != band {
 						continue
 					}
 					if s.Count == 0 {
-						t.AddRow(band.String(), res.Config.BenchName(), 0, "—", "—", "—")
+						t.AddRow(band.String(), op.Bench, 0, "—", "—", "—")
 						continue
 					}
-					t.AddRow(band.String(), res.Config.BenchName(), s.Count,
+					t.AddRow(band.String(), op.Bench, s.Count,
 						fmt.Sprintf("%.1f", s.MaxEff*100),
 						fmt.Sprintf("%.1f", s.BERAtMaxEff*100), s.Best.Label())
 				}
@@ -248,8 +270,9 @@ func run(o options) error {
 		emit(t)
 	}
 
-	stats := eng.CacheStats()
-	log.Printf("engine: %d points simulated, %d served from cache", eng.Executions(), stats.Hits())
+	if stats, err := cli.CacheStats(ctx); err == nil {
+		log.Printf("engine: %d points simulated, %d served from cache", stats.Executions, stats.Hits)
+	}
 	return nil
 }
 

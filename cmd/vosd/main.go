@@ -1,6 +1,8 @@
 // Command vosd is the characterization-sweep daemon: it wraps the
 // internal/engine subsystem in an HTTP API so many clients can share one
-// worker pool and one content-addressed result cache.
+// worker pool and one content-addressed result cache. The handlers live
+// in internal/engine/httpapi; the vos SDK's Remote client is the
+// intended consumer, but the API is plain JSON over HTTP (see API.md).
 //
 // Usage:
 //
@@ -8,27 +10,36 @@
 //
 // API:
 //
-//	POST /v1/sweeps            submit a sweep (engine.Request JSON) → 202 {"id": ...}
-//	GET  /v1/sweeps            list all sweeps (status + progress, no results)
-//	GET  /v1/sweeps/{id}       one sweep's status and progress
-//	GET  /v1/sweeps/{id}/results  full results once done (409 while running)
-//	DELETE /v1/sweeps/{id}     cancel a pending/running sweep
-//	GET  /v1/cache/stats       result-cache and execution counters
-//	GET  /healthz              liveness probe
+//	POST   /v1/sweeps              submit a sweep (engine.Request JSON) → 202 {"id": ...}
+//	GET    /v1/sweeps              list all sweeps (status + progress, no results)
+//	GET    /v1/sweeps/{id}         one sweep's status and progress
+//	GET    /v1/sweeps/{id}/results full results once done (409 while running)
+//	GET    /v1/sweeps/{id}/events  NDJSON stream of per-point progress events
+//	DELETE /v1/sweeps/{id}         cancel a pending/running sweep
+//	GET    /v1/cache/stats         result-cache and execution counters
+//	GET    /healthz                liveness probe
 //
-// See README.md for curl examples.
+// Every non-2xx response carries the structured error envelope
+// {"error":{"code":"...","message":"..."}}.
+//
+// vosd shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight responses get a drain window, and the engine is
+// closed so no sweep dies mid-write.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/engine/httpapi"
 )
 
 func main() {
@@ -47,15 +58,64 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      newServer(eng).mux(),
-		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 120 * time.Second,
+		Addr:        *addr,
+		Handler:     newMux(eng),
+		ReadTimeout: 30 * time.Second,
+		// No WriteTimeout: the events endpoint streams for a sweep's
+		// whole lifetime. Non-streaming handlers respond in milliseconds.
 	}
+
+	// Graceful shutdown: first signal starts draining, a second one
+	// falls through to the default handler (immediate exit).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("listening on %s (%d workers, cache %s)", *addr, eng.Workers(), cacheDesc(*cacheDir))
-	err = srv.ListenAndServe()
-	eng.Close() // not deferred: log.Fatal would skip it
-	log.Fatal(err)
+
+	select {
+	case err := <-errc:
+		eng.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second ^C kills immediately
+		log.Print("shutting down (signal); interrupt again to force")
+	}
+
+	// Close the engine first: it cancels still-running sweeps (they
+	// finish as canceled, publishing their terminal events, which ends
+	// any open /events streams) and waits for the worker pool to
+	// quiesce, so nothing dies mid-write. Doing this before the HTTP
+	// drain matters — an events stream only closes on its sweep's
+	// terminal event, so the reverse order would pin Shutdown against
+	// its whole deadline whenever a subscriber is connected. Requests
+	// arriving in between see the engine_closed error envelope.
+	eng.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Print("bye")
+}
+
+// newMux combines the engine's API surface with the daemon's own
+// profiling routes.
+func newMux(eng *engine.Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", httpapi.New(eng))
+	// In-situ profiling of a live daemon (the sweep engine is the hot
+	// path): `go tool pprof http://host:8420/debug/pprof/profile`.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func cacheDesc(dir string) string {
@@ -63,132 +123,4 @@ func cacheDesc(dir string) string {
 		return "in-memory"
 	}
 	return "in-memory + " + dir
-}
-
-// server holds the daemon's HTTP handlers around one Engine.
-type server struct {
-	eng *engine.Engine
-}
-
-func newServer(eng *engine.Engine) *server { return &server{eng: eng} }
-
-// mux wires the v1 routes.
-func (s *server) mux() *http.ServeMux {
-	m := http.NewServeMux()
-	m.HandleFunc("POST /v1/sweeps", s.submitSweep)
-	m.HandleFunc("GET /v1/sweeps", s.listSweeps)
-	m.HandleFunc("GET /v1/sweeps/{id}", s.getSweep)
-	m.HandleFunc("GET /v1/sweeps/{id}/results", s.getResults)
-	m.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
-	m.HandleFunc("GET /v1/cache/stats", s.cacheStats)
-	m.HandleFunc("GET /healthz", s.healthz)
-	// In-situ profiling of a live daemon (the sweep engine is the hot
-	// path): `go tool pprof http://host:8420/debug/pprof/profile`.
-	m.HandleFunc("/debug/pprof/", pprof.Index)
-	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return m
-}
-
-// writeJSON emits one JSON response.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-// apiError is the uniform error body.
-type apiError struct {
-	Error string `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
-}
-
-func (s *server) submitSweep(w http.ResponseWriter, r *http.Request) {
-	var req engine.Request
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decode request: %v", err)
-		return
-	}
-	id, err := s.eng.Submit(req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, struct {
-		ID string `json:"id"`
-	}{ID: id})
-}
-
-// statusOnly strips the (potentially large) results from a sweep snapshot
-// for the status and list endpoints.
-func statusOnly(sw engine.Sweep) engine.Sweep {
-	sw.Results = nil
-	return sw
-}
-
-func (s *server) listSweeps(w http.ResponseWriter, r *http.Request) {
-	sweeps := s.eng.List()
-	for i := range sweeps {
-		sweeps[i] = statusOnly(sweeps[i])
-	}
-	writeJSON(w, http.StatusOK, sweeps)
-}
-
-func (s *server) getSweep(w http.ResponseWriter, r *http.Request) {
-	sw, ok := s.eng.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
-		return
-	}
-	writeJSON(w, http.StatusOK, statusOnly(sw))
-}
-
-func (s *server) getResults(w http.ResponseWriter, r *http.Request) {
-	sw, ok := s.eng.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
-		return
-	}
-	switch sw.Status {
-	case engine.StatusDone:
-		writeJSON(w, http.StatusOK, sw)
-	case engine.StatusFailed, engine.StatusCanceled:
-		writeError(w, http.StatusGone, "sweep %s %s: %s", sw.ID, sw.Status, sw.Error)
-	default:
-		// Not done yet: tell the client to keep polling, with progress.
-		writeJSON(w, http.StatusConflict, statusOnly(sw))
-	}
-}
-
-func (s *server) cancelSweep(w http.ResponseWriter, r *http.Request) {
-	if !s.eng.Cancel(r.PathValue("id")) {
-		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
-}
-
-func (s *server) cacheStats(w http.ResponseWriter, r *http.Request) {
-	stats := s.eng.CacheStats()
-	writeJSON(w, http.StatusOK, struct {
-		engine.CacheStats
-		Hits       uint64 `json:"hits"`
-		Executions uint64 `json:"executions"`
-	}{CacheStats: stats, Hits: stats.Hits(), Executions: s.eng.Executions()})
-}
-
-func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status  string `json:"status"`
-		Workers int    `json:"workers"`
-	}{Status: "ok", Workers: s.eng.Workers()})
 }

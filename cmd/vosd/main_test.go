@@ -1,16 +1,17 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
-	"strings"
 	"testing"
-	"time"
 
 	"repro/internal/engine"
 )
+
+// The API behavior itself is tested in internal/engine/httpapi; these
+// tests cover what the daemon adds on top: the profiling routes and the
+// API mounting.
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
@@ -19,230 +20,60 @@ func newTestServer(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 	t.Cleanup(eng.Close)
-	ts := httptest.NewServer(newServer(eng).mux())
+	ts := httptest.NewServer(newMux(eng))
 	t.Cleanup(ts.Close)
 	return ts
-}
-
-func getJSON(t *testing.T, url string, wantStatus int, out any) {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != wantStatus {
-		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
-	}
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatalf("GET %s: decode: %v", url, err)
-		}
-	}
-}
-
-// TestSubmitPollResults drives the full async lifecycle over HTTP:
-// healthz, submit, poll status, fetch results, check cache stats.
-func TestSubmitPollResults(t *testing.T) {
-	ts := newTestServer(t)
-
-	var health struct {
-		Status  string `json:"status"`
-		Workers int    `json:"workers"`
-	}
-	getJSON(t, ts.URL+"/healthz", http.StatusOK, &health)
-	if health.Status != "ok" || health.Workers != 2 {
-		t.Fatalf("healthz = %+v", health)
-	}
-
-	body := `{"arches":["RCA"],"widths":[4],"patterns":40,"seed":7}`
-	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var submitted struct {
-		ID string `json:"id"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted || submitted.ID == "" {
-		t.Fatalf("submit: status %d id %q", resp.StatusCode, submitted.ID)
-	}
-
-	// Poll the status endpoint until the sweep is done.
-	deadline := time.Now().Add(30 * time.Second)
-	var sw engine.Sweep
-	for {
-		getJSON(t, ts.URL+"/v1/sweeps/"+submitted.ID, http.StatusOK, &sw)
-		if sw.Status == engine.StatusDone {
-			break
-		}
-		if sw.Status == engine.StatusFailed {
-			t.Fatalf("sweep failed: %s", sw.Error)
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("sweep still %s after 30s (%d/%d points)",
-				sw.Status, sw.Progress.Completed, sw.Progress.TotalPoints)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	if sw.Results != nil {
-		t.Error("status endpoint leaked full results")
-	}
-	if sw.Progress.Completed != sw.Progress.TotalPoints || sw.Progress.TotalPoints == 0 {
-		t.Fatalf("progress %+v", sw.Progress)
-	}
-
-	var full engine.Sweep
-	getJSON(t, ts.URL+"/v1/sweeps/"+submitted.ID+"/results", http.StatusOK, &full)
-	if len(full.Results) != 1 {
-		t.Fatalf("results: %d operators, want 1", len(full.Results))
-	}
-	op := full.Results[0]
-	if op.Bench != "4-bit RCA" || len(op.Points) != 43 {
-		t.Fatalf("operator %q with %d points", op.Bench, len(op.Points))
-	}
-	if op.Report == nil || op.Report.CriticalPath <= 0 {
-		t.Fatal("missing synthesis report in results")
-	}
-	// The x-axis ordering must be a permutation sorted by BER.
-	if len(op.SortedIdx) != len(op.Points) {
-		t.Fatalf("sortedIdx has %d entries", len(op.SortedIdx))
-	}
-	for i := 1; i < len(op.SortedIdx); i++ {
-		if op.Points[op.SortedIdx[i-1]].BER > op.Points[op.SortedIdx[i]].BER {
-			t.Fatal("sortedIdx not ordered by BER")
-		}
-	}
-
-	var stats struct {
-		Executions uint64 `json:"executions"`
-		Stores     uint64 `json:"stores"`
-	}
-	getJSON(t, ts.URL+"/v1/cache/stats", http.StatusOK, &stats)
-	if stats.Executions == 0 || stats.Stores == 0 {
-		t.Fatalf("cache stats after a sweep: %+v", stats)
-	}
-
-	// An identical resubmission must be all cache hits.
-	resp, err = http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	for {
-		getJSON(t, ts.URL+"/v1/sweeps/"+submitted.ID, http.StatusOK, &sw)
-		if sw.Status == engine.StatusDone || sw.Status == engine.StatusFailed {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("resubmitted sweep did not finish")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	if sw.Progress.Executed != 0 || sw.Progress.CacheHits != sw.Progress.TotalPoints {
-		t.Fatalf("resubmitted sweep progress %+v, want all cache hits", sw.Progress)
-	}
-
-	// The list endpoint sees both sweeps.
-	var list []engine.Sweep
-	getJSON(t, ts.URL+"/v1/sweeps", http.StatusOK, &list)
-	if len(list) != 2 {
-		t.Fatalf("list: %d sweeps, want 2", len(list))
-	}
-}
-
-// TestResultsWhileRunning polls the results endpoint of an unfinished
-// sweep and expects 409 with progress, then cancels it.
-func TestResultsWhileRunning(t *testing.T) {
-	ts := newTestServer(t)
-	body := `{"arches":["RCA","BKA"],"widths":[8,12],"patterns":5000,"seed":3}`
-	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var submitted struct {
-		ID string `json:"id"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-
-	var sw engine.Sweep
-	getJSON(t, ts.URL+"/v1/sweeps/"+submitted.ID+"/results", http.StatusConflict, &sw)
-	if sw.Status == engine.StatusDone {
-		t.Fatal("a 180k-pattern sweep finished implausibly fast")
-	}
-
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/"+submitted.ID, nil)
-	dresp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dresp.Body.Close()
-	if dresp.StatusCode != http.StatusNoContent {
-		t.Fatalf("cancel: status %d", dresp.StatusCode)
-	}
-}
-
-// TestBadRequests exercises the error paths.
-func TestBadRequests(t *testing.T) {
-	ts := newTestServer(t)
-	cases := []struct {
-		body string
-		want int
-	}{
-		{`{"arches":["CLA"]}`, http.StatusBadRequest},
-		{`{"widths":[99]}`, http.StatusBadRequest},
-		{`{"bogusField":1}`, http.StatusBadRequest},
-		{`not json`, http.StatusBadRequest},
-	}
-	for _, tc := range cases {
-		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader([]byte(tc.body)))
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != tc.want {
-			t.Errorf("POST %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
-		}
-	}
-	getJSON(t, ts.URL+"/v1/sweeps/s-999999", http.StatusNotFound, nil)
-	getJSON(t, ts.URL+"/v1/sweeps/s-999999/results", http.StatusNotFound, nil)
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/s-999999", nil)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("DELETE unknown: status %d, want 404", resp.StatusCode)
-	}
 }
 
 // TestDebugPprof checks the profiling mux is wired.
 func TestDebugPprof(t *testing.T) {
 	ts := newTestServer(t)
-	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestAPIMounted checks the engine API is reachable through the daemon
+// mux and speaks the structured error envelope.
+func TestAPIMounted(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("pprof index: status %d", resp.StatusCode)
+		t.Fatalf("healthz: status %d", resp.StatusCode)
 	}
-	resp2, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+
+	resp2, err := http.Get(ts.URL + "/v1/sweeps/s-999999")
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusOK {
-		t.Fatalf("pprof cmdline: status %d", resp2.StatusCode)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown sweep: status %d", resp2.StatusCode)
+	}
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error Content-Type = %q", ct)
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "not_found" || env.Error.Message == "" {
+		t.Fatalf("envelope = %+v", env)
 	}
 }

@@ -8,6 +8,14 @@
 // table and figure, a dynamic triad-speculation governor, and
 // error-resilient application kernels.
 //
+// The public entry point is the vos package ("repro/vos"): a Spec
+// builder over the sweep configuration space and one Client API whose
+// Local and Remote implementations run characterizations in-process or
+// against a vosd daemon interchangeably, with streaming per-point
+// events. Everything under internal/ is plumbing behind that SDK.
+//
 // See README.md for the layout and DESIGN.md for the system inventory;
-// bench_test.go regenerates each experiment (go test -bench=.).
+// API.md documents vosd's REST surface, and api/vos.txt pins the SDK's
+// exported surface (make apicheck). bench_test.go regenerates each
+// experiment (go test -bench=.).
 package repro

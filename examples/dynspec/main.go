@@ -4,28 +4,39 @@
 // then strict again. The governor climbs and descends the triad ladder
 // accordingly, harvesting energy whenever the application permits.
 //
+// The ladder's characterization and its hardware oracles come from the
+// vos SDK (one Local client, one Spec).
+//
 // Run with: go run ./examples/dynspec
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 
-	"repro/internal/charz"
 	"repro/internal/patterns"
 	"repro/internal/speculation"
-	"repro/internal/synth"
+	"repro/internal/triad"
+	"repro/vos"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	cfg := charz.Config{Arch: synth.ArchRCA, Width: 8, Patterns: 3000, Seed: 31}
-	res, err := charz.Run(cfg)
+	cli, err := vos.NewLocal(vos.LocalOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cli.Close()
+	spec := vos.NewSpec().Arches("RCA").Widths(8).Patterns(3000).Seed(31)
+	res, err := cli.Run(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	op := res.Operator("RCA", 8)
 
 	phases := []struct {
 		name   string
@@ -37,14 +48,14 @@ func main() {
 		{"strict  (margin 0.1%)", 0.001, 20000},
 	}
 
-	fmt.Printf("Dynamic speculation on %s — phase-dependent error margins\n\n", cfg.BenchName())
+	fmt.Printf("Dynamic speculation on %s — phase-dependent error margins\n\n", op.Bench)
 	gen, err := patterns.NewUniform(8, 77)
 	if err != nil {
 		log.Fatal(err)
 	}
-	accurateE := res.NominalEnergyFJ
+	accurateE := op.Nominal().EnergyPerOpFJ
 	for _, ph := range phases {
-		ladder, err := ladderFor(res, cfg)
+		ladder, err := ladderFor(ctx, cli, spec, op)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -63,15 +74,15 @@ func main() {
 
 // ladderFor builds a fresh 4-rung ladder (fresh oracles per phase keep the
 // runs independent and deterministic).
-func ladderFor(res *charz.Result, cfg charz.Config) ([]speculation.Operator, error) {
+func ladderFor(ctx context.Context, cli *vos.Local, spec *vos.Spec, op *vos.Operator) ([]speculation.Operator, error) {
 	budgets := []float64{0, 0.01, 0.05, 0.15}
 	chosen := map[int]bool{}
 	var picks []int
 	for _, b := range budgets {
 		best, bestE := -1, 1e18
-		for i, tr := range res.Triads {
-			if tr.BER() <= b && tr.EnergyPerOpFJ < bestE {
-				best, bestE = i, tr.EnergyPerOpFJ
+		for i, pt := range op.Points {
+			if pt.BER <= b && pt.EnergyPerOpFJ < bestE {
+				best, bestE = i, pt.EnergyPerOpFJ
 			}
 		}
 		if best >= 0 && !chosen[best] {
@@ -80,20 +91,20 @@ func ladderFor(res *charz.Result, cfg charz.Config) ([]speculation.Operator, err
 		}
 	}
 	sort.Slice(picks, func(a, b int) bool {
-		return res.Triads[picks[a]].EnergyPerOpFJ < res.Triads[picks[b]].EnergyPerOpFJ
+		return op.Points[picks[a]].EnergyPerOpFJ < op.Points[picks[b]].EnergyPerOpFJ
 	})
 	var ops []speculation.Operator
 	for _, i := range picks {
-		tr := res.Triads[i]
-		hw, err := charz.NewEngineAdder(res.Netlist, cfg, tr.Triad)
+		pt := op.Points[i]
+		hw, err := cli.Adder(ctx, spec, op.Arch, op.Width, pt.Triad)
 		if err != nil {
 			return nil, err
 		}
 		ops = append(ops, speculation.Operator{
-			Triad:         tr.Triad,
+			Triad:         triad.Triad(pt.Triad),
 			Adder:         hw,
-			EnergyPerOpFJ: tr.EnergyPerOpFJ,
-			CharBER:       tr.BER(),
+			EnergyPerOpFJ: pt.EnergyPerOpFJ,
+			CharBER:       pt.BER,
 		})
 	}
 	return ops, nil

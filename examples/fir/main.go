@@ -2,30 +2,38 @@
 // case pioneered by Hegde & Shanbhag that the paper cites as motivation.
 // A 7-tap binomial low-pass filter runs with its shift-and-add datapath
 // mapped onto approximate adders at different operating triads; output
-// SNR versus the exact filter is traded against adder energy.
+// SNR versus the exact filter is traded against adder energy. The adder
+// characterization comes from the vos SDK.
 //
 // Run with: go run ./examples/fir
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/apps"
-	"repro/internal/charz"
 	"repro/internal/core"
 	"repro/internal/patterns"
-	"repro/internal/synth"
+	"repro/vos"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	cfg := charz.Config{Arch: synth.ArchBKA, Width: apps.Word, Patterns: 2500, Seed: 21}
-	res, err := charz.Run(cfg)
+	cli, err := vos.NewLocal(vos.LocalOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cli.Close()
+	spec := vos.NewSpec().Arches("BKA").Widths(apps.Word).Patterns(2500).Seed(21)
+	res, err := cli.Run(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	op := res.Operator("BKA", apps.Word)
 
 	signal := apps.TwoTone(4096, 13)
 	fir := apps.BinomialFIR()
@@ -35,22 +43,21 @@ func main() {
 	}
 	ref := fir.Apply(signal, exactAr)
 
-	fmt.Printf("7-tap binomial FIR on %s VOS adders, 4096-sample two-tone input\n\n", cfg.BenchName())
+	fmt.Printf("7-tap binomial FIR on %s VOS adders, 4096-sample two-tone input\n\n", op.Bench)
 	fmt.Printf("%-14s %12s %12s %14s\n", "triad", "adder BER", "E/op (fJ)", "output SNR")
 	for _, target := range []float64{0, 0.01, 0.04, 0.12} {
-		idx := pick(res, target)
-		tr := res.Triads[idx]
-		var adder core.HardwareAdder = core.ExactAdder{W: cfg.Width}
-		if tr.BER() > 0 {
-			hw, err := charz.NewEngineAdder(res.Netlist, cfg, tr.Triad)
+		pt := op.Points[pick(op, target)]
+		var adder core.HardwareAdder = core.ExactAdder{W: op.Width}
+		if pt.BER > 0 {
+			hw, err := cli.Adder(ctx, spec, op.Arch, op.Width, pt.Triad)
 			if err != nil {
 				log.Fatal(err)
 			}
-			gen, err := patterns.NewUniform(cfg.Width, 5)
+			gen, err := patterns.NewUniform(op.Width, 5)
 			if err != nil {
 				log.Fatal(err)
 			}
-			model, err := core.TrainModel(hw, gen, 8000, core.MetricWeightedHamming, tr.Triad.Label())
+			model, err := core.TrainModel(hw, gen, 8000, core.MetricWeightedHamming, pt.Triad.Label())
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -65,20 +72,20 @@ func main() {
 		}
 		out := fir.Apply(signal, ar)
 		fmt.Printf("%-14s %11.2f%% %12.1f %11.1f dB\n",
-			tr.Triad.Label(), tr.BER()*100, tr.EnergyPerOpFJ, apps.SignalSNR(ref, out))
+			pt.Triad.Label(), pt.BER*100, pt.EnergyPerOpFJ, apps.SignalSNR(ref, out))
 	}
 	fmt.Println("\nThe filter tolerates percent-level adder BER with graceful SNR loss —")
 	fmt.Println("the inherent resilience that voids error-correction hardware (paper §I).")
 }
 
-func pick(res *charz.Result, target float64) int {
+func pick(op *vos.Operator, target float64) int {
 	best, diff := 0, 10.0
-	for i, tr := range res.Triads {
-		d := tr.BER() - target
+	for i, pt := range op.Points {
+		d := pt.BER - target
 		if d < 0 {
 			d = -d
 		}
-		if d < diff || (d == diff && tr.EnergyPerOpFJ < res.Triads[best].EnergyPerOpFJ) {
+		if d < diff || (d == diff && pt.EnergyPerOpFJ < op.Points[best].EnergyPerOpFJ) {
 			best, diff = i, d
 		}
 	}

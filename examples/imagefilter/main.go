@@ -3,31 +3,39 @@
 // with their additions mapped onto VOS approximate adders (trained
 // statistical models of the 16-bit RCA at several operating triads), and
 // the end-to-end quality (PSNR vs the exact-adder result) is traded
-// against the adder's energy per operation.
+// against the adder's energy per operation. Characterization and the
+// hardware oracles come from the vos SDK.
 //
 // Run with: go run ./examples/imagefilter
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/apps"
-	"repro/internal/charz"
 	"repro/internal/core"
 	"repro/internal/patterns"
-	"repro/internal/synth"
+	"repro/vos"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// Characterize the kernels' datapath adder.
-	cfg := charz.Config{Arch: synth.ArchRCA, Width: apps.Word, Patterns: 2500, Seed: 11}
-	res, err := charz.Run(cfg)
+	cli, err := vos.NewLocal(vos.LocalOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cli.Close()
+	spec := vos.NewSpec().Arches("RCA").Widths(apps.Word).Patterns(2500).Seed(11)
+	res, err := cli.Run(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	op := res.Operator("RCA", apps.Word)
 
 	img := apps.Synthetic(96, 72, 3)
 	exactAr, err := apps.NewArith(core.ExactAdder{W: apps.Word})
@@ -42,9 +50,9 @@ func main() {
 
 	// Nominal plus three progressively cheaper triads.
 	for _, target := range []float64{0, 0.005, 0.03, 0.10} {
-		idx := closestBER(res, target)
-		tr := res.Triads[idx]
-		adder, err := adderFor(res, cfg, idx)
+		idx := closestBER(op, target)
+		pt := op.Points[idx]
+		adder, err := adderFor(ctx, cli, spec, op, idx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,42 +63,42 @@ func main() {
 		blur := apps.GaussianBlur3(img, ar)
 		edge := apps.Sobel(img, ar)
 		fmt.Printf("%-14s %11.2f%% %12.1f %11.1f dB %11.1f dB\n",
-			tr.Triad.Label(), tr.BER()*100, tr.EnergyPerOpFJ,
+			pt.Triad.Label(), pt.BER*100, pt.EnergyPerOpFJ,
 			apps.PSNR(refBlur, blur), apps.PSNR(refEdge, edge))
 	}
 	fmt.Println("\nReading: a few percent adder BER costs a few dB of image quality")
 	fmt.Println("while cutting the adder energy by 2-4x — the paper's trade-off, end to end.")
 }
 
-func closestBER(res *charz.Result, target float64) int {
+func closestBER(op *vos.Operator, target float64) int {
 	best, diff := 0, 10.0
-	for i, tr := range res.Triads {
-		d := tr.BER() - target
+	for i, pt := range op.Points {
+		d := pt.BER - target
 		if d < 0 {
 			d = -d
 		}
 		// Prefer the cheaper triad on ties.
-		if d < diff || (d == diff && tr.EnergyPerOpFJ < res.Triads[best].EnergyPerOpFJ) {
+		if d < diff || (d == diff && pt.EnergyPerOpFJ < op.Points[best].EnergyPerOpFJ) {
 			best, diff = i, d
 		}
 	}
 	return best
 }
 
-func adderFor(res *charz.Result, cfg charz.Config, idx int) (core.HardwareAdder, error) {
-	tr := res.Triads[idx]
-	if tr.BER() == 0 {
-		return core.ExactAdder{W: cfg.Width}, nil
+func adderFor(ctx context.Context, cli *vos.Local, spec *vos.Spec, op *vos.Operator, idx int) (core.HardwareAdder, error) {
+	pt := op.Points[idx]
+	if pt.BER == 0 {
+		return core.ExactAdder{W: op.Width}, nil
 	}
-	hw, err := charz.NewEngineAdder(res.Netlist, cfg, tr.Triad)
+	hw, err := cli.Adder(ctx, spec, op.Arch, op.Width, pt.Triad)
 	if err != nil {
 		return nil, err
 	}
-	gen, err := patterns.NewUniform(cfg.Width, 5)
+	gen, err := patterns.NewUniform(op.Width, 5)
 	if err != nil {
 		return nil, err
 	}
-	model, err := core.TrainModel(hw, gen, 8000, core.MetricMSE, tr.Triad.Label())
+	model, err := core.TrainModel(hw, gen, 8000, core.MetricMSE, pt.Triad.Label())
 	if err != nil {
 		return nil, err
 	}

@@ -1,10 +1,11 @@
-// Quickstart: the whole paper in one file.
+// Quickstart: the whole paper in one file, through the public vos SDK.
 //
-//  1. Generate and synthesize a gate-level 8-bit ripple-carry adder.
+//  1. Generate and synthesize a gate-level 8-bit ripple-carry adder and
+//     characterize it across its 43 operating triads (vos.Client.Run).
 //  2. Over-scale its supply voltage and watch timing errors appear in the
 //     timing simulator (the SPICE substitute).
 //  3. Train the paper's statistical model (Algorithm 1) on the faulty
-//     hardware.
+//     hardware (vos.Local.Adder is the hardware oracle).
 //  4. Use the resulting approximate adder at functional speed and compare
 //     its error statistics against the hardware it imitates.
 //
@@ -12,48 +13,55 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/carry"
-	"repro/internal/charz"
 	"repro/internal/core"
 	"repro/internal/patterns"
-	"repro/internal/synth"
+	"repro/vos"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// --- 1. Characterize the operator across its 43 operating triads.
-	cfg := charz.Config{Arch: synth.ArchRCA, Width: 8, Patterns: 3000, Seed: 42}
-	res, err := charz.Run(cfg)
+	cli, err := vos.NewLocal(vos.LocalOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := res.Report
+	defer cli.Close()
+	spec := vos.NewSpec().Arches("RCA").Widths(8).Patterns(3000).Seed(42)
+	res, err := cli.Run(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	op := res.Operator("RCA", 8)
+	rep := op.Report
 	fmt.Printf("Synthesized %s: %d gates, %.1f µm², critical path %.3f ns\n",
-		cfg.BenchName(), rep.GateCount, rep.Area, rep.CriticalPath)
+		op.Bench, rep.GateCount, rep.Area, rep.CriticalPath)
 
 	// --- 2. Pick an aggressive operating triad: 0.4 V with forward body
 	// bias at the synthesis clock (the paper's approximate mode).
-	var vos *charz.TriadResult
-	for i := range res.Triads {
-		tr := &res.Triads[i]
-		if tr.Triad.Vdd == 0.4 && tr.Triad.Vbb == 2 && tr.BER() > 0 {
-			if vos == nil || tr.Efficiency > vos.Efficiency {
-				vos = tr
+	var vosPt *vos.Point
+	for i := range op.Points {
+		pt := &op.Points[i]
+		if pt.Triad.Vdd == 0.4 && pt.Triad.Vbb == 2 && pt.BER > 0 {
+			if vosPt == nil || pt.Efficiency > vosPt.Efficiency {
+				vosPt = pt
 			}
 		}
 	}
-	if vos == nil {
+	if vosPt == nil {
 		log.Fatal("no erroneous 0.4V triad found")
 	}
 	fmt.Printf("VOS triad %s: BER %.2f%%, energy/op %.1f fJ (%.0f%% saving vs nominal)\n",
-		vos.Triad.Label(), vos.BER()*100, vos.EnergyPerOpFJ, vos.Efficiency*100)
+		vosPt.Triad.Label(), vosPt.BER*100, vosPt.EnergyPerOpFJ, vosPt.Efficiency*100)
 
 	// --- 3. Train the statistical model against the faulty hardware.
-	hw, err := charz.NewEngineAdder(res.Netlist, cfg, vos.Triad)
+	hw, err := cli.Adder(ctx, spec, "RCA", 8, vosPt.Triad)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +69,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := core.TrainModel(hw, gen, 8000, core.MetricMSE, vos.Triad.Label())
+	model, err := core.TrainModel(hw, gen, 8000, core.MetricMSE, vosPt.Triad.Label())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +80,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("A few approximate additions at", vos.Triad.Label(), ":")
+	fmt.Println("A few approximate additions at", vosPt.Triad.Label(), ":")
 	pairs := [][2]uint64{{200, 100}, {255, 1}, {77, 99}, {128, 127}}
 	for _, p := range pairs {
 		exact := carry.ExactAdd(p[0], p[1], 8)
@@ -96,11 +104,11 @@ func main() {
 
 	// --- 6. And the error-free near-threshold sweet spot (the paper's
 	// 0.5 V + FBB point: big saving, zero errors).
-	for _, tr := range res.Triads {
-		if tr.Triad.Vdd == 0.5 && tr.Triad.Vbb == 2 && tr.BER() == 0 &&
-			tr.Triad.Tclk == round3(res.Report.CriticalPath) {
+	for _, pt := range op.Points {
+		if pt.Triad.Vdd == 0.5 && pt.Triad.Vbb == 2 && pt.BER == 0 &&
+			pt.Triad.Tclk == round3(op.Report.CriticalPath) {
 			fmt.Printf("\nAccurate mode %s: 0%% BER at %.0f%% energy saving — free lunch via FBB.\n",
-				tr.Triad.Label(), tr.Efficiency*100)
+				pt.Triad.Label(), pt.Efficiency*100)
 		}
 	}
 }

@@ -1,0 +1,170 @@
+package engine
+
+// Sweep event streaming: every sweep publishes incremental per-point
+// progress to any number of subscribers. The daemon's NDJSON endpoint
+// (internal/engine/httpapi) and the vos SDK's Events channel are both
+// thin adapters over this seam.
+
+// Event types carried by SweepEvent.Type. A stream is a sequence of
+// progress/point events followed by exactly one terminal event (done,
+// failed or canceled), after which the subscription channel is closed.
+const (
+	// EventProgress reports a status or progress change without a point
+	// payload: the initial snapshot on subscribe and the pending→running
+	// transition (which carries the planned TotalPoints).
+	EventProgress = "progress"
+	// EventPoint reports one completed operating point, with the point's
+	// summary and the operator it belongs to.
+	EventPoint = "point"
+	// EventDone, EventFailed and EventCanceled are the terminal events,
+	// mirroring the sweep's final Status.
+	EventDone     = "done"
+	EventFailed   = "failed"
+	EventCanceled = "canceled"
+)
+
+// SweepEvent is one entry of a sweep's event stream. It is the wire type
+// of the daemon's GET /v1/sweeps/{id}/events NDJSON stream, so its JSON
+// shape is part of the public API (see API.md).
+type SweepEvent struct {
+	Type    string `json:"type"`
+	SweepID string `json:"sweepId"`
+	Status  Status `json:"status"`
+	// Progress is the counter set as of this event.
+	Progress Progress `json:"progress"`
+	// Bench, Arch and Width identify the operator of a point event.
+	Bench string `json:"bench,omitempty"`
+	Arch  string `json:"arch,omitempty"`
+	Width int    `json:"width,omitempty"`
+	// Point is the completed point's summary (point events only).
+	Point *PointSummary `json:"point,omitempty"`
+	// Error carries the failure reason of a failed/canceled terminal
+	// event.
+	Error string `json:"error,omitempty"`
+}
+
+// terminal reports whether a status is a sweep's final state.
+func terminal(s Status) bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// terminalEventType maps a final status to its event type.
+func terminalEventType(s Status) string {
+	switch s {
+	case StatusFailed:
+		return EventFailed
+	case StatusCanceled:
+		return EventCanceled
+	default:
+		return EventDone
+	}
+}
+
+// eventBuffer is the minimum per-subscriber channel capacity. Channels
+// are sized to hold the sweep's full replayed history plus every point
+// known to be outstanding at subscribe time, so a draining subscriber
+// attached after planning never drops an event. A subscriber attached
+// while the sweep is still pending (TotalPoints unknown) gets this
+// floor; on a sweep larger than the floor whose consumer drains slower
+// than points complete, live point events can be dropped — the progress
+// counters on later events stay correct, the terminal event takes its
+// reserved slot, and re-subscribing replays the full history, so a
+// dropped tail is always recoverable. One slot is always reserved for
+// the terminal event so even a subscriber that stops draining entirely
+// still sees the stream's ending.
+const eventBuffer = 4096
+
+type subscriber struct {
+	ch chan SweepEvent
+}
+
+// Subscribe returns the sweep's event channel: first a replay of every
+// event published so far (the per-point history is retained for the
+// sweep's lifetime), then the live tail. The channel is closed after the
+// terminal event; the returned cancel function releases the subscription
+// early (it is safe to call after the close, and must be called
+// eventually). Because of the replay, a subscriber joining at any time —
+// even after the sweep finished — sees at least one point event per
+// completed operator before the terminal event.
+func (e *Engine) Subscribe(id string) (<-chan SweepEvent, func(), bool) {
+	e.sweepMu.Lock()
+	st, ok := e.sweeps[id]
+	e.sweepMu.Unlock()
+	if !ok {
+		return nil, nil, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// Size the buffer for the whole stream: replayed history + points
+	// still outstanding + slack for progress transitions and the
+	// terminal event.
+	capacity := len(st.history) + (st.snap.Progress.TotalPoints - st.snap.Progress.Completed) + 8
+	if capacity < eventBuffer {
+		capacity = eventBuffer
+	}
+	sub := &subscriber{ch: make(chan SweepEvent, capacity)}
+	if len(st.history) == 0 {
+		// Nothing published yet (the sweep is still planning): open the
+		// stream with a snapshot so subscribers always see the current
+		// state immediately.
+		sub.ch <- st.eventLocked(EventProgress)
+	}
+	for _, ev := range st.history {
+		sub.ch <- ev
+	}
+	if terminal(st.snap.Status) {
+		close(sub.ch)
+		return sub.ch, func() {}, true
+	}
+	if st.subs == nil {
+		st.subs = make(map[*subscriber]struct{})
+	}
+	st.subs[sub] = struct{}{}
+	cancel := func() {
+		st.mu.Lock()
+		if _, live := st.subs[sub]; live {
+			delete(st.subs, sub)
+			close(sub.ch)
+		}
+		st.mu.Unlock()
+	}
+	return sub.ch, cancel, true
+}
+
+// eventLocked builds an event skeleton from the current snapshot.
+// Callers hold st.mu.
+func (st *sweepState) eventLocked(typ string) SweepEvent {
+	return SweepEvent{
+		Type:     typ,
+		SweepID:  st.snap.ID,
+		Status:   st.snap.Status,
+		Progress: st.snap.Progress,
+		Error:    st.snap.Error,
+	}
+}
+
+// publishLocked records an event in the sweep's replayable history and
+// fans it out to the live subscribers. The history intentionally keeps
+// its own copy of each point (the results array is mutated after the
+// fact — efficiency back-fill — and snapshot-copied per Get, so sharing
+// would race); it lives as long as the sweep's registry entry, which
+// maxRetainedSweeps bounds. Non-terminal events keep one buffer slot
+// free and are dropped for subscribers that fell behind (see
+// eventBuffer for when that can happen and why it is recoverable); the
+// terminal event takes the reserved slot (guaranteed free) and closes
+// every channel. Callers hold st.mu, which serializes all publication.
+func (st *sweepState) publishLocked(ev SweepEvent) {
+	st.history = append(st.history, ev)
+	last := terminal(ev.Status)
+	for sub := range st.subs {
+		if last {
+			sub.ch <- ev // reserved slot: cannot block
+			close(sub.ch)
+			delete(st.subs, sub)
+			continue
+		}
+		if len(sub.ch) < cap(sub.ch)-1 {
+			sub.ch <- ev
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package httpapi is the reusable HTTP surface of the sweep engine: the
+// /v1 REST routes that cmd/vosd mounts and the vos SDK's Remote client
+// speaks. Keeping the handlers out of package main makes the API
+// testable against the real mux (httptest) and reusable by any embedding
+// daemon.
+//
+// The surface is documented in API.md at the repository root; the
+// response shapes are pinned by golden files in testdata/.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/engine"
+)
+
+// Error codes of the structured error envelope. They are part of the
+// public API: the vos SDK maps them back to typed errors.
+const (
+	CodeInvalidRequest   = "invalid_request"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeSweepRunning     = "sweep_running"
+	CodeSweepFailed      = "sweep_failed"
+	CodeSweepCanceled    = "sweep_canceled"
+	CodeEngineClosed     = "engine_closed"
+	CodeInternal         = "internal"
+)
+
+// ErrorInfo is the body of the error envelope.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the uniform non-2xx response body:
+// {"error":{"code":"...","message":"..."}}.
+type ErrorEnvelope struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// SubmitResponse is the 202 body of POST /v1/sweeps.
+type SubmitResponse struct {
+	ID string `json:"id"`
+}
+
+// CacheStatsResponse is the body of GET /v1/cache/stats.
+type CacheStatsResponse struct {
+	engine.CacheStats
+	Hits       uint64 `json:"hits"`
+	Executions uint64 `json:"executions"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Workers int    `json:"workers"`
+}
+
+// New returns the engine's v1 API handler:
+//
+//	POST   /v1/sweeps              submit a sweep (engine.Request JSON) → 202 {"id"}
+//	GET    /v1/sweeps              list all sweeps (status only)
+//	GET    /v1/sweeps/{id}         one sweep's status and progress
+//	GET    /v1/sweeps/{id}/results full results once done (409 envelope while running)
+//	GET    /v1/sweeps/{id}/events  NDJSON event stream until the terminal event
+//	DELETE /v1/sweeps/{id}         cancel a pending/running sweep → 204
+//	GET    /v1/cache/stats         result-cache and execution counters
+//	GET    /healthz                liveness probe
+func New(eng *engine.Engine) http.Handler {
+	s := &server{eng: eng}
+	m := http.NewServeMux()
+	m.HandleFunc("POST /v1/sweeps", s.submitSweep)
+	m.HandleFunc("GET /v1/sweeps", s.listSweeps)
+	m.HandleFunc("GET /v1/sweeps/{id}", s.getSweep)
+	m.HandleFunc("GET /v1/sweeps/{id}/results", s.getResults)
+	m.HandleFunc("GET /v1/sweeps/{id}/events", s.sweepEvents)
+	m.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
+	m.HandleFunc("GET /v1/cache/stats", s.cacheStats)
+	m.HandleFunc("GET /healthz", s.healthz)
+	return envelopeMiddleware(m)
+}
+
+// envelopeMiddleware converts the mux's own plain-text fallbacks (404 for
+// unknown routes, 405 for method mismatches) into the structured error
+// envelope, so *every* non-2xx response of the API — including the ones
+// net/http generates — has the same JSON shape and Content-Type.
+func envelopeMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w, req: r}, r)
+	})
+}
+
+// envelopeWriter rewrites non-JSON 404/405 responses. Handlers in this
+// package always set Content-Type: application/json before WriteHeader,
+// so anything else hitting those statuses is a net/http fallback.
+type envelopeWriter struct {
+	http.ResponseWriter
+	req      *http.Request
+	suppress bool
+}
+
+func (w *envelopeWriter) WriteHeader(status int) {
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		w.Header().Get("Content-Type") != "application/json" {
+		w.suppress = true // swallow the plain-text body that follows
+		code, msg := CodeNotFound, fmt.Sprintf("no route for %s %s", w.req.Method, w.req.URL.Path)
+		if status == http.StatusMethodNotAllowed {
+			code, msg = CodeMethodNotAllowed, fmt.Sprintf("method %s not allowed on %s", w.req.Method, w.req.URL.Path)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("X-Content-Type-Options")
+		w.ResponseWriter.WriteHeader(status)
+		enc := json.NewEncoder(w.ResponseWriter)
+		enc.SetIndent("", "  ")
+		enc.Encode(ErrorEnvelope{Error: ErrorInfo{Code: code, Message: msg}})
+		return
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if w.suppress {
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so the events stream can flush
+// through the middleware.
+func (w *envelopeWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+type server struct {
+	eng *engine.Engine
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError emits the structured error envelope. Every non-2xx response
+// of the API goes through here, so clients can rely on the shape and the
+// Content-Type unconditionally.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorInfo{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+func (s *server) submitSweep(w http.ResponseWriter, r *http.Request) {
+	var req engine.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decode request: %v", err)
+		return
+	}
+	id, err := s.eng.Submit(req)
+	if err != nil {
+		if errors.Is(err, engine.ErrClosed) {
+			writeError(w, http.StatusServiceUnavailable, CodeEngineClosed, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id})
+}
+
+// statusOnly strips the (potentially large) results from a sweep snapshot
+// for the status and list endpoints.
+func statusOnly(sw engine.Sweep) engine.Sweep {
+	sw.Results = nil
+	return sw
+}
+
+func (s *server) listSweeps(w http.ResponseWriter, r *http.Request) {
+	sweeps := s.eng.List()
+	for i := range sweeps {
+		sweeps[i] = statusOnly(sweeps[i])
+	}
+	writeJSON(w, http.StatusOK, sweeps)
+}
+
+func (s *server) getSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.eng.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOnly(sw))
+}
+
+func (s *server) getResults(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.eng.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	switch sw.Status {
+	case engine.StatusDone:
+		writeJSON(w, http.StatusOK, sw)
+	case engine.StatusFailed:
+		writeError(w, http.StatusGone, CodeSweepFailed, "sweep %s failed: %s", sw.ID, sw.Error)
+	case engine.StatusCanceled:
+		writeError(w, http.StatusGone, CodeSweepCanceled, "sweep %s canceled: %s", sw.ID, sw.Error)
+	default:
+		writeError(w, http.StatusConflict, CodeSweepRunning,
+			"sweep %s is %s (%d/%d points); poll again or stream /events",
+			sw.ID, sw.Status, sw.Progress.Completed, sw.Progress.TotalPoints)
+	}
+}
+
+// sweepEvents streams the sweep's event feed as NDJSON (one JSON object
+// per line, application/x-ndjson) until the terminal event, flushing
+// after every event so clients see points as they complete. The stream
+// always begins with a snapshot event, so subscribing to a finished
+// sweep yields exactly its terminal event.
+func (s *server) sweepEvents(w http.ResponseWriter, r *http.Request) {
+	ch, cancel, ok := s.eng.Subscribe(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return // client went away
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *server) cancelSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.eng.Cancel(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) cacheStats(w http.ResponseWriter, r *http.Request) {
+	stats := s.eng.CacheStats()
+	writeJSON(w, http.StatusOK, CacheStatsResponse{
+		CacheStats: stats,
+		Hits:       stats.Hits(),
+		Executions: s.eng.Executions(),
+	})
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Workers: s.eng.Workers()})
+}

@@ -73,6 +73,10 @@ func backendByName(name string) (charz.Backend, error) {
 	return 0, fmt.Errorf("engine: unknown backend %q", name)
 }
 
+// Validate checks the request without mutating it: defaults are applied
+// to a scratch copy and only the error is kept.
+func (r Request) Validate() error { return (&r).normalize() }
+
 // normalize validates the request and fills defaults in place.
 func (r *Request) normalize() error {
 	if len(r.Arches) == 0 {
@@ -134,6 +138,31 @@ func (r *Request) normalize() error {
 		}
 	}
 	return nil
+}
+
+// OperatorConfig normalizes the request and builds the canonical
+// charz.Config of one of its operators — the seam the vos SDK uses to
+// point per-operator tools (the hardware-oracle adder) at exactly the
+// configuration a sweep characterized.
+func (r *Request) OperatorConfig(archName string, width int) (charz.Config, error) {
+	if err := r.normalize(); err != nil {
+		return charz.Config{}, err
+	}
+	arch, err := archByName(archName)
+	if err != nil {
+		return charz.Config{}, err
+	}
+	found := false
+	for _, w := range r.Widths {
+		if w == width {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return charz.Config{}, fmt.Errorf("engine: width %d not in request widths %v", width, r.Widths)
+	}
+	return r.config(arch, width).Canonical()
 }
 
 // config builds the charz.Config of one operator of the request.
@@ -267,11 +296,34 @@ type sweepState struct {
 	snap   Sweep
 	cancel context.CancelFunc
 	done   chan struct{}
+	// subs are the live event subscribers and history the sweep's full
+	// replayable event log (events.go); mu serializes snapshot updates
+	// and event publication, so every subscriber sees events in snapshot
+	// order.
+	subs    map[*subscriber]struct{}
+	history []SweepEvent
 }
 
 func (s *sweepState) update(f func(*Sweep)) {
 	s.mu.Lock()
 	f(&s.snap)
+	s.mu.Unlock()
+}
+
+// updateAndPublish applies a snapshot mutation and emits the resulting
+// event to all subscribers in one critical section.
+func (s *sweepState) updateAndPublish(f func(*Sweep), decorate func(*SweepEvent)) {
+	s.mu.Lock()
+	f(&s.snap)
+	typ := EventProgress
+	if terminal(s.snap.Status) {
+		typ = terminalEventType(s.snap.Status)
+	}
+	ev := s.eventLocked(typ)
+	if decorate != nil {
+		decorate(&ev)
+	}
+	s.publishLocked(ev)
 	s.mu.Unlock()
 }
 
@@ -413,11 +465,11 @@ func (e *Engine) runSweep(ctx context.Context, st *sweepState) {
 	for _, p := range plans {
 		total += len(p.Triads)
 	}
-	st.update(func(s *Sweep) {
+	st.updateAndPublish(func(s *Sweep) {
 		s.Status = StatusRunning
 		s.Started = time.Now()
 		s.Progress.TotalPoints = total
-	})
+	}, nil)
 
 	results := make([]OperatorResult, len(plans))
 	var wg sync.WaitGroup
@@ -452,7 +504,7 @@ func (e *Engine) runSweep(ctx context.Context, st *sweepState) {
 					fail(err)
 					return
 				}
-				results[pi].Points[ti] = PointSummary{
+				ps := PointSummary{
 					Triad:         res.Triad,
 					Stats:         res.Acc.Snapshot(),
 					BER:           res.BER(),
@@ -462,13 +514,21 @@ func (e *Engine) runSweep(ctx context.Context, st *sweepState) {
 					LateFraction:  res.LateFraction,
 					FromCache:     cached,
 				}
-				st.update(func(s *Sweep) {
+				results[pi].Points[ti] = ps
+				op := &results[pi]
+				st.updateAndPublish(func(s *Sweep) {
 					s.Progress.Completed++
 					if cached {
 						s.Progress.CacheHits++
 					} else {
 						s.Progress.Executed++
 					}
+				}, func(ev *SweepEvent) {
+					ev.Type = EventPoint
+					ev.Bench = op.Bench
+					ev.Arch = op.Arch
+					ev.Width = op.Width
+					ev.Point = &ps
 				})
 			}(pi, ti, tr)
 		}
@@ -494,25 +554,26 @@ func (e *Engine) runSweep(ctx context.Context, st *sweepState) {
 			func(i int) float64 { return pts[i].BER },
 			func(i int) float64 { return pts[i].EnergyPerOpFJ })
 	}
-	st.update(func(s *Sweep) {
+	st.updateAndPublish(func(s *Sweep) {
 		s.Status = StatusDone
 		s.Finished = time.Now()
 		s.Results = results
-	})
+	}, nil)
 }
 
 // finishSweep records a terminal error state. The status is derived from
 // the first error itself, not from the sweep context: a simulation error
 // cancels the context to fail the remaining points fast, and that must
-// still be reported as failed, not canceled.
+// still be reported as failed, not canceled. Engine shutdown counts as
+// cancellation — the sweep was stopped, it did not break.
 func (e *Engine) finishSweep(st *sweepState, err error) {
 	status := StatusFailed
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrClosed) {
 		status = StatusCanceled
 	}
-	st.update(func(s *Sweep) {
+	st.updateAndPublish(func(s *Sweep) {
 		s.Status = status
 		s.Error = err.Error()
 		s.Finished = time.Now()
-	})
+	}, nil)
 }

@@ -1,0 +1,201 @@
+package vos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/charz"
+	"repro/internal/engine"
+	"repro/internal/triad"
+)
+
+// LocalOptions configures an in-process client.
+type LocalOptions struct {
+	// Workers is the engine worker-pool size; ≤0 means NumCPU.
+	Workers int
+	// CacheDir persists characterization results on disk, making
+	// repeated sweeps across process restarts near-free. Empty keeps the
+	// result cache memory-only.
+	CacheDir string
+}
+
+// Local is the in-process Client: it owns a sweep engine (worker pool +
+// content-addressed result cache) and runs every sweep in this process.
+type Local struct {
+	eng *engine.Engine
+}
+
+var _ Client = (*Local)(nil)
+
+// NewLocal starts an in-process client. Close it to stop the engine.
+func NewLocal(opts LocalOptions) (*Local, error) {
+	eng, err := engine.New(engine.Options{Workers: opts.Workers, CacheDir: opts.CacheDir})
+	if err != nil {
+		return nil, err
+	}
+	return &Local{eng: eng}, nil
+}
+
+// Close stops the engine, draining in-flight sweeps.
+func (l *Local) Close() error {
+	l.eng.Close()
+	return nil
+}
+
+// Run implements Client.
+func (l *Local) Run(ctx context.Context, spec *Spec) (*Result, error) {
+	id, err := l.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := l.Wait(ctx, id); err != nil {
+		return nil, err
+	}
+	return l.Results(ctx, id)
+}
+
+// Submit implements Client.
+func (l *Local) Submit(_ context.Context, spec *Spec) (string, error) {
+	return l.eng.Submit(spec.request())
+}
+
+// Status implements Client.
+func (l *Local) Status(_ context.Context, id string) (*Result, error) {
+	sw, ok := l.eng.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrNotFound, id)
+	}
+	sw.Results = nil
+	return toResult(sw)
+}
+
+// Wait implements Client.
+func (l *Local) Wait(ctx context.Context, id string) (*Result, error) {
+	sw, err := l.eng.Wait(ctx, id)
+	if err != nil {
+		if sw.ID == "" {
+			return nil, fmt.Errorf("%w %q", ErrNotFound, id)
+		}
+		return nil, err
+	}
+	sw.Results = nil
+	return toResult(sw)
+}
+
+// Results implements Client.
+func (l *Local) Results(_ context.Context, id string) (*Result, error) {
+	sw, ok := l.eng.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrNotFound, id)
+	}
+	switch sw.Status {
+	case engine.StatusDone:
+		return toResult(sw)
+	case engine.StatusFailed, engine.StatusCanceled:
+		return nil, &SweepError{ID: sw.ID, Status: string(sw.Status), Message: sw.Error}
+	default:
+		return nil, fmt.Errorf("%w: sweep %s is %s (%d/%d points)",
+			ErrNotDone, sw.ID, sw.Status, sw.Progress.Completed, sw.Progress.TotalPoints)
+	}
+}
+
+// Events implements Client.
+func (l *Local) Events(ctx context.Context, id string) (<-chan Event, error) {
+	ch, cancel, ok := l.eng.Subscribe(id)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrNotFound, id)
+	}
+	out := make(chan Event, 16)
+	go func() {
+		defer close(out)
+		defer cancel()
+		for {
+			select {
+			case ev, open := <-ch:
+				if !open {
+					return
+				}
+				e, err := toEvent(ev)
+				if err != nil {
+					return
+				}
+				select {
+				case out <- e:
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Cancel implements Client.
+func (l *Local) Cancel(_ context.Context, id string) error {
+	if !l.eng.Cancel(id) {
+		return fmt.Errorf("%w %q", ErrNotFound, id)
+	}
+	return nil
+}
+
+// CacheStats implements Client.
+func (l *Local) CacheStats(_ context.Context) (*CacheStats, error) {
+	stats := l.eng.CacheStats()
+	out := &CacheStats{}
+	if err := reencode(stats, out); err != nil {
+		return nil, err
+	}
+	out.Hits = stats.Hits()
+	out.Executions = l.eng.Executions()
+	return out, nil
+}
+
+// Adder builds a hardware-oracle adder for one operator of the spec at
+// one operating triad: the timing simulator pinned at that point, exposed
+// as a functional adder. It reuses the engine's memoized synthesis, so a
+// characterized operator costs nothing extra to instrument. Local only —
+// the oracle steps a netlist in-process, which no remote transport can
+// do per-operation at a sane cost.
+func (l *Local) Adder(ctx context.Context, spec *Spec, arch string, width int, tr Triad) (Adder, error) {
+	req := spec.request()
+	cfg, err := req.OperatorConfig(arch, width)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := l.eng.Prepare(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return charz.NewEngineAdder(prep.Netlist, cfg, triad.Triad(tr))
+}
+
+// reencode converts between the engine's wire types and the SDK types
+// through their shared JSON schema. One conversion path — the same bytes
+// a daemon would serve — keeps Local and Remote results byte-identical.
+func reencode(in, out any) error {
+	data, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("vos: encode: %w", err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("vos: decode: %w", err)
+	}
+	return nil
+}
+
+func toResult(sw engine.Sweep) (*Result, error) {
+	var r Result
+	if err := reencode(sw, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func toEvent(ev engine.SweepEvent) (Event, error) {
+	var e Event
+	err := reencode(ev, &e)
+	return e, err
+}

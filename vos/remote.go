@@ -1,0 +1,321 @@
+package vos
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/engine/httpapi"
+)
+
+// RemoteOptions configures a vosd HTTP client.
+type RemoteOptions struct {
+	// HTTPClient overrides the transport; nil uses a dedicated client
+	// with no global timeout (per-call contexts bound the requests, and
+	// event streams are long-lived by design).
+	HTTPClient *http.Client
+	// Retries is how many times idempotent requests (GET, DELETE) are
+	// retried after transport errors or 5xx responses; negative disables
+	// retries. Default: 2. Submissions (POST) are never retried — a
+	// replay could start a duplicate sweep.
+	Retries int
+	// RetryBackoff is the initial delay between retries, doubling each
+	// attempt. Default: 100ms.
+	RetryBackoff time.Duration
+	// PollInterval paces the Wait fallback polling loop used when the
+	// event stream is unavailable. Default: 150ms.
+	PollInterval time.Duration
+}
+
+// Remote is the HTTP Client for a vosd daemon (see API.md for the REST
+// surface it speaks). Errors carry the daemon's structured error
+// envelope as *APIError and match the package sentinels under errors.Is;
+// all calls honor context cancellation.
+type Remote struct {
+	base    *url.URL
+	httpc   *http.Client
+	retries int
+	backoff time.Duration
+	poll    time.Duration
+}
+
+var _ Client = (*Remote)(nil)
+
+// NewRemote returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8420").
+func NewRemote(baseURL string, opts RemoteOptions) (*Remote, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("vos: bad server URL %q: %w", baseURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("vos: server URL %q needs a scheme and host", baseURL)
+	}
+	r := &Remote{
+		base:    u,
+		httpc:   opts.HTTPClient,
+		retries: opts.Retries,
+		backoff: opts.RetryBackoff,
+		poll:    opts.PollInterval,
+	}
+	if r.httpc == nil {
+		r.httpc = &http.Client{}
+	}
+	if opts.Retries == 0 {
+		r.retries = 2
+	} else if opts.Retries < 0 {
+		r.retries = 0
+	}
+	if r.backoff <= 0 {
+		r.backoff = 100 * time.Millisecond
+	}
+	if r.poll <= 0 {
+		r.poll = 150 * time.Millisecond
+	}
+	return r, nil
+}
+
+// Close releases idle connections.
+func (c *Remote) Close() error {
+	c.httpc.CloseIdleConnections()
+	return nil
+}
+
+// Run implements Client.
+func (c *Remote) Run(ctx context.Context, spec *Spec) (*Result, error) {
+	id, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Wait(ctx, id); err != nil {
+		return nil, err
+	}
+	return c.Results(ctx, id)
+}
+
+// Submit implements Client.
+func (c *Remote) Submit(ctx context.Context, spec *Spec) (string, error) {
+	// Validate locally first: a malformed Spec should not need a network
+	// round trip to be diagnosed.
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	body, err := json.Marshal(spec.request())
+	if err != nil {
+		return "", err
+	}
+	var resp httpapi.SubmitResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/sweeps", body, http.StatusAccepted, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// Status implements Client.
+func (c *Remote) Status(ctx context.Context, id string) (*Result, error) {
+	var r Result
+	if err := c.call(ctx, http.MethodGet, "/v1/sweeps/"+url.PathEscape(id), nil, http.StatusOK, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Wait implements Client. It follows the event stream when available and
+// falls back to polling the status endpoint.
+func (c *Remote) Wait(ctx context.Context, id string) (*Result, error) {
+	if ch, err := c.Events(ctx, id); err == nil {
+		for ev := range ch {
+			if ev.Terminal() {
+				return c.Status(ctx, id)
+			}
+		}
+		// Stream ended without a terminal event (connection drop): fall
+		// through to polling.
+	} else if errors.Is(err, ErrNotFound) {
+		return nil, err
+	}
+	ticker := time.NewTicker(c.poll)
+	defer ticker.Stop()
+	for {
+		r, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch r.Status {
+		case StatusDone, StatusFailed, StatusCanceled:
+			return r, nil
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Results implements Client.
+func (c *Remote) Results(ctx context.Context, id string) (*Result, error) {
+	var r Result
+	if err := c.call(ctx, http.MethodGet, "/v1/sweeps/"+url.PathEscape(id)+"/results", nil, http.StatusOK, &r); err != nil {
+		// The error envelope does not echo the sweep id; stamp it so
+		// *SweepError carries the same fields on both transports.
+		var swErr *SweepError
+		if errors.As(err, &swErr) && swErr.ID == "" {
+			swErr.ID = id
+		}
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Events implements Client. The stream is read line-by-line from the
+// daemon's NDJSON endpoint; canceling the context closes it.
+func (c *Remote) Events(ctx context.Context, id string) (<-chan Event, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base.JoinPath("/v1/sweeps/"+url.PathEscape(id)+"/events").String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("vos: events stream: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	out := make(chan Event, 16)
+	go func() {
+		defer close(out)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var ev Event
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return
+			}
+			select {
+			case out <- ev:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Cancel implements Client.
+func (c *Remote) Cancel(ctx context.Context, id string) error {
+	return c.call(ctx, http.MethodDelete, "/v1/sweeps/"+url.PathEscape(id), nil, http.StatusNoContent, nil)
+}
+
+// CacheStats implements Client.
+func (c *Remote) CacheStats(ctx context.Context) (*CacheStats, error) {
+	var stats CacheStats
+	if err := c.call(ctx, http.MethodGet, "/v1/cache/stats", nil, http.StatusOK, &stats); err != nil {
+		return nil, err
+	}
+	return &stats, nil
+}
+
+// call performs one API request, retrying idempotent methods on
+// transport errors and 5xx responses, and decoding the error envelope on
+// any other status than wantStatus.
+func (c *Remote) call(ctx context.Context, method, path string, body []byte, wantStatus int, out any) error {
+	idempotent := method == http.MethodGet || method == http.MethodDelete
+	attempts := 1
+	if idempotent {
+		attempts += c.retries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.backoff << (attempt - 1)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base.JoinPath(path).String(), rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = fmt.Errorf("vos: %s %s: %w", method, path, err)
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			apiErr := decodeError(resp)
+			resp.Body.Close()
+			lastErr = apiErr
+			continue
+		}
+		if resp.StatusCode != wantStatus {
+			defer resp.Body.Close()
+			return decodeError(resp)
+		}
+		if out != nil {
+			err = json.NewDecoder(resp.Body).Decode(out)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("vos: %s %s: decode response: %w", method, path, err)
+			}
+			return nil
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil
+	}
+	return lastErr
+}
+
+// decodeError turns a non-2xx response into a typed error: *SweepError
+// for terminal sweep states, *APIError otherwise.
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env httpapi.ErrorEnvelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Error.Code == "" {
+		return &APIError{
+			StatusCode: resp.StatusCode,
+			Code:       "unexpected_response",
+			Message:    strings.TrimSpace(string(data)),
+		}
+	}
+	switch env.Error.Code {
+	case httpapi.CodeSweepFailed, httpapi.CodeSweepCanceled:
+		status := StatusFailed
+		if env.Error.Code == httpapi.CodeSweepCanceled {
+			status = StatusCanceled
+		}
+		return &SweepError{Status: status, Message: env.Error.Message}
+	}
+	return &APIError{
+		StatusCode: resp.StatusCode,
+		Code:       env.Error.Code,
+		Message:    env.Error.Message,
+	}
+}

@@ -1,0 +1,114 @@
+package vos
+
+import (
+	"repro/internal/engine"
+)
+
+// Triad policies selectable on a Spec.
+const (
+	// PolicyPaper sweeps the paper's Table III set — 43 operating triads
+	// per operator, derived from each operator's synthesis timing report.
+	PolicyPaper = engine.PolicyPaper
+	// PolicyVddGrid sweeps a Vdd × Vbb grid at the synthesis clock (the
+	// Fig. 5 axis).
+	PolicyVddGrid = engine.PolicyVddGrid
+)
+
+// Backend names selectable on a Spec.
+const (
+	// BackendGate is the event-driven gate-level timing engine (default).
+	BackendGate = "gate"
+	// BackendRC is the switch-level RC cross-check engine.
+	BackendRC = "rc"
+)
+
+// Spec describes one characterization sweep: which operators to
+// synthesize (architectures × widths), how to stimulate them, and which
+// operating points to visit. The zero Spec is valid and means the paper's
+// default experiment: an 8-bit RCA over its 43 Table III triads with
+// 2000 uniform patterns. Builder methods return the receiver, so a Spec
+// reads as one chain:
+//
+//	vos.NewSpec().Arches("RCA", "BKA").Widths(8, 16).Patterns(20000)
+//
+// A Spec validates lazily: Client methods surface configuration errors,
+// or call Validate directly.
+type Spec struct {
+	req engine.Request
+}
+
+// NewSpec returns an empty Spec (the default experiment).
+func NewSpec() *Spec { return &Spec{} }
+
+// Arches selects the operator architectures to sweep: "RCA", "BKA",
+// "KSA", "Sklansky", "CSel". Default: RCA.
+func (s *Spec) Arches(names ...string) *Spec {
+	s.req.Arches = append([]string(nil), names...)
+	return s
+}
+
+// Widths selects the operand widths (1–32 bits). Default: 8. Every
+// architecture × width combination becomes one operator of the sweep.
+func (s *Spec) Widths(ws ...int) *Spec {
+	s.req.Widths = append([]int(nil), ws...)
+	return s
+}
+
+// Patterns sets the stimulus count per operating point (paper: 20000).
+// Default: 2000.
+func (s *Spec) Patterns(n int) *Spec {
+	s.req.Patterns = n
+	return s
+}
+
+// Seed drives pattern generation and per-gate mismatch sampling; equal
+// seeds give bit-identical results. Default: 1.
+func (s *Spec) Seed(seed uint64) *Spec {
+	s.req.Seed = seed
+	return s
+}
+
+// PropagateP sets the stimulus carry-propagate probability in [0, 1]
+// (0.5 = the paper's uniform profile). Default: 0.5.
+func (s *Spec) PropagateP(p float64) *Spec {
+	s.req.PropagateP = p
+	return s
+}
+
+// Backend selects the timing engine: BackendGate (default) or BackendRC.
+func (s *Spec) Backend(name string) *Spec {
+	s.req.Backend = name
+	return s
+}
+
+// Streaming selects free-running capture — vectors applied every Tclk
+// without settling between launches (gate backend only).
+func (s *Spec) Streaming(on bool) *Spec {
+	s.req.Streaming = on
+	return s
+}
+
+// PaperTriads selects the PolicyPaper triad set (the default).
+func (s *Spec) PaperTriads() *Spec {
+	s.req.Policy = PolicyPaper
+	s.req.Vdds = nil
+	s.req.VbbValues = nil
+	return s
+}
+
+// VddGrid selects PolicyVddGrid: a Vdd × Vbb grid at each operator's
+// synthesis clock. Empty vdds defaults to 1.0 → 0.4 in 0.1 steps; empty
+// vbbs defaults to {0}. This is the Fig. 5 experiment's shape.
+func (s *Spec) VddGrid(vdds, vbbs []float64) *Spec {
+	s.req.Policy = PolicyVddGrid
+	s.req.Vdds = append([]float64(nil), vdds...)
+	s.req.VbbValues = append([]float64(nil), vbbs...)
+	return s
+}
+
+// Validate checks the Spec without running it.
+func (s *Spec) Validate() error { return s.req.Validate() }
+
+// request returns the engine-level request. The copy keeps the Spec
+// reusable after submission.
+func (s *Spec) request() engine.Request { return s.req }

@@ -1,0 +1,271 @@
+package vos_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/carry"
+	"repro/internal/engine"
+	"repro/internal/engine/httpapi"
+	"repro/vos"
+)
+
+func newLocal(t *testing.T) *vos.Local {
+	t.Helper()
+	cli, err := vos.NewLocal(vos.LocalOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+func newRemote(t *testing.T) *vos.Remote {
+	t.Helper()
+	eng, err := engine.New(engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(httpapi.New(eng))
+	t.Cleanup(ts.Close)
+	cli, err := vos.NewRemote(ts.URL, vos.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+func testSpec() *vos.Spec {
+	return vos.NewSpec().Arches("RCA").Widths(4).Patterns(40).Seed(7)
+}
+
+// TestLocalRemoteEquivalence is the SDK's core promise: the same Spec
+// produces identical Result values whether the sweep runs in-process or
+// through a vosd daemon. The engine is deterministic and both transports
+// share one wire encoding, so the comparison is exact, not approximate.
+func TestLocalRemoteEquivalence(t *testing.T) {
+	ctx := context.Background()
+	spec := vos.NewSpec().Arches("RCA", "BKA").Widths(4).Patterns(40).Seed(7)
+
+	local := newLocal(t)
+	lres, err := local.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := newRemote(t)
+	rres, err := remote.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if lres.Status != vos.StatusDone || rres.Status != vos.StatusDone {
+		t.Fatalf("statuses %s / %s", lres.Status, rres.Status)
+	}
+	if lres.Progress != rres.Progress {
+		t.Fatalf("progress differs: %+v vs %+v", lres.Progress, rres.Progress)
+	}
+	if len(lres.Operators) != 2 || !reflect.DeepEqual(lres.Operators, rres.Operators) {
+		t.Fatalf("local and remote operators differ:\nlocal:  %+v\nremote: %+v",
+			lres.Operators, rres.Operators)
+	}
+
+	// The projections must agree too (they only read the shared values,
+	// but this guards the SortedIdx plumbing end to end).
+	for i := range lres.Operators {
+		if !reflect.DeepEqual(lres.Operators[i].Fig8(), rres.Operators[i].Fig8()) {
+			t.Fatalf("Fig8 projection differs for %s", lres.Operators[i].Bench)
+		}
+		if !reflect.DeepEqual(lres.Operators[i].Table4(), rres.Operators[i].Table4()) {
+			t.Fatalf("Table4 projection differs for %s", lres.Operators[i].Bench)
+		}
+	}
+}
+
+// TestClientErrors checks the typed error surface on both transports.
+func TestClientErrors(t *testing.T) {
+	ctx := context.Background()
+	for name, cli := range map[string]vos.Client{"local": newLocal(t), "remote": newRemote(t)} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := cli.Status(ctx, "s-999999"); !errors.Is(err, vos.ErrNotFound) {
+				t.Fatalf("Status unknown: %v", err)
+			}
+			if _, err := cli.Results(ctx, "s-999999"); !errors.Is(err, vos.ErrNotFound) {
+				t.Fatalf("Results unknown: %v", err)
+			}
+			if err := cli.Cancel(ctx, "s-999999"); !errors.Is(err, vos.ErrNotFound) {
+				t.Fatalf("Cancel unknown: %v", err)
+			}
+			if _, err := cli.Events(ctx, "s-999999"); !errors.Is(err, vos.ErrNotFound) {
+				t.Fatalf("Events unknown: %v", err)
+			}
+
+			// A sweep heavy enough (≥ seconds) that Cancel always beats
+			// completion; Results on the running sweep must report
+			// ErrNotDone, and after cancellation a *SweepError.
+			big := vos.NewSpec().Arches("RCA", "BKA").Widths(16, 24).Patterns(20000).Seed(3)
+			id, err := cli.Submit(ctx, big)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cli.Results(ctx, id); !errors.Is(err, vos.ErrNotDone) {
+				t.Fatalf("Results while running: %v", err)
+			}
+			if err := cli.Cancel(ctx, id); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cli.Wait(ctx, id); err != nil {
+				t.Fatalf("Wait after cancel: %v", err)
+			}
+			var swErr *vos.SweepError
+			if _, err := cli.Results(ctx, id); !errors.As(err, &swErr) || swErr.Status != vos.StatusCanceled {
+				t.Fatalf("Results after cancel: %v", err)
+			}
+
+			// Spec validation errors surface before execution.
+			if _, err := cli.Submit(ctx, vos.NewSpec().Arches("CLA")); err == nil {
+				t.Fatal("bogus arch accepted")
+			}
+			if _, err := cli.Submit(ctx, vos.NewSpec().Widths(99)); err == nil {
+				t.Fatal("bogus width accepted")
+			}
+		})
+	}
+}
+
+// TestEvents streams a finished sweep through both transports: the
+// replayed history must contain every point event before the terminal
+// done event.
+func TestEvents(t *testing.T) {
+	ctx := context.Background()
+	for name, cli := range map[string]vos.Client{"local": newLocal(t), "remote": newRemote(t)} {
+		t.Run(name, func(t *testing.T) {
+			id, err := cli.Submit(ctx, testSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, err := cli.Events(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var events []vos.Event
+			for ev := range ch {
+				events = append(events, ev)
+			}
+			if len(events) == 0 {
+				t.Fatal("no events")
+			}
+			last := events[len(events)-1]
+			if !last.Terminal() || last.Type != vos.EventDone {
+				t.Fatalf("last event %+v", last)
+			}
+			points := 0
+			for i, ev := range events {
+				if ev.Type == vos.EventPoint {
+					if ev.Point == nil || ev.Bench != "4-bit RCA" {
+						t.Fatalf("point event %d: %+v", i, ev)
+					}
+					if i == len(events)-1 {
+						t.Fatal("point event in terminal position")
+					}
+					points++
+				}
+			}
+			if points != 43 {
+				t.Fatalf("%d point events, want 43", points)
+			}
+		})
+	}
+}
+
+// TestLocalAdder builds the hardware oracle at the characterized nominal
+// triad and checks it against exact addition (the nominal point is
+// error-free by construction).
+func TestLocalAdder(t *testing.T) {
+	ctx := context.Background()
+	cli := newLocal(t)
+	spec := testSpec()
+	res, err := cli.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := res.Operator("RCA", 4)
+	nominal := op.Nominal()
+	if nominal.BER != 0 {
+		t.Fatalf("nominal point has BER %v", nominal.BER)
+	}
+	adder, err := cli.Adder(ctx, spec, "RCA", 4, nominal.Triad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adder.Width() != 4 {
+		t.Fatalf("adder width %d", adder.Width())
+	}
+	for _, p := range [][2]uint64{{0, 0}, {15, 1}, {7, 9}, {12, 11}} {
+		if got, want := adder.Add(p[0], p[1]), carry.ExactAdd(p[0], p[1], 4); got != want {
+			t.Fatalf("%d+%d = %d, want %d", p[0], p[1], got, want)
+		}
+	}
+	// Unknown operator coordinates fail cleanly.
+	if _, err := cli.Adder(ctx, spec, "RCA", 16, nominal.Triad); err == nil {
+		t.Fatal("adder for a width outside the spec succeeded")
+	}
+}
+
+// TestProjections checks the Fig5/Fig8/Table4 projections over a
+// vddgrid sweep.
+func TestProjections(t *testing.T) {
+	ctx := context.Background()
+	cli := newLocal(t)
+	spec := vos.NewSpec().Arches("RCA").Widths(4).Patterns(40).Seed(1).
+		VddGrid([]float64{1.0, 0.7, 0.5}, nil)
+	res, err := cli.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := res.Operator("RCA", 4)
+	if len(op.Points) != 3 {
+		t.Fatalf("%d points", len(op.Points))
+	}
+
+	fig5 := op.Fig5()
+	if len(fig5) != 3 || fig5[0].Vdd != 1.0 || fig5[2].Vdd != 0.5 {
+		t.Fatalf("Fig5 = %+v", fig5)
+	}
+	if len(fig5[0].PerBit) != 5 { // 4 sum bits + carry-out
+		t.Fatalf("Fig5 perBit has %d entries", len(fig5[0].PerBit))
+	}
+
+	fig8 := op.Fig8()
+	for i := 1; i < len(fig8); i++ {
+		if fig8[i-1].BER > fig8[i].BER {
+			t.Fatal("Fig8 not sorted by BER")
+		}
+	}
+
+	total := 0
+	for _, s := range op.Table4() {
+		total += s.Count
+	}
+	if total > len(op.Points) {
+		t.Fatalf("Table4 binned %d of %d points", total, len(op.Points))
+	}
+
+	clocks := op.TriadClocks()
+	if clocks[1] <= 0 {
+		t.Fatalf("TriadClocks = %v", clocks)
+	}
+
+	// CacheStats reflects the executed sweep.
+	stats, err := cli.CacheStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executions == 0 || stats.Stores == 0 {
+		t.Fatalf("cache stats %+v", stats)
+	}
+}
