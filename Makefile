@@ -15,11 +15,14 @@ race:
 
 # bench runs the simulation hot-path benchmarks at a meaningful iteration
 # count and records machine-readable results in BENCH_sim.json — the
-# committed baseline the bench-diff gate compares against. Best of three
-# samples, the same protocol as bench-diff, so baseline and fresh runs
-# see the same noise floor.
+# committed baseline the bench-diff gate compares against. Best of nine
+# samples for the micro benches (their microsecond scale makes them
+# vulnerable to multi-second scheduler-noise bursts that a best-of-three
+# cannot ride out) and best of five for the wall-clock sweeps; bench-diff
+# uses the same protocol, so baseline and fresh runs see the same noise
+# floor.
 bench:
-	$(GO) run ./cmd/vosbench -benchtime 1000x -count 3 -out BENCH_sim.json
+	$(GO) run ./cmd/vosbench -benchtime 1000x -count 9 -sweep-count 5 -out BENCH_sim.json
 
 # bench-smoke is a quick ungated run for local iteration: enough
 # iterations to eyeball gross hot-path changes. It writes to the scratch
@@ -30,15 +33,14 @@ bench-smoke:
 
 # bench-diff re-runs the benchmarks into a scratch file and compares them
 # against the committed BENCH_sim.json baseline, failing on a >20% ns/op
-# regression of any SimStep*/Fig8 benchmark. The iteration budget matches
-# `make bench` — comparing a short warm-up-dominated run against a full
-# baseline reads as a phantom regression — and -count 3 keeps the best of
-# three samples, so a single contended-scheduler outlier (the Fig8 sweeps
-# are one wall-clock sample each) cannot fail the gate on its own. CI
-# runs this on every push; run it locally before committing hot-path
-# changes.
+# regression of any SimStep*/TraceResample*/Fig8* benchmark. The
+# iteration budget and sample counts match `make bench` — comparing a
+# short warm-up-dominated run against a full baseline reads as a phantom
+# regression — so a contended-scheduler outlier cannot fail the gate on
+# its own. CI runs this on every push; run it locally before committing
+# hot-path changes.
 bench-diff:
-	$(GO) run ./cmd/vosbench -benchtime 1000x -count 3 -out BENCH_sim.new.json -diff BENCH_sim.json
+	$(GO) run ./cmd/vosbench -benchtime 1000x -count 9 -sweep-count 5 -out BENCH_sim.new.json -diff BENCH_sim.json
 
 # apicheck fails when the exported surface of the public vos SDK drifts
 # from the committed api/vos.txt golden (`go doc -all`, so doc-comment

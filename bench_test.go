@@ -235,6 +235,31 @@ func BenchmarkFig8(b *testing.B) {
 	}
 }
 
+// BenchmarkFig8Grouped measures the cold grouped sweep at the charz
+// level — no engine, no cache, every iteration simulates from scratch —
+// so the one-simulation-per-electrical-point hot path is tracked
+// without SDK or serialization overhead. The 43-triad set runs as 14
+// electrical groups, each one full-settle trace per 64-pattern chunk
+// plus one O(trace) resample per clock.
+func BenchmarkFig8Grouped(b *testing.B) {
+	for _, bd := range paperBenches {
+		bd := bd
+		b.Run(fmt.Sprintf("%s%d", bd.arch, bd.width), func(b *testing.B) {
+			cfg := charz.Config{Arch: bd.arch, Width: bd.width, Patterns: benchPatterns, Seed: 1}
+			for i := 0; i < b.N; i++ {
+				res, err := charz.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(len(res.Triads)), "triads")
+					b.ReportMetric(res.NominalEnergyFJ, "fJ/op@nominal")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineWarmSweep measures a fully cache-warm 43-triad sweep
 // through the SDK — the steady-state cost a vosd client pays for a
 // repeated operating-point query (deserialization only, no simulation).
@@ -757,6 +782,47 @@ func BenchmarkSimStepWordBKA16(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sim.WordLanes), "ns/pattern")
+}
+
+// benchTraceResample measures the trace path's per-pattern cost in the
+// grouped sweep's steady-state shape: one full-settle StepWordTrace per
+// chunk serving three clock periods by resampling — the three
+// aggressive clocks that share each electrical point of the Table III
+// grid. ns/pattern counts every resampled (pattern, clock) experiment,
+// directly comparable to the SimStepWord ns/pattern of one clock.
+func benchTraceResample(b *testing.B, nl *netlist.Netlist, mask uint64, tclks []float64) {
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	eng := sim.NewWord(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.6, Vbb: 2})
+	pairs := benchWordChunks(nl, mask)
+	psum, _ := nl.OutputPort(synth.PortSum)
+	pcout, _ := nl.OutputPort(synth.PortCout)
+	outNets := append(append([]netlist.NetID(nil), psum.Bits...), pcout.Bits...)
+	var sample sim.WordSample
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&1]
+		trace, err := eng.StepWordTrace(p[0], p[1], outNets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tclk := range tclks {
+			if err := trace.Resample(tclk, &sample); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(tclks)*sim.WordLanes), "ns/pattern")
+}
+
+func BenchmarkTraceResampleRCA8(b *testing.B) {
+	nl, _ := synth.RCA(synth.AdderConfig{Width: 8})
+	benchTraceResample(b, nl, 0xff, []float64{0.28, 0.19, 0.13})
+}
+
+func BenchmarkTraceResampleBKA16(b *testing.B) {
+	nl, _ := synth.BKA(synth.AdderConfig{Width: 16})
+	benchTraceResample(b, nl, 0xffff, []float64{0.52, 0.42, 0.31})
 }
 
 // BenchmarkInputBindingMap isolates the legacy input-binding cost: scatter

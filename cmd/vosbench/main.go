@@ -8,12 +8,13 @@
 //
 //	vosbench [-bench REGEX] [-benchtime 1000x] [-out BENCH_sim.json]
 //	         [-pkg .] [-keep-going]
-//	         [-diff BASELINE.json] [-diff-filter ^(SimStep|Fig8)]
+//	         [-diff BASELINE.json] [-diff-filter ^(SimStep|TraceResample|Fig8)]
 //	         [-diff-threshold 0.20]
 //
 // The default benchmark set covers the dense-state hot path: the per-step
-// micro-benchmarks, the input-binding and batch-evaluation costs, and the
-// Fig. 8-class sweep.
+// and trace/resample micro-benchmarks, the input-binding and
+// batch-evaluation costs, and the Fig. 8-class sweeps (engine-backed and
+// grouped-charz).
 //
 // With -diff, the fresh run is compared against a committed baseline file
 // and the command exits non-zero when any benchmark matched by
@@ -65,7 +66,7 @@ type File struct {
 // the recorded number is the cold (cache-empty) sweep cost rather than a
 // mostly-cache-warm average.
 const (
-	defaultMicroBench = "SimStep|InputBinding|EvaluateScalar|EvaluateBatch|RCSimStep"
+	defaultMicroBench = "SimStep|TraceResample|InputBinding|EvaluateScalar|EvaluateBatch|RCSimStep"
 	defaultSweepBench = "Fig8"
 )
 
@@ -80,17 +81,30 @@ func main() {
 		pkg       = flag.String("pkg", ".", "package to bench")
 		keepGoing = flag.Bool("keep-going", false, "write whatever parsed even if go test failed")
 		count     = flag.Int("count", 1, "samples per benchmark (go test -count); the best (min ns/op) sample is kept")
+		// The micro benches finish in microseconds, so scheduler-noise
+		// bursts lasting seconds can inflate every sample of a small
+		// -count; the sweeps run tens of milliseconds per sample and
+		// average the noise out. A separate sweep count lets the cheap
+		// micro group take many samples without multiplying the
+		// expensive sweep group.
+		sweepCount = flag.Int("sweep-count", 0, "samples per sweep-group benchmark (0 = same as -count)")
 
 		diffPath  = flag.String("diff", "", "baseline JSON to compare against; exit non-zero on regression")
-		diffRe    = flag.String("diff-filter", "^(SimStep|Fig8)", "benchmarks the -diff gate applies to")
+		diffRe    = flag.String("diff-filter", "^(SimStep|TraceResample|Fig8)", "benchmarks the -diff gate applies to")
 		threshold = flag.Float64("diff-threshold", 0.20, "fractional ns/op regression that fails the -diff gate")
 	)
 	flag.Parse()
 
-	type group struct{ re, bt string }
-	groups := []group{{defaultMicroBench, *benchtime}, {defaultSweepBench, *sweeptime}}
+	if *sweepCount == 0 {
+		*sweepCount = *count
+	}
+	type group struct {
+		re, bt string
+		count  int
+	}
+	groups := []group{{defaultMicroBench, *benchtime, *count}, {defaultSweepBench, *sweeptime, *sweepCount}}
 	if *bench != "" {
-		groups = []group{{*bench, *benchtime}}
+		groups = []group{{*bench, *benchtime, *count}}
 	}
 
 	var results []Result
@@ -98,7 +112,7 @@ func main() {
 	var runErr error
 	for _, g := range groups {
 		args := []string{"test", "-run", "^$", "-bench", g.re, "-benchmem",
-			"-benchtime", g.bt, "-count", strconv.Itoa(*count), *pkg}
+			"-benchtime", g.bt, "-count", strconv.Itoa(g.count), *pkg}
 		cmds = append(cmds, "go "+strings.Join(args, " "))
 		cmd := exec.Command("go", args...)
 		var buf bytes.Buffer

@@ -1,0 +1,128 @@
+package charz
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/triad"
+)
+
+// TestGroupedSweepMatchesPerTriad is the grouping acceptance property:
+// across the full 43-triad Table III set of all four paper adders, every
+// TriadResult produced by the electrical-group trace path must be
+// deeply equal — same accumulator internals, same float bits — to an
+// independent per-triad simulation of the same triad.
+func TestGroupedSweepMatchesPerTriad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 43-triad grouping parity is not -short")
+	}
+	for _, bd := range []struct {
+		arch  synth.Arch
+		width int
+	}{
+		{synth.ArchRCA, 8},
+		{synth.ArchBKA, 8},
+		{synth.ArchRCA, 16},
+		{synth.ArchBKA, 16},
+	} {
+		// 137 patterns: two full chunks plus a ragged 9-lane tail, so the
+		// grouped path's chunk chaining is exercised end to end.
+		cfg := Config{Arch: bd.arch, Width: bd.width, Patterns: 137, Seed: 11}
+		prep, err := Prepare(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := prep.TriadSet()
+		if len(set) != 43 {
+			t.Fatalf("%s: triad set = %d, want 43", cfg.BenchName(), len(set))
+		}
+		groups := triad.GroupByOperatingPoint(set)
+		if len(groups) >= len(set) {
+			t.Fatalf("%s: grouping did not collapse the set (%d groups)", cfg.BenchName(), len(groups))
+		}
+		for _, idxs := range groups {
+			trs := make([]triad.Triad, len(idxs))
+			for j, i := range idxs {
+				trs[j] = set[i]
+			}
+			outs, err := prep.RunGroup(trs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, i := range idxs {
+				want, err := prep.RunTriad(set[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(outs[j], want) {
+					t.Errorf("%s %s: grouped result diverged from per-triad simulation\ngrouped: %+v\nsolo:    %+v",
+						cfg.BenchName(), set[i].Label(), outs[j], want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunGroupValidation pins the group API's edges: empty groups,
+// mixed operating points, and single-triad groups.
+func TestRunGroupValidation(t *testing.T) {
+	prep, err := Prepare(Config{Arch: synth.ArchRCA, Width: 4, Patterns: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := prep.RunGroup(nil); err != nil || out != nil {
+		t.Fatalf("empty group: %v, %v", out, err)
+	}
+	mixed := []triad.Triad{
+		{Tclk: 0.3, Vdd: 1.0, Vbb: 0},
+		{Tclk: 0.3, Vdd: 0.9, Vbb: 0},
+	}
+	if _, err := prep.RunGroup(mixed); err == nil {
+		t.Fatal("mixed operating points accepted")
+	}
+	solo := []triad.Triad{{Tclk: 0.3, Vdd: 0.8, Vbb: 0}}
+	outs, err := prep.RunGroup(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prep.RunTriad(solo[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(outs[0], want) {
+		t.Fatal("single-triad group diverged from RunTriad")
+	}
+}
+
+// TestGroupedRunMatchesUngroupedRun checks the flow level: a full Run
+// (which fans out per electrical group through Direct) must produce
+// byte-identical triad results to a per-triad fan-out through a Runner
+// that does not implement GroupRunner.
+func TestGroupedRunMatchesUngroupedRun(t *testing.T) {
+	cfg := Config{Arch: synth.ArchBKA, Width: 8, Patterns: 97, Seed: 19}
+	grouped, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ungrouped, err := RunWith(context.Background(), pointOnlyRunner{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(grouped.Triads, ungrouped.Triads) {
+		t.Fatal("grouped Run diverged from per-triad Run")
+	}
+}
+
+// pointOnlyRunner hides Direct's GroupRunner half, forcing RunWith onto
+// the per-triad fan-out.
+type pointOnlyRunner struct{}
+
+func (pointOnlyRunner) Prepare(ctx context.Context, cfg Config) (*Prepared, error) {
+	return Prepare(cfg)
+}
+
+func (pointOnlyRunner) RunPoint(ctx context.Context, p *Prepared, tr triad.Triad) (*TriadResult, error) {
+	return p.RunTriad(tr)
+}

@@ -29,7 +29,12 @@ import (
 //	3: word-parallel core (64-lane bit-sliced event waves as the default
 //	   gate-backend path, lane-accumulated error statistics). Again proven
 //	   bit-identical by the golden parity suite, again keyed apart.
-const keySchemaVersion = 3
+//	4: trace/resample core (one full-settle trace simulation per
+//	   electrical operating point, every Tclk of the group answered by an
+//	   O(trace) resample). Proven bit-identical by the golden parity
+//	   suite and the grouping parity tests, keyed apart on the same
+//	   principle: equal keys must imply the exact code path.
+const keySchemaVersion = 4
 
 // keyMaterial is the canonical content that identifies one operating-point
 // result. Everything that can change the simulator's output is in here —
@@ -121,6 +126,13 @@ type CacheStats struct {
 	WriteErrors uint64 `json:"writeErrors"`
 	// MemEntries is the current size of the in-memory layer.
 	MemEntries int `json:"memEntries"`
+	// GroupedPoints counts points simulated as members of a multi-point
+	// electrical group — several Tclk values served by one trace
+	// simulation — as opposed to points simulated solo or served from
+	// the cache. Engine-level, filled by Engine.CacheStats: the counters
+	// above would otherwise silently conflate a group ride-along with a
+	// per-triad cache hit.
+	GroupedPoints uint64 `json:"groupedPoints"`
 }
 
 // Hits returns the total hit count across layers.

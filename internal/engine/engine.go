@@ -60,10 +60,17 @@ type Engine struct {
 	flightMu sync.Mutex
 	inflight map[string]*flight
 
-	// executions counts actual simulator runs (cache misses that reached
-	// a worker). The cache-effectiveness tests assert this stays flat
-	// across repeated identical sweeps.
+	// executions counts points that actually reached the simulator (cache
+	// misses, whether simulated solo or as part of an electrical group).
+	// The cache-effectiveness tests assert this stays flat across
+	// repeated identical sweeps.
 	executions atomic.Uint64
+
+	// groupedPoints counts points simulated as members of a multi-point
+	// electrical group — one trace simulation serving several Tclk values
+	// — reported through CacheStats so the stats distinguish group
+	// ride-alongs from per-triad cache hits.
+	groupedPoints atomic.Uint64
 
 	// sweep registry (sweep.go). closed gates Submit so no sweep
 	// goroutine can start once Close begins waiting.
@@ -138,8 +145,14 @@ func (e *Engine) Close() {
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
 
-// CacheStats returns the result cache's activity counters.
-func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
+// CacheStats returns the result cache's activity counters, plus this
+// engine's grouped-point counter (engine-level: a cache shared between
+// engines reports each engine's own GroupedPoints).
+func (e *Engine) CacheStats() CacheStats {
+	s := e.cache.Stats()
+	s.GroupedPoints = e.groupedPoints.Load()
+	return s
+}
 
 // Executions returns how many point jobs actually reached the simulator
 // (cache misses) over the Engine's lifetime.
@@ -287,6 +300,182 @@ func (e *Engine) ownPoint(ctx context.Context, p *charz.Prepared, tr triad.Triad
 		return nil, false, err
 	}
 	return out, false, nil
+}
+
+// RunPointGroup implements charz.GroupRunner: each triad of an
+// electrical group is served from the cache where possible; the misses
+// are simulated together with one trace run per operating point and
+// fanned out to per-triad cache entries, so warm-cache behavior and
+// cached bytes are exactly those of per-triad RunPoint calls.
+func (e *Engine) RunPointGroup(ctx context.Context, p *charz.Prepared, trs []triad.Triad) ([]*charz.TriadResult, error) {
+	res, _, err := e.runPointGroup(ctx, p, trs)
+	return res, err
+}
+
+// runPointGroup additionally reports, per triad, whether the result was
+// served without simulation (own cache entry or another caller's
+// flight).
+func (e *Engine) runPointGroup(ctx context.Context, p *charz.Prepared, trs []triad.Triad) ([]*charz.TriadResult, []bool, error) {
+	if len(trs) == 1 {
+		res, cached, err := e.runPoint(ctx, p, trs[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*charz.TriadResult{res}, []bool{cached}, nil
+	}
+	// Reject a mixed group up front, not only on the simulation path: a
+	// fully cache-warm call must fail the same way a cold one does.
+	op := trs[0].OperatingPoint()
+	for _, tr := range trs[1:] {
+		if tr.OperatingPoint() != op {
+			return nil, nil, fmt.Errorf("engine: group mixes operating points %v and %v",
+				op, tr.OperatingPoint())
+		}
+	}
+	keys := make([]string, len(trs))
+	for i, tr := range trs {
+		key, err := PointKey(p.Config, tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys[i] = key
+	}
+	out := make([]*charz.TriadResult, len(trs))
+	cached := make([]bool, len(trs))
+	done := make([]bool, len(trs))
+	for {
+		// Cache pass over the unresolved points (corrupt entries fall
+		// through to recomputation, as in runPoint).
+		var missing []int
+		for i := range trs {
+			if done[i] {
+				continue
+			}
+			if data, ok := e.cache.Get(keys[i]); ok {
+				if res, err := decodePoint(data); err == nil {
+					out[i], cached[i], done[i] = res, true, true
+					continue
+				}
+			}
+			missing = append(missing, i)
+		}
+		if len(missing) == 0 {
+			return out, cached, nil
+		}
+		// Partition the misses in one singleflight critical section:
+		// points nobody is computing become ours (one grouped
+		// simulation), points already in flight are awaited.
+		e.flightMu.Lock()
+		var owned []int
+		ownedFlights := make([]*flight, 0, len(missing))
+		waits := make(map[int]*flight)
+		for _, i := range missing {
+			if f, ok := e.inflight[keys[i]]; ok {
+				waits[i] = f
+				continue
+			}
+			f := &flight{done: make(chan struct{})}
+			e.inflight[keys[i]] = f
+			owned = append(owned, i)
+			ownedFlights = append(ownedFlights, f)
+		}
+		e.flightMu.Unlock()
+		if len(owned) > 0 {
+			if err := e.ownGroup(ctx, p, trs, keys, owned, ownedFlights, out); err != nil {
+				return nil, nil, err
+			}
+			for _, i := range owned {
+				done[i] = true
+			}
+		}
+		retry := false
+		for i, f := range waits {
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			case <-e.ctx.Done():
+				return nil, nil, ErrClosed
+			}
+			if f.err != nil {
+				// As in runPoint: the owner's own context dying says
+				// nothing about ours — retry those points.
+				if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+					if err := ctx.Err(); err != nil {
+						return nil, nil, err
+					}
+					retry = true
+					continue
+				}
+				return nil, nil, f.err
+			}
+			res, err := decodePoint(f.data)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[i], cached[i], done[i] = res, true, true
+		}
+		if !retry {
+			return out, cached, nil
+		}
+	}
+}
+
+// ownGroup simulates the owned subset of an electrical group as one
+// grouped run on the pool and publishes every point — to its own cache
+// entry, its flight waiters, and the caller's result slice (decoded
+// from the stored bytes, so callers see byte-identical results whether
+// or not the cache was warm).
+func (e *Engine) ownGroup(ctx context.Context, p *charz.Prepared, trs []triad.Triad,
+	keys []string, owned []int, flights []*flight, out []*charz.TriadResult) error {
+	defer func() {
+		e.flightMu.Lock()
+		for _, i := range owned {
+			delete(e.inflight, keys[i])
+		}
+		e.flightMu.Unlock()
+		for _, f := range flights {
+			close(f.done)
+		}
+	}()
+	publishErr := func(from int, err error) error {
+		for _, f := range flights[from:] {
+			f.err = err
+		}
+		return err
+	}
+	sub := make([]triad.Triad, len(owned))
+	for j, i := range owned {
+		sub[j] = trs[i]
+	}
+	var results []*charz.TriadResult
+	var runErr error
+	if err := e.exec(ctx, func() {
+		e.executions.Add(uint64(len(owned)))
+		if len(owned) > 1 {
+			e.groupedPoints.Add(uint64(len(owned)))
+		}
+		results, runErr = p.RunGroup(sub)
+	}); err != nil {
+		return publishErr(0, err)
+	}
+	if runErr != nil {
+		return publishErr(0, runErr)
+	}
+	for j, i := range owned {
+		data, err := json.Marshal(results[j])
+		if err != nil {
+			return publishErr(j, err)
+		}
+		e.cache.Put(keys[i], data)
+		res, err := decodePoint(data)
+		if err != nil {
+			return publishErr(j, err)
+		}
+		flights[j].data = data
+		out[i] = res
+	}
+	return nil
 }
 
 func decodePoint(data []byte) (*charz.TriadResult, error) {

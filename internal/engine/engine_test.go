@@ -118,6 +118,67 @@ func TestCachedResultsByteIdentical(t *testing.T) {
 	}
 }
 
+// TestGroupedPointsCounter pins the grouped-execution accounting: a cold
+// paper-policy sweep simulates every point as a member of an electrical
+// group (the 43-triad set collapses to 14 multi-point operating-point
+// groups), a repeated sweep is pure cache hits that must not move the
+// counter, and a vddgrid sweep (every group a singleton) must not move
+// it either — /v1/cache/stats keeps group ride-alongs distinguishable
+// from per-triad cache hits and solo executions.
+func TestGroupedPointsCounter(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 4})
+	req := Request{Arches: []string{"RCA"}, Widths: []int{4}, Patterns: 40, Seed: 7}
+
+	id, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != StatusDone {
+		t.Fatalf("first sweep: status %s (%s)", first.Status, first.Error)
+	}
+	stats := e.CacheStats()
+	if got := e.Executions(); got != 43 {
+		t.Errorf("cold paper sweep executed %d points, want 43", got)
+	}
+	if stats.GroupedPoints != 43 {
+		t.Errorf("cold paper sweep GroupedPoints = %d, want 43 (every point rides a multi-point group)",
+			stats.GroupedPoints)
+	}
+
+	// A repeated identical sweep is served per-triad from the cache.
+	id, err = e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := e.Wait(context.Background(), id); err != nil || s.Status != StatusDone {
+		t.Fatalf("second sweep: %v status=%v", err, s.Status)
+	}
+	if got := e.CacheStats().GroupedPoints; got != stats.GroupedPoints {
+		t.Errorf("warm sweep moved GroupedPoints to %d, want %d", got, stats.GroupedPoints)
+	}
+
+	// A vddgrid sweep's groups are singletons: executions grow, the
+	// grouped counter does not.
+	id, err = e.Submit(Request{Arches: []string{"RCA"}, Widths: []int{4}, Patterns: 40, Seed: 7,
+		Policy: PolicyVddGrid, Vdds: []float64{0.9, 0.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := e.Wait(context.Background(), id); err != nil || s.Status != StatusDone {
+		t.Fatalf("grid sweep: %v status=%v", err, s.Status)
+	}
+	if got := e.Executions(); got != 45 {
+		t.Errorf("after grid sweep Executions = %d, want 45", got)
+	}
+	if got := e.CacheStats().GroupedPoints; got != stats.GroupedPoints {
+		t.Errorf("singleton-group sweep moved GroupedPoints to %d, want %d", got, stats.GroupedPoints)
+	}
+}
+
 // TestDiskCacheSurvivesEngineRestart runs a sweep, rebuilds the engine
 // over the same cache directory, and expects zero simulator invocations.
 func TestDiskCacheSurvivesEngineRestart(t *testing.T) {
@@ -465,5 +526,33 @@ func TestPlanExpansion(t *testing.T) {
 	}
 	if got := len(plans[0].Triads); got != 43 {
 		t.Errorf("paper policy expanded to %d triads, want 43", got)
+	}
+}
+
+// TestRunPointGroupRejectsMixedGroups: the public GroupRunner method
+// must reject a group spanning operating points identically whether the
+// cache is cold or warm.
+func TestRunPointGroupRejectsMixedGroups(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 2})
+	ctx := context.Background()
+	prep, err := e.Prepare(ctx, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := []triad.Triad{
+		{Tclk: 0.5, Vdd: 1.0, Vbb: 0},
+		{Tclk: 0.5, Vdd: 0.9, Vbb: 0},
+	}
+	if _, err := e.RunPointGroup(ctx, prep, mixed); err == nil {
+		t.Fatal("cold mixed group accepted")
+	}
+	// Warm both points individually, then retry: still rejected.
+	for _, tr := range mixed {
+		if _, err := e.RunPoint(ctx, prep, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.RunPointGroup(ctx, prep, mixed); err == nil {
+		t.Fatal("cache-warm mixed group accepted")
 	}
 }

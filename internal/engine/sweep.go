@@ -227,6 +227,21 @@ func (e *Engine) Plan(ctx context.Context, req *Request) ([]OperatorPlan, error)
 	return plans, nil
 }
 
+// pointGroups partitions an operator plan's triads into per-job index
+// groups: electrical operating-point groups when the prepared
+// configuration supports the shared-trace path, singletons otherwise
+// (streaming and RC sweeps keep their per-point pool fan-out).
+func pointGroups(p *OperatorPlan) [][]int {
+	if p.Prep.Groupable() {
+		return triad.GroupByOperatingPoint(p.Triads)
+	}
+	groups := make([][]int, len(p.Triads))
+	for i := range p.Triads {
+		groups[i] = []int{i}
+	}
+	return groups
+}
+
 // Status is a sweep's lifecycle state.
 type Status string
 
@@ -495,42 +510,55 @@ func (e *Engine) runSweep(ctx context.Context, st *sweepState) {
 			Report: p.Prep.Report,
 			Points: make([]PointSummary, len(p.Triads)),
 		}
-		for ti, tr := range p.Triads {
+		// One pool job per electrical group when the trace path applies
+		// (the Table III set collapses 43 triads to 14 simulations);
+		// per-point jobs otherwise. Either way each completed point is
+		// cached, counted and published individually, so the event
+		// stream and progress counters are shaped exactly as before.
+		for _, idxs := range pointGroups(p) {
 			wg.Add(1)
-			go func(pi, ti int, tr triad.Triad) {
+			go func(pi int, idxs []int) {
 				defer wg.Done()
-				res, cached, err := e.runPoint(ctx, plans[pi].Prep, tr)
+				plan := &plans[pi]
+				trs := make([]triad.Triad, len(idxs))
+				for j, ti := range idxs {
+					trs[j] = plan.Triads[ti]
+				}
+				outs, cachedFlags, err := e.runPointGroup(ctx, plan.Prep, trs)
 				if err != nil {
 					fail(err)
 					return
 				}
-				ps := PointSummary{
-					Triad:         res.Triad,
-					Stats:         res.Acc.Snapshot(),
-					BER:           res.BER(),
-					WER:           res.Acc.WER(),
-					PerBit:        res.Acc.PerBitErrorProb(),
-					EnergyPerOpFJ: res.EnergyPerOpFJ,
-					LateFraction:  res.LateFraction,
-					FromCache:     cached,
-				}
-				results[pi].Points[ti] = ps
 				op := &results[pi]
-				st.updateAndPublish(func(s *Sweep) {
-					s.Progress.Completed++
-					if cached {
-						s.Progress.CacheHits++
-					} else {
-						s.Progress.Executed++
+				for j, ti := range idxs {
+					res, cached := outs[j], cachedFlags[j]
+					ps := PointSummary{
+						Triad:         res.Triad,
+						Stats:         res.Acc.Snapshot(),
+						BER:           res.BER(),
+						WER:           res.Acc.WER(),
+						PerBit:        res.Acc.PerBitErrorProb(),
+						EnergyPerOpFJ: res.EnergyPerOpFJ,
+						LateFraction:  res.LateFraction,
+						FromCache:     cached,
 					}
-				}, func(ev *SweepEvent) {
-					ev.Type = EventPoint
-					ev.Bench = op.Bench
-					ev.Arch = op.Arch
-					ev.Width = op.Width
-					ev.Point = &ps
-				})
-			}(pi, ti, tr)
+					op.Points[ti] = ps
+					st.updateAndPublish(func(s *Sweep) {
+						s.Progress.Completed++
+						if cached {
+							s.Progress.CacheHits++
+						} else {
+							s.Progress.Executed++
+						}
+					}, func(ev *SweepEvent) {
+						ev.Type = EventPoint
+						ev.Bench = op.Bench
+						ev.Arch = op.Arch
+						ev.Width = op.Width
+						ev.Point = &ps
+					})
+				}
+			}(pi, idxs)
 		}
 	}
 	wg.Wait()

@@ -313,7 +313,7 @@ type Result = sim.Result
 // The returned Result and its slices are owned by the engine and valid
 // until the next step.
 func (e *Engine) StepDense(values []uint8, tclk float64) (*Result, error) {
-	if tclk <= 0 {
+	if !(tclk > 0) { // negated to catch NaN, which the deadline compares would misread
 		return nil, fmt.Errorf("rcsim: non-positive tclk %v", tclk)
 	}
 	if len(values) != len(e.binary) {

@@ -1,0 +1,60 @@
+// Package sim is the transistor-level-simulation substitute of the
+// reproduction (Eldo SPICE in the paper's Fig. 4 flow): an event-driven
+// gate-level timing simulator whose per-gate delays come from the FDSOI
+// device model at an arbitrary operating point.
+//
+// Timing errors under voltage over-scaling emerge exactly as in silicon:
+// input transitions launch waves of events through the netlist; a capture
+// register samples the primary outputs at t = Tclk; any path whose events
+// have not yet fired contributes stale or intermediate values to the
+// captured word. Glitches propagate (transport delay) and are charged to
+// the per-operation energy, which also integrates operating-point-scaled
+// leakage over the clock period.
+//
+// The hot path is dense and index-addressed: input vectors arrive as a
+// per-net []uint8 image (netlist.Stimulus compiles port bindings into one),
+// the event queue is a bucketed time-wheel rather than a binary heap, and
+// the dense entry points (ResetDense, StepDense, StreamStepDense) reuse the
+// engine's result buffers so a characterization sweep allocates nothing per
+// vector. The map-based Reset/Step/StreamStep remain as thin compatibility
+// wrappers.
+//
+// # The word-parallel core
+//
+// At a fixed operating point every gate delay is data-independent, so the
+// classic parallel-pattern single-delay trick applies: WordEngine carries
+// a 64-lane bit-sliced []uint64 net image (lane k of every word belongs
+// to pattern k) through the same event schedule. A gate is re-evaluated
+// across all 64 lanes with one cell.Kind.EvalWord call, an event fires
+// when any lane changes (old ^ new != 0), and per-lane energy, late flags
+// and transition counts are attributed from the changed-lane mask. Lane
+// k's event times, captured values and energy sums are bit-identical to a
+// scalar run of pattern k (the golden parity suite and the randomized
+// cross-checks enforce this): lanes only ever share work, never semantics.
+// The scalar dense engine remains as the reference implementation and as
+// the backend of the streaming protocol, which is temporally serial (each
+// vector launches into the unsettled wake of the previous one) and
+// therefore cannot be pattern-parallelized.
+//
+// # The trace/resample seam
+//
+// The clock period never influences the event wave — Tclk enters a
+// two-vector experiment only as the capture boundary and the
+// leakage·Tclk energy term — so one simulation per electrical (Vdd,
+// Vbb) point suffices for any number of clocks. StepWordTrace runs the
+// 64-lane experiment to full quiescence and records the chronological
+// event history (time, changed-lane mask, new value word, per-event
+// switching energy); WordTrace.Resample(tclk) then reproduces what
+// StepWordChunk at that tclk would have returned, in one linear pass:
+// captured words are the tracked nets' last values at or before the
+// deadline (the calendar queue's pop boundary is inclusive, so an event
+// exactly at Tclk is captured), per-lane energy is the same-order
+// prefix sum of the recorded charges plus leakPower·Tclk, and the late
+// mask ORs every post-deadline changed-lane mask. All three are
+// bit-identical to a direct StepWordChunk — same floats, same addition
+// order — which the randomized trace cross-checks and the golden parity
+// suite enforce. The characterization flow rides this seam to simulate
+// each distinct operating point of the paper's 43-triad grid exactly
+// once per sweep (the grid holds only ~14 electrical points; the clocks
+// sharing each point are resamples).
+package sim

@@ -1,40 +1,4 @@
-// Package sim is the transistor-level-simulation substitute of the
-// reproduction (Eldo SPICE in the paper's Fig. 4 flow): an event-driven
-// gate-level timing simulator whose per-gate delays come from the FDSOI
-// device model at an arbitrary operating point.
-//
-// Timing errors under voltage over-scaling emerge exactly as in silicon:
-// input transitions launch waves of events through the netlist; a capture
-// register samples the primary outputs at t = Tclk; any path whose events
-// have not yet fired contributes stale or intermediate values to the
-// captured word. Glitches propagate (transport delay) and are charged to
-// the per-operation energy, which also integrates operating-point-scaled
-// leakage over the clock period.
-//
-// The hot path is dense and index-addressed: input vectors arrive as a
-// per-net []uint8 image (netlist.Stimulus compiles port bindings into one),
-// the event queue is a bucketed time-wheel rather than a binary heap, and
-// the dense entry points (ResetDense, StepDense, StreamStepDense) reuse the
-// engine's result buffers so a characterization sweep allocates nothing per
-// vector. The map-based Reset/Step/StreamStep remain as thin compatibility
-// wrappers.
-//
-// # The word-parallel core
-//
-// At a fixed operating point every gate delay is data-independent, so the
-// classic parallel-pattern single-delay trick applies: WordEngine carries
-// a 64-lane bit-sliced []uint64 net image (lane k of every word belongs
-// to pattern k) through the same event schedule. A gate is re-evaluated
-// across all 64 lanes with one cell.Kind.EvalWord call, an event fires
-// when any lane changes (old ^ new != 0), and per-lane energy, late flags
-// and transition counts are attributed from the changed-lane mask. Lane
-// k's event times, captured values and energy sums are bit-identical to a
-// scalar run of pattern k (the golden parity suite and the randomized
-// cross-checks enforce this): lanes only ever share work, never semantics.
-// The scalar dense engine remains as the reference implementation and as
-// the backend of the streaming protocol, which is temporally serial (each
-// vector launches into the unsettled wake of the previous one) and
-// therefore cannot be pattern-parallelized.
+// The package documentation lives in doc.go.
 package sim
 
 import (
@@ -313,7 +277,7 @@ func (r *Result) clone() *Result {
 // The returned Result and its slices are owned by the engine and valid
 // until the next step; a 20 000-vector sweep allocates nothing here.
 func (e *Engine) StepDense(values []uint8, tclk float64) (*Result, error) {
-	if tclk <= 0 {
+	if !(tclk > 0) { // negated to catch NaN, which popIfBefore would misread
 		return nil, fmt.Errorf("sim: non-positive tclk %v", tclk)
 	}
 	e.now = 0
@@ -403,7 +367,7 @@ func (e *Engine) Step(inputs map[netlist.NetID]uint8, tclk float64) (*Result, er
 //
 // The returned Result is owned by the engine and valid until the next step.
 func (e *Engine) StreamStepDense(values []uint8, tclk float64) (*Result, error) {
-	if tclk <= 0 {
+	if !(tclk > 0) { // negated to catch NaN, which popIfBefore would misread
 		return nil, fmt.Errorf("sim: non-positive tclk %v", tclk)
 	}
 	e.pendingInputEnergy = 0

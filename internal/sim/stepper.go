@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/netlist"
+
 // Stepper is the dense two-vector protocol seam shared by the timing
 // engines: the gate-level engine (this package) and the switch-level RC
 // engine (internal/rcsim) both implement it, so the characterization flow
@@ -37,6 +39,18 @@ type StreamStepper interface {
 // valid only until the next call.
 type WordStepper interface {
 	StepWordChunk(prev, cur []uint64, tclk float64) (*WordResult, error)
+}
+
+// WordTracer extends WordStepper with full-settle trace capture: one
+// StepWordTrace runs the 64-lane two-vector experiment to quiescence
+// with no capture deadline and records the event history, from which
+// WordTrace.Resample answers any Tclk in one linear pass, bit-identical
+// to a StepWordChunk at that Tclk. The characterization flow uses it to
+// simulate each electrical (Vdd, Vbb) operating point once per sweep
+// and read every clock period of the triad set off the trace.
+type WordTracer interface {
+	WordStepper
+	StepWordTrace(prev, cur []uint64, tracked []netlist.NetID) (*WordTrace, error)
 }
 
 // Compile-time seam checks.

@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/netlist"
+)
+
+// outEvent is one tracked net's value change in a trace: what a capture
+// boundary needs to reconstruct the net's word at any deadline.
+type outEvent struct {
+	time float64
+	word uint64
+	slot int32
+}
+
+// traceCharge is one fired event's energy record: the changed-lane mask
+// and the firing gate's per-changed-lane switching energy.
+type traceCharge struct {
+	diff   uint64
+	energy float64
+}
+
+// tracePrefixStride is the boundary interval between stored per-lane
+// energy-prefix snapshots. A denser stride trades trace-capture memory
+// traffic (one 64-float row per snapshot) against resample replay work
+// (at most stride−1 boundaries' charge records re-accumulated from the
+// nearest snapshot). Replay re-applies the identical additions in the
+// identical order, so the stride is purely a performance knob — any
+// value yields bit-identical resamples.
+const tracePrefixStride = 8
+
+// WordTrace is the captured outcome of one StepWordTrace call: the full
+// event history of a 64-lane two-vector experiment run to quiescence at
+// one electrical operating point, compacted per distinct event
+// timestamp. Any clock period is then answered by Resample without
+// re-simulating — the event schedule of a fixed-operating-point netlist
+// does not depend on when the capture register samples it.
+//
+// The history is stored deadline-ready: times holds the distinct event
+// timestamps in ascending order; evs holds every fired event's (diff,
+// energy) charge record chronologically, with evEnd delimiting each
+// timestamp's run; prefix holds the 64-lane switching-energy sums —
+// the exact floats, in the exact addition order, a StepWordChunk
+// captured at that instant would hold — snapshotted every
+// tracePrefixStride timestamps; suffix holds the OR of every
+// changed-lane mask strictly after each timestamp; and outs lists the
+// tracked nets' value changes chronologically.
+//
+// The trace is owned by the engine and valid until the next
+// StepWordTrace call.
+type WordTrace struct {
+	// start holds, per tracked slot, the net's lane word at t = 0⁺
+	// (after the input switch): the value a capture earlier than every
+	// event would sample.
+	start []uint64
+	// base holds the per-lane input-pin switching energy charged at
+	// t = 0, the energy of a capture earlier than every event.
+	base [WordLanes]float64
+
+	times  []float64     // distinct event timestamps, ascending
+	evEnd  []int32       // per timestamp: end index (exclusive) into evs
+	evs    []traceCharge // per fired event: changed lanes + energy, chronological
+	prefix []float64     // flat 64-lane energy snapshots at timestamps 0, stride, 2·stride, …
+	orAt   []uint64      // per timestamp: OR of its events' changed-lane masks
+	suffix []uint64      // per timestamp: OR of every later changed-lane mask
+	// lateAll is the OR of every changed-lane mask — the late mask of a
+	// deadline before the first event.
+	lateAll uint64
+	outs    []outEvent
+
+	leakPower float64
+}
+
+// WordSample is one Tclk's view of a WordTrace, produced by Resample.
+// CapturedW is indexed by tracked slot (the order of the tracked
+// argument to StepWordTrace), not by NetID. The struct is caller-owned;
+// Resample reuses its buffers, so a steady-state sweep allocates
+// nothing here.
+type WordSample struct {
+	// CapturedW holds the tracked nets' lane words at the capture
+	// instant: bit k of CapturedW[s] is tracked net s's value under
+	// pattern k.
+	CapturedW []uint64
+	// EnergyFJ is the per-lane energy at this clock: switching before
+	// capture plus leakage over Tclk, bit-identical to a StepWordChunk
+	// (and therefore to a scalar StepDense) at the same Tclk.
+	EnergyFJ [WordLanes]float64
+	// LateW flags lanes with at least one post-capture transition.
+	LateW uint64
+}
+
+// StepWordTrace runs the 64-lane two-vector experiment of StepWordChunk
+// to full quiescence with no capture deadline, recording the event
+// history instead of splitting it at a Tclk: lane k settles instantly on
+// prev's lane-k input bits, switches to cur's at t = 0, and the wave
+// runs dry. tracked lists the nets whose captured values resamples must
+// report (the characterization flow passes the output-port bits);
+// untracked nets still contribute per-lane energy and late flags.
+//
+// One trace serves every clock period at the operating point: because
+// gate delays are data-independent and capture never alters the wave,
+// Resample(tclk) reproduces StepWordChunk(prev, cur, tclk) bit for bit
+// — same captured words, same energy floats in the same addition order,
+// same late masks. This is the sweep engine's "one simulation per
+// electrical point" primitive: the paper's 43-triad grid holds only ~14
+// distinct (Vdd, Vbb) points, so the clocks sharing each point cost one
+// wave, not one each.
+//
+// The returned WordTrace is owned by the engine and valid until the
+// next call; a steady-state sweep allocates nothing here. The engine's
+// Stats book the trace run's Transitions and Steps; the Tclk-dependent
+// split (DynamicEnergy, LeakageEnergy, LateTransitions) belongs to the
+// resamples and is not booked.
+func (e *WordEngine) StepWordTrace(prev, cur []uint64, tracked []netlist.NetID) (*WordTrace, error) {
+	if len(prev) != len(e.valueW) || len(cur) != len(e.valueW) {
+		return nil, fmt.Errorf("sim: lane images have %d/%d entries, want %d",
+			len(prev), len(cur), len(e.valueW))
+	}
+	if e.slotOf == nil {
+		e.slotOf = make([]int32, len(e.valueW))
+		for i := range e.slotOf {
+			e.slotOf[i] = -1
+		}
+	}
+	for _, id := range tracked {
+		if int(id) < 0 || int(id) >= len(e.slotOf) {
+			return nil, fmt.Errorf("sim: tracked net %d outside netlist", id)
+		}
+	}
+	// Untrack on every exit so a failed call cannot poison the next one.
+	defer func() {
+		for _, id := range tracked {
+			e.slotOf[id] = -1
+		}
+	}()
+	for s, id := range tracked {
+		if e.slotOf[id] >= 0 {
+			// A duplicate would silently shadow the earlier slot: its
+			// out-events would be recorded under one index only, freezing
+			// the other slot at its start value in every resample.
+			return nil, fmt.Errorf("sim: net %d tracked twice", id)
+		}
+		e.slotOf[id] = int32(s)
+	}
+
+	// Settle every lane on its predecessor vector, exactly as
+	// StepWordChunk does.
+	for _, id := range e.inputNets {
+		e.valueW[id] = prev[id]
+	}
+	if err := e.nl.EvaluateBatch(e.valueW); err != nil {
+		return nil, err
+	}
+	for gi := range e.scheduledW {
+		e.scheduledW[gi] = e.valueW[e.gateOut[gi]]
+	}
+	e.queue.clear()
+	e.now = 0
+	for k := range e.laneEnergy {
+		e.laneEnergy[k] = 0
+	}
+	tr := &e.trace
+	tr.leakPower = e.leakPower
+	tr.times = tr.times[:0]
+	tr.evEnd = tr.evEnd[:0]
+	tr.evs = tr.evs[:0]
+	tr.prefix = tr.prefix[:0]
+	tr.orAt = tr.orAt[:0]
+	tr.outs = tr.outs[:0]
+	// Switch the inputs to the current vectors and seed the wave; input
+	// nets are visited in the scalar applyInputs order so the per-lane
+	// base-energy accumulation order matches the non-trace paths.
+	for _, id := range e.inputNets {
+		nv := cur[id]
+		diff := e.valueW[id] ^ nv
+		if diff == 0 {
+			continue
+		}
+		e.valueW[id] = nv
+		ie := e.inputEnergy[id]
+		for d := diff; d != 0; d &= d - 1 {
+			e.laneEnergy[bits.TrailingZeros64(d)] += ie
+		}
+		for _, fo := range e.foList[e.foOff[id]:e.foOff[id+1]] {
+			e.touch(fo)
+		}
+	}
+	tr.base = e.laneEnergy
+	// Snapshot the tracked nets after the input switch: inputs change at
+	// t = 0, before any capture, so a tracked input net starts at cur.
+	tr.start = tr.start[:0]
+	for _, id := range tracked {
+		tr.start = append(tr.start, e.valueW[id])
+	}
+	// Run the wave dry. Events pop in (time, seq) order, so for any
+	// deadline the events with time ≤ deadline are exactly
+	// StepWordChunk's phase 1 in the same order; one timestamp boundary
+	// — energy snapshot plus changed-lane OR — is recorded per distinct
+	// event time.
+	var curOr uint64
+	curTime := 0.0
+	open := false
+	flush := func() {
+		if len(tr.times)%tracePrefixStride == 0 {
+			tr.prefix = append(tr.prefix, e.laneEnergy[:]...)
+		}
+		tr.times = append(tr.times, curTime)
+		tr.evEnd = append(tr.evEnd, int32(len(tr.evs)))
+		tr.orAt = append(tr.orAt, curOr)
+	}
+	for {
+		ev, ok := e.queue.popMin()
+		if !ok {
+			break
+		}
+		e.now = ev.time
+		out := e.gateOut[ev.payload.gate]
+		diff := e.valueW[out] ^ ev.payload.word
+		if diff == 0 {
+			continue
+		}
+		if !open || ev.time != curTime {
+			if open {
+				flush()
+			}
+			curTime, curOr, open = ev.time, 0, true
+		}
+		e.valueW[out] = ev.payload.word
+		e.stats.Transitions += uint64(bits.OnesCount64(diff))
+		ge := e.gateEnergy[ev.payload.gate]
+		for d := diff; d != 0; d &= d - 1 {
+			e.laneEnergy[bits.TrailingZeros64(d)] += ge
+		}
+		tr.evs = append(tr.evs, traceCharge{diff: diff, energy: ge})
+		curOr |= diff
+		if slot := e.slotOf[out]; slot >= 0 {
+			tr.outs = append(tr.outs, outEvent{time: ev.time, word: ev.payload.word, slot: slot})
+		}
+		for _, fo := range e.foList[e.foOff[out]:e.foOff[out+1]] {
+			e.touch(fo)
+		}
+	}
+	if open {
+		flush()
+	}
+	// Late masks are suffix ORs over the boundaries.
+	if cap(tr.suffix) < len(tr.times) {
+		tr.suffix = make([]uint64, len(tr.times))
+	}
+	tr.suffix = tr.suffix[:len(tr.times)]
+	var acc uint64
+	for i := len(tr.times) - 1; i >= 0; i-- {
+		tr.suffix[i] = acc
+		acc |= tr.orAt[i]
+	}
+	tr.lateAll = acc
+	e.stats.Steps += WordLanes
+	e.now = 0
+	return tr, nil
+}
+
+// Resample answers one clock period from the trace: the capture
+// boundary splits the history at time ≤ tclk (captured side, matching
+// the calendar queue's inclusive pop) versus time > tclk (late side).
+// Captured words are the tracked nets' last pre-deadline values; lane
+// energy starts from the nearest stored prefix snapshot at or before
+// the deadline and replays at most tracePrefixStride−1 boundaries'
+// charge records — the identical additions in the identical order, so
+// the result is bit-identical to StepWordChunk at the same tclk — plus
+// leakage over Tclk; the late mask is the boundary's suffix OR. Cost is
+// a binary search plus a bounded replay plus the tracked-net event
+// walk, independent of the netlist size.
+func (t *WordTrace) Resample(tclk float64, s *WordSample) error {
+	if !(tclk > 0) { // negated to catch NaN, which every boundary compare would misread
+		return fmt.Errorf("sim: non-positive tclk %v", tclk)
+	}
+	// idx: the last boundary with times[idx] ≤ tclk, or -1.
+	lo, hi := 0, len(t.times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.times[mid] <= tclk {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	idx := lo - 1
+	if idx >= 0 {
+		snap := idx / tracePrefixStride
+		s.EnergyFJ = *(*[WordLanes]float64)(t.prefix[snap*WordLanes : (snap+1)*WordLanes])
+		// Replay the charges between the snapshot's boundary (whose
+		// events the snapshot already includes) and idx.
+		for i := t.evEnd[snap*tracePrefixStride]; i < t.evEnd[idx]; i++ {
+			ev := &t.evs[i]
+			for d := ev.diff; d != 0; d &= d - 1 {
+				s.EnergyFJ[bits.TrailingZeros64(d)] += ev.energy
+			}
+		}
+		s.LateW = t.suffix[idx]
+	} else {
+		s.EnergyFJ = t.base
+		s.LateW = t.lateAll
+	}
+	leak := t.leakPower * tclk
+	for k := range s.EnergyFJ {
+		s.EnergyFJ[k] += leak
+	}
+	s.CapturedW = append(s.CapturedW[:0], t.start...)
+	for i := range t.outs {
+		ev := &t.outs[i]
+		if ev.time > tclk {
+			break // chronological: every later event is late too
+		}
+		s.CapturedW[ev.slot] = ev.word
+	}
+	return nil
+}
+
+// Events returns the number of distinct event timestamps in the trace —
+// the boundaries at which a Resample's outcome can change.
+func (t *WordTrace) Events() int { return len(t.times) }
+
+// EventTimes appends the trace's distinct event timestamps to buf and
+// returns it. Exposed for tests and diagnostics (a deadline placed
+// exactly on an event timestamp captures that event, matching the
+// queue's inclusive pop).
+func (t *WordTrace) EventTimes(buf []float64) []float64 {
+	return append(buf, t.times...)
+}

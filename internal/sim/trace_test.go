@@ -1,0 +1,245 @@
+package sim_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/fdsoi"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// traceOutNets returns the adder's output-port bits in the
+// characterization flow's order (sum LSB-first, then carry-out).
+func traceOutNets(nl *netlist.Netlist) []netlist.NetID {
+	psum, _ := nl.OutputPort(synth.PortSum)
+	pcout, _ := nl.OutputPort(synth.PortCout)
+	out := make([]netlist.NetID, 0, len(psum.Bits)+len(pcout.Bits))
+	out = append(out, psum.Bits...)
+	return append(out, pcout.Bits...)
+}
+
+// traceChunks builds chained (prev, cur) lane-image chunks for a random
+// pattern stream of the given length, including a ragged final chunk
+// when patterns is not a multiple of 64.
+func traceChunks(nl *netlist.Netlist, mask uint64, patterns int, seed uint64) (chunks [][2][]uint64, ns []int) {
+	pa, _ := nl.InputPort(synth.PortA)
+	pb, _ := nl.InputPort(synth.PortB)
+	rng := rand.New(rand.NewPCG(seed, 29))
+	prevA, prevB := uint64(0), uint64(0)
+	for base := 0; base < patterns; base += sim.WordLanes {
+		n := patterns - base
+		if n > sim.WordLanes {
+			n = sim.WordLanes
+		}
+		prevW := make([]uint64, nl.NumNets())
+		curW := make([]uint64, nl.NumNets())
+		for k := 0; k < n; k++ {
+			a, b := rng.Uint64()&mask, rng.Uint64()&mask
+			netlist.AssignPortLane(prevW, pa, uint(k), prevA)
+			netlist.AssignPortLane(prevW, pb, uint(k), prevB)
+			netlist.AssignPortLane(curW, pa, uint(k), a)
+			netlist.AssignPortLane(curW, pb, uint(k), b)
+			prevA, prevB = a, b
+		}
+		chunks = append(chunks, [2][]uint64{prevW, curW})
+		ns = append(ns, n)
+	}
+	return chunks, ns
+}
+
+// checkResampleMatchesChunk requires one trace's resample at tclk to be
+// bit-identical to a direct StepWordChunk at the same tclk: captured
+// output words, per-lane energy bits, and the late mask.
+func checkResampleMatchesChunk(t *testing.T, direct *sim.WordEngine, trace *sim.WordTrace,
+	outNets []netlist.NetID, prev, cur []uint64, tclk float64) {
+	t.Helper()
+	wres, err := direct.StepWordChunk(prev, cur, tclk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sample sim.WordSample
+	if err := trace.Resample(tclk, &sample); err != nil {
+		t.Fatal(err)
+	}
+	for s, id := range outNets {
+		if sample.CapturedW[s] != wres.CapturedW[id] {
+			t.Fatalf("tclk %v net %d: resampled %x, direct %x",
+				tclk, id, sample.CapturedW[s], wres.CapturedW[id])
+		}
+	}
+	for k := range sample.EnergyFJ {
+		if math.Float64bits(sample.EnergyFJ[k]) != math.Float64bits(wres.EnergyFJ[k]) {
+			t.Fatalf("tclk %v lane %d: resampled energy %v (bits %x), direct %v (bits %x)",
+				tclk, k, sample.EnergyFJ[k], math.Float64bits(sample.EnergyFJ[k]),
+				wres.EnergyFJ[k], math.Float64bits(wres.EnergyFJ[k]))
+		}
+	}
+	if sample.LateW != wres.LateW {
+		t.Fatalf("tclk %v: resampled late %x, direct %x", tclk, sample.LateW, wres.LateW)
+	}
+}
+
+// TestTraceResampleMatchesWordChunk is the trace-path parity argument:
+// one full-settle StepWordTrace per chunk, resampled at every clock of a
+// (Vdd, Vbb) × Tclk grid, must be bit-identical to a direct
+// StepWordChunk at each clock — across both adder architectures, chained
+// chunks including a ragged tail, and deadlines from "captures nothing"
+// to "captures everything".
+func TestTraceResampleMatchesWordChunk(t *testing.T) {
+	lib, proc := cell.Default28nmLVT(), fdsoi.Default()
+	archs := []struct {
+		arch  synth.Arch
+		width int
+		mask  uint64
+	}{
+		{synth.ArchRCA, 8, 0xff},
+		{synth.ArchBKA, 16, 0xffff},
+	}
+	ops := []fdsoi.OperatingPoint{
+		{Vdd: 1.0, Vbb: 0},
+		{Vdd: 0.7, Vbb: 0},
+		{Vdd: 0.55, Vbb: 2},
+		{Vdd: 0.45, Vbb: 2},
+	}
+	tclks := []float64{0.02, 0.08, 0.15, 0.3, 0.9, 5.0}
+	for _, ad := range archs {
+		mm := fdsoi.NewMismatchSampler(0.03, 13)
+		nl, err := synth.NewAdder(ad.arch, synth.AdderConfig{Width: ad.width, Mismatch: mm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outNets := traceOutNets(nl)
+		chunks, _ := traceChunks(nl, ad.mask, 150, 41) // 2 full chunks + ragged 22-lane tail
+		for _, op := range ops {
+			t.Run(fmt.Sprintf("%s%d/%.2fV/%.0fbb", ad.arch, ad.width, op.Vdd, op.Vbb), func(t *testing.T) {
+				tracer := sim.NewWord(nl, lib, proc, op)
+				direct := sim.NewWord(nl, lib, proc, op)
+				for _, c := range chunks {
+					trace, err := tracer.StepWordTrace(c[0], c[1], outNets)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, tclk := range tclks {
+						checkResampleMatchesChunk(t, direct, trace, outNets, c[0], c[1], tclk)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTraceResampleAtEventTimestamps pins the capture boundary: a Tclk
+// placed exactly on an event's timestamp captures that event (the
+// calendar queue's pop boundary is inclusive), and the float just below
+// it does not. Every recorded event time of a deeply over-scaled chunk
+// is tried as a deadline, bit-compared against the direct path.
+func TestTraceResampleAtEventTimestamps(t *testing.T) {
+	lib, proc := cell.Default28nmLVT(), fdsoi.Default()
+	mm := fdsoi.NewMismatchSampler(0.03, 17)
+	nl, err := synth.NewAdder(synth.ArchBKA, synth.AdderConfig{Width: 8, Mismatch: mm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outNets := traceOutNets(nl)
+	chunks, _ := traceChunks(nl, 0xff, sim.WordLanes, 3)
+	op := fdsoi.OperatingPoint{Vdd: 0.6, Vbb: 0}
+	tracer := sim.NewWord(nl, lib, proc, op)
+	direct := sim.NewWord(nl, lib, proc, op)
+	c := chunks[0]
+	trace, err := tracer.StepWordTrace(c[0], c[1], outNets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := trace.EventTimes(nil)
+	if len(times) == 0 {
+		t.Fatal("trace recorded no events")
+	}
+	tried := 0
+	for _, tt := range times {
+		for _, tclk := range []float64{tt, math.Nextafter(tt, 0), math.Nextafter(tt, math.Inf(1))} {
+			if tclk <= 0 {
+				continue
+			}
+			checkResampleMatchesChunk(t, direct, trace, outNets, c[0], c[1], tclk)
+			tried++
+		}
+	}
+	if tried == 0 {
+		t.Fatal("no boundary deadlines tried")
+	}
+}
+
+// TestTraceSteadyStateAllocs: after warm-up, a trace step plus its
+// resamples must not allocate — the engine owns the trace buffers, the
+// caller owns the sample.
+func TestTraceSteadyStateAllocs(t *testing.T) {
+	lib, proc := cell.Default28nmLVT(), fdsoi.Default()
+	nl, err := synth.BKA(synth.AdderConfig{Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outNets := traceOutNets(nl)
+	chunks, _ := traceChunks(nl, 0xffff, 2*sim.WordLanes, 9)
+	eng := sim.NewWord(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.6, Vbb: 2})
+	var sample sim.WordSample
+	step := func(c [2][]uint64) {
+		trace, err := eng.StepWordTrace(c[0], c[1], outNets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tclk := range []float64{0.2, 0.3, 0.45} {
+			if err := trace.Resample(tclk, &sample); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	step(chunks[0]) // warm up engine- and caller-owned buffers
+	step(chunks[1])
+	if allocs := testing.AllocsPerRun(50, func() { step(chunks[0]); step(chunks[1]) }); allocs > 0 {
+		t.Errorf("steady-state trace step allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestTraceValidation pins the trace path's error behavior.
+func TestTraceValidation(t *testing.T) {
+	nl, err := synth.RCA(synth.AdderConfig{Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewWord(nl, cell.Default28nmLVT(), fdsoi.Default(), fdsoi.OperatingPoint{Vdd: 1.0})
+	lanes := make([]uint64, nl.NumNets())
+	if _, err := eng.StepWordTrace(lanes[:1], lanes, nil); err == nil {
+		t.Fatal("short prev image accepted")
+	}
+	if _, err := eng.StepWordTrace(lanes, lanes[:1], nil); err == nil {
+		t.Fatal("short cur image accepted")
+	}
+	if _, err := eng.StepWordTrace(lanes, lanes, []netlist.NetID{netlist.NetID(nl.NumNets())}); err == nil {
+		t.Fatal("out-of-range tracked net accepted")
+	}
+	if _, err := eng.StepWordTrace(lanes, lanes, []netlist.NetID{1, 2, 1}); err == nil {
+		t.Fatal("duplicate tracked net accepted")
+	}
+	trace, err := eng.StepWordTrace(lanes, lanes, []netlist.NetID{1, 2})
+	if err != nil {
+		t.Fatal("tracked set rejected after duplicate error:", err)
+	}
+	var sample sim.WordSample
+	if err := trace.Resample(0, &sample); err == nil {
+		t.Fatal("non-positive tclk accepted")
+	}
+	if err := trace.Resample(math.NaN(), &sample); err == nil {
+		t.Fatal("NaN tclk accepted")
+	}
+	if err := trace.Resample(0.5, &sample); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.StepWordChunk(lanes, lanes, math.NaN()); err == nil {
+		t.Fatal("StepWordChunk accepted NaN tclk")
+	}
+}

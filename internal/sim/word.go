@@ -70,11 +70,19 @@ type WordEngine struct {
 	res         WordResult
 	capturedBuf []uint64
 
+	// trace and slotOf back StepWordTrace (trace.go): the reusable event
+	// history and the per-net tracked-slot map (-1 = untracked).
+	trace  WordTrace
+	slotOf []int32
+
 	stats Stats
 }
 
-// Compile-time seam check.
-var _ WordStepper = (*WordEngine)(nil)
+// Compile-time seam checks.
+var (
+	_ WordStepper = (*WordEngine)(nil)
+	_ WordTracer  = (*WordEngine)(nil)
+)
 
 // wordQueueFineness narrows the word engine's calendar buckets relative
 // to the scalar baseline. One word chunk merges 64 pattern waves, so a
@@ -149,7 +157,7 @@ func (e *WordEngine) touch(gi netlist.GateID) {
 // The returned WordResult is owned by the engine and valid until the next
 // call; a steady-state sweep allocates nothing here.
 func (e *WordEngine) StepWordChunk(prev, cur []uint64, tclk float64) (*WordResult, error) {
-	if tclk <= 0 {
+	if !(tclk > 0) { // negated to catch NaN, which popIfBefore would misread
 		return nil, fmt.Errorf("sim: non-positive tclk %v", tclk)
 	}
 	if len(prev) != len(e.valueW) || len(cur) != len(e.valueW) {

@@ -52,14 +52,16 @@ func (t Triad) OperatingPoint() fdsoi.OperatingPoint {
 	return fdsoi.OperatingPoint{Vdd: t.Vdd, Vbb: t.Vbb}
 }
 
-// Validate rejects non-physical triads.
+// Validate rejects non-physical triads. The negated comparisons also
+// catch NaN, which would otherwise slip through every capture-boundary
+// comparison downstream.
 func (t Triad) Validate() error {
 	switch {
-	case t.Tclk <= 0:
+	case !(t.Tclk > 0):
 		return fmt.Errorf("triad: non-positive Tclk %v", t.Tclk)
-	case t.Vdd <= 0:
+	case !(t.Vdd > 0):
 		return fmt.Errorf("triad: non-positive Vdd %v", t.Vdd)
-	case t.Vbb < 0:
+	case !(t.Vbb >= 0):
 		return fmt.Errorf("triad: negative Vbb magnitude %v", t.Vbb)
 	}
 	return nil
@@ -151,6 +153,31 @@ func Set(cfg SweepConfig) []Triad {
 // measured against it ("amount of energy saving compared to ideal test
 // case").
 func Nominal(set []Triad) Triad { return set[0] }
+
+// GroupByOperatingPoint partitions a sweep set's indices by electrical
+// operating point: triads that differ only in Tclk land in one group.
+// Groups appear in first-occurrence order and preserve the set's triad
+// order within each group, so per-triad results assembled group by group
+// are positionally identical to a flat per-triad sweep. The paper's
+// 43-triad Table III set collapses to 14 groups (a 7×2 Vdd×Vbb grid,
+// with the nominal triad sharing the full-supply unbiased point) — the
+// basis of the characterization flow's one-simulation-per-electrical-
+// point sweep.
+func GroupByOperatingPoint(set []Triad) [][]int {
+	groups := make([][]int, 0, len(set))
+	index := make(map[fdsoi.OperatingPoint]int, len(set))
+	for i, tr := range set {
+		op := tr.OperatingPoint()
+		g, ok := index[op]
+		if !ok {
+			g = len(groups)
+			index[op] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	return groups
+}
 
 // SortByBERThenEnergy orders triad indices the way the paper's Fig. 8
 // x-axes are laid out: ascending bit-error rate, ties broken by ascending

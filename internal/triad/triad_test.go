@@ -1,6 +1,7 @@
 package triad
 
 import (
+	"math"
 	"testing"
 )
 
@@ -36,6 +37,9 @@ func TestValidate(t *testing.T) {
 		{Tclk: 0, Vdd: 1},
 		{Tclk: 0.5, Vdd: 0},
 		{Tclk: 0.5, Vdd: 1, Vbb: -1},
+		{Tclk: math.NaN(), Vdd: 1},
+		{Tclk: 0.5, Vdd: math.NaN()},
+		{Tclk: 0.5, Vdd: 1, Vbb: math.NaN()},
 	}
 	for i, tr := range bad {
 		if err := tr.Validate(); err == nil {
@@ -107,5 +111,47 @@ func TestSortByBERThenEnergy(t *testing.T) {
 		if idx[i] != want[i] {
 			t.Fatalf("order = %v, want %v", idx, want)
 		}
+	}
+}
+
+func TestGroupByOperatingPoint(t *testing.T) {
+	set := Set(DefaultSweep([4]float64{0.5, 0.28, 0.19, 0.13}))
+	if len(set) != 43 {
+		t.Fatalf("sweep set = %d triads, want 43", len(set))
+	}
+	groups := GroupByOperatingPoint(set)
+	if len(groups) != 14 {
+		t.Fatalf("got %d groups, want 14 (7 Vdd x 2 Vbb)", len(groups))
+	}
+	// Every triad appears exactly once, groups share one operating point,
+	// and in-group order follows the set order.
+	seen := make([]bool, len(set))
+	for _, g := range groups {
+		if len(g) == 0 {
+			t.Fatal("empty group")
+		}
+		op := set[g[0]].OperatingPoint()
+		for j, i := range g {
+			if seen[i] {
+				t.Fatalf("triad %d grouped twice", i)
+			}
+			seen[i] = true
+			if set[i].OperatingPoint() != op {
+				t.Fatalf("group mixes operating points: %v vs %v", set[i].OperatingPoint(), op)
+			}
+			if j > 0 && g[j] <= g[j-1] {
+				t.Fatalf("group indices out of set order: %v", g)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("triad %d missing from groups", i)
+		}
+	}
+	// The nominal triad shares the full-supply unbiased point with the
+	// three aggressive clocks: its group has four members.
+	if got := len(groups[0]); got != 4 {
+		t.Fatalf("nominal group has %d triads, want 4", got)
 	}
 }

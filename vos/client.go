@@ -87,6 +87,10 @@ type CacheStats struct {
 	Stores      uint64 `json:"stores"`
 	WriteErrors uint64 `json:"writeErrors"`
 	MemEntries  int    `json:"memEntries"`
+	// GroupedPoints counts the subset of Executions simulated as members
+	// of a multi-point electrical group (several clock periods served by
+	// one trace simulation of their shared operating point).
+	GroupedPoints uint64 `json:"groupedPoints"`
 	// Hits is MemHits + DiskHits; Executions counts point jobs that
 	// actually reached the simulator.
 	Hits       uint64 `json:"hits"`
