@@ -20,6 +20,7 @@ import (
 	"repro/internal/carry"
 	"repro/internal/cell"
 	"repro/internal/charz"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fdsoi"
 	"repro/internal/netlist"
@@ -289,6 +290,54 @@ func BenchmarkEngineWarmSweep(b *testing.B) {
 		b.Fatal(err)
 	} else if stats.Executions != warmed {
 		b.Fatalf("warm sweep simulated %d extra points", stats.Executions-warmed)
+	}
+}
+
+// BenchmarkClusterWarmLookup measures the cluster serving path: one
+// cached point fetched through vos.Remote from a node of a warm 3-node
+// cluster (submit, poll, results — the full HTTP lifecycle, no
+// simulation). This is the latency floor every warm shard lookup and
+// peer-cache fill pays, gated in CI alongside the sim kernels.
+func BenchmarkClusterWarmLookup(b *testing.B) {
+	lc, err := cluster.StartLocal(3, cluster.LocalOptions{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+	cli, err := vos.NewRemote(lc.URLs()[0], vos.RemoteOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx := context.Background()
+	warm, err := cli.Run(ctx, vos.NewSpec().Arches("RCA").Widths(8).Patterns(benchPatterns).Seed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One explicit triad: each iteration is a single cached point fetch.
+	spec := vos.NewSpec().Arches("RCA").Widths(8).Patterns(benchPatterns).Seed(1).
+		Triads(warm.Operators[0].Points[0].Triad)
+	if _, err := cli.Run(ctx, spec); err != nil {
+		b.Fatal(err) // settle any cross-node peer fill before timing
+	}
+	executions := func() uint64 {
+		var n uint64
+		for _, m := range lc.Members() {
+			n += m.Node.Engine().Executions()
+		}
+		return n
+	}
+	warmed := executions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Run(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if n := executions(); n != warmed {
+		b.Fatalf("warm lookup simulated %d extra points", n-warmed)
 	}
 }
 

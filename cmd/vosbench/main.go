@@ -8,13 +8,15 @@
 //
 //	vosbench [-bench REGEX] [-benchtime 1000x] [-out BENCH_sim.json]
 //	         [-pkg .] [-keep-going]
-//	         [-diff BASELINE.json] [-diff-filter ^(SimStep|TraceResample|Fig8)]
+//	         [-diff BASELINE.json]
+//	         [-diff-filter "^(SimStep|TraceResample|Fig8|ClusterWarmLookup)"]
 //	         [-diff-threshold 0.20]
 //
 // The default benchmark set covers the dense-state hot path: the per-step
 // and trace/resample micro-benchmarks, the input-binding and
-// batch-evaluation costs, and the Fig. 8-class sweeps (engine-backed and
-// grouped-charz).
+// batch-evaluation costs, the Fig. 8-class sweeps (engine-backed and
+// grouped-charz), and the cluster serving path (one cached point fetched
+// through vos.Remote from a warm in-process cluster).
 //
 // With -diff, the fresh run is compared against a committed baseline file
 // and the command exits non-zero when any benchmark matched by
@@ -61,13 +63,18 @@ type File struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
-// The default run has two groups: per-step micro-benchmarks at a fixed
-// iteration count, and the Fig. 8-class sweep at exactly one iteration so
+// The default run has three groups: per-step micro-benchmarks at a fixed
+// iteration count, the Fig. 8-class sweep at exactly one iteration so
 // the recorded number is the cold (cache-empty) sweep cost rather than a
-// mostly-cache-warm average.
+// mostly-cache-warm average, and the cluster serving-path benchmark at a
+// small iteration count (each op is a full HTTP sweep lifecycle, so 100
+// iterations average the scheduler noise without multiplying the
+// in-process cluster setup).
 const (
 	defaultMicroBench = "SimStep|TraceResample|InputBinding|EvaluateScalar|EvaluateBatch|RCSimStep"
 	defaultSweepBench = "Fig8"
+	defaultServeBench = "ClusterWarmLookup"
+	serveBenchtime    = "100x"
 )
 
 func main() {
@@ -90,7 +97,7 @@ func main() {
 		sweepCount = flag.Int("sweep-count", 0, "samples per sweep-group benchmark (0 = same as -count)")
 
 		diffPath  = flag.String("diff", "", "baseline JSON to compare against; exit non-zero on regression")
-		diffRe    = flag.String("diff-filter", "^(SimStep|TraceResample|Fig8)", "benchmarks the -diff gate applies to")
+		diffRe    = flag.String("diff-filter", "^(SimStep|TraceResample|Fig8|ClusterWarmLookup)", "benchmarks the -diff gate applies to")
 		threshold = flag.Float64("diff-threshold", 0.20, "fractional ns/op regression that fails the -diff gate")
 	)
 	flag.Parse()
@@ -102,7 +109,11 @@ func main() {
 		re, bt string
 		count  int
 	}
-	groups := []group{{defaultMicroBench, *benchtime, *count}, {defaultSweepBench, *sweeptime, *sweepCount}}
+	groups := []group{
+		{defaultMicroBench, *benchtime, *count},
+		{defaultSweepBench, *sweeptime, *sweepCount},
+		{defaultServeBench, serveBenchtime, *sweepCount},
+	}
 	if *bench != "" {
 		groups = []group{{*bench, *benchtime, *count}}
 	}

@@ -7,6 +7,14 @@
 // Usage:
 //
 //	vosd [-addr :8420] [-workers N] [-cache-dir DIR]
+//	     [-peers URL,URL,...] [-advertise URL]
+//	     [-tenant-quota N] [-log-json]
+//
+// With -peers, vosd joins a cluster (internal/cluster): declarative
+// sweeps are sharded across the members on a consistent-hash ring, and
+// cache misses are filled from peer nodes before simulating. Every
+// member runs with the same flags, listing the others in -peers and
+// itself in -advertise; see README.md for a walkthrough.
 //
 // API:
 //
@@ -17,6 +25,9 @@
 //	GET    /v1/sweeps/{id}/events  NDJSON stream of per-point progress events
 //	DELETE /v1/sweeps/{id}         cancel a pending/running sweep
 //	GET    /v1/cache/stats         result-cache and execution counters
+//	GET    /v1/cache/entries/{key} raw cache entry (peer cache tier)
+//	PUT    /v1/cache/entries/{key} store a cache entry (peer cache tier)
+//	GET    /v1/cluster/status      membership and peer health (clustered only)
 //	GET    /healthz                liveness probe
 //
 // Every non-2xx response carries the structured error envelope
@@ -34,32 +45,52 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
-	"repro/internal/engine"
-	"repro/internal/engine/httpapi"
+	"repro/internal/cluster"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vosd: ")
 	var (
-		addr     = flag.String("addr", ":8420", "listen address")
-		workers  = flag.Int("workers", 0, "worker-pool size (0 = NumCPU)")
-		cacheDir = flag.String("cache-dir", "", "on-disk result cache root (empty = memory only)")
+		addr        = flag.String("addr", ":8420", "listen address")
+		workers     = flag.Int("workers", 0, "worker-pool size (0 = NumCPU)")
+		cacheDir    = flag.String("cache-dir", "", "on-disk result cache root (empty = memory only)")
+		peers       = flag.String("peers", "", "comma-separated peer vosd URLs (joins a cluster)")
+		advertise   = flag.String("advertise", "", "this node's URL as peers reach it (required with -peers)")
+		tenantQuota = flag.Int("tenant-quota", 0, "max in-flight sweeps per tenant (0 = unlimited)")
+		logJSON     = flag.Bool("log-json", false, "write one JSON request-log line per request to stderr")
 	)
 	flag.Parse()
 
-	eng, err := engine.New(engine.Options{Workers: *workers, CacheDir: *cacheDir})
+	opts := cluster.NodeOptions{
+		Advertise:   *advertise,
+		Workers:     *workers,
+		CacheDir:    *cacheDir,
+		TenantQuota: *tenantQuota,
+	}
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			opts.Peers = append(opts.Peers, p)
+		}
+	}
+	if *logJSON {
+		opts.AccessLog = os.Stderr
+	}
+	node, err := cluster.NewNode(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	eng := node.Engine()
 
 	srv := &http.Server{
 		Addr:        *addr,
-		Handler:     newMux(eng),
+		Handler:     newMux(node.Handler()),
 		ReadTimeout: 30 * time.Second,
 		// No WriteTimeout: the events endpoint streams for a sweep's
 		// whole lifetime. Non-streaming handlers respond in milliseconds.
@@ -72,18 +103,19 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("listening on %s (%d workers, cache %s)", *addr, eng.Workers(), cacheDesc(*cacheDir))
+	log.Printf("listening on %s (%d workers, cache %s%s)",
+		*addr, eng.Workers(), cacheDesc(*cacheDir), clusterDesc(opts.Peers))
 
 	select {
 	case err := <-errc:
-		eng.Close()
+		node.Close()
 		log.Fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal behavior: a second ^C kills immediately
 		log.Print("shutting down (signal); interrupt again to force")
 	}
 
-	// Close the engine first: it cancels still-running sweeps (they
+	// Close the node first: the engine cancels still-running sweeps (they
 	// finish as canceled, publishing their terminal events, which ends
 	// any open /events streams) and waits for the worker pool to
 	// quiesce, so nothing dies mid-write. Doing this before the HTTP
@@ -91,7 +123,7 @@ func main() {
 	// terminal event, so the reverse order would pin Shutdown against
 	// its whole deadline whenever a subscriber is connected. Requests
 	// arriving in between see the engine_closed error envelope.
-	eng.Close()
+	node.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -103,11 +135,11 @@ func main() {
 	log.Print("bye")
 }
 
-// newMux combines the engine's API surface with the daemon's own
+// newMux combines the node's API surface with the daemon's own
 // profiling routes.
-func newMux(eng *engine.Engine) *http.ServeMux {
+func newMux(api http.Handler) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/", httpapi.New(eng))
+	mux.Handle("/", api)
 	// In-situ profiling of a live daemon (the sweep engine is the hot
 	// path): `go tool pprof http://host:8420/debug/pprof/profile`.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -123,4 +155,11 @@ func cacheDesc(dir string) string {
 		return "in-memory"
 	}
 	return "in-memory + " + dir
+}
+
+func clusterDesc(peers []string) string {
+	if len(peers) == 0 {
+		return ""
+	}
+	return ", cluster of " + strings.Join(peers, " ")
 }

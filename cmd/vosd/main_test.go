@@ -6,7 +6,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
-	"repro/internal/engine"
+	"repro/internal/cluster"
 )
 
 // The API behavior itself is tested in internal/engine/httpapi; these
@@ -15,12 +15,12 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	eng, err := engine.New(engine.Options{Workers: 2})
+	node, err := cluster.NewNode(cluster.NodeOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(eng.Close)
-	ts := httptest.NewServer(newMux(eng))
+	t.Cleanup(node.Close)
+	ts := httptest.NewServer(newMux(node.Handler()))
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -1,0 +1,153 @@
+// Command vosload drives load against a vosd fleet and reports
+// throughput and latency percentiles — the harness for answering "what
+// does the sweep fabric serve once the cache is warm, and how does it
+// degrade cold?".
+//
+// By default it boots a self-contained in-process cluster
+// (internal/cluster.StartLocal), so a single command measures the whole
+// fabric — ring sharding, peer cache fills, stream merging — with no
+// daemons to arrange:
+//
+//	vosload -nodes 3 -duration 10s -concurrency 8
+//
+// Point it at a running fleet instead with -targets:
+//
+//	vosload -targets http://n1:8420,http://n2:8420 -duration 30s
+//
+// Each worker repeatedly runs one full sweep (submit → stream events →
+// fetch results) against the fleet, round-robin across nodes. With the
+// default single seed every iteration after the first is served from
+// the content-addressed cache tier, so the numbers measure the serving
+// path; -seeds N rotates N distinct seeds to keep a fraction of the
+// load cold.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/vos"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vosload: ")
+	var (
+		nodes       = flag.Int("nodes", 3, "in-process cluster size (ignored with -targets)")
+		targets     = flag.String("targets", "", "comma-separated vosd URLs to load instead of an in-process cluster")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		concurrency = flag.Int("concurrency", 8, "concurrent sweep loops")
+		arch        = flag.String("arch", "RCA", "operator architecture per sweep")
+		width       = flag.Int("width", 8, "operand width per sweep")
+		patterns    = flag.Int("patterns", 200, "stimulus patterns per operating point")
+		seeds       = flag.Int("seeds", 1, "distinct seeds rotated across workers (1 = fully cacheable load)")
+		workers     = flag.Int("workers", 0, "per-node engine workers for the in-process cluster (0 = NumCPU)")
+	)
+	flag.Parse()
+	if *concurrency < 1 || *seeds < 1 {
+		log.Fatal("need -concurrency >= 1 and -seeds >= 1")
+	}
+
+	var urls []string
+	if *targets != "" {
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				urls = append(urls, t)
+			}
+		}
+	} else {
+		lc, err := cluster.StartLocal(*nodes, cluster.LocalOptions{Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer lc.Close()
+		urls = lc.URLs()
+		log.Printf("in-process cluster: %s", strings.Join(urls, " "))
+	}
+	clients := make([]*vos.Remote, len(urls))
+	for i, u := range urls {
+		c, err := vos.NewRemote(u, vos.RemoteOptions{Tenant: "vosload"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		clients[i] = c
+		defer c.Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	var mu sync.Mutex
+	var lats []time.Duration
+	var failures int
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *concurrency; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := clients[i%len(clients)]
+			spec := vos.NewSpec().
+				Arches(*arch).
+				Widths(*width).
+				Patterns(*patterns).
+				Seed(uint64(i%*seeds) + 1)
+			for ctx.Err() == nil {
+				t0 := time.Now()
+				_, err := client.Run(ctx, spec)
+				if ctx.Err() != nil {
+					return // deadline hit mid-sweep; not a failure
+				}
+				mu.Lock()
+				if err != nil {
+					failures++
+				} else {
+					lats = append(lats, time.Since(t0))
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if len(lats) == 0 {
+		log.Printf("no sweeps completed in %v (%d failures)", elapsed.Round(time.Millisecond), failures)
+		os.Exit(1)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fmt.Printf("sweeps     %d (%d failed)\n", len(lats), failures)
+	fmt.Printf("elapsed    %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput %.1f sweeps/s\n", float64(len(lats))/elapsed.Seconds())
+	fmt.Printf("latency    p50 %v  p90 %v  p99 %v  max %v\n",
+		pct(lats, 50), pct(lats, 90), pct(lats, 99), lats[len(lats)-1].Round(time.Millisecond))
+	for i, client := range clients {
+		stats, err := client.CacheStats(context.Background())
+		if err != nil {
+			fmt.Printf("node %d     %s: stats unavailable: %v\n", i, urls[i], err)
+			continue
+		}
+		fmt.Printf("node %d     hits %d (peer %d) misses %d executions %d pushes %d\n",
+			i, stats.Hits, stats.PeerHits, stats.Misses, stats.Executions, stats.PeerPushes)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// pct returns the p-th percentile of the sorted latencies.
+func pct(sorted []time.Duration, p int) time.Duration {
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx].Round(time.Millisecond)
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states reported in BreakerStatus.
+const (
+	// BreakerClosed: the peer is considered healthy.
+	BreakerClosed = "closed"
+	// BreakerOpen: the peer failed repeatedly and is skipped until the
+	// cooldown elapses.
+	BreakerOpen = "open"
+	// BreakerProbing: the cooldown elapsed; the next request through is
+	// the probe that closes or re-opens the breaker.
+	BreakerProbing = "probing"
+)
+
+// BreakerStatus is a breaker's public snapshot, served from
+// /v1/cluster/status.
+type BreakerStatus struct {
+	State string `json:"state"`
+	// Failures is the consecutive-failure count since the last success.
+	Failures int `json:"failures,omitempty"`
+	// LastError is the most recent failure's message.
+	LastError string `json:"lastError,omitempty"`
+}
+
+const (
+	// breakerThreshold is how many consecutive failures open a breaker.
+	// 3 rides out one dropped connection or timeout without declaring
+	// the peer dead, while a truly dead peer is evicted within the
+	// fan-out of a single shard dispatch round.
+	breakerThreshold = 3
+	// breakerCooldown is how long an open breaker rejects before letting
+	// a probe through.
+	breakerCooldown = 5 * time.Second
+)
+
+// breaker is a per-peer circuit breaker: consecutive failures past the
+// threshold open it, and while open every allow() is rejected without a
+// network round trip — which is what keeps a dead peer from stalling
+// every cache fan-out and shard dispatch by its full timeout. After the
+// cooldown, requests flow again (probing); the first success closes it.
+// All methods are safe for concurrent use.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	failures  int
+	openUntil time.Time
+	lastErr   string
+}
+
+func newBreaker() *breaker {
+	return &breaker{threshold: breakerThreshold, cooldown: breakerCooldown}
+}
+
+// allow reports whether a request should be attempted now.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures < b.threshold || !time.Now().Before(b.openUntil)
+}
+
+// success records a completed request and closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.lastErr = ""
+	b.mu.Unlock()
+}
+
+// failure records a failed request, (re-)opening the breaker once the
+// threshold is reached.
+func (b *breaker) failure(err error) {
+	b.mu.Lock()
+	b.failures++
+	if err != nil {
+		b.lastErr = err.Error()
+	}
+	if b.failures >= b.threshold {
+		b.openUntil = time.Now().Add(b.cooldown)
+	}
+	b.mu.Unlock()
+}
+
+// snapshot returns the breaker's public status.
+func (b *breaker) snapshot() BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStatus{State: BreakerClosed, Failures: b.failures, LastError: b.lastErr}
+	if b.failures >= b.threshold {
+		if time.Now().Before(b.openUntil) {
+			st.State = BreakerOpen
+		} else {
+			st.State = BreakerProbing
+		}
+	}
+	return st
+}

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks closed → open → probing → closed.
+func TestBreakerLifecycle(t *testing.T) {
+	b := &breaker{threshold: 2, cooldown: 50 * time.Millisecond}
+	if !b.allow() {
+		t.Fatal("new breaker must allow")
+	}
+	b.failure(errors.New("boom"))
+	if !b.allow() {
+		t.Fatal("one failure below threshold must still allow")
+	}
+	b.failure(errors.New("boom again"))
+	if b.allow() {
+		t.Fatal("threshold failures must open the breaker")
+	}
+	if st := b.snapshot(); st.State != BreakerOpen || st.Failures != 2 || st.LastError != "boom again" {
+		t.Fatalf("open snapshot = %+v", st)
+	}
+
+	// Cooldown elapses: requests flow again as probes.
+	time.Sleep(60 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed: probe must be allowed")
+	}
+	if st := b.snapshot(); st.State != BreakerProbing {
+		t.Fatalf("post-cooldown state = %q", st.State)
+	}
+
+	// A failed probe re-opens it immediately.
+	b.failure(errors.New("still down"))
+	if b.allow() {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+
+	// A successful probe closes it.
+	time.Sleep(60 * time.Millisecond)
+	b.success()
+	if !b.allow() {
+		t.Fatal("success must close the breaker")
+	}
+	if st := b.snapshot(); st.State != BreakerClosed || st.Failures != 0 || st.LastError != "" {
+		t.Fatalf("closed snapshot = %+v", st)
+	}
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sync"
+)
+
+// LocalOptions configures StartLocal.
+type LocalOptions struct {
+	// Workers is each node's engine pool size; ≤0 means NumCPU.
+	Workers int
+	// CacheRoot, when non-empty, gives each node an on-disk cache layer
+	// under CacheRoot/node<i>; empty keeps every node memory-only.
+	CacheRoot string
+	// CacheFanOut, TenantQuota and AccessLog are forwarded to every
+	// node's NodeOptions.
+	CacheFanOut int
+	TenantQuota int
+	AccessLog   io.Writer
+}
+
+// LocalCluster is an in-process cluster of n real vosd nodes, each
+// serving its full HTTP surface on a 127.0.0.1 listener — the harness
+// behind the cluster tests, cmd/vosload's self-contained mode and the
+// serving-path benchmark. The nodes talk to each other over real TCP,
+// so everything the fabric does in production (peer cache fills, shard
+// dispatch, stream drops on kill) happens here too.
+type LocalCluster struct {
+	members []*Member
+}
+
+// Member is one node of a LocalCluster.
+type Member struct {
+	URL  string
+	Node *Node
+
+	srv    *http.Server
+	ln     net.Listener
+	killed bool
+	mu     sync.Mutex
+}
+
+// StartLocal boots an n-node cluster on loopback listeners and returns
+// once every node is serving.
+func StartLocal(n int, opts LocalOptions) (*LocalCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
+	}
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns[:i] {
+				l.Close()
+			}
+			return nil, err
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	c := &LocalCluster{}
+	for i := 0; i < n; i++ {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		cacheDir := ""
+		if opts.CacheRoot != "" {
+			cacheDir = filepath.Join(opts.CacheRoot, fmt.Sprintf("node%d", i))
+		}
+		node, err := NewNode(NodeOptions{
+			Advertise:   urls[i],
+			Peers:       peers,
+			Workers:     opts.Workers,
+			CacheDir:    cacheDir,
+			CacheFanOut: opts.CacheFanOut,
+			TenantQuota: opts.TenantQuota,
+			AccessLog:   opts.AccessLog,
+		})
+		if err != nil {
+			c.Close()
+			for _, l := range lns[i:] {
+				l.Close()
+			}
+			return nil, err
+		}
+		m := &Member{URL: urls[i], Node: node, ln: lns[i], srv: &http.Server{Handler: node.Handler()}}
+		c.members = append(c.members, m)
+		go m.srv.Serve(m.ln)
+	}
+	return c, nil
+}
+
+// Members returns the cluster's nodes in boot order.
+func (c *LocalCluster) Members() []*Member { return c.members }
+
+// URLs returns every member's base URL in boot order.
+func (c *LocalCluster) URLs() []string {
+	out := make([]string, len(c.members))
+	for i, m := range c.members {
+		out[i] = m.URL
+	}
+	return out
+}
+
+// Kill hard-stops member i: the server closes immediately (in-flight
+// connections — event streams included — are severed, as a crashed
+// process would sever them) and the node shuts down. Idempotent.
+func (c *LocalCluster) Kill(i int) {
+	m := c.members[i]
+	m.mu.Lock()
+	if m.killed {
+		m.mu.Unlock()
+		return
+	}
+	m.killed = true
+	m.mu.Unlock()
+	m.srv.Close()
+	m.Node.Close()
+}
+
+// Close kills every member still running.
+func (c *LocalCluster) Close() {
+	for i := range c.members {
+		c.Kill(i)
+	}
+}

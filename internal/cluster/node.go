@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/engine"
+	"repro/internal/engine/httpapi"
+)
+
+// NodeOptions configures one cluster member.
+type NodeOptions struct {
+	// Advertise is the URL this node is reachable at by its peers
+	// (e.g. "http://10.0.0.5:8420"); required when Peers is non-empty.
+	Advertise string
+	// Peers are the other members' advertise URLs. Empty means a
+	// single-node daemon: no ring, no peer tiers, plain engine.
+	Peers []string
+	// Workers is the engine pool size; ≤0 means NumCPU.
+	Workers int
+	// CacheDir roots the node's on-disk cache layer; empty keeps the
+	// local cache memory-only.
+	CacheDir string
+	// Replicas is the ring's virtual-node count per member; ≤0 selects
+	// the default.
+	Replicas int
+	// CacheFanOut caps peers consulted per cache miss; ≤0 selects the
+	// PeerCacheOptions default.
+	CacheFanOut int
+	// TenantQuota caps in-flight sweeps per tenant; ≤0 disables. Shard
+	// sub-sweeps (the cluster-internal tenant) are exempt.
+	TenantQuota int
+	// AccessLog, when non-nil, receives one JSON request-log line per
+	// completed request (httpapi.AccessEntry).
+	AccessLog io.Writer
+}
+
+// Node is one assembled cluster member: local cache, peer cache tier,
+// sharding planner, engine and HTTP handler wired together. A Node does
+// not listen; the caller mounts Handler on whatever server it runs
+// (cmd/vosd, an httptest server, StartLocal).
+type Node struct {
+	advertise string
+	ring      *Ring
+	peers     *peerSet
+	pc        *PeerCache
+	eng       *engine.Engine
+	handler   http.Handler
+}
+
+// NewNode assembles a member from its options. With no peers it
+// degenerates to a plain single-node daemon — same handler surface,
+// no ring or peer tiers.
+func NewNode(opts NodeOptions) (*Node, error) {
+	clustered := len(opts.Peers) > 0
+	if clustered && opts.Advertise == "" {
+		return nil, fmt.Errorf("cluster: a node with peers needs an advertise URL")
+	}
+	local, err := engine.NewCache(opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{advertise: opts.Advertise}
+	var store httpapi.CacheStore
+	engOpts := engine.Options{Workers: opts.Workers}
+	if clustered {
+		members := append(append([]string(nil), opts.Peers...), opts.Advertise)
+		n.ring = NewRing(members, opts.Replicas)
+		n.peers, err = newPeerSet(opts.Advertise, members)
+		if err != nil {
+			return nil, err
+		}
+		n.pc = NewPeerCache(local, n.ring, n.peers, PeerCacheOptions{FanOut: opts.CacheFanOut})
+		store = n.pc
+		engOpts.Backend = n.pc
+		engOpts.Sharder = NewPlanner(opts.Advertise, n.ring, n.peers)
+	} else {
+		store = localStore{local}
+		engOpts.Cache = local
+	}
+	n.eng, err = engine.New(engOpts)
+	if err != nil {
+		if n.pc != nil {
+			n.pc.Close()
+		}
+		return nil, err
+	}
+	httpOpts := []httpapi.Option{httpapi.WithCacheStore(store)}
+	if clustered {
+		httpOpts = append(httpOpts, httpapi.WithClusterStatus(func() any { return n.Status() }))
+	}
+	if opts.TenantQuota > 0 {
+		httpOpts = append(httpOpts, httpapi.WithTenantQuota(opts.TenantQuota, shardTenant))
+	}
+	n.handler = httpapi.New(n.eng, httpOpts...)
+	if opts.AccessLog != nil {
+		n.handler = httpapi.AccessLog(n.handler, opts.AccessLog, n.eng.CacheStats)
+	}
+	return n, nil
+}
+
+// Handler returns the node's HTTP surface (the httpapi routes, wrapped
+// in the access logger when one was configured).
+func (n *Node) Handler() http.Handler { return n.handler }
+
+// Engine returns the node's engine (tests and embedders inspect stats
+// and submit through it directly).
+func (n *Node) Engine() *engine.Engine { return n.eng }
+
+// Close shuts the engine down (waiting for sweeps to stop) and then
+// the peer-cache replication workers.
+func (n *Node) Close() {
+	n.eng.Close()
+	if n.pc != nil {
+		n.pc.Close()
+	}
+}
+
+// Status is the /v1/cluster/status body: this node's identity, the
+// ring membership, and its view of every peer's health.
+type Status struct {
+	Self  string       `json:"self"`
+	Ring  []string     `json:"ring"`
+	Peers []PeerStatus `json:"peers"`
+}
+
+// PeerStatus is one peer's entry in Status.
+type PeerStatus struct {
+	URL     string        `json:"url"`
+	Breaker BreakerStatus `json:"breaker"`
+}
+
+// Status returns this node's cluster snapshot; zero value when the
+// node is not clustered.
+func (n *Node) Status() Status {
+	if n.ring == nil {
+		return Status{Self: n.advertise}
+	}
+	st := Status{Self: n.advertise, Ring: n.ring.Nodes()}
+	for _, u := range n.peers.urls() {
+		st.Peers = append(st.Peers, PeerStatus{URL: u, Breaker: n.peers.get(u).br.snapshot()})
+	}
+	return st
+}
+
+// localStore adapts a plain engine.Cache to httpapi.CacheStore for
+// single-node daemons, so the cache-entry endpoints work (and a future
+// peer can fill from this node) even before it joins a cluster.
+type localStore struct{ c *engine.Cache }
+
+func (s localStore) GetLocal(key string) ([]byte, bool) { return s.c.Get(key) }
+func (s localStore) PutLocal(key string, data []byte)   { s.c.Put(key, data) }

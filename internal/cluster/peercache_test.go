@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/engine/httpapi"
+)
+
+// fakePeer is a real vosd cache surface: an httpapi handler over a
+// plain engine.Cache, served on a loopback listener.
+type fakePeer struct {
+	url   string
+	cache *engine.Cache
+	ts    *httptest.Server
+}
+
+func newFakePeer(t *testing.T) *fakePeer {
+	t.Helper()
+	cache, err := engine.NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(engine.Options{Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(httpapi.New(eng, httpapi.WithCacheStore(localStore{cache})))
+	t.Cleanup(ts.Close)
+	return &fakePeer{url: ts.URL, cache: cache, ts: ts}
+}
+
+// testKey derives a valid (64-hex) cache key from a label.
+func testKey(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+func newTestPeerCache(t *testing.T, self string, peerURLs ...string) *PeerCache {
+	t.Helper()
+	local, err := engine.NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := append([]string{self}, peerURLs...)
+	ps, err := newPeerSet(self, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPeerCache(local, NewRing(members, 0), ps, PeerCacheOptions{})
+	t.Cleanup(pc.Close)
+	return pc
+}
+
+// TestPeerCacheFill checks a local miss is filled from a peer and
+// written through: the second Get must not touch the network.
+func TestPeerCacheFill(t *testing.T) {
+	peer := newFakePeer(t)
+	pc := newTestPeerCache(t, "http://self.invalid", peer.url)
+
+	key := testKey("fill")
+	peer.cache.Put(key, []byte(`{"v":1}`))
+
+	data, ok := pc.Get(key)
+	if !ok || string(data) != `{"v":1}` {
+		t.Fatalf("Get = %q, %v; want peer fill", data, ok)
+	}
+	peer.ts.Close() // sever the network: the write-through copy must answer
+	if data, ok := pc.Get(key); !ok || string(data) != `{"v":1}` {
+		t.Fatalf("second Get = %q, %v; want local write-through hit", data, ok)
+	}
+	s := pc.Stats()
+	if s.PeerHits != 1 || s.PeerErrors != 0 {
+		t.Fatalf("stats = %+v; want exactly one peer hit", s)
+	}
+}
+
+// TestPeerCacheMiss checks a fleet-wide miss is reported (and counted)
+// as such.
+func TestPeerCacheMiss(t *testing.T) {
+	peer := newFakePeer(t)
+	pc := newTestPeerCache(t, "http://self.invalid", peer.url)
+	if _, ok := pc.Get(testKey("nowhere")); ok {
+		t.Fatal("Get of an absent key succeeded")
+	}
+	if s := pc.Stats(); s.PeerMisses != 1 || s.PeerHits != 0 {
+		t.Fatalf("stats = %+v; want one peer miss", s)
+	}
+}
+
+// TestPeerCachePush checks a Put whose key belongs to a peer on the
+// ring is replicated to that owner.
+func TestPeerCachePush(t *testing.T) {
+	peer := newFakePeer(t)
+	self := "http://self.invalid"
+	pc := newTestPeerCache(t, self, peer.url)
+	ring := NewRing([]string{self, peer.url}, 0)
+
+	// Find a key the peer owns; with two members and 128 vnodes each,
+	// a handful of candidates always suffices.
+	key := ""
+	for i := 0; i < 64; i++ {
+		k := testKey(fmt.Sprintf("push-%d", i))
+		if ring.Owner(k) == peer.url {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key owned by the peer in 64 candidates")
+	}
+	pc.Put(key, []byte(`{"v":2}`))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if data, ok := peer.cache.Get(key); ok {
+			if string(data) != `{"v":2}` {
+				t.Fatalf("peer received %q", data)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("push never reached the ring owner")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s := pc.Stats(); s.PeerPushes != 1 {
+		t.Fatalf("stats = %+v; want one peer push", s)
+	}
+}
+
+// TestPeerCacheOwnKeyNotPushed checks keys the local node owns stay
+// local.
+func TestPeerCacheOwnKeyNotPushed(t *testing.T) {
+	peer := newFakePeer(t)
+	self := "http://self.invalid"
+	pc := newTestPeerCache(t, self, peer.url)
+	ring := NewRing([]string{self, peer.url}, 0)
+	key := ""
+	for i := 0; i < 64; i++ {
+		k := testKey(fmt.Sprintf("own-%d", i))
+		if ring.Owner(k) == self {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no self-owned key in 64 candidates")
+	}
+	pc.Put(key, []byte(`{"v":3}`))
+	time.Sleep(50 * time.Millisecond)
+	if _, ok := peer.cache.Get(key); ok {
+		t.Fatal("self-owned key was replicated to the peer")
+	}
+	if s := pc.Stats(); s.PeerPushes != 0 {
+		t.Fatalf("stats = %+v; want no pushes", s)
+	}
+}
+
+// TestPeerCacheBreaker checks a dead peer stops being consulted once
+// its breaker opens: errors are bounded, not per-Get forever.
+func TestPeerCacheBreaker(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+	pc := newTestPeerCache(t, "http://self.invalid", deadURL)
+
+	for i := 0; i < breakerThreshold+3; i++ {
+		pc.Get(testKey(fmt.Sprintf("dead-%d", i)))
+	}
+	s := pc.Stats()
+	if s.PeerErrors != breakerThreshold {
+		t.Fatalf("PeerErrors = %d; want the breaker to cap at %d", s.PeerErrors, breakerThreshold)
+	}
+}

@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/charz"
+	"repro/internal/engine"
+	"repro/internal/triad"
+	"repro/vos"
+)
+
+// Planner is the engine's Sharder: it routes each electrical point
+// group of a declarative sweep to the cluster member owning it on the
+// ring, dispatches every remote member's share as one explicit-triad
+// sub-sweep through the vos SDK, and folds the shard event streams back
+// into the coordinating sweep's yield funnel. Groups the local node
+// owns — or inherits because every remote candidate is dead — run on
+// the local engine via the runLocal callback.
+//
+// The shard key of a group hashes the canonical cache keys of its
+// points, so every member routes the same group to the same owner with
+// no coordination traffic, and identical sweeps submitted to different
+// members meet in the owner's singleflight: ring ownership is the
+// fleet-level request coalescing tier.
+type Planner struct {
+	self  string
+	ring  *Ring
+	peers *peerSet
+}
+
+var _ engine.Sharder = (*Planner)(nil)
+
+// NewPlanner returns a Planner for the member self on the given ring.
+func NewPlanner(self string, ring *Ring, peers *peerSet) *Planner {
+	return &Planner{self: self, ring: ring, peers: peers}
+}
+
+// shardGroup is one electrical group's routing state: the triad indices
+// still to be yielded, the group's ring key, and the members already
+// tried (and failed) for it.
+type shardGroup struct {
+	idxs  []int
+	key   string
+	tried map[string]bool
+}
+
+// RunOperator implements engine.Sharder. It runs rounds until every
+// point is yielded: each round routes the outstanding groups (first
+// untried live member of each group's ownership sequence; the local
+// engine for our own share), runs all shards and local groups
+// concurrently, and carries whatever a failed shard left un-yielded
+// into the next round — re-routed to the next candidate, with the local
+// engine as the final fallback. Local execution errors are terminal:
+// once a group reaches the local engine there is nobody left to blame.
+func (p *Planner) RunOperator(ctx context.Context, plan *engine.OperatorPlan, groups [][]int,
+	runLocal func(idxs []int) error, yield func(ti int, ps engine.PointSummary)) error {
+	// safeYield makes re-dispatch idempotent: a shard whose stream
+	// dropped after yielding a point must not yield it again from the
+	// salvage or failover path.
+	var ymu sync.Mutex
+	yielded := make(map[int]bool, len(plan.Triads))
+	safeYield := func(ti int, ps engine.PointSummary) {
+		ymu.Lock()
+		if yielded[ti] {
+			ymu.Unlock()
+			return
+		}
+		yielded[ti] = true
+		ymu.Unlock()
+		yield(ti, ps)
+	}
+
+	work := make([]*shardGroup, len(groups))
+	for i, idxs := range groups {
+		key, err := groupKey(plan, idxs)
+		if err != nil {
+			return err
+		}
+		work[i] = &shardGroup{
+			idxs:  append([]int(nil), idxs...),
+			key:   key,
+			tried: make(map[string]bool),
+		}
+	}
+
+	for len(work) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var local []*shardGroup
+		remote := make(map[string][]*shardGroup)
+		for _, g := range work {
+			if target := p.route(g); target == "" {
+				local = append(local, g)
+			} else {
+				g.tried[target] = true
+				remote[target] = append(remote[target], g)
+			}
+		}
+
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		var retry []*shardGroup
+		fail := func(err error) {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+		for _, g := range local {
+			wg.Add(1)
+			go func(g *shardGroup) {
+				defer wg.Done()
+				if err := runLocal(g.idxs); err != nil {
+					fail(err)
+				}
+			}(g)
+		}
+		for member, gs := range remote {
+			wg.Add(1)
+			go func(member string, gs []*shardGroup) {
+				defer wg.Done()
+				p.dispatch(ctx, plan, member, gs, safeYield)
+				mu.Lock()
+				for _, g := range gs {
+					if len(g.idxs) > 0 {
+						retry = append(retry, g)
+					}
+				}
+				mu.Unlock()
+			}(member, gs)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+		work = retry
+	}
+	return nil
+}
+
+// route picks the member to run a group this round: the first node of
+// the group's ownership sequence that is untried and breaker-live.
+// Reaching self — or exhausting the sequence — means the local engine.
+func (p *Planner) route(g *shardGroup) string {
+	for _, member := range p.ring.Sequence(g.key) {
+		if member == p.self {
+			return ""
+		}
+		if g.tried[member] {
+			continue
+		}
+		if pr := p.peers.get(member); pr != nil && pr.br.allow() {
+			return member
+		}
+	}
+	return ""
+}
+
+// dispatch runs one member's share of the operator — all its groups in
+// one explicit-triad sub-sweep — yielding each point as its shard event
+// streams in. On return, every group's idxs holds exactly the indices
+// this dispatch did not yield; failures are recorded on the member's
+// breaker and surface as a non-empty remainder, not an error — the
+// caller's next round re-routes it.
+func (p *Planner) dispatch(ctx context.Context, plan *engine.OperatorPlan, member string,
+	gs []*shardGroup, yield func(ti int, ps engine.PointSummary)) {
+	pr := p.peers.get(member)
+	if pr == nil {
+		return
+	}
+	// pending maps each triad value to the plan indices awaiting it; a
+	// plan listing one triad twice gets two shard points back and pops
+	// one index per event.
+	pending := make(map[triad.Triad][]int)
+	var trs []vos.Triad
+	for _, g := range gs {
+		for _, ti := range g.idxs {
+			tr := plan.Triads[ti]
+			pending[tr] = append(pending[tr], ti)
+			trs = append(trs, vos.Triad(tr))
+		}
+	}
+	onPoint := func(pt *vos.Point) {
+		tr := triad.Triad(pt.Triad)
+		idxs := pending[tr]
+		if len(idxs) == 0 {
+			return // not one of ours (or a duplicate delivery)
+		}
+		ps, err := toSummary(pt)
+		if err != nil {
+			return // leave it pending; the remainder is re-dispatched
+		}
+		pending[tr] = idxs[1:]
+		yield(idxs[0], ps)
+	}
+	if err := p.runShardSweep(ctx, pr, plan.Config, trs, onPoint); err != nil {
+		pr.br.failure(err)
+	} else {
+		pr.br.success()
+	}
+	remaining := make(map[int]bool)
+	for _, idxs := range pending {
+		for _, ti := range idxs {
+			remaining[ti] = true
+		}
+	}
+	for _, g := range gs {
+		kept := g.idxs[:0]
+		for _, ti := range g.idxs {
+			if remaining[ti] {
+				kept = append(kept, ti)
+			}
+		}
+		g.idxs = kept
+	}
+}
+
+// runShardSweep submits one explicit-triad sub-sweep to the peer and
+// consumes its event stream, calling onPoint for every point event. A
+// stream that ends without a terminal event (the connection dropped,
+// not the sweep) is salvaged through the polling path before the peer
+// is declared failed: the shard may have finished fine.
+func (p *Planner) runShardSweep(ctx context.Context, pr *peer, cfg charz.Config,
+	trs []vos.Triad, onPoint func(*vos.Point)) error {
+	id, err := pr.remote.Submit(ctx, shardSpec(cfg, trs))
+	if err != nil {
+		return err
+	}
+	// If the coordinating sweep dies, stop the shard too — an orphaned
+	// sub-sweep would keep burning the peer's pool.
+	defer func() {
+		if ctx.Err() != nil {
+			cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			pr.remote.Cancel(cctx, id)
+			cancel()
+		}
+	}()
+	ch, err := pr.remote.Events(ctx, id)
+	if err == nil {
+		for ev := range ch {
+			if ev.Type == vos.EventPoint && ev.Point != nil {
+				onPoint(ev.Point)
+			}
+			if ev.Terminal() {
+				if ev.Type != vos.EventDone {
+					return fmt.Errorf("cluster: shard %s on %s: %s: %s", id, pr.url, ev.Type, ev.Error)
+				}
+				return nil
+			}
+		}
+	}
+	res, err := pr.remote.Wait(ctx, id)
+	if err != nil {
+		return err
+	}
+	if res.Status != vos.StatusDone {
+		return fmt.Errorf("cluster: shard %s on %s: %s: %s", id, pr.url, res.Status, res.Error)
+	}
+	full, err := pr.remote.Results(ctx, id)
+	if err != nil {
+		return err
+	}
+	for i := range full.Operators {
+		pts := full.Operators[i].Points
+		for j := range pts {
+			onPoint(&pts[j])
+		}
+	}
+	return nil
+}
+
+// shardSpec reproduces one operator's canonical configuration as an
+// explicit-triad Spec. Engine requests can never set process or library
+// overrides, so rebuilding from the canonical Config round-trips to the
+// same canonical form — and therefore the same cache keys — on the
+// shard node.
+func shardSpec(cfg charz.Config, trs []vos.Triad) *vos.Spec {
+	return vos.NewSpec().
+		Arches(cfg.Arch.String()).
+		Widths(cfg.Width).
+		Patterns(cfg.Patterns).
+		Seed(cfg.Seed).
+		PropagateP(cfg.PropagateP).
+		Backend(cfg.Backend.String()).
+		Streaming(cfg.Streaming).
+		Triads(trs...)
+}
+
+// groupKey is a group's position on the ring: a hash of the sorted
+// canonical cache keys of its points. Content-derived, so every member
+// computes the same owner for the same group without gossip.
+func groupKey(plan *engine.OperatorPlan, idxs []int) (string, error) {
+	keys := make([]string, len(idxs))
+	for j, ti := range idxs {
+		k, err := engine.PointKey(plan.Config, plan.Triads[ti])
+		if err != nil {
+			return "", err
+		}
+		keys[j] = k
+	}
+	sort.Strings(keys)
+	sum := sha256.Sum256([]byte(strings.Join(keys, "\n")))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// toSummary converts a shard's streamed point into the engine's point
+// summary. The types share their JSON shape by construction; Efficiency
+// is whatever the shard knew (zero mid-stream) and is recomputed by the
+// coordinator's fold over the full operator.
+func toSummary(pt *vos.Point) (engine.PointSummary, error) {
+	data, err := json.Marshal(pt)
+	if err != nil {
+		return engine.PointSummary{}, err
+	}
+	var ps engine.PointSummary
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return engine.PointSummary{}, err
+	}
+	return ps, nil
+}

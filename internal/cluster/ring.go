@@ -1,0 +1,118 @@
+// Package cluster turns independent vosd daemons into a sweep fabric:
+// a consistent-hash ring assigns every electrical point group of a
+// declarative sweep to an owning node, a Planner (the engine's Sharder)
+// dispatches each node's share as an explicit-triad sub-sweep over the
+// vos SDK and folds the shard event streams back into the coordinating
+// sweep, and a PeerCache (the engine's CacheBackend) fills local cache
+// misses from peer nodes so any node of the fleet simulates each
+// operating point at most once.
+//
+// Ownership is derived from content, not from placement state: a group's
+// shard key hashes the canonical cache keys of its points, so every node
+// routes the same group to the same owner without any coordination
+// traffic — and concurrent identical sweeps submitted to different
+// nodes meet in the owner's singleflight instead of simulating twice.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// defaultReplicas is the virtual-node count per member. 128 keeps the
+// ownership split within a few percent of uniform for small fleets
+// while the ring stays tiny (n×128 points).
+const defaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring over the cluster members.
+// Liveness is deliberately not ring state: the ring defines the stable
+// ownership order of every key, and callers walk Sequence past nodes
+// their circuit breakers consider dead. Rebuilding the ring on every
+// breaker transition would instead reshuffle ownership fleet-wide.
+type Ring struct {
+	nodes  []string
+	hashes []uint64 // sorted virtual-node positions
+	owner  []string // owner[i] is the member at hashes[i]
+}
+
+// NewRing builds a ring over the member names (advertise URLs).
+// replicas ≤ 0 selects the default virtual-node count. Duplicate
+// members are kept once; order does not matter — equal member sets
+// build equal rings.
+func NewRing(members []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		r.nodes = append(r.nodes, m)
+	}
+	sort.Strings(r.nodes)
+	type point struct {
+		h uint64
+		n string
+	}
+	pts := make([]point, 0, len(r.nodes)*replicas)
+	for _, n := range r.nodes {
+		for i := 0; i < replicas; i++ {
+			pts = append(pts, point{hash(n + "#" + strconv.Itoa(i)), n})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].h < pts[j].h })
+	r.hashes = make([]uint64, len(pts))
+	r.owner = make([]string, len(pts))
+	for i, p := range pts {
+		r.hashes[i] = p.h
+		r.owner[i] = p.n
+	}
+	return r
+}
+
+// Nodes returns the member names, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	seq := r.Sequence(key)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// Sequence returns all members in key's ownership order: the owner
+// first, then the failover successors clockwise around the ring. Every
+// member appears exactly once, and every node computes the same
+// sequence for the same key.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.hashes) == 0 {
+		return nil
+	}
+	h := hash(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	out := make([]string, 0, len(r.nodes))
+	seen := make(map[string]bool, len(r.nodes))
+	for i := 0; i < len(r.hashes) && len(out) < len(r.nodes); i++ {
+		n := r.owner[(start+i)%len(r.hashes)]
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// hash positions a label on the ring. SHA-256 (truncated) rather than a
+// faster non-crypto hash so ring placement and the cache keys share one
+// well-distributed hash family; ring lookups are not hot.
+func hash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

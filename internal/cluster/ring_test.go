@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingDeterministic checks that member order does not influence
+// ownership: every node must compute the same routing.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	b := NewRing([]string{"http://n3", "http://n1", "http://n2", "http://n2"}, 0)
+	if !reflect.DeepEqual(a.Nodes(), b.Nodes()) {
+		t.Fatalf("Nodes: %v vs %v", a.Nodes(), b.Nodes())
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+		if !reflect.DeepEqual(a.Sequence(key), b.Sequence(key)) {
+			t.Fatalf("key %q: sequence %v vs %v", key, a.Sequence(key), b.Sequence(key))
+		}
+	}
+}
+
+// TestRingSequence checks a sequence lists every member exactly once,
+// owner first.
+func TestRingSequence(t *testing.T) {
+	members := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	r := NewRing(members, 0)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := r.Sequence(key)
+		if len(seq) != len(members) {
+			t.Fatalf("key %q: sequence %v misses members", key, seq)
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("key %q: %q twice in %v", key, n, seq)
+			}
+			seen[n] = true
+		}
+		if seq[0] != r.Owner(key) {
+			t.Fatalf("key %q: sequence head %q != owner %q", key, seq[0], r.Owner(key))
+		}
+	}
+}
+
+// TestRingDistribution checks the virtual nodes spread ownership
+// roughly evenly: no member of a 3-node ring should own less than 15%
+// or more than 60% of 3000 keys.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	counts := map[string]int{}
+	const total = 3000
+	for i := 0; i < total; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for n, c := range counts {
+		if c < total*15/100 || c > total*60/100 {
+			t.Fatalf("member %s owns %d of %d keys: %v", n, c, total, counts)
+		}
+	}
+}
+
+// TestRingStability checks consistent hashing's point: removing one
+// member only moves the keys it owned — every key a survivor owned
+// keeps its owner.
+func TestRingStability(t *testing.T) {
+	full := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	reduced := NewRing([]string{"http://n1", "http://n3"}, 0)
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was := full.Owner(key)
+		if was == "http://n2" {
+			moved++
+			continue
+		}
+		if got := reduced.Owner(key); got != was {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", key, was, got)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys owned by the removed member — distribution test should have caught this")
+	}
+}
+
+// TestRingEmpty checks the degenerate rings.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if r.Owner("k") != "" || r.Sequence("k") != nil {
+		t.Fatal("empty ring must own nothing")
+	}
+	one := NewRing([]string{"http://n1"}, 0)
+	if one.Owner("k") != "http://n1" {
+		t.Fatalf("single-member ring owner = %q", one.Owner("k"))
+	}
+}

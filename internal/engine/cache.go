@@ -124,8 +124,27 @@ type CacheStats struct {
 	// (the entry still lands in the memory layer).
 	Stores      uint64 `json:"stores"`
 	WriteErrors uint64 `json:"writeErrors"`
+	// CorruptEntries counts on-disk entries found truncated or otherwise
+	// not valid JSON — each was deleted and its Get served as a miss.
+	// Several daemons sharing one cache volume make this reachable in
+	// practice (a peer dying mid-write leaves at worst a stale temp
+	// file, but pre-rename layouts and disk faults still happen).
+	CorruptEntries uint64 `json:"corruptEntries,omitempty"`
 	// MemEntries is the current size of the in-memory layer.
 	MemEntries int `json:"memEntries"`
+	// Peer-tier counters, filled by the cluster peer cache
+	// (internal/cluster.PeerCache); zero — and omitted from JSON — on a
+	// single-node cache. PeerHits count misses filled from a peer vosd
+	// node, PeerMisses fan-outs that found nothing anywhere, PeerErrors
+	// failed peer fetches (timeouts, open breakers are not counted),
+	// PeerPushes entries replicated to their ring owner, and
+	// PeerPushDrops pushes discarded because the replication queue was
+	// full.
+	PeerHits      uint64 `json:"peerHits,omitempty"`
+	PeerMisses    uint64 `json:"peerMisses,omitempty"`
+	PeerErrors    uint64 `json:"peerErrors,omitempty"`
+	PeerPushes    uint64 `json:"peerPushes,omitempty"`
+	PeerPushDrops uint64 `json:"peerPushDrops,omitempty"`
 	// GroupedPoints counts points simulated as members of a multi-point
 	// electrical group — several Tclk values served by one trace
 	// simulation — as opposed to points simulated solo or served from
@@ -135,8 +154,22 @@ type CacheStats struct {
 	GroupedPoints uint64 `json:"groupedPoints"`
 }
 
-// Hits returns the total hit count across layers.
-func (s CacheStats) Hits() uint64 { return s.MemHits + s.DiskHits }
+// Hits returns the total hit count across layers, the peer tier
+// included.
+func (s CacheStats) Hits() uint64 { return s.MemHits + s.DiskHits + s.PeerHits }
+
+// CacheBackend is the engine's pluggable result-store seam. The
+// in-process *Cache is the default implementation; the cluster layer's
+// PeerCache wraps one and fills misses from peer vosd nodes. Get and
+// Put must be safe for concurrent use; Get must only return entries
+// whose bytes are valid JSON (the engine treats a decode failure as a
+// miss, but a backend surfacing garbage would still burn a simulation
+// re-run per Get).
+type CacheBackend interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, data []byte)
+	Stats() CacheStats
+}
 
 // maxMemEntries bounds the in-memory layer of a disk-backed cache so a
 // long-running daemon's memory stays flat: beyond it, the oldest entries
@@ -190,7 +223,11 @@ func (c *Cache) path(key string) string {
 }
 
 // Get returns the stored bytes for key, consulting memory then disk. A
-// disk hit is promoted into the memory layer.
+// disk hit is promoted into the memory layer. A disk entry that is not
+// valid JSON — truncated by a crash or corrupted on a shared cache
+// volume — is deleted and reported as a miss, never surfaced: callers
+// would decode garbage once per Get forever, and on a directory shared
+// between daemons the bad bytes would spread through the peer tier.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	if data, ok := c.mem[key]; ok {
@@ -201,6 +238,14 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Unlock()
 	if c.dir != "" {
 		if data, err := os.ReadFile(c.path(key)); err == nil {
+			if !json.Valid(data) {
+				os.Remove(c.path(key))
+				c.mu.Lock()
+				c.stats.CorruptEntries++
+				c.stats.Misses++
+				c.mu.Unlock()
+				return nil, false
+			}
 			c.mu.Lock()
 			c.insertLocked(key, data)
 			c.stats.DiskHits++

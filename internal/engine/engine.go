@@ -29,11 +29,20 @@ type Options struct {
 	// Workers is the worker-pool size; ≤0 means runtime.NumCPU().
 	Workers int
 	// CacheDir is the on-disk cache layer's root; empty keeps the cache
-	// memory-only. Ignored when Cache is set.
+	// memory-only. Ignored when Cache or Backend is set.
 	CacheDir string
 	// Cache overrides the engine's result cache, letting several engines
-	// (or tests) share one store.
+	// (or tests) share one store. Ignored when Backend is set.
 	Cache *Cache
+	// Backend overrides the result store entirely — the cluster layer
+	// plugs its peer-filling cache in here. The engine does not own the
+	// backend's lifecycle; whoever supplied it closes it after Close.
+	Backend CacheBackend
+	// Sharder, when set, distributes declarative sweeps' point groups
+	// across a cluster instead of running every group on the local pool
+	// (see the Sharder interface for the contract). Explicit-triad
+	// sweeps are never offered to it.
+	Sharder Sharder
 }
 
 // Engine schedules point jobs onto a bounded worker pool and memoizes
@@ -41,7 +50,8 @@ type Options struct {
 // charz.Fig5With can be pointed at an Engine unchanged.
 type Engine struct {
 	workers int
-	cache   *Cache
+	cache   CacheBackend
+	sharder Sharder
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -97,17 +107,22 @@ func New(opts Options) (*Engine, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.NumCPU()
 	}
-	cache := opts.Cache
+	cache := CacheBackend(opts.Backend)
+	if cache == nil && opts.Cache != nil {
+		cache = opts.Cache
+	}
 	if cache == nil {
-		var err error
-		if cache, err = NewCache(opts.CacheDir); err != nil {
+		c, err := NewCache(opts.CacheDir)
+		if err != nil {
 			return nil, err
 		}
+		cache = c
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		workers:  opts.Workers,
 		cache:    cache,
+		sharder:  opts.Sharder,
 		ctx:      ctx,
 		cancel:   cancel,
 		jobs:     make(chan func()),
@@ -474,6 +489,36 @@ func (e *Engine) ownGroup(ctx context.Context, p *charz.Prepared, trs []triad.Tr
 		}
 		flights[j].data = data
 		out[i] = res
+	}
+	return nil
+}
+
+// runGroupYield executes one electrical group of a plan on the local
+// engine (cache pass, singleflight, pooled grouped simulation) and
+// yields each completed point's summary under its plan triad index. It
+// is the local half of the Sharder contract and the body of every
+// non-clustered sweep's group job.
+func (e *Engine) runGroupYield(ctx context.Context, plan *OperatorPlan, idxs []int, yield func(ti int, ps PointSummary)) error {
+	trs := make([]triad.Triad, len(idxs))
+	for j, ti := range idxs {
+		trs[j] = plan.Triads[ti]
+	}
+	outs, cachedFlags, err := e.runPointGroup(ctx, plan.Prep, trs)
+	if err != nil {
+		return err
+	}
+	for j, ti := range idxs {
+		res := outs[j]
+		yield(ti, PointSummary{
+			Triad:         res.Triad,
+			Stats:         res.Acc.Snapshot(),
+			BER:           res.BER(),
+			WER:           res.Acc.WER(),
+			PerBit:        res.Acc.PerBitErrorProb(),
+			EnergyPerOpFJ: res.EnergyPerOpFJ,
+			LateFraction:  res.LateFraction,
+			FromCache:     cachedFlags[j],
+		})
 	}
 	return nil
 }

@@ -556,3 +556,47 @@ func TestRunPointGroupRejectsMixedGroups(t *testing.T) {
 		t.Fatal("cache-warm mixed group accepted")
 	}
 }
+
+// TestCacheDeletesCorruptDiskEntry pins the Cache-level contract behind
+// the engine's recovery: a disk entry that is not valid JSON is deleted,
+// counted, and served as a miss — and the next Put/Get cycle is clean.
+func TestCacheDeletesCorruptDiskEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32)
+	entry := filepath.Join(dir, key[:2], key+".json")
+	if err := os.MkdirAll(filepath.Dir(entry), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entry, []byte(`{"truncated`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(entry); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry not deleted (stat err = %v)", err)
+	}
+	s := c.Stats()
+	if s.CorruptEntries != 1 || s.Misses != 1 || s.DiskHits != 0 {
+		t.Fatalf("stats = %+v; want one corrupt entry counted as a miss", s)
+	}
+
+	// A second cache over the same directory (a fresh process) must not
+	// trip over anything the recovery left behind.
+	c.Put(key, []byte(`{"v":1}`))
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := c2.Get(key); !ok || string(data) != `{"v":1}` {
+		t.Fatalf("repaired entry reads %q, %v", data, ok)
+	}
+	if s := c2.Stats(); s.CorruptEntries != 0 || s.DiskHits != 1 {
+		t.Fatalf("fresh cache stats = %+v", s)
+	}
+}

@@ -1,0 +1,120 @@
+package httpapi
+
+// Structured request logging for vosd (the -log-json flag): one JSON
+// line per completed request, carrying the request id, method, path,
+// status, duration and the engine's cumulative cache hit/miss counters
+// at completion time — the counters are what make a cluster debuggable
+// ("which node actually simulated this sweep?").
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// AccessEntry is one request's log line.
+type AccessEntry struct {
+	Time     string  `json:"ts"`
+	ID       string  `json:"id"`
+	Method   string  `json:"method"`
+	Path     string  `json:"path"`
+	Tenant   string  `json:"tenant,omitempty"`
+	Status   int     `json:"status"`
+	Bytes    int64   `json:"bytes"`
+	Duration float64 `json:"durMs"`
+	// CacheHits and CacheMisses are the engine's cumulative counters
+	// (all layers, the peer tier included) when the response finished.
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+}
+
+// AccessLog wraps a handler with JSON request logging to w. The stats
+// callback supplies the cache counters stamped on every line; nil
+// leaves them zero. Every response gets an X-Request-Id header (an
+// incoming one is kept, so ids can be traced through shard fan-out).
+func AccessLog(next http.Handler, w io.Writer, stats func() engine.CacheStats) http.Handler {
+	l := &accessLogger{next: next, stats: stats}
+	l.enc = json.NewEncoder(w)
+	return l
+}
+
+type accessLogger struct {
+	next  http.Handler
+	stats func() engine.CacheStats
+
+	seq uint64
+	mu  sync.Mutex // serializes enc: one request per line, never interleaved
+	enc *json.Encoder
+}
+
+func (l *accessLogger) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" {
+		id = "r-" + formatSeq(atomic.AddUint64(&l.seq, 1))
+	}
+	w.Header().Set("X-Request-Id", id)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	l.next.ServeHTTP(rec, r)
+
+	entry := AccessEntry{
+		Time:     start.UTC().Format(time.RFC3339Nano),
+		ID:       id,
+		Method:   r.Method,
+		Path:     r.URL.Path,
+		Tenant:   r.Header.Get("X-Vos-Tenant"),
+		Status:   rec.status,
+		Bytes:    rec.bytes,
+		Duration: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if l.stats != nil {
+		s := l.stats()
+		entry.CacheHits = s.Hits()
+		entry.CacheMisses = s.Misses
+	}
+	l.mu.Lock()
+	l.enc.Encode(entry)
+	l.mu.Unlock()
+}
+
+// formatSeq renders the request counter as fixed-width hex without
+// fmt's allocation-per-call on the hot serving path.
+func formatSeq(n uint64) string {
+	const digits = "0123456789abcdef"
+	var buf [8]byte
+	for i := len(buf) - 1; i >= 0; i-- {
+		buf[i] = digits[n&0xf]
+		n >>= 4
+	}
+	return string(buf[:])
+}
+
+// statusRecorder captures the response status and size; it forwards
+// Flush so the events stream keeps flushing through the logger.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}

@@ -12,7 +12,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"sync"
 
 	"repro/internal/engine"
 )
@@ -27,6 +29,7 @@ const (
 	CodeSweepFailed      = "sweep_failed"
 	CodeSweepCanceled    = "sweep_canceled"
 	CodeEngineClosed     = "engine_closed"
+	CodeQuotaExceeded    = "quota_exceeded"
 	CodeInternal         = "internal"
 )
 
@@ -60,6 +63,57 @@ type HealthResponse struct {
 	Workers int    `json:"workers"`
 }
 
+// CacheStore is the local layer of the node's result cache, exposed as
+// raw content-addressed entries on /v1/cache/entries/{key} so peer vosd
+// nodes can fill their misses from each other. GetLocal and PutLocal
+// must not recurse into any peer tier — these endpoints are what the
+// peer tier itself calls.
+type CacheStore interface {
+	GetLocal(key string) ([]byte, bool)
+	PutLocal(key string, data []byte)
+}
+
+// Option configures optional server features on New.
+type Option func(*server)
+
+// WithCacheStore enables the raw cache-entry endpoints (GET/PUT
+// /v1/cache/entries/{key}) backed by the given store. The endpoints are
+// a trusted-cluster surface: any holder can read and overwrite entries,
+// so expose them only on networks every vosd node of the fleet is
+// trusted on.
+func WithCacheStore(store CacheStore) Option {
+	return func(s *server) { s.store = store }
+}
+
+// WithClusterStatus enables GET /v1/cluster/status, serving whatever
+// the callback returns (the cluster layer's membership/breaker/ring
+// snapshot) as JSON.
+func WithClusterStatus(status func() any) Option {
+	return func(s *server) { s.clusterStatus = status }
+}
+
+// WithTenantQuota caps the number of in-flight (pending or running)
+// sweeps per tenant; submissions beyond the cap are rejected with a 429
+// quota_exceeded envelope. Tenants are named by the X-Vos-Tenant
+// request header (missing or empty means "default"); the header is
+// self-declared, so this is cooperative fair-use accounting, not
+// authentication. n <= 0 disables the quota. The exempt tenants bypass
+// the cap entirely — the cluster layer exempts its shard-dispatch
+// tenant so a coordinator's fan-out is never throttled by the very
+// sweep that spawned it.
+func WithTenantQuota(n int, exempt ...string) Option {
+	return func(s *server) {
+		if n <= 0 {
+			return
+		}
+		q := &tenantQuota{max: n, live: make(map[string][]string), exempt: make(map[string]bool)}
+		for _, t := range exempt {
+			q.exempt[t] = true
+		}
+		s.quota = q
+	}
+}
+
 // New returns the engine's v1 API handler:
 //
 //	POST   /v1/sweeps              submit a sweep (engine.Request JSON) → 202 {"id"}
@@ -69,9 +123,15 @@ type HealthResponse struct {
 //	GET    /v1/sweeps/{id}/events  NDJSON event stream until the terminal event
 //	DELETE /v1/sweeps/{id}         cancel a pending/running sweep → 204
 //	GET    /v1/cache/stats         result-cache and execution counters
+//	GET    /v1/cache/entries/{key} raw cache entry (WithCacheStore only)
+//	PUT    /v1/cache/entries/{key} store a cache entry (WithCacheStore only)
+//	GET    /v1/cluster/status      cluster membership (WithClusterStatus only)
 //	GET    /healthz                liveness probe
-func New(eng *engine.Engine) http.Handler {
+func New(eng *engine.Engine, opts ...Option) http.Handler {
 	s := &server{eng: eng}
+	for _, opt := range opts {
+		opt(s)
+	}
 	m := http.NewServeMux()
 	m.HandleFunc("POST /v1/sweeps", s.submitSweep)
 	m.HandleFunc("GET /v1/sweeps", s.listSweeps)
@@ -80,6 +140,9 @@ func New(eng *engine.Engine) http.Handler {
 	m.HandleFunc("GET /v1/sweeps/{id}/events", s.sweepEvents)
 	m.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
 	m.HandleFunc("GET /v1/cache/stats", s.cacheStats)
+	m.HandleFunc("GET /v1/cache/entries/{key}", s.getCacheEntry)
+	m.HandleFunc("PUT /v1/cache/entries/{key}", s.putCacheEntry)
+	m.HandleFunc("GET /v1/cluster/status", s.getClusterStatus)
 	m.HandleFunc("GET /healthz", s.healthz)
 	return envelopeMiddleware(m)
 }
@@ -138,7 +201,44 @@ func (w *envelopeWriter) Flush() {
 }
 
 type server struct {
-	eng *engine.Engine
+	eng           *engine.Engine
+	store         CacheStore
+	clusterStatus func() any
+	quota         *tenantQuota
+}
+
+// tenantQuota tracks each tenant's in-flight sweep ids. The mutex spans
+// the count-check and the submission, so concurrent submissions cannot
+// overshoot the cap.
+type tenantQuota struct {
+	mu     sync.Mutex
+	max    int
+	live   map[string][]string
+	exempt map[string]bool
+}
+
+// admit checks the tenant against the cap and, when within it, runs
+// submit and records the returned id. Terminal sweeps are pruned on
+// every check, so the registry tracks only live work.
+func (q *tenantQuota) admit(tenant string, statusOf func(id string) (engine.Status, bool),
+	submit func() (string, error)) (string, error, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	kept := q.live[tenant][:0]
+	for _, id := range q.live[tenant] {
+		if st, ok := statusOf(id); ok && !(st == engine.StatusDone || st == engine.StatusFailed || st == engine.StatusCanceled) {
+			kept = append(kept, id)
+		}
+	}
+	q.live[tenant] = kept
+	if len(kept) >= q.max {
+		return "", nil, false
+	}
+	id, err := submit()
+	if err == nil {
+		q.live[tenant] = append(q.live[tenant], id)
+	}
+	return id, err, true
 }
 
 // writeJSON emits one JSON response.
@@ -160,6 +260,15 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 	}})
 }
 
+// Tenant returns the request's tenant name: the X-Vos-Tenant header, or
+// "default" when absent.
+func Tenant(r *http.Request) string {
+	if t := r.Header.Get("X-Vos-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
 func (s *server) submitSweep(w http.ResponseWriter, r *http.Request) {
 	var req engine.Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -168,7 +277,25 @@ func (s *server) submitSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decode request: %v", err)
 		return
 	}
-	id, err := s.eng.Submit(req)
+	submit := func() (string, error) { return s.eng.Submit(req) }
+	var id string
+	var err error
+	if s.quota != nil && !s.quota.exempt[Tenant(r)] {
+		tenant := Tenant(r)
+		statusOf := func(id string) (engine.Status, bool) {
+			sw, ok := s.eng.Get(id)
+			return sw.Status, ok
+		}
+		var admitted bool
+		id, err, admitted = s.quota.admit(tenant, statusOf, submit)
+		if !admitted {
+			writeError(w, http.StatusTooManyRequests, CodeQuotaExceeded,
+				"tenant %q already has %d in-flight sweeps", tenant, s.quota.max)
+			return
+		}
+	} else {
+		id, err = submit()
+	}
 	if err != nil {
 		if errors.Is(err, engine.ErrClosed) {
 			writeError(w, http.StatusServiceUnavailable, CodeEngineClosed, "%v", err)
@@ -274,6 +401,76 @@ func (s *server) cacheStats(w http.ResponseWriter, r *http.Request) {
 		Hits:       stats.Hits(),
 		Executions: s.eng.Executions(),
 	})
+}
+
+// validCacheKey reports whether key looks like a content-addressed
+// entry key (64 lowercase hex chars — a SHA-256). Anything else is
+// rejected before it can touch the store: keys become file names in the
+// disk layer.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *server) getCacheEntry(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "this daemon does not expose cache entries")
+		return
+	}
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "malformed cache key %q", key)
+		return
+	}
+	data, ok := s.store.GetLocal(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no cache entry %s", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *server) putCacheEntry(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "this daemon does not expose cache entries")
+		return
+	}
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "malformed cache key %q", key)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "read entry body: %v", err)
+		return
+	}
+	// The store's contract is valid-JSON entries only; a corrupt or
+	// malicious peer must not be able to poison the local layers.
+	if !json.Valid(data) {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "cache entry body is not valid JSON")
+		return
+	}
+	s.store.PutLocal(key, data)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) getClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if s.clusterStatus == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "this daemon is not part of a cluster")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.clusterStatus())
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {

@@ -22,6 +22,12 @@ const (
 	// PolicyVddGrid sweeps a Vdd × Vbb grid at the synthesis clock (the
 	// Fig. 5 axis).
 	PolicyVddGrid = "vddgrid"
+	// PolicyExplicit sweeps exactly the triads listed on the request —
+	// the shape cluster shard sub-sweeps use, and the escape hatch for
+	// callers that derive their own operating points. Explicit sweeps
+	// always run on the node that received them (they are never offered
+	// to a Sharder), which is what terminates shard recursion.
+	PolicyExplicit = "triads"
 )
 
 // Request describes one characterization sweep over a configuration
@@ -29,7 +35,7 @@ const (
 // operator, expanded into point jobs by the triad policy.
 type Request struct {
 	// Arches are synth architecture names ("RCA", "BKA", "KSA",
-	// "Sklansky", "CSel"); default ["RCA"].
+	// "SKL", "CSEL"); default ["RCA"].
 	Arches []string `json:"arches"`
 	// Widths are operand widths; default [8].
 	Widths []int `json:"widths"`
@@ -43,13 +49,17 @@ type Request struct {
 	Backend string `json:"backend,omitempty"`
 	// Streaming selects free-running capture (gate backend only).
 	Streaming bool `json:"streaming,omitempty"`
-	// Policy is PolicyPaper (default) or PolicyVddGrid.
+	// Policy is PolicyPaper (default), PolicyVddGrid or PolicyExplicit.
 	Policy string `json:"policy,omitempty"`
 	// Vdds overrides the PolicyVddGrid supply list; default
 	// 1.0 → 0.4 in 0.1 steps.
 	Vdds []float64 `json:"vdds,omitempty"`
 	// VbbValues are the PolicyVddGrid body-bias magnitudes; default {0}.
 	VbbValues []float64 `json:"vbbValues,omitempty"`
+	// Triads is the PolicyExplicit operating-point list, applied to every
+	// operator of the request; required for — and only valid with — that
+	// policy.
+	Triads []triad.Triad `json:"triads,omitempty"`
 }
 
 // archByName resolves the synth architecture names.
@@ -123,9 +133,21 @@ func (r *Request) normalize() error {
 	switch r.Policy {
 	case "":
 		r.Policy = PolicyPaper
-	case PolicyPaper, PolicyVddGrid:
+	case PolicyPaper, PolicyVddGrid, PolicyExplicit:
 	default:
 		return fmt.Errorf("engine: unknown triad policy %q", r.Policy)
+	}
+	if r.Policy == PolicyExplicit {
+		if len(r.Triads) == 0 {
+			return fmt.Errorf("engine: policy %q needs at least one triad", PolicyExplicit)
+		}
+		for _, tr := range r.Triads {
+			if err := tr.Validate(); err != nil {
+				return err
+			}
+		}
+	} else if len(r.Triads) > 0 {
+		return fmt.Errorf("engine: triads are only valid with policy %q", PolicyExplicit)
 	}
 	if r.Policy == PolicyVddGrid {
 		if len(r.Vdds) == 0 {
@@ -211,6 +233,8 @@ func (e *Engine) Plan(ctx context.Context, req *Request) ([]OperatorPlan, error)
 			}
 			var set []triad.Triad
 			switch req.Policy {
+			case PolicyExplicit:
+				set = append([]triad.Triad(nil), req.Triads...)
 			case PolicyVddGrid:
 				for _, vdd := range req.Vdds {
 					for _, vbb := range req.VbbValues {
@@ -240,6 +264,25 @@ func pointGroups(p *OperatorPlan) [][]int {
 		groups[i] = []int{i}
 	}
 	return groups
+}
+
+// Sharder distributes the point groups of one planned operator across a
+// cluster of engines. The engine consults it for every declarative
+// sweep; explicit-triad sweeps always run where they were submitted,
+// which is what terminates shard recursion — a shard sub-sweep is
+// explicit by construction, so the receiving node never re-shards it.
+//
+// RunOperator must arrange for every triad index of the plan to be
+// yielded exactly once: remotely computed points through yield, local
+// shares through runLocal (which executes one electrical group — one
+// groups element — on the local engine's cache/singleflight/pool path
+// and yields its points itself). It returns once every point has been
+// yielded, or with the first error; runLocal and yield are safe for
+// concurrent use.
+type Sharder interface {
+	RunOperator(ctx context.Context, plan *OperatorPlan, groups [][]int,
+		runLocal func(idxs []int) error,
+		yield func(ti int, ps PointSummary)) error
 }
 
 // Status is a sweep's lifecycle state.
@@ -510,55 +553,62 @@ func (e *Engine) runSweep(ctx context.Context, st *sweepState) {
 			Report: p.Prep.Report,
 			Points: make([]PointSummary, len(p.Triads)),
 		}
-		// One pool job per electrical group when the trace path applies
-		// (the Table III set collapses 43 triads to 14 simulations);
-		// per-point jobs otherwise. Either way each completed point is
-		// cached, counted and published individually, so the event
-		// stream and progress counters are shaped exactly as before.
-		for _, idxs := range pointGroups(p) {
+		// yield stores one completed point and publishes its event —
+		// the single funnel for locally simulated, cache-served and
+		// (in cluster mode) shard-streamed points, so the event stream
+		// and progress counters are shaped identically however a point
+		// was obtained. Concurrent yields write distinct Points indices
+		// and serialize publication on the sweep lock.
+		op := &results[pi]
+		yield := func(ti int, ps PointSummary) {
+			op.Points[ti] = ps
+			st.updateAndPublish(func(s *Sweep) {
+				s.Progress.Completed++
+				if ps.FromCache {
+					s.Progress.CacheHits++
+				} else {
+					s.Progress.Executed++
+				}
+			}, func(ev *SweepEvent) {
+				ev.Type = EventPoint
+				ev.Bench = op.Bench
+				ev.Arch = op.Arch
+				ev.Width = op.Width
+				p := ps
+				ev.Point = &p
+			})
+		}
+		groups := pointGroups(p)
+		// Cluster mode: hand the whole operator to the sharder, which
+		// routes each electrical group to its ring owner and falls back
+		// to runLocal for the groups this node owns (or inherits from
+		// dead peers). Explicit-triad sweeps skip the sharder — they ARE
+		// the shard sub-sweeps.
+		if e.sharder != nil && req.Policy != PolicyExplicit {
 			wg.Add(1)
-			go func(pi int, idxs []int) {
+			go func(pi int, groups [][]int, yield func(int, PointSummary)) {
 				defer wg.Done()
 				plan := &plans[pi]
-				trs := make([]triad.Triad, len(idxs))
-				for j, ti := range idxs {
-					trs[j] = plan.Triads[ti]
+				runLocal := func(idxs []int) error {
+					return e.runGroupYield(ctx, plan, idxs, yield)
 				}
-				outs, cachedFlags, err := e.runPointGroup(ctx, plan.Prep, trs)
-				if err != nil {
+				if err := e.sharder.RunOperator(ctx, plan, groups, runLocal, yield); err != nil {
 					fail(err)
-					return
 				}
-				op := &results[pi]
-				for j, ti := range idxs {
-					res, cached := outs[j], cachedFlags[j]
-					ps := PointSummary{
-						Triad:         res.Triad,
-						Stats:         res.Acc.Snapshot(),
-						BER:           res.BER(),
-						WER:           res.Acc.WER(),
-						PerBit:        res.Acc.PerBitErrorProb(),
-						EnergyPerOpFJ: res.EnergyPerOpFJ,
-						LateFraction:  res.LateFraction,
-						FromCache:     cached,
-					}
-					op.Points[ti] = ps
-					st.updateAndPublish(func(s *Sweep) {
-						s.Progress.Completed++
-						if cached {
-							s.Progress.CacheHits++
-						} else {
-							s.Progress.Executed++
-						}
-					}, func(ev *SweepEvent) {
-						ev.Type = EventPoint
-						ev.Bench = op.Bench
-						ev.Arch = op.Arch
-						ev.Width = op.Width
-						ev.Point = &ps
-					})
+			}(pi, groups, yield)
+			continue
+		}
+		// One pool job per electrical group when the trace path applies
+		// (the Table III set collapses 43 triads to 14 simulations);
+		// per-point jobs otherwise.
+		for _, idxs := range groups {
+			wg.Add(1)
+			go func(pi int, idxs []int, yield func(int, PointSummary)) {
+				defer wg.Done()
+				if err := e.runGroupYield(ctx, &plans[pi], idxs, yield); err != nil {
+					fail(err)
 				}
-			}(pi, idxs)
+			}(pi, idxs, yield)
 		}
 	}
 	wg.Wait()

@@ -86,7 +86,20 @@ type CacheStats struct {
 	Misses      uint64 `json:"misses"`
 	Stores      uint64 `json:"stores"`
 	WriteErrors uint64 `json:"writeErrors"`
-	MemEntries  int    `json:"memEntries"`
+	// CorruptEntries counts on-disk entries found truncated or invalid,
+	// deleted and served as misses.
+	CorruptEntries uint64 `json:"corruptEntries,omitempty"`
+	MemEntries     int    `json:"memEntries"`
+	// Peer-tier counters, non-zero only on a clustered daemon: misses
+	// filled from peer vosd nodes (PeerHits), fan-outs that found
+	// nothing anywhere (PeerMisses), failed peer fetches (PeerErrors),
+	// entries replicated to their ring owner (PeerPushes) and pushes
+	// dropped on a full replication queue (PeerPushDrops).
+	PeerHits      uint64 `json:"peerHits,omitempty"`
+	PeerMisses    uint64 `json:"peerMisses,omitempty"`
+	PeerErrors    uint64 `json:"peerErrors,omitempty"`
+	PeerPushes    uint64 `json:"peerPushes,omitempty"`
+	PeerPushDrops uint64 `json:"peerPushDrops,omitempty"`
 	// GroupedPoints counts the subset of Executions simulated as members
 	// of a multi-point electrical group (several clock periods served by
 	// one trace simulation of their shared operating point).

@@ -33,6 +33,11 @@ type RemoteOptions struct {
 	// PollInterval paces the Wait fallback polling loop used when the
 	// event stream is unavailable. Default: 150ms.
 	PollInterval time.Duration
+	// Tenant names this client in the daemon's per-tenant in-flight
+	// sweep quotas (the X-Vos-Tenant header). Empty means the daemon's
+	// default tenant. Tenancy is cooperative accounting, not
+	// authentication.
+	Tenant string
 }
 
 // Remote is the HTTP Client for a vosd daemon (see API.md for the REST
@@ -45,6 +50,7 @@ type Remote struct {
 	retries int
 	backoff time.Duration
 	poll    time.Duration
+	tenant  string
 }
 
 var _ Client = (*Remote)(nil)
@@ -65,6 +71,7 @@ func NewRemote(baseURL string, opts RemoteOptions) (*Remote, error) {
 		retries: opts.Retries,
 		backoff: opts.RetryBackoff,
 		poll:    opts.PollInterval,
+		tenant:  opts.Tenant,
 	}
 	if r.httpc == nil {
 		r.httpc = &http.Client{}
@@ -184,6 +191,9 @@ func (c *Remote) Events(ctx context.Context, id string) (<-chan Event, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.tenant != "" {
+		req.Header.Set("X-Vos-Tenant", c.tenant)
+	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("vos: events stream: %w", err)
@@ -259,6 +269,9 @@ func (c *Remote) call(ctx context.Context, method, path string, body []byte, wan
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.tenant != "" {
+			req.Header.Set("X-Vos-Tenant", c.tenant)
 		}
 		resp, err := c.httpc.Do(req)
 		if err != nil {

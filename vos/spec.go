@@ -2,6 +2,7 @@ package vos
 
 import (
 	"repro/internal/engine"
+	"repro/internal/triad"
 )
 
 // Triad policies selectable on a Spec.
@@ -12,6 +13,8 @@ const (
 	// PolicyVddGrid sweeps a Vdd × Vbb grid at the synthesis clock (the
 	// Fig. 5 axis).
 	PolicyVddGrid = engine.PolicyVddGrid
+	// PolicyExplicit sweeps exactly the triads given to Spec.Triads.
+	PolicyExplicit = engine.PolicyExplicit
 )
 
 // Backend names selectable on a Spec.
@@ -41,7 +44,7 @@ type Spec struct {
 func NewSpec() *Spec { return &Spec{} }
 
 // Arches selects the operator architectures to sweep: "RCA", "BKA",
-// "KSA", "Sklansky", "CSel". Default: RCA.
+// "KSA", "SKL", "CSEL". Default: RCA.
 func (s *Spec) Arches(names ...string) *Spec {
 	s.req.Arches = append([]string(nil), names...)
 	return s
@@ -103,6 +106,23 @@ func (s *Spec) VddGrid(vdds, vbbs []float64) *Spec {
 	s.req.Policy = PolicyVddGrid
 	s.req.Vdds = append([]float64(nil), vdds...)
 	s.req.VbbValues = append([]float64(nil), vbbs...)
+	return s
+}
+
+// Triads selects PolicyExplicit: every operator of the sweep is
+// characterized at exactly these operating points, in this order. This
+// is the escape hatch for externally derived operating points — and the
+// shape a vosd cluster's shard sub-sweeps use, which is why explicit
+// sweeps always execute on the node that received them instead of being
+// re-sharded.
+func (s *Spec) Triads(ts ...Triad) *Spec {
+	s.req.Policy = PolicyExplicit
+	s.req.Vdds = nil
+	s.req.VbbValues = nil
+	s.req.Triads = make([]triad.Triad, len(ts))
+	for i, t := range ts {
+		s.req.Triads[i] = triad.Triad(t)
+	}
 	return s
 }
 
