@@ -41,7 +41,7 @@ bench-smoke:
 # its own. CI runs this on every push; run it locally before committing
 # hot-path changes.
 bench-diff:
-	$(GO) run ./cmd/vosbench -benchtime 1000x -count 9 -sweep-count 5 -out BENCH_sim.new.json -diff BENCH_sim.json
+	$(GO) run ./cmd/vosbench -benchtime 1000x -count 9 -sweep-count 5 -out BENCH_sim.new.json -diff BENCH_sim.json -profile-regressed bench-profiles
 
 # apicheck fails when the exported surface of the public vos SDK drifts
 # from the committed api/vos.txt golden (`go doc -all`, so doc-comment

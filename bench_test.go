@@ -874,6 +874,140 @@ func BenchmarkTraceResampleBKA16(b *testing.B) {
 	benchTraceResample(b, nl, 0xffff, []float64{0.52, 0.42, 0.31})
 }
 
+// benchWideChunks prepares alternating (prev, cur) K-word wide images
+// from the same chained random pattern stream as benchWordChunks, laid
+// out block-major (net*k+j) as StepWideChunk expects.
+func benchWideChunks(nl *netlist.Netlist, mask uint64, k int) [2][2][]uint64 {
+	pa, _ := nl.InputPort(synth.PortA)
+	pb, _ := nl.InputPort(synth.PortB)
+	rng := rand.New(rand.NewPCG(1, 1))
+	var pairs [2][2][]uint64
+	prevA, prevB := uint64(0), uint64(0)
+	pw := make([]uint64, nl.NumNets())
+	cw := make([]uint64, nl.NumNets())
+	for c := 0; c < 2; c++ {
+		prevW := make([]uint64, nl.NumNets()*k)
+		curW := make([]uint64, nl.NumNets()*k)
+		for j := 0; j < k; j++ {
+			for l := 0; l < sim.WordLanes; l++ {
+				a, bb := rng.Uint64()&mask, rng.Uint64()&mask
+				netlist.AssignPortLane(pw, pa, uint(l), prevA)
+				netlist.AssignPortLane(pw, pb, uint(l), prevB)
+				netlist.AssignPortLane(cw, pa, uint(l), a)
+				netlist.AssignPortLane(cw, pb, uint(l), bb)
+				prevA, prevB = a, bb
+			}
+			for net := 0; net < nl.NumNets(); net++ {
+				prevW[net*k+j] = pw[net]
+				curW[net*k+j] = cw[net]
+			}
+		}
+		pairs[c] = [2][]uint64{prevW, curW}
+	}
+	return pairs
+}
+
+// benchSimStepWide measures the K-word wide engine's cost per K×64-pattern
+// chunk; ns/pattern is directly comparable to the SimStepWord benches.
+// ReportAllocs pins the pooled-scratch contract: zero steady-state
+// allocations per chunk.
+func benchSimStepWide(b *testing.B, nl *netlist.Netlist, mask uint64, tclk float64) {
+	const k = sim.MaxWideWords
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	eng, err := sim.NewWide(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.6, Vbb: 2}, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := benchWideChunks(nl, mask, k)
+	if _, err := eng.StepWideChunk(pairs[0][0], pairs[0][1], tclk); err != nil {
+		b.Fatal(err) // warm the pooled scratch before counting allocs
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&1]
+		if _, err := eng.StepWideChunk(p[0], p[1], tclk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k*sim.WordLanes), "ns/pattern")
+}
+
+func BenchmarkSimStepWideRCA8(b *testing.B) {
+	nl, _ := synth.RCA(synth.AdderConfig{Width: 8})
+	benchSimStepWide(b, nl, 0xff, 0.183)
+}
+
+func BenchmarkSimStepWideBKA16(b *testing.B) {
+	nl, _ := synth.BKA(synth.AdderConfig{Width: 16})
+	benchSimStepWide(b, nl, 0xffff, 0.2)
+}
+
+// benchCrossVddResample measures the cross-voltage reuse path in the
+// grouped sweep's steady-state shape: one wide trace recorded at a
+// higher supply serves a neighboring over-scaled point through an
+// order-checked RetimeTrace plus one Resample per clock period, no
+// fresh simulation. ns/pattern counts every (pattern, clock) experiment
+// answered from the retimed wave; any order-check fallback fails the
+// benchmark (the dithered delay grid keeps the grid order-stable).
+func benchCrossVddResample(b *testing.B, nl *netlist.Netlist, mask uint64, tclks []float64) {
+	const k = sim.MaxWideWords
+	lib := cell.Default28nmLVT()
+	proc := fdsoi.Default()
+	srcEng, err := sim.NewWide(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.7, Vbb: 2}, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := sim.NewWide(nl, lib, proc, fdsoi.OperatingPoint{Vdd: 0.6, Vbb: 2}, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := benchWideChunks(nl, mask, k)
+	psum, _ := nl.OutputPort(synth.PortSum)
+	pcout, _ := nl.OutputPort(synth.PortCout)
+	outNets := append(append([]netlist.NetID(nil), psum.Bits...), pcout.Bits...)
+	horizon := 0.0
+	for _, t := range tclks {
+		if t > horizon {
+			horizon = t
+		}
+	}
+	trace, err := srcEng.StepWideTrace(pairs[0][0], pairs[0][1], outNets, horizon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var retimed sim.WideTrace
+	var sample sim.WideSample
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := eng.RetimeTrace(trace, horizon, &retimed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			b.Fatal("order-check fallback on the benchmark grid")
+		}
+		for _, tclk := range tclks {
+			if err := retimed.Resample(tclk, &sample); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(tclks)*k*sim.WordLanes), "ns/pattern")
+}
+
+func BenchmarkCrossVddResampleRCA8(b *testing.B) {
+	nl, _ := synth.RCA(synth.AdderConfig{Width: 8})
+	benchCrossVddResample(b, nl, 0xff, []float64{0.28, 0.19, 0.13})
+}
+
+func BenchmarkCrossVddResampleBKA16(b *testing.B) {
+	nl, _ := synth.BKA(synth.AdderConfig{Width: 16})
+	benchCrossVddResample(b, nl, 0xffff, []float64{0.52, 0.42, 0.31})
+}
+
 // BenchmarkInputBindingMap isolates the legacy input-binding cost: scatter
 // two operand words into the assignment map, then gather every input net
 // back out, exactly the per-vector map traffic the old applyInputs paid.

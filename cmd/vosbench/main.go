@@ -9,19 +9,24 @@
 //	vosbench [-bench REGEX] [-benchtime 1000x] [-out BENCH_sim.json]
 //	         [-pkg .] [-keep-going]
 //	         [-diff BASELINE.json]
-//	         [-diff-filter "^(SimStep|TraceResample|Fig8|ClusterWarmLookup)"]
-//	         [-diff-threshold 0.20]
+//	         [-diff-filter "^(SimStep|TraceResample|CrossVddResample|Fig8|ClusterWarmLookup)"]
+//	         [-diff-threshold 0.20] [-profile-regressed DIR]
 //
 // The default benchmark set covers the dense-state hot path: the per-step
-// and trace/resample micro-benchmarks, the input-binding and
-// batch-evaluation costs, the Fig. 8-class sweeps (engine-backed and
-// grouped-charz), and the cluster serving path (one cached point fetched
-// through vos.Remote from a warm in-process cluster).
+// (word and K-word wide), trace/resample, and cross-voltage retime
+// micro-benchmarks, the input-binding and batch-evaluation costs, the
+// Fig. 8-class sweeps (engine-backed and grouped-charz), and the cluster
+// serving path (one cached point fetched through vos.Remote from a warm
+// in-process cluster).
 //
 // With -diff, the fresh run is compared against a committed baseline file
 // and the command exits non-zero when any benchmark matched by
 // -diff-filter regressed by more than -diff-threshold in ns/op — the CI
-// guard against hot-path regressions (`make bench-diff`).
+// guard against hot-path regressions (`make bench-diff`). With
+// -profile-regressed, a failing gate first re-runs each regressed
+// benchmark under -cpuprofile and writes one profile per benchmark into
+// DIR, which CI uploads as an artifact so the regression comes with its
+// own evidence.
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"strconv"
@@ -71,7 +77,7 @@ type File struct {
 // iterations average the scheduler noise without multiplying the
 // in-process cluster setup).
 const (
-	defaultMicroBench = "SimStep|TraceResample|InputBinding|EvaluateScalar|EvaluateBatch|RCSimStep"
+	defaultMicroBench = "SimStep|TraceResample|CrossVddResample|InputBinding|EvaluateScalar|EvaluateBatch|RCSimStep"
 	defaultSweepBench = "Fig8"
 	defaultServeBench = "ClusterWarmLookup"
 	serveBenchtime    = "100x"
@@ -97,8 +103,9 @@ func main() {
 		sweepCount = flag.Int("sweep-count", 0, "samples per sweep-group benchmark (0 = same as -count)")
 
 		diffPath  = flag.String("diff", "", "baseline JSON to compare against; exit non-zero on regression")
-		diffRe    = flag.String("diff-filter", "^(SimStep|TraceResample|Fig8|ClusterWarmLookup)", "benchmarks the -diff gate applies to")
+		diffRe    = flag.String("diff-filter", "^(SimStep|TraceResample|CrossVddResample|Fig8|ClusterWarmLookup)", "benchmarks the -diff gate applies to")
 		threshold = flag.Float64("diff-threshold", 0.20, "fractional ns/op regression that fails the -diff gate")
+		profDir   = flag.String("profile-regressed", "", "directory to write one cpuprofile per regressed benchmark when the -diff gate fails (uploaded as a CI artifact)")
 	)
 	flag.Parse()
 
@@ -161,7 +168,11 @@ func main() {
 		fmt.Printf("  %-28s %12.1f ns/op\n", r.Name, r.NsOp)
 	}
 	if *diffPath != "" {
-		if err := Diff(os.Stdout, *diffPath, results, *diffRe, *threshold); err != nil {
+		regressed, err := Diff(os.Stdout, *diffPath, results, *diffRe, *threshold)
+		if err != nil {
+			if *profDir != "" && len(regressed) > 0 {
+				profileRegressed(*profDir, regressed, *pkg)
+			}
 			log.Fatal(err)
 		}
 	}
@@ -193,30 +204,32 @@ func BestSamples(results []Result) []Result {
 
 // Diff compares fresh results against the baseline file and returns an
 // error when any benchmark matched by filter regressed beyond threshold
-// (fractional ns/op increase). Benchmarks absent from the baseline are
-// reported as new and never fail the gate — a fresh optimization's bench
-// lands before its first committed baseline — while filtered baseline
-// entries missing from the fresh run do fail it: a silently dropped
-// benchmark must not read as a pass.
-func Diff(w io.Writer, baselinePath string, fresh []Result, filter string, threshold float64) error {
+// (fractional ns/op increase), along with the names of the regressed
+// benchmarks that are present in the fresh run (the profilable ones).
+// Benchmarks absent from the baseline are reported as new and never
+// fail the gate — a fresh optimization's bench lands before its first
+// committed baseline — while filtered baseline entries missing from the
+// fresh run do fail it: a silently dropped benchmark must not read as a
+// pass.
+func Diff(w io.Writer, baselinePath string, fresh []Result, filter string, threshold float64) ([]string, error) {
 	re, err := regexp.Compile(filter)
 	if err != nil {
-		return fmt.Errorf("bad -diff-filter: %w", err)
+		return nil, fmt.Errorf("bad -diff-filter: %w", err)
 	}
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
-		return fmt.Errorf("baseline: %w", err)
+		return nil, fmt.Errorf("baseline: %w", err)
 	}
 	var base File
 	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+		return nil, fmt.Errorf("baseline %s: %w", baselinePath, err)
 	}
 	old := make(map[string]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		old[r.Name] = r
 	}
 	fmt.Fprintf(w, "diff vs %s (gate: %s, +%.0f%%):\n", baselinePath, filter, threshold*100)
-	var regressed []string
+	var regressed, failures []string
 	seen := make(map[string]bool, len(fresh))
 	for _, r := range fresh {
 		if !re.MatchString(r.Name) {
@@ -233,22 +246,52 @@ func Diff(w io.Writer, baselinePath string, fresh []Result, filter string, thres
 		if delta > threshold {
 			mark = "  REGRESSED"
 			regressed = append(regressed, r.Name)
+			failures = append(failures, r.Name)
 		}
 		fmt.Fprintf(w, "  %-28s %12.1f -> %12.1f ns/op  %+6.1f%%%s\n",
 			r.Name, b.NsOp, r.NsOp, delta*100, mark)
 	}
 	for _, r := range base.Benchmarks {
 		if re.MatchString(r.Name) && !seen[r.Name] {
-			regressed = append(regressed, r.Name+" (missing from fresh run)")
+			failures = append(failures, r.Name+" (missing from fresh run)")
 			fmt.Fprintf(w, "  %-28s MISSING from fresh run\n", r.Name)
 		}
 	}
-	if len(regressed) > 0 {
-		return fmt.Errorf("bench-diff: %d benchmark(s) regressed beyond %.0f%%: %s",
-			len(regressed), threshold*100, strings.Join(regressed, ", "))
+	if len(failures) > 0 {
+		return regressed, fmt.Errorf("bench-diff: %d benchmark(s) regressed beyond %.0f%%: %s",
+			len(failures), threshold*100, strings.Join(failures, ", "))
 	}
 	fmt.Fprintln(w, "  no gated regressions")
-	return nil
+	return nil, nil
+}
+
+// profileRegressed re-runs each regressed benchmark briefly with
+// -cpuprofile so a failed CI bench gate uploads the evidence alongside
+// the numbers. Best effort: a profiling failure is logged and never
+// masks the gate's own exit status.
+func profileRegressed(dir string, names []string, pkg string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Printf("profile-regressed: %v", err)
+		return
+	}
+	for _, name := range names {
+		// A sub-benchmark regex is matched per slash-separated element.
+		parts := strings.Split("Benchmark"+name, "/")
+		for i, p := range parts {
+			parts[i] = "^" + regexp.QuoteMeta(p) + "$"
+		}
+		out := filepath.Join(dir, strings.ReplaceAll(name, "/", "_")+".pprof")
+		args := []string{"test", "-run", "^$", "-bench", strings.Join(parts, "/"),
+			"-benchtime", "20x", "-cpuprofile", out,
+			"-o", filepath.Join(dir, "bench.test"), pkg}
+		log.Printf("profiling regressed benchmark %s -> %s", name, out)
+		cmd := exec.Command("go", args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			log.Printf("profile-regressed %s: go test: %v", name, err)
+		}
+	}
 }
 
 // Parse extracts benchmark results from `go test -bench` output. Lines look

@@ -81,29 +81,37 @@ func TestDiffGate(t *testing.T) {
 		{Name: "SimStepWordRCA8", NsOp: 7000},
 	}
 	var report bytes.Buffer
-	if err := Diff(&report, base, fresh, filter, 0.20); err != nil {
+	if _, err := Diff(&report, base, fresh, filter, 0.20); err != nil {
 		t.Fatalf("within-threshold diff failed: %v", err)
 	}
 	if out := report.String(); !strings.Contains(out, "not gated") || !strings.Contains(out, "no gated regressions") {
 		t.Fatalf("diff report:\n%s", out)
 	}
 
-	// A gated benchmark beyond the threshold fails.
+	// A gated benchmark beyond the threshold fails, and its name comes
+	// back in the profilable-regression list.
 	fresh[0].NsOp = 1300
 	report.Reset()
-	err := Diff(&report, base, fresh, filter, 0.20)
+	regressed, err := Diff(&report, base, fresh, filter, 0.20)
 	if err == nil || !strings.Contains(err.Error(), "SimStepDenseRCA8") {
 		t.Fatalf("regression not flagged: %v", err)
+	}
+	if len(regressed) != 1 || regressed[0] != "SimStepDenseRCA8" {
+		t.Fatalf("profilable regressions: %v", regressed)
 	}
 	if !strings.Contains(report.String(), "REGRESSED") {
 		t.Fatalf("diff report:\n%s", report.String())
 	}
 
-	// A gated baseline benchmark missing from the fresh run fails too.
+	// A gated baseline benchmark missing from the fresh run fails too,
+	// but cannot be profiled: it must not appear in the returned list.
 	fresh[0] = Result{Name: "Other", NsOp: 1}
-	err = Diff(io.Discard, base, fresh, filter, 0.20)
+	regressed, err = Diff(io.Discard, base, fresh, filter, 0.20)
 	if err == nil || !strings.Contains(err.Error(), "missing") {
 		t.Fatalf("missing benchmark not flagged: %v", err)
+	}
+	if len(regressed) != 0 {
+		t.Fatalf("missing benchmark reported as profilable: %v", regressed)
 	}
 }
 
@@ -126,11 +134,11 @@ func TestBestSamples(t *testing.T) {
 }
 
 func TestDiffBadInputs(t *testing.T) {
-	if err := Diff(io.Discard, "does-not-exist.json", nil, ".", 0.2); err == nil {
+	if _, err := Diff(io.Discard, "does-not-exist.json", nil, ".", 0.2); err == nil {
 		t.Fatal("missing baseline accepted")
 	}
 	base := writeBaseline(t, nil)
-	if err := Diff(io.Discard, base, nil, "(", 0.2); err == nil {
+	if _, err := Diff(io.Discard, base, nil, "(", 0.2); err == nil {
 		t.Fatal("bad filter regex accepted")
 	}
 }

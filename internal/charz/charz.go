@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/cell"
@@ -302,15 +303,22 @@ func (p *Prepared) Groupable() bool {
 	return p.Config.Backend == BackendGate && !p.Config.Streaming && !wordPathDisabled
 }
 
-// RunGroup simulates a set of triads sharing one electrical operating
-// point with one full-settle trace simulation per 64-pattern chunk,
-// resampling each triad's Tclk off the trace (sim.WordTracer). Every
-// returned TriadResult is bit-identical to an independent RunTriad of
-// the same triad: the trace resample reproduces StepWordChunk exactly,
-// and the per-chunk accumulation order (error statistics, energy sums,
-// late counts) matches the per-triad loop's. Configurations without the
-// trace path (streaming, RC, or a scalar-forced word path) fall back to
-// per-triad simulation; results are positionally aligned with trs.
+// RunGroup simulates a set of triads forming one order-stable
+// super-group: the triads may span multiple electrical operating
+// points (typically one body-bias family across the Vdd ladder). Each
+// K×64-pattern chunk is simulated once at the group's first operating
+// point (sim.WideEngine, K picked from the sweep's pattern count) and
+// re-timed across the remaining points with the order-checked
+// cross-voltage retime, falling back to fresh simulation at any point
+// whose event order is not preserved; every triad's Tclk is then
+// resampled off its point's trace. Every returned TriadResult is
+// bit-identical to an independent RunTriad of the same triad: the wide
+// engine is lane-for-lane the word engine, resamples and retimes
+// reproduce StepWideChunk exactly, and the per-chunk accumulation
+// order (error statistics, energy sums, late counts) matches the
+// per-triad loop's. Configurations without the trace path (streaming,
+// RC, or a scalar-forced word path) fall back to per-triad simulation;
+// results are positionally aligned with trs.
 func (p *Prepared) RunGroup(trs []triad.Triad) ([]*TriadResult, error) {
 	if len(trs) == 0 {
 		return nil, nil
@@ -320,40 +328,64 @@ func (p *Prepared) RunGroup(trs []triad.Triad) ([]*TriadResult, error) {
 			return nil, err
 		}
 	}
-	op := trs[0].OperatingPoint()
-	for _, tr := range trs[1:] {
-		if tr.OperatingPoint() != op {
-			return nil, fmt.Errorf("charz: group mixes operating points %v and %v",
-				op, tr.OperatingPoint())
-		}
-	}
-	var tracer sim.WordTracer
 	if p.Groupable() && len(trs) > 1 {
-		ws, err := p.NewWordStepper(trs[0])
+		return p.sweepSuperGroup(trs)
+	}
+	out := make([]*TriadResult, len(trs))
+	for i, tr := range trs {
+		res, err := p.sweepTriad(tr)
 		if err != nil {
 			return nil, err
 		}
-		tracer, _ = ws.(sim.WordTracer)
+		out[i] = res
 	}
-	if tracer == nil {
-		out := make([]*TriadResult, len(trs))
-		for i, tr := range trs {
-			res, err := p.sweepTriad(tr)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = res
-		}
-		return out, nil
-	}
-	return p.sweepGroup(tracer, trs)
+	return out, nil
 }
 
-// sweepGroup is the grouped counterpart of sweepTriad's word path: one
-// StepWordTrace per chunk serves every triad of the electrical group,
-// each triad folding its own resample into its own accumulators in the
-// same chunk order as a solo sweep.
-func (p *Prepared) sweepGroup(tracer sim.WordTracer, trs []triad.Triad) ([]*TriadResult, error) {
+// wideK picks the sweep's lane-block width: the largest power-of-two
+// K ≤ sim.MaxWideWords whose K 64-lane words the pattern count can
+// actually fill. Small sweeps stay narrow (no point carrying idle
+// words through every event), large ones ride 512 patterns per wave.
+func (p *Prepared) wideK() int {
+	chunks := (p.Config.Patterns + sim.WordLanes - 1) / sim.WordLanes
+	k := 1
+	for k*2 <= sim.MaxWideWords && k*2 <= chunks {
+		k *= 2
+	}
+	return k
+}
+
+// scatterWideImage expands k compact per-input-net lane images
+// (consecutive 64-pattern chunks, starting at chunk0) into the flat
+// K-word lane-block image the wide engine consumes. Chunks past the
+// end of the sweep zero-fill their word — callers zero-fill prev and
+// cur alike, so the trailing words are inert.
+func scatterWideImage(full []uint64, inputs []netlist.NetID, k int, imgs [][]uint64, chunk0 int) {
+	for j := 0; j < k; j++ {
+		if ci := chunk0 + j; ci < len(imgs) {
+			img := imgs[ci]
+			for i, id := range inputs {
+				full[int(id)*k+j] = img[i]
+			}
+		} else {
+			for _, id := range inputs {
+				full[int(id)*k+j] = 0
+			}
+		}
+	}
+}
+
+// sweepSuperGroup is the grouped counterpart of sweepTriad's word path
+// at super-group scale: per K×64-pattern chunk, one fresh wide trace
+// per body-bias family plus one order-checked retime per further
+// electrical point, then one O(trace) resample per triad. Points are
+// visited in descending-Vdd order within each family and every retime
+// hops from the family's fresh anchor trace, and each point's trace
+// is capped at its own capture horizon (its largest Tclk) so deep-VOS
+// points skip nearly all per-lane energy attribution. All scratch (engines,
+// images, retime buffers, samples) is pooled per sweep: the chunk loop
+// allocates nothing once the trace buffers have grown to steady state.
+func (p *Prepared) sweepSuperGroup(trs []triad.Triad) ([]*TriadResult, error) {
 	nl, cfg := p.Netlist, p.Config
 	_, _, want, err := p.stimulusSet()
 	if err != nil {
@@ -363,8 +395,7 @@ func (p *Prepared) sweepGroup(tracer sim.WordTracer, trs []triad.Triad) ([]*Tria
 	if err != nil {
 		return nil, err
 	}
-	prevW := make([]uint64, nl.NumNets())
-	curW := make([]uint64, nl.NumNets())
+	k := p.wideK()
 	psum, _ := nl.OutputPort(synth.PortSum)
 	pcout, _ := nl.OutputPort(synth.PortCout)
 	outNets := make([]netlist.NetID, 0, cfg.Width+1)
@@ -376,29 +407,105 @@ func (p *Prepared) sweepGroup(tracer sim.WordTracer, trs []triad.Triad) ([]*Tria
 	}
 	energies := make([]metrics.EnergyAccumulator, len(trs))
 	lates := make([]int, len(trs))
-	var sample sim.WordSample
-	for base := 0; base < cfg.Patterns; base += sim.WordLanes {
-		n := cfg.Patterns - base
-		if n > sim.WordLanes {
-			n = sim.WordLanes
+	// Partition the group by electrical operating point, each point
+	// carrying its triads (in set order — accumulation into a triad's
+	// own counters is order-sensitive only per triad) and its capture
+	// horizon. Points are planned per body-bias family in descending
+	// Vdd, so the retime chain always hops between Vdd neighbors.
+	type opPlan struct {
+		op      fdsoi.OperatingPoint
+		idx     []int
+		horizon float64
+		eng     *sim.WideEngine
+	}
+	plans := []opPlan{}
+	where := map[fdsoi.OperatingPoint]int{}
+	for i, tr := range trs {
+		op := tr.OperatingPoint()
+		pi, ok := where[op]
+		if !ok {
+			pi = len(plans)
+			where[op] = pi
+			plans = append(plans, opPlan{op: op})
 		}
-		ci := base / sim.WordLanes
-		scatterLaneImage(prevW, inputs, prevImgs[ci])
-		scatterLaneImage(curW, inputs, curImgs[ci])
-		trace, err := tracer.StepWordTrace(prevW, curW, outNets)
+		plans[pi].idx = append(plans[pi].idx, i)
+		if tr.Tclk > plans[pi].horizon {
+			plans[pi].horizon = tr.Tclk
+		}
+	}
+	sort.SliceStable(plans, func(a, b int) bool {
+		if plans[a].op.Vbb != plans[b].op.Vbb {
+			return plans[a].op.Vbb < plans[b].op.Vbb
+		}
+		return plans[a].op.Vdd > plans[b].op.Vdd
+	})
+	for pi := range plans {
+		eng, err := sim.NewWide(nl, cfg.Lib, *cfg.Proc, plans[pi].op, k)
 		if err != nil {
 			return nil, err
 		}
-		for i, tr := range trs {
-			if err := trace.Resample(tr.Tclk, &sample); err != nil {
-				return nil, err
+		plans[pi].eng = eng
+	}
+	retimed := make([]sim.WideTrace, len(plans))
+	prevW := make([]uint64, nl.NumNets()*k)
+	curW := make([]uint64, nl.NumNets()*k)
+	var sample sim.WideSample
+	wideStep := sim.WordLanes * k
+	for wbase := 0; wbase < cfg.Patterns; wbase += wideStep {
+		scatterWideImage(prevW, inputs, k, prevImgs, wbase/sim.WordLanes)
+		scatterWideImage(curW, inputs, k, curImgs, wbase/sim.WordLanes)
+		// One chain of traces across the chunk's operating points: a
+		// fresh simulation anchors each body-bias family (delay maps do
+		// not rescale uniformly across Vbb), every further point down
+		// the family's Vdd ladder retimes the anchor (retimed traces
+		// are resample-only, so chains hop anchor → point), and an
+		// order-check rejection falls back to a fresh simulation that
+		// becomes the new anchor.
+		var anchor *sim.WideTrace
+		anchorVbb := 0.0
+		for pi := range plans {
+			pl := &plans[pi]
+			var tr *sim.WideTrace
+			if anchor != nil && pl.op.Vbb == anchorVbb {
+				ok, err := pl.eng.RetimeTrace(anchor, pl.horizon, &retimed[pi])
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					tr = &retimed[pi]
+				}
 			}
-			for k := 0; k < n; k++ {
-				energies[i].Add(sample.EnergyFJ[k])
+			if tr == nil {
+				tr, err = pl.eng.StepWideTrace(prevW, curW, outNets, pl.horizon)
+				if err != nil {
+					return nil, err
+				}
+				anchor, anchorVbb = tr, pl.op.Vbb
 			}
-			lates[i] += bits.OnesCount64(sample.LateW & laneMask(n))
-			if err := accs[i].AddLanes(want[base:base+n], sample.CapturedW); err != nil {
-				return nil, err
+			for _, ti := range pl.idx {
+				if err := tr.Resample(trs[ti].Tclk, &sample); err != nil {
+					return nil, err
+				}
+				// Fold the sample per 64-pattern block in ascending
+				// word order: exactly the per-chunk accumulation
+				// sequence of a solo sweep of this triad.
+				for j := 0; j < k; j++ {
+					base := wbase + j*sim.WordLanes
+					if base >= cfg.Patterns {
+						break
+					}
+					n := cfg.Patterns - base
+					if n > sim.WordLanes {
+						n = sim.WordLanes
+					}
+					for b := 0; b < n; b++ {
+						energies[ti].Add(sample.EnergyFJ[j*sim.WordLanes+b])
+					}
+					lates[ti] += bits.OnesCount64(sample.LateW[j] & laneMask(n))
+					if err := accs[ti].AddLaneBlock(want[base:base+n], sample.CapturedW, k, j); err != nil {
+						return nil, err
+					}
+				}
 			}
 		}
 	}
@@ -468,9 +575,10 @@ func Run(cfg Config) (*Result, error) {
 // outstanding work; with a caching Runner, previously characterized
 // points are served without touching the simulator. When the Runner is
 // a GroupRunner and the configuration is Groupable, the sweep fans out
-// one job per electrical operating point — ~14 simulations instead of
-// 43 for the paper's Table III set — with results bit-identical to the
-// per-triad fan-out.
+// one job per cross-voltage super-group (body-bias family) — 2 jobs
+// covering the 14 electrical points of the paper's Table III set, each
+// re-timing one recorded wave down its Vdd ladder — with results
+// bit-identical to the per-triad fan-out.
 func RunWith(ctx context.Context, r Runner, cfg Config) (*Result, error) {
 	prep, err := r.Prepare(ctx, cfg)
 	if err != nil {
@@ -484,12 +592,12 @@ func RunWith(ctx context.Context, r Runner, cfg Config) (*Result, error) {
 	res := &Result{Config: cfg, Netlist: prep.Netlist, Report: prep.Report,
 		Triads: make([]TriadResult, len(set))}
 
-	// One job per electrical group when the runner supports it; one per
-	// triad otherwise (every group a singleton).
+	// One job per cross-voltage super-group when the runner supports it;
+	// one per triad otherwise (every group a singleton).
 	groups := [][]int{}
 	gr, grouped := r.(GroupRunner)
 	if grouped && prep.Groupable() {
-		groups = triad.GroupByOperatingPoint(set)
+		groups = triad.SuperGroups(set)
 	} else {
 		for i := range set {
 			groups = append(groups, []int{i})

@@ -11,9 +11,12 @@ import (
 
 // TestGroupedSweepMatchesPerTriad is the grouping acceptance property:
 // across the full 43-triad Table III set of all four paper adders, every
-// TriadResult produced by the electrical-group trace path must be
-// deeply equal — same accumulator internals, same float bits — to an
-// independent per-triad simulation of the same triad.
+// TriadResult produced by the grouped trace path must be deeply equal —
+// same accumulator internals, same float bits — to an independent
+// per-triad simulation of the same triad. Both production groupings are
+// pinned: electrical operating-point groups (the cluster sharding
+// granularity) and cross-voltage super-groups (the local planning
+// choice, exercising the retime chain down each Vdd ladder).
 func TestGroupedSweepMatchesPerTriad(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full 43-triad grouping parity is not -short")
@@ -38,27 +41,38 @@ func TestGroupedSweepMatchesPerTriad(t *testing.T) {
 		if len(set) != 43 {
 			t.Fatalf("%s: triad set = %d, want 43", cfg.BenchName(), len(set))
 		}
-		groups := triad.GroupByOperatingPoint(set)
-		if len(groups) >= len(set) {
-			t.Fatalf("%s: grouping did not collapse the set (%d groups)", cfg.BenchName(), len(groups))
-		}
-		for _, idxs := range groups {
-			trs := make([]triad.Triad, len(idxs))
-			for j, i := range idxs {
-				trs[j] = set[i]
-			}
-			outs, err := prep.RunGroup(trs)
-			if err != nil {
+		solo := make([]*TriadResult, len(set))
+		for i := range set {
+			if solo[i], err = prep.RunTriad(set[i]); err != nil {
 				t.Fatal(err)
 			}
-			for j, i := range idxs {
-				want, err := prep.RunTriad(set[i])
+		}
+		for _, gp := range []struct {
+			name string
+			fn   func([]triad.Triad) [][]int
+		}{
+			{"point", triad.GroupByOperatingPoint},
+			{"super", triad.SuperGroups},
+		} {
+			groups := gp.fn(set)
+			if len(groups) >= len(set) {
+				t.Fatalf("%s: %s grouping did not collapse the set (%d groups)",
+					cfg.BenchName(), gp.name, len(groups))
+			}
+			for _, idxs := range groups {
+				trs := make([]triad.Triad, len(idxs))
+				for j, i := range idxs {
+					trs[j] = set[i]
+				}
+				outs, err := prep.RunGroup(trs)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !reflect.DeepEqual(outs[j], want) {
-					t.Errorf("%s %s: grouped result diverged from per-triad simulation\ngrouped: %+v\nsolo:    %+v",
-						cfg.BenchName(), set[i].Label(), outs[j], want)
+				for j, i := range idxs {
+					if !reflect.DeepEqual(outs[j], solo[i]) {
+						t.Errorf("%s %s [%s]: grouped result diverged from per-triad simulation\ngrouped: %+v\nsolo:    %+v",
+							cfg.BenchName(), set[i].Label(), gp.name, outs[j], solo[i])
+					}
 				}
 			}
 		}
@@ -66,7 +80,9 @@ func TestGroupedSweepMatchesPerTriad(t *testing.T) {
 }
 
 // TestRunGroupValidation pins the group API's edges: empty groups,
-// mixed operating points, and single-triad groups.
+// mixed operating points (a cross-voltage group, simulated via the
+// retime chain and bit-identical to per-triad runs), and single-triad
+// groups.
 func TestRunGroupValidation(t *testing.T) {
 	prep, err := Prepare(Config{Arch: synth.ArchRCA, Width: 4, Patterns: 20, Seed: 3})
 	if err != nil {
@@ -78,9 +94,20 @@ func TestRunGroupValidation(t *testing.T) {
 	mixed := []triad.Triad{
 		{Tclk: 0.3, Vdd: 1.0, Vbb: 0},
 		{Tclk: 0.3, Vdd: 0.9, Vbb: 0},
+		{Tclk: 0.2, Vdd: 0.9, Vbb: 0},
 	}
-	if _, err := prep.RunGroup(mixed); err == nil {
-		t.Fatal("mixed operating points accepted")
+	mouts, err := prep.RunGroup(mixed)
+	if err != nil {
+		t.Fatalf("cross-voltage group rejected: %v", err)
+	}
+	for j, tr := range mixed {
+		want, err := prep.RunTriad(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(mouts[j], want) {
+			t.Fatalf("%s: cross-voltage group diverged from RunTriad", tr.Label())
+		}
 	}
 	solo := []triad.Triad{{Tclk: 0.3, Vdd: 0.8, Vbb: 0}}
 	outs, err := prep.RunGroup(solo)

@@ -34,7 +34,13 @@ import (
 //	   O(trace) resample). Proven bit-identical by the golden parity
 //	   suite and the grouping parity tests, keyed apart on the same
 //	   principle: equal keys must imply the exact code path.
-const keySchemaVersion = 4
+//	5: quantized-and-dithered delay grid (gate delays rounded to a 2⁻⁴⁰ ns
+//	   dyadic grid plus a deterministic per-gate sub-quantum dither, the
+//	   basis of order-stable cross-voltage retiming). This one is not
+//	   bit-identical to v4 — energies move by ~10⁻⁵ relative, borderline
+//	   late events can flip — so the golden parity corpus was regenerated
+//	   and old entries must never satisfy new keys.
+const keySchemaVersion = 5
 
 // keyMaterial is the canonical content that identifies one operating-point
 // result. Everything that can change the simulator's output is in here —

@@ -317,11 +317,13 @@ func (e *Engine) ownPoint(ctx context.Context, p *charz.Prepared, tr triad.Triad
 	return out, false, nil
 }
 
-// RunPointGroup implements charz.GroupRunner: each triad of an
-// electrical group is served from the cache where possible; the misses
-// are simulated together with one trace run per operating point and
-// fanned out to per-triad cache entries, so warm-cache behavior and
-// cached bytes are exactly those of per-triad RunPoint calls.
+// RunPointGroup implements charz.GroupRunner: each triad of a group
+// (an electrical point or a cross-voltage super-group) is served from
+// the cache where possible; the misses are simulated together — one
+// wide trace per body-bias family per chunk, retimed across the
+// group's operating points — and fanned out to per-triad cache
+// entries, so warm-cache behavior and cached bytes are exactly those
+// of per-triad RunPoint calls.
 func (e *Engine) RunPointGroup(ctx context.Context, p *charz.Prepared, trs []triad.Triad) ([]*charz.TriadResult, error) {
 	res, _, err := e.runPointGroup(ctx, p, trs)
 	return res, err
@@ -337,15 +339,6 @@ func (e *Engine) runPointGroup(ctx context.Context, p *charz.Prepared, trs []tri
 			return nil, nil, err
 		}
 		return []*charz.TriadResult{res}, []bool{cached}, nil
-	}
-	// Reject a mixed group up front, not only on the simulation path: a
-	// fully cache-warm call must fail the same way a cold one does.
-	op := trs[0].OperatingPoint()
-	for _, tr := range trs[1:] {
-		if tr.OperatingPoint() != op {
-			return nil, nil, fmt.Errorf("engine: group mixes operating points %v and %v",
-				op, tr.OperatingPoint())
-		}
 	}
 	keys := make([]string, len(trs))
 	for i, tr := range trs {
@@ -436,8 +429,8 @@ func (e *Engine) runPointGroup(ctx context.Context, p *charz.Prepared, trs []tri
 	}
 }
 
-// ownGroup simulates the owned subset of an electrical group as one
-// grouped run on the pool and publishes every point — to its own cache
+// ownGroup simulates the owned subset of a group as one grouped run on
+// the pool and publishes every point — to its own cache
 // entry, its flight waiters, and the caller's result slice (decoded
 // from the stored bytes, so callers see byte-identical results whether
 // or not the cache was warm).
@@ -493,7 +486,7 @@ func (e *Engine) ownGroup(ctx context.Context, p *charz.Prepared, trs []triad.Tr
 	return nil
 }
 
-// runGroupYield executes one electrical group of a plan on the local
+// runGroupYield executes one triad group of a plan on the local
 // engine (cache pass, singleflight, pooled grouped simulation) and
 // yields each completed point's summary under its plan triad index. It
 // is the local half of the Sharder contract and the body of every

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -119,12 +120,13 @@ func TestCachedResultsByteIdentical(t *testing.T) {
 }
 
 // TestGroupedPointsCounter pins the grouped-execution accounting: a cold
-// paper-policy sweep simulates every point as a member of an electrical
-// group (the 43-triad set collapses to 14 multi-point operating-point
-// groups), a repeated sweep is pure cache hits that must not move the
-// counter, and a vddgrid sweep (every group a singleton) must not move
-// it either — /v1/cache/stats keeps group ride-alongs distinguishable
-// from per-triad cache hits and solo executions.
+// paper-policy sweep simulates every point as a member of a
+// cross-voltage super-group (the 43-triad set collapses to 2 body-bias
+// families), a repeated sweep is pure cache hits that must not move the
+// counter, a multi-point vddgrid sweep rides one super-group per
+// family, and a single-point grid (a singleton group) must not move it
+// — /v1/cache/stats keeps group ride-alongs distinguishable from
+// per-triad cache hits and solo executions.
 func TestGroupedPointsCounter(t *testing.T) {
 	e := newTestEngine(t, Options{Workers: 4})
 	req := Request{Arches: []string{"RCA"}, Widths: []int{4}, Patterns: 40, Seed: 7}
@@ -161,8 +163,8 @@ func TestGroupedPointsCounter(t *testing.T) {
 		t.Errorf("warm sweep moved GroupedPoints to %d, want %d", got, stats.GroupedPoints)
 	}
 
-	// A vddgrid sweep's groups are singletons: executions grow, the
-	// grouped counter does not.
+	// A multi-point vddgrid sweep shares one body-bias family: both
+	// points ride one cross-voltage super-group.
 	id, err = e.Submit(Request{Arches: []string{"RCA"}, Widths: []int{4}, Patterns: 40, Seed: 7,
 		Policy: PolicyVddGrid, Vdds: []float64{0.9, 0.6}})
 	if err != nil {
@@ -174,8 +176,25 @@ func TestGroupedPointsCounter(t *testing.T) {
 	if got := e.Executions(); got != 45 {
 		t.Errorf("after grid sweep Executions = %d, want 45", got)
 	}
-	if got := e.CacheStats().GroupedPoints; got != stats.GroupedPoints {
-		t.Errorf("singleton-group sweep moved GroupedPoints to %d, want %d", got, stats.GroupedPoints)
+	if got := e.CacheStats().GroupedPoints; got != stats.GroupedPoints+2 {
+		t.Errorf("cross-voltage grid sweep GroupedPoints = %d, want %d", got, stats.GroupedPoints+2)
+	}
+
+	// A single-point grid is a singleton group: executions grow, the
+	// grouped counter does not.
+	id, err = e.Submit(Request{Arches: []string{"RCA"}, Widths: []int{4}, Patterns: 40, Seed: 7,
+		Policy: PolicyVddGrid, Vdds: []float64{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := e.Wait(context.Background(), id); err != nil || s.Status != StatusDone {
+		t.Fatalf("solo grid sweep: %v status=%v", err, s.Status)
+	}
+	if got := e.Executions(); got != 46 {
+		t.Errorf("after solo grid sweep Executions = %d, want 46", got)
+	}
+	if got := e.CacheStats().GroupedPoints; got != stats.GroupedPoints+2 {
+		t.Errorf("singleton-group sweep moved GroupedPoints to %d, want %d", got, stats.GroupedPoints+2)
 	}
 }
 
@@ -529,10 +548,12 @@ func TestPlanExpansion(t *testing.T) {
 	}
 }
 
-// TestRunPointGroupRejectsMixedGroups: the public GroupRunner method
-// must reject a group spanning operating points identically whether the
-// cache is cold or warm.
-func TestRunPointGroupRejectsMixedGroups(t *testing.T) {
+// TestRunPointGroupCrossVoltage: the public GroupRunner method accepts
+// a group spanning operating points of one body-bias family (a
+// cross-voltage super-group), simulates it cold via the retime chain
+// with results byte-identical to per-point runs, and serves it warm
+// from the per-triad cache entries the grouped run fanned out.
+func TestRunPointGroupCrossVoltage(t *testing.T) {
 	e := newTestEngine(t, Options{Workers: 2})
 	ctx := context.Background()
 	prep, err := e.Prepare(ctx, testConfig())
@@ -543,17 +564,39 @@ func TestRunPointGroupRejectsMixedGroups(t *testing.T) {
 		{Tclk: 0.5, Vdd: 1.0, Vbb: 0},
 		{Tclk: 0.5, Vdd: 0.9, Vbb: 0},
 	}
-	if _, err := e.RunPointGroup(ctx, prep, mixed); err == nil {
-		t.Fatal("cold mixed group accepted")
+	cold, err := e.RunPointGroup(ctx, prep, mixed)
+	if err != nil {
+		t.Fatalf("cold cross-voltage group: %v", err)
 	}
-	// Warm both points individually, then retry: still rejected.
-	for _, tr := range mixed {
-		if _, err := e.RunPoint(ctx, prep, tr); err != nil {
+	execsAfterCold := e.Executions()
+	if execsAfterCold != 2 {
+		t.Errorf("cold group executed %d points, want 2", execsAfterCold)
+	}
+	// The grouped run must have fanned out per-triad cache entries:
+	// per-point reruns are pure cache hits, byte-identical to the
+	// grouped results.
+	for i, tr := range mixed {
+		solo, err := e.RunPoint(ctx, prep, tr)
+		if err != nil {
 			t.Fatal(err)
 		}
+		if !reflect.DeepEqual(cold[i], solo) {
+			t.Errorf("%s: grouped result diverged from per-point run", tr.Label())
+		}
 	}
-	if _, err := e.RunPointGroup(ctx, prep, mixed); err == nil {
-		t.Fatal("cache-warm mixed group accepted")
+	if got := e.Executions(); got != execsAfterCold {
+		t.Errorf("per-point reruns executed %d new points, want 0", got-execsAfterCold)
+	}
+	// A warm grouped call is served entirely from the cache.
+	warm, err := e.RunPointGroup(ctx, prep, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Error("warm grouped results diverged from cold")
+	}
+	if got := e.Executions(); got != execsAfterCold {
+		t.Errorf("warm group executed %d new points, want 0", got-execsAfterCold)
 	}
 }
 

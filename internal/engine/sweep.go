@@ -252,11 +252,20 @@ func (e *Engine) Plan(ctx context.Context, req *Request) ([]OperatorPlan, error)
 }
 
 // pointGroups partitions an operator plan's triads into per-job index
-// groups: electrical operating-point groups when the prepared
-// configuration supports the shared-trace path, singletons otherwise
-// (streaming and RC sweeps keep their per-point pool fan-out).
-func pointGroups(p *OperatorPlan) [][]int {
+// groups when the prepared configuration supports the shared-trace
+// path, singletons otherwise (streaming and RC sweeps keep their
+// per-point pool fan-out). With super set, triads collapse into
+// cross-voltage super-groups (one per body-bias family, retimed down
+// the Vdd ladder by the wide trace path) — the local planning choice.
+// Without it they collapse into electrical operating-point groups —
+// the cluster sharding granularity, which keeps ring ownership keyed
+// by electrical point; each shard re-plans its explicit sub-sweep
+// locally and super-groups it there.
+func pointGroups(p *OperatorPlan, super bool) [][]int {
 	if p.Prep.Groupable() {
+		if super {
+			return triad.SuperGroups(p.Triads)
+		}
 		return triad.GroupByOperatingPoint(p.Triads)
 	}
 	groups := make([][]int, len(p.Triads))
@@ -578,13 +587,15 @@ func (e *Engine) runSweep(ctx context.Context, st *sweepState) {
 				ev.Point = &p
 			})
 		}
-		groups := pointGroups(p)
 		// Cluster mode: hand the whole operator to the sharder, which
 		// routes each electrical group to its ring owner and falls back
 		// to runLocal for the groups this node owns (or inherits from
 		// dead peers). Explicit-triad sweeps skip the sharder — they ARE
-		// the shard sub-sweeps.
+		// the shard sub-sweeps. Sharding stays at electrical-point
+		// granularity (ring keys, balance); local planning collapses
+		// further into cross-voltage super-groups.
 		if e.sharder != nil && req.Policy != PolicyExplicit {
+			groups := pointGroups(p, false)
 			wg.Add(1)
 			go func(pi int, groups [][]int, yield func(int, PointSummary)) {
 				defer wg.Done()
@@ -598,10 +609,11 @@ func (e *Engine) runSweep(ctx context.Context, st *sweepState) {
 			}(pi, groups, yield)
 			continue
 		}
-		// One pool job per electrical group when the trace path applies
-		// (the Table III set collapses 43 triads to 14 simulations);
-		// per-point jobs otherwise.
-		for _, idxs := range groups {
+		// One pool job per cross-voltage super-group when the trace path
+		// applies (the Table III set collapses 43 triads to 2 retime
+		// chains covering its 14 electrical points); per-point jobs
+		// otherwise.
+		for _, idxs := range pointGroups(p, true) {
 			wg.Add(1)
 			go func(pi int, idxs []int, yield func(int, PointSummary)) {
 				defer wg.Done()

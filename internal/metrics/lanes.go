@@ -50,6 +50,47 @@ func Transpose64(x *[64]uint64) {
 // distance is exactly representable; the simulator's outputs are ≤ 33
 // bits).
 func (a *ErrorAccumulator) AddLanes(refs []uint64, got []uint64) error {
+	if len(refs) == 0 {
+		return nil
+	}
+	if len(got) != a.width {
+		return fmt.Errorf("metrics: %d lane words for width %d", len(got), a.width)
+	}
+	var gotW [64]uint64
+	copy(gotW[:], got)
+	return a.addLaneWords(refs, &gotW)
+}
+
+// AddLaneBlock is AddLanes over one word of a flat K-word lane-block
+// image: got carries K consecutive lane words per output bit position
+// (the wide simulator's captured layout, got[i·words+word] = bit i's
+// lane word for block word `word`), and the call records the ≤ 64
+// observations of that word. len(got) must equal width·words. A wide
+// characterization sweep folds each 64-pattern block in ascending word
+// order, which reproduces the per-64-chunk accumulation sequence — and
+// therefore the exact floats — of the non-wide path.
+func (a *ErrorAccumulator) AddLaneBlock(refs []uint64, got []uint64, words, word int) error {
+	if len(refs) == 0 {
+		return nil
+	}
+	if words < 1 || word < 0 || word >= words {
+		return fmt.Errorf("metrics: block word %d outside %d-word blocks", word, words)
+	}
+	if len(got) != a.width*words {
+		return fmt.Errorf("metrics: %d lane words for width %d × %d-word blocks",
+			len(got), a.width, words)
+	}
+	var gotW [64]uint64
+	for i := 0; i < a.width; i++ {
+		gotW[i] = got[i*words+word]
+	}
+	return a.addLaneWords(refs, &gotW)
+}
+
+// addLaneWords is the shared bit-sliced core: gotW holds one gathered
+// lane word per output bit position (rows past the width are ignored)
+// and is consumed in place by the transpose.
+func (a *ErrorAccumulator) addLaneWords(refs []uint64, gotW *[64]uint64) error {
 	n := len(refs)
 	if n == 0 {
 		return nil
@@ -60,22 +101,19 @@ func (a *ErrorAccumulator) AddLanes(refs []uint64, got []uint64) error {
 	if a.width > Lanes {
 		return fmt.Errorf("metrics: width %d exceeds the %d-bit lane transpose", a.width, Lanes)
 	}
-	if len(got) != a.width {
-		return fmt.Errorf("metrics: %d lane words for width %d", len(got), a.width)
-	}
 	laneMask := ^uint64(0)
 	if n < Lanes {
 		laneMask = uint64(1)<<uint(n) - 1
 	}
 	// Bit-sliced counting: diff the reference lane words against the
 	// observed ones, one word per output bit position.
-	var ref, gotW [64]uint64
+	var ref [64]uint64
 	copy(ref[:], refs)
 	Transpose64(&ref) // ref[i] now holds bit i of every pattern
 	var any uint64
 	var faulty uint64
 	for i := 0; i < a.width; i++ {
-		d := (ref[i] ^ got[i]) & laneMask
+		d := (ref[i] ^ gotW[i]) & laneMask
 		c := uint64(bits.OnesCount64(d))
 		a.perBit[i] += c
 		faulty += c
@@ -87,8 +125,7 @@ func (a *ErrorAccumulator) AddLanes(refs []uint64, got []uint64) error {
 	a.words += uint64(n)
 	// Per-pattern value statistics, in pattern order: recover the observed
 	// words by transposing the captured lane image.
-	copy(gotW[:], got)
-	Transpose64(&gotW) // gotW[k] now holds pattern k's observed word
+	Transpose64(gotW) // gotW[k] now holds pattern k's observed word
 	m := mask(a.width)
 	for k := 0; k < n; k++ {
 		r, g := refs[k]&m, gotW[k]&m

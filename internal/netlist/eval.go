@@ -91,6 +91,41 @@ func (n *Netlist) EvaluateBatch(lanes []uint64) error {
 	return nil
 }
 
+// EvaluateWide computes the zero-delay steady state of up to k·BatchLanes
+// stimulus vectors in one bit-sliced pass over flat k-word lane blocks:
+// lanes must be a dense per-net image of length NumNets·k, net id's block
+// occupying lanes[id·k : id·k+k] with vector j·64+b in bit b of word j.
+// Primary-input blocks must already be filled; every gate-driven block is
+// overwritten in topological order. Word j of the image is exactly an
+// EvaluateBatch of its own 64 vectors — the wide layout only amortizes the
+// topological walk and the gate-table loads across k words.
+func (n *Netlist) EvaluateWide(lanes []uint64, k int) error {
+	if k < 1 {
+		return fmt.Errorf("netlist %s: non-positive lane-block width %d", n.Name, k)
+	}
+	if len(lanes) != len(n.Nets)*k {
+		return fmt.Errorf("netlist %s: lane image has %d entries, want %d",
+			n.Name, len(lanes), len(n.Nets)*k)
+	}
+	for _, gid := range n.topo {
+		g := &n.Gates[gid]
+		kind := g.Kind
+		out := int(g.Output) * k
+		a := int(g.Inputs[0]) * k
+		b, c := a, a
+		if len(g.Inputs) > 1 {
+			b = int(g.Inputs[1]) * k
+		}
+		if len(g.Inputs) > 2 {
+			c = int(g.Inputs[2]) * k
+		}
+		for j := 0; j < k; j++ {
+			lanes[out+j] = kind.EvalWord(lanes[a+j], lanes[b+j], lanes[c+j])
+		}
+	}
+	return nil
+}
+
 // PortValue packs the bits of port p (from the given net-value vector) into
 // a little-endian word.
 func PortValue(p Port, values []uint8) uint64 {

@@ -164,6 +164,27 @@ func (n *Netlist) NetLoad(lib *cell.Library, id NetID) float64 {
 	return load
 }
 
+// NetLoads returns every net's load in one allocation, indexed by NetID.
+// Each entry accumulates in exactly NetLoad's order (wire terms, then
+// fanout input caps in fanout order, then the capture cap), so the
+// floats are bit-identical to per-net NetLoad calls — callers that
+// compile per-gate tables from loads (sim, sta) can switch freely.
+func (n *Netlist) NetLoads(lib *cell.Library) []float64 {
+	loads := make([]float64, n.NumNets())
+	for id := range loads {
+		fo := n.fanouts[NetID(id)]
+		load := lib.WireCap + lib.WireCapPerFanout*float64(len(fo))
+		for _, g := range fo {
+			load += lib.MustCell(n.Gates[g].Kind).InputCap
+		}
+		if n.IsPrimaryOutput(NetID(id)) {
+			load += cell.CaptureCap
+		}
+		loads[id] = load
+	}
+	return loads
+}
+
 // String summarizes the netlist.
 func (n *Netlist) String() string {
 	return fmt.Sprintf("%s{nets:%d gates:%d depth:%d}", n.Name, len(n.Nets), len(n.Gates), n.MaxLevel())

@@ -57,4 +57,37 @@
 // each distinct operating point of the paper's 43-triad grid exactly
 // once per sweep (the grid holds only ~14 electrical points; the clocks
 // sharing each point are resamples).
+//
+// # Wide lanes and cross-voltage retiming
+//
+// WideEngine widens the word core to K-word lane blocks (K up to
+// MaxWideWords): every net carries K uint64 words in a flat block-major
+// image, one EvalWord call per word evaluates K×64 patterns, and one
+// event covers a change in any lane of any word. StepWideTrace is the
+// wide StepWordTrace with two additions that make the trace portable
+// across operating points: a retime log (per effective event, the gate
+// that fired it and its causal parent event) and the t = 0 input-toggle
+// set, plus a capture horizon — attribution and boundary prefix
+// snapshots stop at the largest Tclk the trace will ever be asked for,
+// while the wave still runs to quiescence for the late masks.
+//
+// RetimeTrace re-times a recorded wave at another operating point
+// without re-simulating: each event's firing time is re-derived from
+// its parent's (exactly the floats a fresh simulation computes), the
+// recorded order is checked — non-decreasing overall, strictly
+// increasing across distinct source timestamps — and the trace's
+// op-dependent parts are rebuilt from the log, bit-identical to a fresh
+// StepWideTrace at the target point. A rejected check reports a
+// fallback (RetimeStats) and the caller re-simulates.
+//
+// Order stability across the Vdd ladder is engineered in compileTables:
+// gate delays are rounded to a dyadic grid (delayQuantum) so path sums
+// are exact and permutation-proof, and offset by a deterministic
+// per-gate sub-quantum dither (ditherBits) that separates degenerate
+// reconvergent path sums by an operating-point-independent gap far
+// above per-point rounding noise. Without the dither, a Brent-Kung
+// adder's equal-delay path pairs reorder under re-rounding at every
+// neighboring Vdd and no retime survives; with it, the whole Fig. 8
+// grid retimes. The quantum and dither are shared by every engine
+// (scalar, word, wide), so cross-engine parity is by construction.
 package sim

@@ -53,8 +53,35 @@ type WordTracer interface {
 	StepWordTrace(prev, cur []uint64, tracked []netlist.NetID) (*WordTrace, error)
 }
 
+// WideStepper is the K×64-lane pattern-parallel seam: one call runs
+// K·WordLanes independent two-vector experiments over flat K-word
+// lane-block images (K consecutive words per net, indexed id·K+j).
+// The gate-level WideEngine implements it; K() reports the block
+// width the images must use.
+type WideStepper interface {
+	K() int
+	StepWideChunk(prev, cur []uint64, tclk float64) (*WideResult, error)
+}
+
+// WideTracer extends WideStepper with trace capture and cross-voltage
+// reuse: StepWideTrace records one K×64-lane wave to quiescence with a
+// capture horizon, WideTrace.Resample answers any Tclk ≤ horizon
+// bit-identically to StepWideChunk, and RetimeTrace/ResampleAt re-time
+// a recorded wave at this engine's operating point when the event
+// order is preserved (reporting false — fall back to fresh simulation
+// — when it is not). The characterization flow uses it to simulate
+// each order-stable super-group of electrical points once per sweep.
+type WideTracer interface {
+	WideStepper
+	StepWideTrace(prev, cur []uint64, tracked []netlist.NetID, horizon float64) (*WideTrace, error)
+	RetimeTrace(src *WideTrace, horizon float64, dst *WideTrace) (bool, error)
+	ResampleAt(src *WideTrace, tclk float64, s *WideSample) (bool, error)
+}
+
 // Compile-time seam checks.
 var (
 	_ Stepper       = (*Engine)(nil)
 	_ StreamStepper = (*Engine)(nil)
+	_ WideStepper   = (*WideEngine)(nil)
+	_ WideTracer    = (*WideEngine)(nil)
 )

@@ -41,6 +41,47 @@ type tables struct {
 	minDelay, maxDelay float64
 }
 
+// delayQuantum is the dyadic grid gate delays are rounded to (2⁻⁴⁰ ns,
+// about ten orders of magnitude below any gate delay). Event
+// timestamps are sums of gate delays along causal chains; on the grid
+// every such partial sum is an exact integer multiple of the quantum
+// (far below 2⁵³ of them), so summation is associative and paths with
+// equal delay multisets collide to exactly equal timestamps at every
+// operating point instead of differing by summation-order ulps. That
+// exactness is half of what keeps the cross-voltage retime's event
+// order stable: without it, ulp-close distinct timestamps reorder
+// under re-summation at a neighboring Vdd and the order check rejects
+// nearly every wave of a reconvergent circuit.
+const delayQuantum = 1.0 / (1 << 40)
+
+// ditherBits sizes the per-gate delay dither: a deterministic,
+// operating-point-independent offset of up to 2²⁰ quanta (≈ 1e-6 ns,
+// ~0.01 % of the smallest gate delay — electrically meaningless)
+// added to each gate's quantized delay. It breaks the other half of
+// the order-stability problem: reconvergent fabrics (Brent-Kung) have
+// many structurally distinct paths whose physical delay sums are
+// degenerate (equal cell kinds and loads in different order), and
+// degenerate sums land within a quantum or two of each other, where
+// per-gate rounding noise at a neighboring Vdd (±½ quantum per gate)
+// flips their order and forces a retime fallback. With the dither, two
+// such paths differ by the difference of their dither sums — typically
+// ~10⁵ quanta, identical in sign and magnitude at every operating
+// point because the dither never rescales — so their order is the same
+// everywhere and the retime's order check passes. Paths whose physical
+// delays genuinely differ are unaffected: the dither is orders of
+// magnitude below real delay differences.
+const ditherBits = 20
+
+// delayDither returns gate gi's dither in ns (SplitMix64 of the gate
+// index, masked to ditherBits quanta).
+func delayDither(gi int) float64 {
+	z := uint64(gi) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z&(1<<ditherBits-1)) * delayQuantum
+}
+
 // compileTables resolves nl at operating point op into the dense image.
 func compileTables(nl *netlist.Netlist, lib *cell.Library, proc fdsoi.Params, op fdsoi.OperatingPoint) *tables {
 	t := &tables{
@@ -55,14 +96,18 @@ func compileTables(nl *netlist.Netlist, lib *cell.Library, proc fdsoi.Params, op
 		inputEnergy: make([]float64, nl.NumNets()),
 	}
 	dyn := proc.DynamicEnergyScale(op)
+	loads := nl.NetLoads(lib) // one pass; bit-identical to per-net NetLoad
 	var leakNW float64
 	minDelay, maxDelay := math.Inf(1), 0.0
 	for gi := range nl.Gates {
 		g := &nl.Gates[gi]
 		c := lib.MustCell(g.Kind)
-		load := nl.NetLoad(lib, g.Output)
-		d := c.Delay(load) * proc.DelayScale(op, g.VtOffset)
-		t.gateDelay[gi] = d
+		load := loads[g.Output]
+		d := math.Round(c.Delay(load)*proc.DelayScale(op, g.VtOffset)/delayQuantum) * delayQuantum
+		if d <= 0 {
+			d = delayQuantum // keep strict causality: no zero-delay gates
+		}
+		t.gateDelay[gi] = d + delayDither(gi)
 		t.gateEnergy[gi] = fdsoi.SwitchingEnergy(load, op.Vdd) + c.InternalEnergy*dyn
 		leakNW += c.Leakage
 		if d > 0 && d < minDelay {
@@ -102,7 +147,7 @@ func compileTables(nl *netlist.Netlist, lib *cell.Library, proc fdsoi.Params, op
 			// every stimulus edge; this keeps deep-VOS operating points
 			// (where no internal gate completes within Tclk) from
 			// reporting zero energy.
-			t.inputEnergy[b] = fdsoi.SwitchingEnergy(nl.NetLoad(lib, b), op.Vdd)
+			t.inputEnergy[b] = fdsoi.SwitchingEnergy(loads[b], op.Vdd)
 		}
 	}
 	return t

@@ -32,11 +32,11 @@ type Analysis struct {
 // load-dependent terms.
 func GateDelays(nl *netlist.Netlist, lib *cell.Library, proc fdsoi.Params, op fdsoi.OperatingPoint) []float64 {
 	d := make([]float64, nl.NumGates())
+	loads := nl.NetLoads(lib)
 	for gi := range nl.Gates {
 		g := &nl.Gates[gi]
 		c := lib.MustCell(g.Kind)
-		load := nl.NetLoad(lib, g.Output)
-		d[gi] = c.Delay(load) * proc.DelayScale(op, g.VtOffset)
+		d[gi] = c.Delay(loads[g.Output]) * proc.DelayScale(op, g.VtOffset)
 	}
 	return d
 }

@@ -179,6 +179,34 @@ func GroupByOperatingPoint(set []Triad) [][]int {
 	return groups
 }
 
+// SuperGroups partitions a sweep set's indices into cross-voltage
+// super-groups: triads sharing a body-bias family (equal Vbb) land in
+// one group regardless of Vdd and Tclk. Within a family only per-gate
+// delays rescale with Vdd, so the event order of a recorded wave is
+// frequently preserved across the family's operating points and one
+// trace can serve them all via order-stable retiming (the engine
+// falls back to fresh simulation per electrical point whenever the
+// order check fails, so the grouping is purely a planning hint).
+// Families appear in first-occurrence order and preserve the set's
+// triad order within each group, so per-triad results assembled group
+// by group are positionally identical to a flat per-triad sweep. The
+// paper's 43-triad Table III set collapses to 2 super-groups (Vbb 0
+// and ±2) covering its 14 electrical points.
+func SuperGroups(set []Triad) [][]int {
+	groups := make([][]int, 0, 2)
+	index := make(map[float64]int, 2)
+	for i, tr := range set {
+		g, ok := index[tr.Vbb]
+		if !ok {
+			g = len(groups)
+			index[tr.Vbb] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	return groups
+}
+
 // SortByBERThenEnergy orders triad indices the way the paper's Fig. 8
 // x-axes are laid out: ascending bit-error rate, ties broken by ascending
 // energy per operation.
