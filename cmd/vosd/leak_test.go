@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cluster"
+)
+
+// TestGracefulShutdownNoLeak: a daemon that served a full sweep —
+// submit, event stream drained to the terminal event, results fetched —
+// must unwind completely on shutdown: no engine workers, stream
+// handlers or push-queue goroutines survive Close.
+func TestGracefulShutdownNoLeak(t *testing.T) {
+	base := chaos.SnapshotGoroutines()
+	node, err := cluster.NewNode(cluster.NodeOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(node.Handler()))
+
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"arches":["RCA"],"widths":[4],"patterns":40,"seed":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sr.ID == "" {
+		t.Fatalf("submit: status %d id %q", resp.StatusCode, sr.ID)
+	}
+
+	// Drain the event stream to its terminal event — the normal client
+	// lifecycle, so shutdown happens with no request in flight.
+	eresp, err := http.Get(ts.URL + "/v1/sweeps/" + sr.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(eresp.Body)
+	for {
+		var ev struct {
+			Type string `json:"type"`
+		}
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("event stream ended without a terminal event: %v", err)
+		}
+		if ev.Type == "done" || ev.Type == "failed" || ev.Type == "canceled" {
+			break
+		}
+	}
+	eresp.Body.Close()
+
+	ts.Close()
+	node.Close()
+	if leaked := base.CheckLeaks(5 * time.Second); len(leaked) > 0 {
+		t.Fatalf("%d goroutine signature(s) leaked after shutdown:\n%s", len(leaked), leaked[0])
+	}
+}

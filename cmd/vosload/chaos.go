@@ -1,0 +1,253 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/vos"
+)
+
+// chaosOptions parameterizes the seeded resilience soak.
+type chaosOptions struct {
+	seed        uint64
+	sweeps      int
+	nodes       int
+	concurrency int
+	workers     int
+	patterns    int
+	seeds       int
+	logPath     string
+	perSweep    time.Duration
+}
+
+// runChaos is vosload's resilience mode: a seeded fault schedule —
+// latency, 5xx, connection resets, truncated streams, corrupt and
+// oversized cache bodies, disk-cache write/rename/read faults, plus a
+// node kill/rejoin cycle — runs against an in-process cluster while
+// sweep load flows through the clean coordinator node. The soak passes
+// only if every sweep completes with results DeepEqual-identical to an
+// isolated single-node vos.Local, no sweep wedges past its deadline,
+// the fault log replays exactly from the seed, and no goroutines leak
+// after teardown. Returns the process exit code.
+func runChaos(opts chaosOptions) int {
+	baseline := chaos.SnapshotGoroutines()
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		log.Printf("FAIL: "+format, args...)
+	}
+
+	// References: each distinct seed's sweep on an isolated single-node
+	// client. The soak's correctness bar is bit-identical agreement with
+	// these, fault schedule or not.
+	spec := func(seed uint64) *vos.Spec {
+		return vos.NewSpec().Arches("RCA").Widths(8).Patterns(opts.patterns).Seed(seed)
+	}
+	refCtx, refCancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer refCancel()
+	refs := make(map[uint64][]vos.Operator, opts.seeds)
+	ref, err := vos.NewLocal(vos.LocalOptions{Workers: opts.workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for s := uint64(1); s <= uint64(opts.seeds); s++ {
+		res, err := ref.Run(refCtx, spec(s))
+		if err != nil {
+			log.Fatalf("reference sweep (seed %d): %v", s, err)
+		}
+		refs[s] = normOperators(res.Operators)
+	}
+	ref.Close()
+
+	// The fleet: every node's peer traffic goes through the fault
+	// transport and its disk cache through the FS fault hooks; every
+	// node but the coordinator also serves through the fault middleware.
+	// Node 0 stays clean on its serving surface so a client failure is
+	// always a fabric resilience failure, never an injected client fault.
+	cacheRoot, err := os.MkdirTemp("", "vosload-chaos-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(cacheRoot)
+	inj := chaos.New(chaos.DefaultConfig(opts.seed))
+	lc, err := cluster.StartLocal(opts.nodes, cluster.LocalOptions{
+		Workers:   opts.workers,
+		CacheRoot: cacheRoot,
+		PerNode: func(i int, no *cluster.NodeOptions) {
+			no.Transport = inj.Transport(nil)
+			no.CacheFaults = inj
+			// Short shard timeouts: the soak should spend its wall clock
+			// proving recovery, not waiting out production-scale stalls.
+			no.ShardCallTimeout = 10 * time.Second
+			no.ShardStallTimeout = 20 * time.Second
+			if i > 0 {
+				no.Middleware = inj.Middleware()
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("chaos soak: seed %d, %d sweeps over a %d-node cluster", opts.seed, opts.sweeps, opts.nodes)
+
+	client, err := vos.NewRemote(lc.URLs()[0], vos.RemoteOptions{
+		Tenant:     "vosload-chaos",
+		JitterSeed: int64(opts.seed),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The kill schedule runs beside the load: seeded kill/rejoin cycles
+	// against the non-coordinator members.
+	victims := make([]int, 0, opts.nodes-1)
+	for i := 1; i < opts.nodes; i++ {
+		victims = append(victims, i)
+	}
+	killCtx, killCancel := context.WithCancel(context.Background())
+	killDone := make(chan error, 1)
+	go func() { killDone <- inj.RunKillSchedule(killCtx, lc, victims) }()
+
+	// The load: opts.concurrency workers draining a shared sweep budget,
+	// each sweep bounded by its own deadline — a sweep that outlives it
+	// is a stuck sweep, the exact wedge the hardening must rule out.
+	var next atomic.Int64
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards fail() and refs comparisons
+	start := time.Now()
+	for w := 0; w < opts.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := next.Add(1)
+				if n > int64(opts.sweeps) {
+					return
+				}
+				seed := uint64((n-1)%int64(opts.seeds)) + 1
+				sctx, scancel := context.WithTimeout(context.Background(), opts.perSweep)
+				res, err := client.Run(sctx, spec(seed))
+				stuck := err != nil && sctx.Err() == context.DeadlineExceeded
+				scancel()
+				mu.Lock()
+				switch {
+				case stuck:
+					fail("sweep %d (seed %d) stuck: exceeded the %v per-sweep deadline", n, seed, opts.perSweep)
+				case err != nil:
+					fail("sweep %d (seed %d): %v", n, seed, err)
+				case !reflect.DeepEqual(normOperators(res.Operators), refs[seed]):
+					fail("sweep %d (seed %d): results diverge from the single-node reference", n, seed)
+				default:
+					completed.Add(1)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// A fast load run can finish before the kill cycle fires; give the
+	// schedule its full worst-case window so the kill/rejoin is actually
+	// exercised, then cancel (cancellation restarts any downed node).
+	cfg := inj.Config()
+	killBudget := time.Duration(cfg.Kill.Count)*(cfg.Kill.MaxDelay+cfg.Kill.MaxDown) + 10*time.Second
+	select {
+	case err := <-killDone:
+		if err != nil && err != context.Canceled {
+			fail("kill schedule: %v", err)
+		}
+	case <-time.After(killBudget):
+		killCancel()
+		if err := <-killDone; err != nil && err != context.Canceled {
+			fail("kill schedule: %v", err)
+		}
+	}
+	killCancel()
+
+	log.Printf("%d/%d sweeps completed identical to vos.Local in %v",
+		completed.Load(), opts.sweeps, elapsed.Round(time.Millisecond))
+	for i, u := range lc.URLs() {
+		stats, err := client.CacheStats(context.Background())
+		if i > 0 {
+			// CacheStats talks to node 0; ask the members directly for
+			// the rest of the fleet via their engines.
+			s := lc.Members()[i].Node.Engine().CacheStats()
+			log.Printf("node %d %s: peerErrors %d writeErrors %d corrupt %d degraded %v (degradedWrites %d)",
+				i, u, s.PeerErrors, s.WriteErrors, s.CorruptEntries, s.DiskDegraded, s.DegradedWrites)
+			continue
+		}
+		if err != nil {
+			fail("node 0 stats unavailable: %v", err)
+			continue
+		}
+		log.Printf("node %d %s: hits %d (peer %d) misses %d executions %d peerErrors %d degraded %v",
+			i, u, stats.Hits, stats.PeerHits, stats.Misses, stats.Executions, stats.PeerErrors, stats.DiskDegraded)
+	}
+
+	// The fault log: every injected fault in (site, index) order, then
+	// the replay check — regenerating each site's schedule from the bare
+	// seed must reproduce the log decision for decision.
+	counts := inj.Counts()
+	log.Printf("faults injected: http %d, server %d, fs.write %d, fs.rename %d, fs.read %d, kill %d",
+		counts[chaos.SiteHTTP], counts[chaos.SiteServer], counts[chaos.SiteFSWrite],
+		counts[chaos.SiteFSRename], counts[chaos.SiteFSRead], counts[chaos.SiteKill])
+	if opts.logPath != "" {
+		f, err := os.Create(opts.logPath)
+		if err != nil {
+			fail("fault log: %v", err)
+		} else {
+			if err := inj.WriteLog(f); err != nil {
+				fail("fault log: %v", err)
+			}
+			f.Close()
+			log.Printf("fault log written to %s", opts.logPath)
+		}
+	}
+	if err := inj.Verify(); err != nil {
+		fail("fault schedule replay: %v", err)
+	} else {
+		log.Printf("fault schedule replay: log matches the seed-regenerated schedule")
+	}
+
+	// Teardown, then the leak check: everything the soak started —
+	// nodes, streams, push workers, kill cycles — must unwind.
+	client.Close()
+	lc.Close()
+	if leaked := baseline.CheckLeaks(10 * time.Second); len(leaked) > 0 {
+		fail("%d goroutine(s) leaked:", len(leaked))
+		for _, sig := range leaked {
+			fmt.Fprintf(os.Stderr, "--- leaked goroutine ---\n%s\n", sig)
+		}
+	}
+
+	if failures > 0 {
+		log.Printf("chaos soak FAILED: %d failure(s)", failures)
+		return 1
+	}
+	log.Printf("chaos soak passed")
+	return 0
+}
+
+// normOperators deep-copies operator results with the cache provenance
+// flag cleared: whether a point came from simulation, the disk tier or
+// a peer fill is exactly what the soak varies, while the values must
+// never change.
+func normOperators(ops []vos.Operator) []vos.Operator {
+	out := append([]vos.Operator(nil), ops...)
+	for i := range out {
+		out[i].Points = append([]vos.Point(nil), out[i].Points...)
+		for j := range out[i].Points {
+			out[i].Points[j].FromCache = false
+		}
+	}
+	return out
+}

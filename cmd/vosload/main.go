@@ -23,6 +23,17 @@
 // sweep of each seed paid for real simulation, every later one is the
 // cache-serving path, and lumping the two into one percentile hides
 // both numbers.
+//
+// -chaos-seed N switches vosload into its resilience soak: a seeded,
+// fully reproducible fault schedule (injected latency, 5xx, connection
+// resets, truncated event streams, corrupt and oversized cache bodies,
+// disk-cache write faults, and a node kill/rejoin cycle) runs against
+// the in-process cluster while sweeps flow through the untouched
+// coordinator node. The soak fails unless every sweep completes with
+// results identical to a fault-free single-node run, nothing wedges,
+// the fault log replays exactly from the seed, and no goroutines leak:
+//
+//	vosload -chaos-seed 1 -chaos-sweeps 60 -seeds 4 -patterns 80
 package main
 
 import (
@@ -53,10 +64,32 @@ func main() {
 		patterns    = flag.Int("patterns", 200, "stimulus patterns per operating point")
 		seeds       = flag.Int("seeds", 1, "distinct seeds rotated across workers (1 = fully cacheable load)")
 		workers     = flag.Int("workers", 0, "per-node engine workers for the in-process cluster (0 = NumCPU)")
+		chaosSeed   = flag.Uint64("chaos-seed", 0, "run the seeded fault-injection soak instead of the load test (0 = off)")
+		chaosSweeps = flag.Int("chaos-sweeps", 60, "sweeps the chaos soak must complete")
+		chaosLog    = flag.String("chaos-log", "chaos.log", "fault-log path for the chaos soak (empty = don't write)")
 	)
 	flag.Parse()
 	if *concurrency < 1 || *seeds < 1 {
 		log.Fatal("need -concurrency >= 1 and -seeds >= 1")
+	}
+	if *chaosSeed != 0 {
+		if *targets != "" {
+			log.Fatal("the chaos soak injects faults into its own in-process cluster; -targets is incompatible")
+		}
+		if *nodes < 2 {
+			log.Fatal("the chaos soak needs -nodes >= 2: the kill schedule only targets non-coordinator members")
+		}
+		os.Exit(runChaos(chaosOptions{
+			seed:        *chaosSeed,
+			sweeps:      *chaosSweeps,
+			nodes:       *nodes,
+			concurrency: *concurrency,
+			workers:     *workers,
+			patterns:    *patterns,
+			seeds:       *seeds,
+			logPath:     *chaosLog,
+			perSweep:    2 * time.Minute,
+		}))
 	}
 
 	var urls []string

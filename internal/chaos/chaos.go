@@ -1,0 +1,464 @@
+// Package chaos is the fabric's deterministic fault-injection layer: a
+// seeded Injector whose decisions are a pure function of (seed, site,
+// index), threaded through the cluster's existing seams — the outbound
+// HTTP transport (Transport), the inbound handler chain (Middleware),
+// the disk cache's filesystem operations (the engine.CacheFaultInjector
+// methods) and node kill/restart scheduling (RunKillSchedule).
+//
+// Determinism is the whole point: every injection site draws from its
+// own seeded stream, so the i-th decision at a site is identical across
+// runs of the same seed regardless of goroutine interleaving. Every
+// fault that fires is appended to a replayable log tagged with its
+// (site, index); Verify regenerates the schedule from the seed and
+// checks the log against it, which is how a failing chaos soak is
+// reproduced exactly from its seed.
+//
+// The package deliberately imports nothing from the fabric it breaks
+// (engine, cluster, vos): the seams are plain net/http types and
+// structurally-matched interfaces, so chaos can wrap any layer without
+// dependency cycles.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Site names of the injector's independent decision streams. Each site
+// draws from its own stream, so the number of draws at one site never
+// shifts the schedule of another.
+const (
+	// SiteHTTP is the outbound client transport (Transport).
+	SiteHTTP = "http"
+	// SiteServer is the inbound handler middleware (Middleware).
+	SiteServer = "server"
+	// SiteFSWrite, SiteFSRename and SiteFSRead are the disk cache's
+	// filesystem operations (the engine.CacheFaultInjector methods).
+	SiteFSWrite  = "fs.write"
+	SiteFSRename = "fs.rename"
+	SiteFSRead   = "fs.read"
+	// SiteKill is the node kill/restart schedule (RunKillSchedule).
+	SiteKill = "kill"
+)
+
+// Fault classes drawn at the HTTP sites. FaultNone means the request
+// passes through untouched.
+const (
+	FaultNone     = "none"
+	FaultLatency  = "latency"
+	FaultError5xx = "error5xx"
+	FaultReset    = "reset"
+	FaultTruncate = "truncate"
+	FaultCorrupt  = "corrupt"
+	FaultOversize = "oversize"
+	// Filesystem fault classes.
+	FaultWriteFail  = "write-fail"
+	FaultShortWrite = "short-write"
+	FaultRenameFail = "rename-fail"
+	FaultReadFail   = "read-fail"
+	// Kill-schedule classes.
+	FaultKill    = "kill"
+	FaultRestart = "restart"
+)
+
+// HTTPFaults are the per-request fault probabilities of one HTTP site.
+// The probabilities are cumulative over one uniform draw, so their sum
+// must be ≤ 1; the remainder is the no-fault case.
+type HTTPFaults struct {
+	// Latency delays the request by up to MaxLatency (uniform).
+	Latency    float64
+	MaxLatency time.Duration
+	// Error5xx answers with a synthesized 503 envelope without reaching
+	// the backend.
+	Error5xx float64
+	// Reset fails the round trip with a connection-reset error (client
+	// side) or severs the connection mid-response (server side) — which
+	// is what truncates NDJSON event streams.
+	Reset float64
+	// Truncate forwards the request but cuts the response body short
+	// with an unexpected EOF.
+	Truncate float64
+	// Corrupt forwards the request but garbles the response body so it
+	// is no longer valid JSON.
+	Corrupt float64
+	// Oversize replaces cache-entry GET bodies with a response larger
+	// than the peer tier's 8 MB entry cap (other requests are corrupted
+	// instead).
+	Oversize float64
+}
+
+// FSFaults are the per-operation fault probabilities of the disk-cache
+// filesystem sites.
+type FSFaults struct {
+	// WriteFail fails an entry's temp-file write outright.
+	WriteFail float64
+	// ShortWrite publishes only a prefix of the entry — modeling a torn
+	// write that still got renamed into place — to exercise the
+	// corrupt-entry recovery backstop.
+	ShortWrite float64
+	// RenameFail fails the publishing rename.
+	RenameFail float64
+	// ReadFail fails an entry read.
+	ReadFail float64
+}
+
+// KillFaults schedules node crashes for RunKillSchedule.
+type KillFaults struct {
+	// Count is how many kill/restart cycles to run; 0 disables.
+	Count int
+	// MinDelay/MaxDelay bound the seeded wait before each kill;
+	// MinDown/MaxDown bound how long the node stays dead.
+	MinDelay, MaxDelay time.Duration
+	MinDown, MaxDown   time.Duration
+}
+
+// Config is one injector's complete fault schedule parameterization.
+type Config struct {
+	// Seed drives every decision stream; the same Seed and Config
+	// reproduce the same per-site schedules exactly.
+	Seed uint64
+	// Client and Server parameterize the Transport and Middleware HTTP
+	// sites independently.
+	Client HTTPFaults
+	Server HTTPFaults
+	FS     FSFaults
+	Kill   KillFaults
+}
+
+// DefaultHTTPFaults is a moderate client/server fault mix: most
+// requests pass, but every class fires regularly over a soak.
+var DefaultHTTPFaults = HTTPFaults{
+	Latency:    0.10,
+	MaxLatency: 50 * time.Millisecond,
+	Error5xx:   0.04,
+	Reset:      0.03,
+	Truncate:   0.03,
+	Corrupt:    0.02,
+	Oversize:   0.01,
+}
+
+// DefaultFSFaults is a moderate disk-fault mix.
+var DefaultFSFaults = FSFaults{
+	WriteFail:  0.05,
+	ShortWrite: 0.03,
+	RenameFail: 0.03,
+	ReadFail:   0.02,
+}
+
+// DefaultConfig returns the soak default: every fault class enabled at
+// moderate rates, one kill/restart cycle.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:   seed,
+		Client: DefaultHTTPFaults,
+		Server: DefaultHTTPFaults,
+		FS:     DefaultFSFaults,
+		Kill: KillFaults{
+			Count:    1,
+			MinDelay: 2 * time.Second, MaxDelay: 5 * time.Second,
+			MinDown: 1 * time.Second, MaxDown: 3 * time.Second,
+		},
+	}
+}
+
+// Decision is one drawn fault: the site and index that produced it, the
+// class, and the class's scalar parameter (latency duration in
+// nanoseconds, truncation offset in bytes, kill victim index, …).
+type Decision struct {
+	Site  string
+	Index uint64
+	Fault string
+	Param int64
+}
+
+func (d Decision) String() string {
+	return fmt.Sprintf("%s#%d %s %d", d.Site, d.Index, d.Fault, d.Param)
+}
+
+// Injector draws seeded fault decisions and records the ones that fire.
+// All methods are safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	sites map[string]*siteStream
+}
+
+// siteStream is one site's decision stream: its derived sub-seed, the
+// next index, and the log of non-none decisions drawn so far.
+type siteStream struct {
+	base uint64
+	next uint64
+	log  []Decision
+}
+
+// New returns an Injector for the config.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, sites: make(map[string]*siteStream)}
+}
+
+// Config returns the injector's configuration.
+func (inj *Injector) Config() Config { return inj.cfg }
+
+// splitmix64 is the SplitMix64 output function: a bijective mix whose
+// outputs over sequential inputs pass statistical tests — the standard
+// cheap way to derive independent streams from one seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// siteBase derives a site's sub-seed from the injector seed and the
+// site name, so each site's stream is independent of every other's.
+func siteBase(seed uint64, site string) uint64 {
+	h := splitmix64(seed)
+	for i := 0; i < len(site); i++ {
+		h = splitmix64(h ^ uint64(site[i]))
+	}
+	return h
+}
+
+// unit maps a (base, index, round) triple to a uniform float64 in
+// [0, 1). round selects independent values for the same index (the
+// class draw and its parameter draw).
+func unit(base, index, round uint64) float64 {
+	v := splitmix64(base ^ splitmix64(index*2+round))
+	return float64(v>>11) / float64(1<<53)
+}
+
+// draw advances a site's stream by one index and returns the decision,
+// logging it when a fault fired. classify maps the two uniform draws to
+// a decision.
+func (inj *Injector) draw(site string, classify func(u, p float64) (string, int64)) Decision {
+	inj.mu.Lock()
+	st := inj.sites[site]
+	if st == nil {
+		st = &siteStream{base: siteBase(inj.cfg.Seed, site)}
+		inj.sites[site] = st
+	}
+	idx := st.next
+	st.next++
+	fault, param := classify(unit(st.base, idx, 0), unit(st.base, idx, 1))
+	d := Decision{Site: site, Index: idx, Fault: fault, Param: param}
+	if fault != FaultNone {
+		st.log = append(st.log, d)
+	}
+	inj.mu.Unlock()
+	return d
+}
+
+// classifyHTTP maps one uniform draw to an HTTP fault class by
+// cumulative thresholds, with the second draw parameterizing it.
+func classifyHTTP(f HTTPFaults, u, p float64) (string, int64) {
+	cut := f.Latency
+	if u < cut {
+		max := f.MaxLatency
+		if max <= 0 {
+			max = 50 * time.Millisecond
+		}
+		return FaultLatency, int64(p * float64(max))
+	}
+	if cut += f.Error5xx; u < cut {
+		return FaultError5xx, 0
+	}
+	if cut += f.Reset; u < cut {
+		return FaultReset, 0
+	}
+	if cut += f.Truncate; u < cut {
+		// Cut the body after 1..512 bytes: early enough to land inside
+		// the first NDJSON event of a stream.
+		return FaultTruncate, 1 + int64(p*511)
+	}
+	if cut += f.Corrupt; u < cut {
+		return FaultCorrupt, 0
+	}
+	if cut += f.Oversize; u < cut {
+		return FaultOversize, 0
+	}
+	return FaultNone, 0
+}
+
+// httpDecision draws the next decision for an HTTP site.
+func (inj *Injector) httpDecision(site string, f HTTPFaults) Decision {
+	return inj.draw(site, func(u, p float64) (string, int64) { return classifyHTTP(f, u, p) })
+}
+
+// WriteFault implements the engine disk-cache fault seam: truncate > 0
+// publishes only that many leading bytes of the entry, fail fails the
+// write outright.
+func (inj *Injector) WriteFault(key string) (truncate int, fail bool) {
+	d := inj.draw(SiteFSWrite, func(u, p float64) (string, int64) {
+		if u < inj.cfg.FS.WriteFail {
+			return FaultWriteFail, 0
+		}
+		if u < inj.cfg.FS.WriteFail+inj.cfg.FS.ShortWrite {
+			// Keep 1..64 bytes: short enough to always truncate a JSON
+			// result entry into invalid bytes.
+			return FaultShortWrite, 1 + int64(p*63)
+		}
+		return FaultNone, 0
+	})
+	switch d.Fault {
+	case FaultWriteFail:
+		return 0, true
+	case FaultShortWrite:
+		return int(d.Param), false
+	}
+	return 0, false
+}
+
+// RenameFault implements the engine disk-cache fault seam.
+func (inj *Injector) RenameFault(key string) bool {
+	d := inj.draw(SiteFSRename, func(u, p float64) (string, int64) {
+		if u < inj.cfg.FS.RenameFail {
+			return FaultRenameFail, 0
+		}
+		return FaultNone, 0
+	})
+	return d.Fault == FaultRenameFail
+}
+
+// ReadFault implements the engine disk-cache fault seam.
+func (inj *Injector) ReadFault(key string) bool {
+	d := inj.draw(SiteFSRead, func(u, p float64) (string, int64) {
+		if u < inj.cfg.FS.ReadFail {
+			return FaultReadFail, 0
+		}
+		return FaultNone, 0
+	})
+	return d.Fault == FaultReadFail
+}
+
+// Log returns every fault that fired so far, ordered by site then
+// index — the canonical replayable order, independent of the goroutine
+// interleaving that drew them.
+func (inj *Injector) Log() []Decision {
+	inj.mu.Lock()
+	var out []Decision
+	names := make([]string, 0, len(inj.sites))
+	for name := range inj.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out = append(out, inj.sites[name].log...)
+	}
+	inj.mu.Unlock()
+	return out
+}
+
+// Counts returns the number of decisions drawn per site.
+func (inj *Injector) Counts() map[string]uint64 {
+	inj.mu.Lock()
+	out := make(map[string]uint64, len(inj.sites))
+	for name, st := range inj.sites {
+		out[name] = st.next
+	}
+	inj.mu.Unlock()
+	return out
+}
+
+// WriteLog writes the fault log as one line per fired fault.
+func (inj *Injector) WriteLog(w io.Writer) error {
+	for _, d := range inj.Log() {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Schedule regenerates a site's first n decisions (fired faults only)
+// from a config alone — the pure-function form of the stream an
+// Injector draws live. Two runs of the same seed produce logs that are
+// prefixes of each other per site; Schedule is how either is checked.
+func Schedule(cfg Config, site string, n uint64) []Decision {
+	inj := New(cfg)
+	classify := inj.classifier(site)
+	base := siteBase(cfg.Seed, site)
+	var out []Decision
+	for idx := uint64(0); idx < n; idx++ {
+		fault, param := classify(unit(base, idx, 0), unit(base, idx, 1))
+		if fault != FaultNone {
+			out = append(out, Decision{Site: site, Index: idx, Fault: fault, Param: param})
+		}
+	}
+	return out
+}
+
+// classifier returns the decision function of a site.
+func (inj *Injector) classifier(site string) func(u, p float64) (string, int64) {
+	switch site {
+	case SiteHTTP:
+		return func(u, p float64) (string, int64) { return classifyHTTP(inj.cfg.Client, u, p) }
+	case SiteServer:
+		return func(u, p float64) (string, int64) { return classifyHTTP(inj.cfg.Server, u, p) }
+	case SiteFSWrite:
+		return func(u, p float64) (string, int64) {
+			if u < inj.cfg.FS.WriteFail {
+				return FaultWriteFail, 0
+			}
+			if u < inj.cfg.FS.WriteFail+inj.cfg.FS.ShortWrite {
+				return FaultShortWrite, 1 + int64(p*63)
+			}
+			return FaultNone, 0
+		}
+	case SiteFSRename:
+		return func(u, p float64) (string, int64) {
+			if u < inj.cfg.FS.RenameFail {
+				return FaultRenameFail, 0
+			}
+			return FaultNone, 0
+		}
+	case SiteFSRead:
+		return func(u, p float64) (string, int64) {
+			if u < inj.cfg.FS.ReadFail {
+				return FaultReadFail, 0
+			}
+			return FaultNone, 0
+		}
+	case SiteKill:
+		return classifyKill
+	}
+	return func(u, p float64) (string, int64) { return FaultNone, 0 }
+}
+
+// Verify checks that the injector's fault log matches the schedule its
+// seed implies: for every site, the logged decisions must equal
+// Schedule(cfg, site, drawn-count). A mismatch means a decision was not
+// a pure function of (seed, site, index) — the determinism the replay
+// workflow rests on — and is returned as an error.
+func (inj *Injector) Verify() error {
+	inj.mu.Lock()
+	type siteState struct {
+		name string
+		n    uint64
+		log  []Decision
+	}
+	var sites []siteState
+	for name, st := range inj.sites {
+		sites = append(sites, siteState{name, st.next, append([]Decision(nil), st.log...)})
+	}
+	cfg := inj.cfg
+	inj.mu.Unlock()
+	for _, st := range sites {
+		want := Schedule(cfg, st.name, st.n)
+		if len(want) != len(st.log) {
+			return fmt.Errorf("chaos: site %s logged %d faults, schedule has %d", st.name, len(st.log), len(want))
+		}
+		for i := range want {
+			if want[i] != st.log[i] {
+				return fmt.Errorf("chaos: site %s decision %d: logged %v, schedule %v", st.name, i, st.log[i], want[i])
+			}
+		}
+	}
+	return nil
+}

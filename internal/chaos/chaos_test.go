@@ -1,0 +1,283 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// aggressive returns a config where every HTTP draw faults, split
+// evenly across the classes — used to hit every branch quickly.
+func aggressive(seed uint64) Config {
+	f := HTTPFaults{
+		Latency: 0.15, MaxLatency: time.Millisecond,
+		Error5xx: 0.25, Reset: 0.2, Truncate: 0.2, Corrupt: 0.1, Oversize: 0.1,
+	}
+	return Config{
+		Seed:   seed,
+		Client: f,
+		Server: f,
+		FS:     FSFaults{WriteFail: 0.3, ShortWrite: 0.3, RenameFail: 0.3, ReadFail: 0.3},
+	}
+}
+
+// TestDeterministicSchedule: the same seed reproduces the same fault
+// log regardless of how many goroutines drew the decisions, and a
+// different seed produces a different one.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := DefaultConfig(42)
+	run := func(workers int) []Decision {
+		inj := New(cfg)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					inj.httpDecision(SiteHTTP, cfg.Client)
+					inj.WriteFault("k")
+					inj.ReadFault("k")
+				}
+			}()
+		}
+		wg.Wait()
+		if err := inj.Verify(); err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+		}
+		return inj.Log()
+	}
+	serial, concurrent := run(1), run(4)
+	// 4 workers draw 4x the decisions; the serial log must be a prefix
+	// of the concurrent one per site.
+	bySite := func(log []Decision) map[string][]Decision {
+		m := make(map[string][]Decision)
+		for _, d := range log {
+			m[d.Site] = append(m[d.Site], d)
+		}
+		return m
+	}
+	sm, cm := bySite(serial), bySite(concurrent)
+	for site, sl := range sm {
+		cl := cm[site]
+		if len(cl) < len(sl) {
+			t.Fatalf("site %s: concurrent log shorter than serial (%d < %d)", site, len(cl), len(sl))
+		}
+		if !reflect.DeepEqual(sl, cl[:len(sl)]) {
+			t.Fatalf("site %s: serial log is not a prefix of concurrent log", site)
+		}
+	}
+	if len(serial) == 0 {
+		t.Fatal("no faults fired; config too timid for the test")
+	}
+
+	other := New(Config{Seed: 43, Client: cfg.Client, FS: cfg.FS})
+	for i := 0; i < 200; i++ {
+		other.httpDecision(SiteHTTP, cfg.Client)
+	}
+	if reflect.DeepEqual(sm[SiteHTTP], bySite(other.Log())[SiteHTTP]) {
+		t.Fatal("different seeds produced identical http schedules")
+	}
+}
+
+// TestScheduleMatchesLiveDraws: Schedule regenerates exactly what a
+// live injector drew, which is the replay contract.
+func TestScheduleMatchesLiveDraws(t *testing.T) {
+	cfg := aggressive(7)
+	inj := New(cfg)
+	for i := 0; i < 500; i++ {
+		inj.httpDecision(SiteHTTP, cfg.Client)
+	}
+	want := Schedule(cfg, SiteHTTP, 500)
+	var got []Decision
+	for _, d := range inj.Log() {
+		if d.Site == SiteHTTP {
+			got = append(got, d)
+		}
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("Schedule disagrees with live draws: %d vs %d entries", len(want), len(got))
+	}
+}
+
+// TestTransportFaultClasses drives the transport until every client
+// fault class has fired and checks each observable effect.
+func TestTransportFaultClasses(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok":true,"pad":"`+strings.Repeat("x", 2048)+`"}`)
+	}))
+	defer backend.Close()
+
+	inj := New(aggressive(11))
+	client := &http.Client{Transport: inj.Transport(nil)}
+	seen := map[string]bool{}
+	for i := 0; i < 300 && len(seen) < 5; i++ {
+		// Alternate cache-entry and plain paths so oversize gets both.
+		url := backend.URL + "/v1/sweeps"
+		if i%2 == 0 {
+			url = backend.URL + "/v1/cache/entries/" + strings.Repeat("ab", 32)
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			if !errors.Is(err, syscall.ECONNRESET) {
+				t.Fatalf("unexpected transport error: %v", err)
+			}
+			seen[FaultReset] = true
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			if !strings.Contains(string(body), `"code":"internal"`) {
+				t.Fatalf("503 body missing envelope: %q", body)
+			}
+			seen[FaultError5xx] = true
+		case rerr != nil:
+			if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+				t.Fatalf("unexpected body error: %v", rerr)
+			}
+			seen[FaultTruncate] = true
+		case len(body) > maxPeerEntryBytes:
+			seen[FaultOversize] = true
+		case !strings.HasPrefix(string(body), `{"ok"`):
+			seen[FaultCorrupt] = true
+		}
+	}
+	for _, f := range []string{FaultError5xx, FaultReset, FaultTruncate, FaultCorrupt, FaultOversize} {
+		if !seen[f] {
+			t.Errorf("fault class %s never observed", f)
+		}
+	}
+}
+
+// TestMiddlewareFaultClasses drives the middleware until 503s and
+// severed responses have both been observed from the client side.
+func TestMiddlewareFaultClasses(t *testing.T) {
+	inj := New(aggressive(13))
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok":true,"pad":"`+strings.Repeat("y", 4096)+`"}`)
+	})
+	srv := httptest.NewServer(inj.Middleware()(inner))
+	defer srv.Close()
+
+	seen := map[string]bool{}
+	for i := 0; i < 300 && len(seen) < 3; i++ {
+		resp, err := http.Get(srv.URL + "/v1/sweeps")
+		if err != nil {
+			seen[FaultReset] = true
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			seen[FaultError5xx] = true
+		case rerr != nil:
+			seen[FaultTruncate] = true
+		case !strings.HasPrefix(string(body), `{"ok"`):
+			t.Fatalf("middleware altered body content: %q", body[:32])
+		}
+	}
+	for _, f := range []string{FaultError5xx, FaultReset, FaultTruncate} {
+		if !seen[f] {
+			t.Errorf("server fault class %s never observed", f)
+		}
+	}
+}
+
+// TestFSFaultDraws checks the filesystem fault hooks draw all classes
+// and stay within parameter bounds.
+func TestFSFaultDraws(t *testing.T) {
+	inj := New(aggressive(17))
+	var fails, shorts, renames, reads int
+	for i := 0; i < 400; i++ {
+		trunc, fail := inj.WriteFault("k")
+		if fail {
+			fails++
+		}
+		if trunc > 0 {
+			shorts++
+			if trunc > 64 {
+				t.Fatalf("short-write truncation %d out of bounds", trunc)
+			}
+		}
+		if inj.RenameFault("k") {
+			renames++
+		}
+		if inj.ReadFault("k") {
+			reads++
+		}
+	}
+	if fails == 0 || shorts == 0 || renames == 0 || reads == 0 {
+		t.Fatalf("fs fault classes missed: fail=%d short=%d rename=%d read=%d", fails, shorts, renames, reads)
+	}
+}
+
+// fakeCluster records kill/restart calls for the schedule test.
+type fakeCluster struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (f *fakeCluster) Kill(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls = append(f.calls, "kill")
+	return nil
+}
+
+func (f *fakeCluster) Restart(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls = append(f.calls, "restart")
+	return nil
+}
+
+// TestKillScheduleRunsCycles: the schedule kills and restarts the
+// configured number of times, always pairing each kill with a restart.
+func TestKillScheduleRunsCycles(t *testing.T) {
+	cfg := Config{Seed: 3, Kill: KillFaults{
+		Count:    2,
+		MinDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+		MinDown: time.Millisecond, MaxDown: 2 * time.Millisecond,
+	}}
+	inj := New(cfg)
+	fc := &fakeCluster{}
+	if err := inj.RunKillSchedule(t.Context(), fc, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"kill", "restart", "kill", "restart"}
+	if !reflect.DeepEqual(fc.calls, want) {
+		t.Fatalf("schedule calls = %v, want %v", fc.calls, want)
+	}
+	if err := inj.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeakDetector: a deliberately leaked goroutine is reported; after
+// it exits the report clears.
+func TestLeakDetector(t *testing.T) {
+	base := SnapshotGoroutines()
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() { <-release; close(done) }()
+	leaked := base.CheckLeaks(100 * time.Millisecond)
+	if len(leaked) == 0 {
+		t.Fatal("blocked goroutine not reported as leaked")
+	}
+	close(release)
+	<-done
+	if leaked := base.CheckLeaks(2 * time.Second); len(leaked) != 0 {
+		t.Fatalf("leak report did not clear: %v", leaked)
+	}
+}

@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"context"
+	"time"
+)
+
+// KillRestarter is the slice of cluster.LocalCluster the kill schedule
+// drives; the interface keeps chaos free of a cluster import.
+type KillRestarter interface {
+	Kill(i int) error
+	Restart(i int) error
+}
+
+// classifyKill maps a kill-site draw to a victim fraction (param holds
+// the scaled uniform in parts-per-million; the schedule runner maps it
+// onto the eligible victim set).
+func classifyKill(u, p float64) (string, int64) {
+	return FaultKill, int64(u * 1e6)
+}
+
+// RunKillSchedule runs the seeded kill/restart schedule against lc
+// until cfg.Kill.Count cycles complete or ctx is done. victims lists
+// the killable node indices — the soak excludes the coordinator so its
+// clean client surface stays up. Each cycle draws one decision from
+// the "kill" site choosing the victim and, from the same decision's
+// parameter draw, the delay-before-kill and downtime within the
+// configured bounds. Blocks until done; run it in a goroutine.
+func (inj *Injector) RunKillSchedule(ctx context.Context, lc KillRestarter, victims []int) error {
+	k := inj.cfg.Kill
+	if k.Count <= 0 || len(victims) == 0 {
+		return nil
+	}
+	for cycle := 0; cycle < k.Count; cycle++ {
+		d := inj.draw(SiteKill, classifyKill)
+		u := float64(d.Param) / 1e6
+		victim := victims[int(u*float64(len(victims)))%len(victims)]
+		// Derive delay and downtime deterministically from the decision
+		// index so the whole cycle is one logged draw.
+		base := siteBase(inj.cfg.Seed, SiteKill)
+		delay := spanDuration(unit(base, d.Index, 2), k.MinDelay, k.MaxDelay)
+		down := spanDuration(unit(base, d.Index, 3), k.MinDown, k.MaxDown)
+
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if err := lc.Kill(victim); err != nil {
+			return err
+		}
+		select {
+		case <-time.After(down):
+		case <-ctx.Done():
+			// Restart even on cancellation so the cluster is whole for
+			// teardown assertions.
+			lc.Restart(victim)
+			return ctx.Err()
+		}
+		if err := lc.Restart(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spanDuration maps a uniform draw onto [min, max].
+func spanDuration(u float64, min, max time.Duration) time.Duration {
+	if max <= min {
+		return min
+	}
+	return min + time.Duration(u*float64(max-min))
+}

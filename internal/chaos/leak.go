@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Goroutine-leak detection by stack-snapshot diff. Deliberately free of
+// a testing dependency so the vosload chaos soak (a main binary) can
+// assert leak-freedom the same way the tests do.
+
+// GoroutineSnapshot is a baseline set of goroutine stack signatures.
+type GoroutineSnapshot map[string]int
+
+// SnapshotGoroutines captures the current goroutines as normalized
+// stack signatures. Take it before the work under test starts.
+func SnapshotGoroutines() GoroutineSnapshot {
+	snap := make(GoroutineSnapshot)
+	for _, sig := range goroutineSignatures() {
+		snap[sig]++
+	}
+	return snap
+}
+
+// CheckLeaks compares the current goroutines against the baseline,
+// retrying until deadline to let shutting-down goroutines drain, and
+// returns the stack signatures (with counts) still present beyond the
+// baseline. Empty means no leak.
+func (base GoroutineSnapshot) CheckLeaks(wait time.Duration) []string {
+	deadline := time.Now().Add(wait)
+	for {
+		leaked := base.diff()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (base GoroutineSnapshot) diff() []string {
+	current := make(map[string]int)
+	for _, sig := range goroutineSignatures() {
+		current[sig]++
+	}
+	var leaked []string
+	for sig, n := range current {
+		if extra := n - base[sig]; extra > 0 {
+			leaked = append(leaked, fmt.Sprintf("%d leaked goroutine(s):\n%s", extra, sig))
+		}
+	}
+	return leaked
+}
+
+// goroutineSignatures dumps all goroutine stacks and normalizes each
+// into a comparable signature: the header line (goroutine N [state])
+// and the volatile hex offsets/addresses are dropped so the same code
+// path always produces the same signature, and intrinsically transient
+// or process-lifetime goroutines are filtered out.
+func goroutineSignatures() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var sigs []string
+	for i, stack := range strings.Split(string(buf), "\n\n") {
+		if i == 0 {
+			// The calling goroutine's own stack comes first: it is alive
+			// in both the baseline and the check by construction, but its
+			// signature differs between the two call sites, so it would
+			// always read as a leak.
+			continue
+		}
+		lines := strings.Split(stack, "\n")
+		if len(lines) < 2 {
+			continue
+		}
+		var sig []string
+		for _, line := range lines[1:] { // drop "goroutine N [state]:"
+			if strings.HasPrefix(line, "\t") {
+				// "\tfile.go:123 +0x45" — drop the pc offset.
+				if i := strings.LastIndex(line, " +0x"); i >= 0 {
+					line = line[:i]
+				}
+			} else if i := strings.Index(line, "("); i >= 0 && strings.Contains(line[i:], "0x") {
+				// "pkg.fn(0xc000123456, ...)" — drop argument values.
+				line = line[:i] + "(...)"
+			}
+			sig = append(sig, line)
+		}
+		s := strings.Join(sig, "\n")
+		if s == "" || transientStack(s) {
+			continue
+		}
+		sigs = append(sigs, s)
+	}
+	return sigs
+}
+
+// transientStack reports stacks that are expected to outlive any
+// baseline diff window: idle HTTP keep-alive connection goroutines
+// (owned by shared transports and reaped on their own schedule), the
+// testing runner itself, and runtime-internal helpers.
+func transientStack(sig string) bool {
+	for _, frame := range []string{
+		"net/http.(*persistConn).readLoop",
+		"net/http.(*persistConn).writeLoop",
+		"net/http.setRequestCancel",
+		"testing.(*T).Run",
+		"testing.(*M).Run",
+		"testing.runTests",
+		"testing.tRunner",
+		"time.goFunc",
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime.forcegchelper",
+		"signal.signal_recv",
+		"runtime/pprof",
+	} {
+		if strings.Contains(sig, frame) {
+			return true
+		}
+	}
+	return false
+}

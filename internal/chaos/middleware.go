@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Middleware wraps next with the injector's server-side fault schedule
+// (site "server"). Each inbound request draws one decision:
+//
+//   - latency: delay before handling.
+//   - error5xx: answer 503 with the httpapi error envelope without
+//     invoking the handler — the request provably had no effect.
+//   - reset: sever the connection. For already-streaming responses
+//     (the NDJSON events endpoint after a few events) the abort lands
+//     mid-body, which is how truncated event streams are produced
+//     server-side. The abort is deferred past a short prefix of the
+//     handler's run via a countdown writer, so streams get to emit
+//     before dying.
+//   - truncate: stop writing the response after a seeded number of
+//     bytes and then sever — a torn response with a valid prefix.
+//   - corrupt/oversize fold into truncate server-side: a garbled
+//     server response and a torn one exercise the same client decode
+//     path, and the transport already covers body corruption.
+func (inj *Injector) Middleware() func(http.Handler) http.Handler {
+	return inj.Wrap
+}
+
+// Wrap applies the injector's server-side schedule to one handler.
+func (inj *Injector) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := inj.httpDecision(SiteServer, inj.cfg.Server)
+		switch d.Fault {
+		case FaultLatency:
+			select {
+			case <-time.After(time.Duration(d.Param)):
+			case <-r.Context().Done():
+				return
+			}
+		case FaultError5xx:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"error":{"code":"internal","message":"chaos: injected 503 (%s)"}}`, d)
+			return
+		case FaultReset:
+			// ErrAbortHandler makes net/http drop the connection without
+			// a valid response — the server-side half of a reset.
+			panic(http.ErrAbortHandler)
+		case FaultTruncate, FaultCorrupt, FaultOversize:
+			lw := &limitWriter{ResponseWriter: w, remaining: d.Param}
+			if d.Fault != FaultTruncate {
+				// Corrupt/oversize draws sever later in the body than the
+				// early truncate cut, so long streams die mid-flight too.
+				lw.remaining = d.Param * 64
+			}
+			defer func() {
+				if lw.tripped {
+					panic(http.ErrAbortHandler)
+				}
+			}()
+			next.ServeHTTP(lw, r)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limitWriter forwards at most remaining bytes, then swallows the rest
+// and marks itself tripped so the wrapper can abort the connection —
+// producing a response with a valid prefix and a torn tail.
+type limitWriter struct {
+	http.ResponseWriter
+	remaining int64
+	tripped   bool
+}
+
+func (w *limitWriter) Write(p []byte) (int, error) {
+	if w.tripped {
+		return len(p), nil
+	}
+	if int64(len(p)) > w.remaining {
+		p2 := p[:w.remaining]
+		if len(p2) > 0 {
+			w.ResponseWriter.Write(p2)
+		}
+		w.tripped = true
+		if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+			fl.Flush()
+		}
+		return len(p), nil
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.remaining -= int64(n)
+	return n, err
+}
+
+func (w *limitWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}

@@ -1,0 +1,159 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// maxPeerEntryBytes mirrors the peer tier's per-entry cap; the oversize
+// fault synthesizes a body just past it so the receiving peer's size
+// guard — not an allocation blow-up — rejects the entry.
+const maxPeerEntryBytes = 8 << 20
+
+// Transport wraps base with the injector's client-side fault schedule
+// (site "http"). Each round trip draws one decision:
+//
+//   - latency: sleep, then forward normally.
+//   - error5xx: answer 503 with the httpapi error envelope without
+//     forwarding — the backend provably never saw the request, so the
+//     caller may retry even non-idempotent methods.
+//   - reset: fail with ECONNRESET without forwarding.
+//   - truncate: forward, then cut the response body short (unexpected
+//     EOF mid-read — what a dropped connection looks like to a
+//     streaming NDJSON consumer).
+//   - corrupt: forward, then garble the response body so JSON decoding
+//     fails; for cache-entry GETs, oversize instead inflates the body
+//     past the peer tier's entry cap.
+//
+// A nil base means http.DefaultTransport.
+func (inj *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{inj: inj, base: base}
+}
+
+type faultTransport struct {
+	inj  *Injector
+	base http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.inj.httpDecision(SiteHTTP, t.inj.cfg.Client)
+	switch d.Fault {
+	case FaultLatency:
+		select {
+		case <-time.After(time.Duration(d.Param)):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	case FaultError5xx:
+		// Synthesized without forwarding: drain the request body so the
+		// client's transport bookkeeping stays clean, then answer with
+		// the same envelope vosd's error path produces.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		body := fmt.Sprintf(`{"error":{"code":"internal","message":"chaos: injected 503 (%s)"}}`, d)
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      req.Proto, ProtoMajor: req.ProtoMajor, ProtoMinor: req.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case FaultReset:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("chaos: injected reset (%s): %w", d, syscall.ECONNRESET)
+	}
+
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	switch d.Fault {
+	case FaultTruncate:
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: d.Param}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+	case FaultCorrupt:
+		corruptResponse(resp)
+	case FaultOversize:
+		if req.Method == http.MethodGet && strings.Contains(req.URL.Path, "/v1/cache/entries/") {
+			oversizeResponse(resp)
+		} else {
+			corruptResponse(resp)
+		}
+	}
+	return resp, nil
+}
+
+// truncatedBody yields at most remaining bytes of the real body, then
+// fails the read the way a torn connection does.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF && b.remaining > 0 {
+		// Real body ended before the cut: pass EOF through unchanged.
+		return n, err
+	}
+	if b.remaining <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// corruptResponse replaces the body with bytes that are not valid JSON,
+// keeping the 200 status — the shape of a proxy or peer serving
+// garbage.
+func corruptResponse(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	garbage := []byte("\x00\xff{chaos corrupt body}\xfe\x01")
+	resp.Body = io.NopCloser(bytes.NewReader(garbage))
+	resp.ContentLength = int64(len(garbage))
+	resp.Header.Del("Content-Length")
+}
+
+// oversizeResponse replaces the body with one byte more than the peer
+// tier's entry cap, exercising the receiver's size guard.
+func oversizeResponse(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	resp.Body = io.NopCloser(io.LimitReader(zeroReader{}, maxPeerEntryBytes+1))
+	resp.ContentLength = maxPeerEntryBytes + 1
+	resp.Header.Del("Content-Length")
+}
+
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = '0'
+	}
+	return len(p), nil
+}

@@ -12,8 +12,9 @@ const (
 	// BreakerOpen: the peer failed repeatedly and is skipped until the
 	// cooldown elapses.
 	BreakerOpen = "open"
-	// BreakerProbing: the cooldown elapsed; the next request through is
-	// the probe that closes or re-opens the breaker.
+	// BreakerProbing: the cooldown elapsed and exactly one request — the
+	// half-open probe — is in flight; its outcome closes or re-opens the
+	// breaker. Every other request is still rejected.
 	BreakerProbing = "probing"
 )
 
@@ -36,45 +37,73 @@ const (
 	// breakerCooldown is how long an open breaker rejects before letting
 	// a probe through.
 	breakerCooldown = 5 * time.Second
+	// probeWindow is how long an outstanding half-open probe reserves
+	// its exclusive slot. A probe whose owner never reports back — a
+	// crashed goroutine, a request abandoned without a failure() —
+	// would otherwise hold the peer open forever; after the window the
+	// slot is forfeited and the next allow() becomes the probe.
+	probeWindow = 4 * breakerCooldown
 )
 
 // breaker is a per-peer circuit breaker: consecutive failures past the
 // threshold open it, and while open every allow() is rejected without a
 // network round trip — which is what keeps a dead peer from stalling
-// every cache fan-out and shard dispatch by its full timeout. After the
-// cooldown, requests flow again (probing); the first success closes it.
-// All methods are safe for concurrent use.
+// every cache fan-out and shard dispatch by its full timeout.
+//
+// Recovery is half-open: after the cooldown exactly one request is let
+// through as the probe while everything else keeps being rejected. The
+// probe's success closes the breaker; its failure re-opens it for
+// another cooldown. The pre-hardening behavior — all requests flow once
+// the cooldown elapses — meant every queued caller stampeded a barely
+// recovered peer simultaneously, each one burning a full timeout if the
+// peer was still down. All methods are safe for concurrent use.
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
 
-	mu        sync.Mutex
-	failures  int
-	openUntil time.Time
-	lastErr   string
+	mu         sync.Mutex
+	failures   int
+	openUntil  time.Time
+	probeStart time.Time // non-zero while the half-open probe is out
+	lastErr    string
 }
 
 func newBreaker() *breaker {
 	return &breaker{threshold: breakerThreshold, cooldown: breakerCooldown}
 }
 
-// allow reports whether a request should be attempted now.
+// allow reports whether a request should be attempted now. While open
+// it admits exactly one caller per cooldown window — the half-open
+// probe — whose success() or failure() decides the breaker's fate.
 func (b *breaker) allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.failures < b.threshold || !time.Now().Before(b.openUntil)
+	if b.failures < b.threshold {
+		return true
+	}
+	now := time.Now()
+	if now.Before(b.openUntil) {
+		return false
+	}
+	if !b.probeStart.IsZero() && now.Sub(b.probeStart) < probeWindow {
+		return false // a probe is already out; wait for its verdict
+	}
+	b.probeStart = now
+	return true
 }
 
 // success records a completed request and closes the breaker.
 func (b *breaker) success() {
 	b.mu.Lock()
 	b.failures = 0
+	b.probeStart = time.Time{}
 	b.lastErr = ""
 	b.mu.Unlock()
 }
 
 // failure records a failed request, (re-)opening the breaker once the
-// threshold is reached.
+// threshold is reached. A failed half-open probe re-opens immediately
+// for another full cooldown.
 func (b *breaker) failure(err error) {
 	b.mu.Lock()
 	b.failures++
@@ -83,6 +112,7 @@ func (b *breaker) failure(err error) {
 	}
 	if b.failures >= b.threshold {
 		b.openUntil = time.Now().Add(b.cooldown)
+		b.probeStart = time.Time{}
 	}
 	b.mu.Unlock()
 }
@@ -93,7 +123,9 @@ func (b *breaker) snapshot() BreakerStatus {
 	defer b.mu.Unlock()
 	st := BreakerStatus{State: BreakerClosed, Failures: b.failures, LastError: b.lastErr}
 	if b.failures >= b.threshold {
-		if time.Now().Before(b.openUntil) {
+		if !b.probeStart.IsZero() {
+			st.State = BreakerProbing
+		} else if time.Now().Before(b.openUntil) {
 			st.State = BreakerOpen
 		} else {
 			st.State = BreakerProbing

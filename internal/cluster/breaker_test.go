@@ -6,7 +6,7 @@ import (
 	"time"
 )
 
-// TestBreakerLifecycle walks closed → open → probing → closed.
+// TestBreakerLifecycle walks closed → open → half-open probe → closed.
 func TestBreakerLifecycle(t *testing.T) {
 	b := &breaker{threshold: 2, cooldown: 50 * time.Millisecond}
 	if !b.allow() {
@@ -24,13 +24,13 @@ func TestBreakerLifecycle(t *testing.T) {
 		t.Fatalf("open snapshot = %+v", st)
 	}
 
-	// Cooldown elapses: requests flow again as probes.
+	// Cooldown elapses: exactly one probe is admitted.
 	time.Sleep(60 * time.Millisecond)
 	if !b.allow() {
 		t.Fatal("cooldown elapsed: probe must be allowed")
 	}
 	if st := b.snapshot(); st.State != BreakerProbing {
-		t.Fatalf("post-cooldown state = %q", st.State)
+		t.Fatalf("probing state = %q", st.State)
 	}
 
 	// A failed probe re-opens it immediately.
@@ -41,11 +41,59 @@ func TestBreakerLifecycle(t *testing.T) {
 
 	// A successful probe closes it.
 	time.Sleep(60 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("second probe must be allowed")
+	}
 	b.success()
 	if !b.allow() {
 		t.Fatal("success must close the breaker")
 	}
 	if st := b.snapshot(); st.State != BreakerClosed || st.Failures != 0 || st.LastError != "" {
 		t.Fatalf("closed snapshot = %+v", st)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: while a probe is in flight, every
+// other caller keeps being rejected — the stampede the fixed cooldown
+// allowed must not happen.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := &breaker{threshold: 1, cooldown: 20 * time.Millisecond}
+	b.failure(errors.New("down"))
+	if b.allow() {
+		t.Fatal("breaker must be open")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("first caller after cooldown must become the probe")
+	}
+	for i := 0; i < 5; i++ {
+		if b.allow() {
+			t.Fatal("a second caller was admitted while the probe is out")
+		}
+	}
+	// The probe succeeds: the breaker closes for everyone.
+	b.success()
+	if !b.allow() || !b.allow() {
+		t.Fatal("closed breaker must admit all callers")
+	}
+}
+
+// TestBreakerStaleProbeForfeits: a probe whose owner never reports back
+// cannot wedge the peer closed forever — after the probe window the
+// slot is forfeited to the next caller.
+func TestBreakerStaleProbeForfeits(t *testing.T) {
+	b := &breaker{threshold: 1, cooldown: time.Millisecond}
+	b.failure(errors.New("down"))
+	time.Sleep(5 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("probe must be admitted")
+	}
+	// The probe owner vanishes without success() or failure(). Backdate
+	// the probe start past the window rather than sleeping 20s.
+	b.mu.Lock()
+	b.probeStart = time.Now().Add(-probeWindow - time.Second)
+	b.mu.Unlock()
+	if !b.allow() {
+		t.Fatal("stale probe must forfeit its slot to the next caller")
 	}
 }

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/vos"
+)
+
+// TestClusterChaosSweepMatchesLocal is the in-tree slice of the chaos
+// soak (cmd/vosload -chaos-seed runs the full version): a 3-node
+// cluster with the seeded fault schedule on every internal seam — peer
+// transport, member serving surfaces, disk caches — must still answer
+// every sweep DeepEqual-identical to a fault-free single-node client,
+// through a member crash and rejoin, without leaking goroutines.
+func TestClusterChaosSweepMatchesLocal(t *testing.T) {
+	base := chaos.SnapshotGoroutines()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	spec := func(seed uint64) *vos.Spec {
+		return vos.NewSpec().Arches("RCA").Widths(8).Patterns(300).Seed(seed)
+	}
+	ref, err := vos.NewLocal(vos.LocalOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64][]vos.Operator{}
+	for seed := uint64(1); seed <= 2; seed++ {
+		res, err := ref.Run(ctx, spec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed] = normPoints(res.Operators)
+	}
+	ref.Close()
+
+	inj := chaos.New(chaos.DefaultConfig(7))
+	lc, err := StartLocal(3, LocalOptions{
+		Workers:   2,
+		CacheRoot: t.TempDir(),
+		PerNode: func(i int, no *NodeOptions) {
+			no.Transport = inj.Transport(nil)
+			no.CacheFaults = inj
+			no.ShardCallTimeout = 5 * time.Second
+			no.ShardStallTimeout = 10 * time.Second
+			if i > 0 {
+				no.Middleware = inj.Middleware()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := vos.NewRemote(lc.URLs()[0], vos.RemoteOptions{JitterSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(n int, seed uint64) {
+		t.Helper()
+		res, err := client.Run(ctx, spec(seed))
+		if err != nil {
+			t.Fatalf("sweep %d (seed %d) under faults: %v", n, seed, err)
+		}
+		if !reflect.DeepEqual(normPoints(res.Operators), want[seed]) {
+			t.Fatalf("sweep %d (seed %d): results diverge from the fault-free reference", n, seed)
+		}
+	}
+	for n := 1; n <= 3; n++ {
+		run(n, uint64((n-1)%2)+1)
+	}
+	// Crash a non-coordinator member, sweep through the hole, then
+	// rejoin it and sweep again — the restarted node must be readmitted
+	// by its peers' half-open breaker probes.
+	if err := lc.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	run(4, 1)
+	if err := lc.Restart(2); err != nil {
+		t.Fatal(err)
+	}
+	for n := 5; n <= 6; n++ {
+		run(n, uint64((n-1)%2)+1)
+	}
+
+	// The fault log must replay exactly from the seed.
+	if err := inj.Verify(); err != nil {
+		t.Fatalf("fault schedule replay: %v", err)
+	}
+
+	client.Close()
+	lc.Close()
+	if leaked := base.CheckLeaks(10 * time.Second); len(leaked) > 0 {
+		t.Fatalf("%d goroutine signature(s) leaked after the chaos run:\n%s", len(leaked), leaked[0])
+	}
+}
+
+// normPoints deep-copies operators with FromCache cleared: provenance
+// is what the fault schedule perturbs; values must never move.
+func normPoints(ops []vos.Operator) []vos.Operator {
+	out := append([]vos.Operator(nil), ops...)
+	for i := range out {
+		out[i].Points = append([]vos.Point(nil), out[i].Points...)
+		for j := range out[i].Points {
+			out[i].Points[j].FromCache = false
+		}
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // LocalOptions configures StartLocal.
@@ -21,6 +22,11 @@ type LocalOptions struct {
 	CacheFanOut int
 	TenantQuota int
 	AccessLog   io.Writer
+	// PerNode, when non-nil, is called with each member's assembled
+	// NodeOptions before the node is built — the hook the chaos soak
+	// uses to install fault transports and middleware on a subset of
+	// the fleet (e.g. every node but the coordinator).
+	PerNode func(i int, opts *NodeOptions)
 }
 
 // LocalCluster is an in-process cluster of n real vosd nodes, each
@@ -38,6 +44,7 @@ type Member struct {
 	URL  string
 	Node *Node
 
+	opts   NodeOptions // for Restart: rebuild the node exactly as booted
 	srv    *http.Server
 	ln     net.Listener
 	killed bool
@@ -75,7 +82,7 @@ func StartLocal(n int, opts LocalOptions) (*LocalCluster, error) {
 		if opts.CacheRoot != "" {
 			cacheDir = filepath.Join(opts.CacheRoot, fmt.Sprintf("node%d", i))
 		}
-		node, err := NewNode(NodeOptions{
+		nodeOpts := NodeOptions{
 			Advertise:   urls[i],
 			Peers:       peers,
 			Workers:     opts.Workers,
@@ -83,7 +90,11 @@ func StartLocal(n int, opts LocalOptions) (*LocalCluster, error) {
 			CacheFanOut: opts.CacheFanOut,
 			TenantQuota: opts.TenantQuota,
 			AccessLog:   opts.AccessLog,
-		})
+		}
+		if opts.PerNode != nil {
+			opts.PerNode(i, &nodeOpts)
+		}
+		node, err := NewNode(nodeOpts)
 		if err != nil {
 			c.Close()
 			for _, l := range lns[i:] {
@@ -91,7 +102,7 @@ func StartLocal(n int, opts LocalOptions) (*LocalCluster, error) {
 			}
 			return nil, err
 		}
-		m := &Member{URL: urls[i], Node: node, ln: lns[i], srv: &http.Server{Handler: node.Handler()}}
+		m := &Member{URL: urls[i], Node: node, opts: nodeOpts, ln: lns[i], srv: &http.Server{Handler: node.Handler()}}
 		c.members = append(c.members, m)
 		go m.srv.Serve(m.ln)
 	}
@@ -112,18 +123,62 @@ func (c *LocalCluster) URLs() []string {
 
 // Kill hard-stops member i: the server closes immediately (in-flight
 // connections — event streams included — are severed, as a crashed
-// process would sever them) and the node shuts down. Idempotent.
-func (c *LocalCluster) Kill(i int) {
+// process would sever them) and the node shuts down. Idempotent. The
+// error return is always nil today; the signature matches the chaos
+// layer's KillRestarter seam.
+func (c *LocalCluster) Kill(i int) error {
 	m := c.members[i]
 	m.mu.Lock()
 	if m.killed {
 		m.mu.Unlock()
-		return
+		return nil
 	}
 	m.killed = true
 	m.mu.Unlock()
 	m.srv.Close()
 	m.Node.Close()
+	return nil
+}
+
+// Restart boots member i again on its original address with a fresh
+// Node built from the same options it was born with — the process
+// restart of a crashed daemon. The node rejoins the ring (membership is
+// static; peers' breakers re-admit it via their half-open probes) and,
+// when a cache root was configured, recovers its on-disk cache layer.
+// No-op if the member is running.
+func (c *LocalCluster) Restart(i int) error {
+	m := c.members[i]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.killed {
+		return nil
+	}
+	// Rebind the advertised address. The kernel can hold the port
+	// briefly after the old listener closes; retry over a short window.
+	addr := m.ln.Addr().String()
+	var ln net.Listener
+	var err error
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: restart node %d: rebind %s: %w", i, addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	node, err := NewNode(m.opts)
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("cluster: restart node %d: %w", i, err)
+	}
+	m.Node = node
+	m.ln = ln
+	m.srv = &http.Server{Handler: node.Handler()}
+	m.killed = false
+	go m.srv.Serve(ln)
+	return nil
 }
 
 // Close kills every member still running.

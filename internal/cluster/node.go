@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/engine/httpapi"
@@ -34,6 +36,24 @@ type NodeOptions struct {
 	// AccessLog, when non-nil, receives one JSON request-log line per
 	// completed request (httpapi.AccessEntry).
 	AccessLog io.Writer
+	// Transport overrides the HTTP transport for all outbound peer
+	// traffic (cache fills and shard sub-sweeps); nil means the default.
+	// internal/chaos wraps it to inject client-side faults.
+	Transport http.RoundTripper
+	// Middleware, when non-nil, wraps the node's HTTP handler outermost
+	// — in front of the access logger — so injected server-side faults
+	// look like network damage to clients. internal/chaos provides one.
+	Middleware func(http.Handler) http.Handler
+	// CacheFaults, when non-nil, is installed on the local disk cache's
+	// filesystem operations. internal/chaos provides one.
+	CacheFaults engine.CacheFaultInjector
+	// ShardCallTimeout bounds each unary shard RPC (submit, status
+	// poll, result fetch) against a peer; ≤0 selects the planner
+	// default. ShardStallTimeout bounds how long a dispatched shard may
+	// go without completing any point before the planner declares it
+	// stalled, cancels it and re-routes; ≤0 selects the default.
+	ShardCallTimeout  time.Duration
+	ShardStallTimeout time.Duration
 }
 
 // Node is one assembled cluster member: local cache, peer cache tier,
@@ -61,20 +81,26 @@ func NewNode(opts NodeOptions) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.CacheFaults != nil {
+		local.SetFaults(opts.CacheFaults)
+	}
 	n := &Node{advertise: opts.Advertise}
 	var store httpapi.CacheStore
 	engOpts := engine.Options{Workers: opts.Workers}
 	if clustered {
 		members := append(append([]string(nil), opts.Peers...), opts.Advertise)
 		n.ring = NewRing(members, opts.Replicas)
-		n.peers, err = newPeerSet(opts.Advertise, members)
+		n.peers, err = newPeerSet(opts.Advertise, members, opts.Transport)
 		if err != nil {
 			return nil, err
 		}
 		n.pc = NewPeerCache(local, n.ring, n.peers, PeerCacheOptions{FanOut: opts.CacheFanOut})
 		store = n.pc
 		engOpts.Backend = n.pc
-		engOpts.Sharder = NewPlanner(opts.Advertise, n.ring, n.peers)
+		engOpts.Sharder = NewPlanner(opts.Advertise, n.ring, n.peers, PlannerOptions{
+			CallTimeout:  opts.ShardCallTimeout,
+			StallTimeout: opts.ShardStallTimeout,
+		})
 	} else {
 		store = localStore{local}
 		engOpts.Cache = local
@@ -96,6 +122,9 @@ func NewNode(opts NodeOptions) (*Node, error) {
 	n.handler = httpapi.New(n.eng, httpOpts...)
 	if opts.AccessLog != nil {
 		n.handler = httpapi.AccessLog(n.handler, opts.AccessLog, n.eng.CacheStats)
+	}
+	if opts.Middleware != nil {
+		n.handler = opts.Middleware(n.handler)
 	}
 	return n, nil
 }
@@ -149,5 +178,5 @@ func (n *Node) Status() Status {
 // peer can fill from this node) even before it joins a cluster.
 type localStore struct{ c *engine.Cache }
 
-func (s localStore) GetLocal(key string) ([]byte, bool) { return s.c.Get(key) }
+func (s localStore) GetLocal(key string) ([]byte, bool) { return s.c.Get(context.Background(), key) }
 func (s localStore) PutLocal(key string, data []byte)   { s.c.Put(key, data) }

@@ -99,13 +99,19 @@ func (pc *PeerCache) Close() {
 // Get implements engine.CacheBackend: local layers first, then up to
 // FanOut live peers in the key's ring-ownership order. A peer hit is
 // written through to the local layers, so each key is fetched over the
-// network at most once per node.
-func (pc *PeerCache) Get(key string) ([]byte, bool) {
-	if data, ok := pc.local.Get(key); ok {
+// network at most once per node. Peer fetches run under the caller's
+// context joined with the cache's lifetime, so a sweep hitting its
+// deadline (or being canceled) abandons its network fetches instead of
+// riding out the full per-fetch timeout against a slow peer.
+func (pc *PeerCache) Get(ctx context.Context, key string) ([]byte, bool) {
+	if data, ok := pc.local.Get(ctx, key); ok {
 		return data, true
 	}
 	consulted := 0
 	for _, member := range pc.ring.Sequence(key) {
+		if ctx.Err() != nil {
+			break
+		}
 		if consulted >= pc.fanOut {
 			break
 		}
@@ -114,8 +120,19 @@ func (pc *PeerCache) Get(key string) ([]byte, bool) {
 			continue
 		}
 		consulted++
-		data, found, err := p.fetchEntry(pc.ctx, key)
+		// Join the caller's context with the cache's lifetime: either
+		// cancels the fetch.
+		fctx, cancel := context.WithCancel(ctx)
+		stop := context.AfterFunc(pc.ctx, cancel)
+		data, found, err := p.fetchEntry(fctx, key)
+		stop()
+		cancel()
 		if err != nil {
+			if ctx.Err() != nil {
+				// The caller gave up, the peer didn't fail: no breaker
+				// strike, no error count.
+				break
+			}
 			pc.peerErrors.Add(1)
 			p.br.failure(err)
 			continue
@@ -157,7 +174,9 @@ func (pc *PeerCache) Put(key string, data []byte) {
 }
 
 // Stats implements engine.CacheBackend: the local layers' counters with
-// the peer tier's merged in.
+// the peer tier's merged in, plus the replication queue's backlog
+// gauges (current depth against capacity) so push backpressure is
+// visible before it turns into PeerPushDrops.
 func (pc *PeerCache) Stats() engine.CacheStats {
 	s := pc.local.Stats()
 	s.PeerHits = pc.peerHits.Load()
@@ -165,12 +184,16 @@ func (pc *PeerCache) Stats() engine.CacheStats {
 	s.PeerErrors = pc.peerErrors.Load()
 	s.PeerPushes = pc.peerPushes.Load()
 	s.PeerPushDrops = pc.peerPushDrops.Load()
+	s.PeerPushQueueDepth = len(pc.pushCh)
+	s.PeerPushQueueCap = cap(pc.pushCh)
 	return s
 }
 
 // GetLocal implements httpapi.CacheStore: the peer-facing read path,
 // local layers only.
-func (pc *PeerCache) GetLocal(key string) ([]byte, bool) { return pc.local.Get(key) }
+func (pc *PeerCache) GetLocal(key string) ([]byte, bool) {
+	return pc.local.Get(context.Background(), key)
+}
 
 // PutLocal implements httpapi.CacheStore: the peer-facing write path,
 // local layers only — a pushed entry must not be re-replicated.

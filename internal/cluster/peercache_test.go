@@ -49,7 +49,7 @@ func newTestPeerCache(t *testing.T, self string, peerURLs ...string) *PeerCache 
 		t.Fatal(err)
 	}
 	members := append([]string{self}, peerURLs...)
-	ps, err := newPeerSet(self, members)
+	ps, err := newPeerSet(self, members, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,12 +67,12 @@ func TestPeerCacheFill(t *testing.T) {
 	key := testKey("fill")
 	peer.cache.Put(key, []byte(`{"v":1}`))
 
-	data, ok := pc.Get(key)
+	data, ok := pc.Get(t.Context(), key)
 	if !ok || string(data) != `{"v":1}` {
 		t.Fatalf("Get = %q, %v; want peer fill", data, ok)
 	}
 	peer.ts.Close() // sever the network: the write-through copy must answer
-	if data, ok := pc.Get(key); !ok || string(data) != `{"v":1}` {
+	if data, ok := pc.Get(t.Context(), key); !ok || string(data) != `{"v":1}` {
 		t.Fatalf("second Get = %q, %v; want local write-through hit", data, ok)
 	}
 	s := pc.Stats()
@@ -86,7 +86,7 @@ func TestPeerCacheFill(t *testing.T) {
 func TestPeerCacheMiss(t *testing.T) {
 	peer := newFakePeer(t)
 	pc := newTestPeerCache(t, "http://self.invalid", peer.url)
-	if _, ok := pc.Get(testKey("nowhere")); ok {
+	if _, ok := pc.Get(t.Context(), testKey("nowhere")); ok {
 		t.Fatal("Get of an absent key succeeded")
 	}
 	if s := pc.Stats(); s.PeerMisses != 1 || s.PeerHits != 0 {
@@ -118,7 +118,7 @@ func TestPeerCachePush(t *testing.T) {
 	pc.Put(key, []byte(`{"v":2}`))
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if data, ok := peer.cache.Get(key); ok {
+		if data, ok := peer.cache.Get(t.Context(), key); ok {
 			if string(data) != `{"v":2}` {
 				t.Fatalf("peer received %q", data)
 			}
@@ -154,7 +154,7 @@ func TestPeerCacheOwnKeyNotPushed(t *testing.T) {
 	}
 	pc.Put(key, []byte(`{"v":3}`))
 	time.Sleep(50 * time.Millisecond)
-	if _, ok := peer.cache.Get(key); ok {
+	if _, ok := peer.cache.Get(t.Context(), key); ok {
 		t.Fatal("self-owned key was replicated to the peer")
 	}
 	if s := pc.Stats(); s.PeerPushes != 0 {
@@ -171,7 +171,7 @@ func TestPeerCacheBreaker(t *testing.T) {
 	pc := newTestPeerCache(t, "http://self.invalid", deadURL)
 
 	for i := 0; i < breakerThreshold+3; i++ {
-		pc.Get(testKey(fmt.Sprintf("dead-%d", i)))
+		pc.Get(t.Context(), testKey(fmt.Sprintf("dead-%d", i)))
 	}
 	s := pc.Stats()
 	if s.PeerErrors != breakerThreshold {

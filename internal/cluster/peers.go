@@ -38,11 +38,14 @@ type peerSet struct {
 }
 
 // newPeerSet builds peers for every member except self. Member URLs
-// must parse as absolute URLs (vos.NewRemote enforces this).
-func newPeerSet(self string, members []string) (*peerSet, error) {
-	// One shared transport: cache fills and shard streams to the same
+// must parse as absolute URLs (vos.NewRemote enforces this). transport
+// overrides the HTTP transport used for all peer traffic (cache fills
+// and shard sub-sweeps); nil means the default. It is the cluster's
+// outbound fault-injection seam — internal/chaos wraps it.
+func newPeerSet(self string, members []string, transport http.RoundTripper) (*peerSet, error) {
+	// One shared client: cache fills and shard streams to the same
 	// fleet should share connection pools, not fight over new sockets.
-	httpc := &http.Client{}
+	httpc := &http.Client{Transport: transport}
 	ps := &peerSet{self: self, peers: make(map[string]*peer)}
 	for _, m := range members {
 		if m == self || m == "" {
@@ -100,9 +103,14 @@ func (p *peer) fetchEntry(ctx context.Context, key string) (data []byte, found b
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
-		data, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes))
+		// Read one byte past the cap so an oversized body is rejected
+		// outright instead of silently truncated into garbage.
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes+1))
 		if err != nil {
 			return nil, false, err
+		}
+		if len(data) > maxEntryBytes {
+			return nil, false, fmt.Errorf("cluster: peer %s cache entry exceeds %d bytes", p.url, maxEntryBytes)
 		}
 		return data, true, nil
 	case http.StatusNotFound:

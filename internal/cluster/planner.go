@@ -31,16 +31,44 @@ import (
 // members meet in the owner's singleflight: ring ownership is the
 // fleet-level request coalescing tier.
 type Planner struct {
-	self  string
-	ring  *Ring
-	peers *peerSet
+	self         string
+	ring         *Ring
+	peers        *peerSet
+	callTimeout  time.Duration
+	stallTimeout time.Duration
 }
 
 var _ engine.Sharder = (*Planner)(nil)
 
+// PlannerOptions tunes the planner's failure detection.
+type PlannerOptions struct {
+	// CallTimeout bounds each unary shard RPC (submit, status poll,
+	// result fetch); ≤0 selects 15s. Event streams are not bounded by
+	// it — a healthy shard streams for as long as the simulation runs —
+	// but they are watched by StallTimeout.
+	CallTimeout time.Duration
+	// StallTimeout bounds how long a dispatched shard may go without
+	// making observable progress (an event on the stream; a Completed
+	// advance in the polling salvage path) before the planner declares
+	// it stalled, cancels it and re-routes the remainder. ≤0 selects
+	// 2 minutes — generous against slow simulations, finite against a
+	// slow-but-alive peer that would otherwise wedge the fan-out
+	// forever.
+	StallTimeout time.Duration
+}
+
 // NewPlanner returns a Planner for the member self on the given ring.
-func NewPlanner(self string, ring *Ring, peers *peerSet) *Planner {
-	return &Planner{self: self, ring: ring, peers: peers}
+func NewPlanner(self string, ring *Ring, peers *peerSet, opts PlannerOptions) *Planner {
+	if opts.CallTimeout <= 0 {
+		opts.CallTimeout = 15 * time.Second
+	}
+	if opts.StallTimeout <= 0 {
+		opts.StallTimeout = 2 * time.Minute
+	}
+	return &Planner{
+		self: self, ring: ring, peers: peers,
+		callTimeout: opts.CallTimeout, stallTimeout: opts.StallTimeout,
+	}
 }
 
 // shardGroup is one electrical group's routing state: the triad indices
@@ -231,43 +259,84 @@ func (p *Planner) dispatch(ctx context.Context, plan *engine.OperatorPlan, membe
 // stream that ends without a terminal event (the connection dropped,
 // not the sweep) is salvaged through the polling path before the peer
 // is declared failed: the shard may have finished fine.
+//
+// Every unary RPC is bounded by the planner's call timeout, and both
+// the stream and the polling salvage are bounded by the stall timeout:
+// a shard that stops producing observable progress is canceled and the
+// error re-routes its remainder — a slow-but-alive peer must degrade
+// into a failover, never an indefinite wedge of the whole fan-out.
 func (p *Planner) runShardSweep(ctx context.Context, pr *peer, cfg charz.Config,
 	trs []vos.Triad, onPoint func(*vos.Point)) error {
-	id, err := pr.remote.Submit(ctx, shardSpec(cfg, trs))
+	id, err := p.callSubmit(ctx, pr, shardSpec(cfg, trs))
 	if err != nil {
 		return err
 	}
-	// If the coordinating sweep dies, stop the shard too — an orphaned
-	// sub-sweep would keep burning the peer's pool.
+	// On any non-clean exit — coordinator death or a declared stall —
+	// stop the shard too: an orphaned sub-sweep would keep burning the
+	// peer's pool.
+	clean := false
 	defer func() {
-		if ctx.Err() != nil {
+		if !clean {
 			cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			pr.remote.Cancel(cctx, id)
 			cancel()
 		}
 	}()
-	ch, err := pr.remote.Events(ctx, id)
+
+	// Stream under its own cancel so an idle-stream stall can abandon
+	// the connection without killing the coordinating sweep.
+	sctx, scancel := context.WithCancel(ctx)
+	defer scancel()
+	ch, err := pr.remote.Events(sctx, id)
 	if err == nil {
-		for ev := range ch {
-			if ev.Type == vos.EventPoint && ev.Point != nil {
-				onPoint(ev.Point)
-			}
-			if ev.Terminal() {
-				if ev.Type != vos.EventDone {
-					return fmt.Errorf("cluster: shard %s on %s: %s: %s", id, pr.url, ev.Type, ev.Error)
+		idle := time.NewTimer(p.stallTimeout)
+		defer idle.Stop()
+	stream:
+		for {
+			select {
+			case ev, ok := <-ch:
+				if !ok {
+					break stream // dropped stream: try the polling salvage
 				}
-				return nil
+				if !idle.Stop() {
+					<-idle.C
+				}
+				idle.Reset(p.stallTimeout)
+				if ev.Type == vos.EventPoint && ev.Point != nil {
+					onPoint(ev.Point)
+				}
+				if ev.Terminal() {
+					if ev.Type != vos.EventDone {
+						return fmt.Errorf("cluster: shard %s on %s: %s: %s", id, pr.url, ev.Type, ev.Error)
+					}
+					clean = true
+					return nil
+				}
+			case <-idle.C:
+				// No event within the stall budget. Abandon the stream
+				// and let the polling salvage decide whether the sweep
+				// itself (not just the connection) is stuck.
+				scancel()
+				break stream
+			case <-ctx.Done():
+				return ctx.Err()
 			}
 		}
 	}
-	res, err := pr.remote.Wait(ctx, id)
+
+	// Polling salvage: the stream is gone but the shard may be alive —
+	// or even already done. Poll status with bounded calls, requiring
+	// Completed to keep advancing within each stall window.
+	res, err := p.pollShard(ctx, pr, id)
 	if err != nil {
 		return err
 	}
 	if res.Status != vos.StatusDone {
 		return fmt.Errorf("cluster: shard %s on %s: %s: %s", id, pr.url, res.Status, res.Error)
 	}
-	full, err := pr.remote.Results(ctx, id)
+	rctx, rcancel := context.WithTimeout(ctx, p.callTimeout)
+	full, err := pr.remote.Results(rctx, id)
+	rcancel()
 	if err != nil {
 		return err
 	}
@@ -277,7 +346,50 @@ func (p *Planner) runShardSweep(ctx context.Context, pr *peer, cfg charz.Config,
 			onPoint(&pts[j])
 		}
 	}
+	clean = true
 	return nil
+}
+
+// callSubmit submits the shard spec under the planner's call timeout.
+func (p *Planner) callSubmit(ctx context.Context, pr *peer, spec *vos.Spec) (string, error) {
+	sctx, cancel := context.WithTimeout(ctx, p.callTimeout)
+	defer cancel()
+	return pr.remote.Submit(sctx, spec)
+}
+
+// pollShard polls a shard's status until it reaches a terminal state,
+// bounding each poll by the call timeout and the shard's overall lack
+// of progress by the stall timeout: every time Completed advances the
+// stall clock resets; when it stops advancing for a full window the
+// shard is declared stalled.
+func (p *Planner) pollShard(ctx context.Context, pr *peer, id string) (*vos.Result, error) {
+	const pollInterval = 250 * time.Millisecond
+	lastCompleted := -1
+	stallDeadline := time.Now().Add(p.stallTimeout)
+	for {
+		sctx, cancel := context.WithTimeout(ctx, p.callTimeout)
+		res, err := pr.remote.Status(sctx, id)
+		cancel()
+		if err != nil {
+			return nil, err
+		}
+		switch res.Status {
+		case vos.StatusDone, vos.StatusFailed, vos.StatusCanceled:
+			return res, nil
+		}
+		if res.Progress.Completed > lastCompleted {
+			lastCompleted = res.Progress.Completed
+			stallDeadline = time.Now().Add(p.stallTimeout)
+		} else if time.Now().After(stallDeadline) {
+			return nil, fmt.Errorf("cluster: shard %s on %s stalled at %d/%d points for %v",
+				id, pr.url, res.Progress.Completed, res.Progress.TotalPoints, p.stallTimeout)
+		}
+		select {
+		case <-time.After(pollInterval):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 }
 
 // shardSpec reproduces one operator's canonical configuration as an

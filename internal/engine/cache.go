@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -8,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/charz"
 	"repro/internal/fdsoi"
@@ -151,6 +153,21 @@ type CacheStats struct {
 	PeerErrors    uint64 `json:"peerErrors,omitempty"`
 	PeerPushes    uint64 `json:"peerPushes,omitempty"`
 	PeerPushDrops uint64 `json:"peerPushDrops,omitempty"`
+	// PeerPushQueueDepth and PeerPushQueueCap expose the replication
+	// queue's current backlog against its capacity (cluster peer cache
+	// only) so backpressure — the precursor of PeerPushDrops — is
+	// visible before entries are actually discarded.
+	PeerPushQueueDepth int `json:"peerPushQueueDepth,omitempty"`
+	PeerPushQueueCap   int `json:"peerPushQueueCap,omitempty"`
+	// DiskDegraded reports that the disk layer has been taken out of the
+	// write path after repeated write failures: the cache serves
+	// existing disk entries read-only and stores new results in memory
+	// only (eviction suspended, since evicted entries would have no disk
+	// copy to fall back to). A periodic write probe restores the disk
+	// layer when the directory becomes writable again. DegradedWrites
+	// counts the Puts that skipped the disk layer while degraded.
+	DiskDegraded   bool   `json:"diskDegraded,omitempty"`
+	DegradedWrites uint64 `json:"degradedWrites,omitempty"`
 	// GroupedPoints counts points simulated as members of a multi-point
 	// electrical group — several Tclk values served by one trace
 	// simulation — as opposed to points simulated solo or served from
@@ -170,11 +187,27 @@ func (s CacheStats) Hits() uint64 { return s.MemHits + s.DiskHits + s.PeerHits }
 // Put must be safe for concurrent use; Get must only return entries
 // whose bytes are valid JSON (the engine treats a decode failure as a
 // miss, but a backend surfacing garbage would still burn a simulation
-// re-run per Get).
+// re-run per Get). Get receives the requesting sweep's context so
+// network-backed implementations bound their fetches by the sweep's
+// deadline and abandon them on cancellation; the in-process Cache
+// ignores it.
 type CacheBackend interface {
-	Get(key string) ([]byte, bool)
+	Get(ctx context.Context, key string) ([]byte, bool)
 	Put(key string, data []byte)
 	Stats() CacheStats
+}
+
+// CacheFaultInjector is the disk cache's fault seam, implemented by the
+// chaos injector (internal/chaos) and installed with Cache.SetFaults.
+// WriteFault may fail an entry write outright or publish only the first
+// truncate bytes (a torn write that still got renamed into place);
+// RenameFault fails the publishing rename; ReadFault fails an entry
+// read. All decisions are the injector's — the cache just obeys, and
+// its accounting treats injected faults exactly like real ones.
+type CacheFaultInjector interface {
+	WriteFault(key string) (truncate int, fail bool)
+	RenameFault(key string) bool
+	ReadFault(key string) bool
 }
 
 // maxMemEntries bounds the in-memory layer of a disk-backed cache so a
@@ -183,17 +216,38 @@ type CacheBackend interface {
 // eviction there would silently discard results.
 const maxMemEntries = 8192
 
+// degradeThreshold is how many consecutive disk write failures flip the
+// cache into read-only memory-backed degraded mode; a single transient
+// error shouldn't take the disk layer out of the write path.
+const degradeThreshold = 3
+
+// reprobeInterval is how often a degraded cache retries a disk write to
+// detect that the directory has become writable again. A variable so
+// tests can shrink it.
+var reprobeInterval = 30 * time.Second
+
 // Cache is a two-layer content-addressed result store: a map in memory and
 // an optional JSON-file-per-key directory on disk. Disk entries survive
 // process restarts, so repeated CLI runs and benchmark re-runs are served
 // without simulation. All methods are safe for concurrent use.
+//
+// When the disk layer fails degradeThreshold consecutive writes the
+// cache degrades to a read-only memory-backed mode: existing disk
+// entries are still served, new results live in memory only (with
+// eviction suspended — an evicted entry would have no disk copy), and a
+// periodic write probe restores the disk layer once it recovers. The
+// transition is visible in CacheStats.DiskDegraded/DegradedWrites.
 type Cache struct {
 	dir string
 
-	mu    sync.Mutex
-	mem   map[string][]byte
-	order []string // insertion order of mem keys, for FIFO eviction
-	stats CacheStats
+	mu        sync.Mutex
+	mem       map[string][]byte
+	order     []string // insertion order of mem keys, for FIFO eviction
+	stats     CacheStats
+	consec    int       // consecutive disk write failures
+	degraded  bool      // disk layer out of the write path
+	nextProbe time.Time // earliest next disk write attempt while degraded
+	faults    CacheFaultInjector
 }
 
 // NewCache returns a cache rooted at dir; an empty dir means memory-only.
@@ -206,14 +260,21 @@ func NewCache(dir string) (*Cache, error) {
 	return &Cache{dir: dir, mem: make(map[string][]byte)}, nil
 }
 
+// SetFaults installs a fault injector on the cache's filesystem
+// operations (nil uninstalls). Not safe to call concurrently with cache
+// use; wire it before the engine starts.
+func (c *Cache) SetFaults(f CacheFaultInjector) { c.faults = f }
+
 // insertLocked adds an entry to the memory layer, evicting the oldest
-// entries beyond the cap when a disk layer backs them. Callers hold mu.
+// entries beyond the cap when a disk layer backs them. While degraded
+// no disk layer is taking writes, so eviction is suspended — the memory
+// layer is temporarily the only copy. Callers hold mu.
 func (c *Cache) insertLocked(key string, data []byte) {
 	if _, ok := c.mem[key]; !ok {
 		c.order = append(c.order, key)
 	}
 	c.mem[key] = data
-	if c.dir == "" {
+	if c.dir == "" || c.degraded {
 		return
 	}
 	for len(c.mem) > maxMemEntries && len(c.order) > 0 {
@@ -234,7 +295,9 @@ func (c *Cache) path(key string) string {
 // volume — is deleted and reported as a miss, never surfaced: callers
 // would decode garbage once per Get forever, and on a directory shared
 // between daemons the bad bytes would spread through the peer tier.
-func (c *Cache) Get(key string) ([]byte, bool) {
+// The context is part of the CacheBackend contract; the in-process
+// cache's disk read does not use it.
+func (c *Cache) Get(ctx context.Context, key string) ([]byte, bool) {
 	c.mu.Lock()
 	if data, ok := c.mem[key]; ok {
 		c.stats.MemHits++
@@ -243,6 +306,12 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	}
 	c.mu.Unlock()
 	if c.dir != "" {
+		if c.faults != nil && c.faults.ReadFault(key) {
+			c.mu.Lock()
+			c.stats.Misses++
+			c.mu.Unlock()
+			return nil, false
+		}
 		if data, err := os.ReadFile(c.path(key)); err == nil {
 			if !json.Valid(data) {
 				os.Remove(c.path(key))
@@ -267,38 +336,110 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 
 // Put stores the bytes under key in both layers. Disk failures are
 // recorded in the stats but do not fail the Put: the memory layer is the
-// source of truth for the current process.
+// source of truth for the current process. degradeThreshold consecutive
+// disk failures degrade the cache to memory-only writes until a
+// periodic probe finds the directory writable again.
 func (c *Cache) Put(key string, data []byte) {
-	var writeErr bool
-	if c.dir != "" {
-		p := c.path(key)
-		err := os.MkdirAll(filepath.Dir(p), 0o755)
-		if err == nil {
-			// Write-then-rename keeps readers (including other processes
-			// sharing the directory) from seeing a partial entry.
-			var tmp *os.File
-			if tmp, err = os.CreateTemp(filepath.Dir(p), key+".tmp*"); err == nil {
-				if _, err = tmp.Write(data); err == nil {
-					err = tmp.Close()
-				} else {
-					tmp.Close()
-				}
-				if err == nil {
-					err = os.Rename(tmp.Name(), p)
-				} else {
-					os.Remove(tmp.Name())
-				}
-			}
-		}
-		writeErr = err != nil
+	var writeErr, wrote bool
+	if c.dir != "" && c.shouldWriteDisk() {
+		writeErr = c.writeDisk(key, data) != nil
+		wrote = true
 	}
 	c.mu.Lock()
 	c.insertLocked(key, data)
 	c.stats.Stores++
-	if writeErr {
+	switch {
+	case !wrote && c.dir != "":
+		c.stats.DegradedWrites++
+	case writeErr:
 		c.stats.WriteErrors++
+		c.consec++
+		if c.degraded {
+			// Failed probe: stay degraded, back off until the next one.
+			c.nextProbe = time.Now().Add(reprobeInterval)
+		} else if c.consec >= degradeThreshold {
+			c.degraded = true
+			c.stats.DiskDegraded = true
+			c.nextProbe = time.Now().Add(reprobeInterval)
+		}
+	case wrote:
+		c.consec = 0
+		if c.degraded {
+			c.degraded = false
+			c.stats.DiskDegraded = false
+		}
 	}
 	c.mu.Unlock()
+}
+
+// shouldWriteDisk reports whether this Put should attempt the disk
+// layer: always when healthy, and once per reprobeInterval while
+// degraded (the write doubling as the recovery probe).
+func (c *Cache) shouldWriteDisk() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.degraded {
+		return true
+	}
+	if time.Now().Before(c.nextProbe) {
+		return false
+	}
+	// Claim the probe slot so concurrent Puts don't all probe at once.
+	c.nextProbe = time.Now().Add(reprobeInterval)
+	return true
+}
+
+// writeDisk publishes one entry crash-safely: write to a temp file,
+// fsync it, rename into place, then fsync the directory so the rename
+// itself survives a crash. Without the first fsync a crash can leave a
+// renamed-but-empty entry — exactly the torn write the corrupt-entry
+// recovery in Get exists to catch, but recovery costs a re-simulation
+// per torn entry; durability here is cheaper.
+func (c *Cache) writeDisk(key string, data []byte) error {
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	if c.faults != nil {
+		if trunc, fail := c.faults.WriteFault(key); fail {
+			return fmt.Errorf("engine: injected write fault for %s", key)
+		} else if trunc > 0 && trunc < len(data) {
+			// A torn write that still gets published: bypass the
+			// durability protocol on purpose to exercise the
+			// corrupt-entry recovery backstop.
+			return os.WriteFile(p, data[:trunc], 0o644)
+		}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err = tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if c.faults != nil && c.faults.RenameFault(key) {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: injected rename fault for %s", key)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Sync the directory entry; failure here is not worth failing the
+	// Put over (the entry is published, only its crash-durability is in
+	// doubt), so best-effort.
+	if d, err := os.Open(filepath.Dir(p)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the activity counters.

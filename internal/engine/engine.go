@@ -236,7 +236,7 @@ func (e *Engine) runPoint(ctx context.Context, p *charz.Prepared, tr triad.Triad
 		return nil, false, err
 	}
 	for {
-		if data, ok := e.cache.Get(key); ok {
+		if data, ok := e.cache.Get(ctx, key); ok {
 			if res, err := decodePoint(data); err == nil {
 				return res, true, nil
 			}
@@ -359,7 +359,7 @@ func (e *Engine) runPointGroup(ctx context.Context, p *charz.Prepared, trs []tri
 			if done[i] {
 				continue
 			}
-			if data, ok := e.cache.Get(keys[i]); ok {
+			if data, ok := e.cache.Get(ctx, keys[i]); ok {
 				if res, err := decodePoint(data); err == nil {
 					out[i], cached[i], done[i] = res, true, true
 					continue

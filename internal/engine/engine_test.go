@@ -618,7 +618,7 @@ func TestCacheDeletesCorruptDiskEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, ok := c.Get(key); ok {
+	if _, ok := c.Get(t.Context(), key); ok {
 		t.Fatal("corrupt entry served as a hit")
 	}
 	if _, err := os.Stat(entry); !os.IsNotExist(err) {
@@ -636,7 +636,7 @@ func TestCacheDeletesCorruptDiskEntry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if data, ok := c2.Get(key); !ok || string(data) != `{"v":1}` {
+	if data, ok := c2.Get(t.Context(), key); !ok || string(data) != `{"v":1}` {
 		t.Fatalf("repaired entry reads %q, %v", data, ok)
 	}
 	if s := c2.Stats(); s.CorruptEntries != 0 || s.DiskHits != 1 {

@@ -1,0 +1,65 @@
+package httpapi
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/engine"
+)
+
+// TestSeveredEventStreamNoLeak: a client that drops its NDJSON event
+// stream mid-sweep (crashed consumer, cut connection) must not strand
+// the handler goroutine or its subscription — after the sweep ends and
+// the server shuts down, the goroutine census matches the baseline.
+func TestSeveredEventStreamNoLeak(t *testing.T) {
+	base := chaos.SnapshotGoroutines()
+	eng, err := engine.New(engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng))
+
+	// A sweep slow enough to still be streaming when we sever.
+	id := submit(t, ts, `{"arches":["RCA"],"widths":[8],"patterns":5000,"seed":3}`)
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	// Read the first event to prove the stream is live, then sever the
+	// connection out from under the handler.
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatalf("first event: %v", err)
+	}
+	resp.Body.Close()
+
+	// Put the sweep out of its misery and tear everything down; the
+	// severed handler must unwind on its own.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/"+id, nil)
+	if dresp, err := http.DefaultClient.Do(req); err == nil {
+		dresp.Body.Close()
+	}
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		var sw engine.Sweep
+		getJSON(t, ts.URL+"/v1/sweeps/"+id, http.StatusOK, &sw)
+		if sw.Status == engine.StatusDone || sw.Status == engine.StatusFailed ||
+			sw.Status == engine.StatusCanceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s still %s after cancel", id, sw.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	ts.Close()
+	eng.Close()
+	if leaked := base.CheckLeaks(5 * time.Second); len(leaked) > 0 {
+		t.Fatalf("%d goroutine signature(s) leaked after severed stream:\n%s", len(leaked), leaked[0])
+	}
+}

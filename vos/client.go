@@ -100,6 +100,16 @@ type CacheStats struct {
 	PeerErrors    uint64 `json:"peerErrors,omitempty"`
 	PeerPushes    uint64 `json:"peerPushes,omitempty"`
 	PeerPushDrops uint64 `json:"peerPushDrops,omitempty"`
+	// PeerPushQueueDepth/Cap expose the replication queue's current
+	// depth and capacity — the backpressure signal behind PeerPushDrops.
+	PeerPushQueueDepth int `json:"peerPushQueueDepth,omitempty"`
+	PeerPushQueueCap   int `json:"peerPushQueueCap,omitempty"`
+	// DiskDegraded reports a daemon whose disk cache tier has failed
+	// enough consecutive writes to be demoted to read-only memory-backed
+	// mode; DegradedWrites counts the Puts that skipped the disk while
+	// degraded. A later successful re-probe clears DiskDegraded.
+	DiskDegraded   bool   `json:"diskDegraded,omitempty"`
+	DegradedWrites uint64 `json:"degradedWrites,omitempty"`
 	// GroupedPoints counts the subset of Executions simulated as members
 	// of a multi-point electrical group (several clock periods served by
 	// one trace simulation of their shared operating point).

@@ -8,9 +8,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/engine/httpapi"
@@ -27,9 +29,18 @@ type RemoteOptions struct {
 	// retries. Default: 2. Submissions (POST) are never retried — a
 	// replay could start a duplicate sweep.
 	Retries int
-	// RetryBackoff is the initial delay between retries, doubling each
-	// attempt. Default: 100ms.
+	// RetryBackoff is the base delay between retries, doubling each
+	// attempt up to RetryBackoffMax; the actual delay is jittered
+	// uniformly over [d/2, d] so clients whose retries were synchronized
+	// by a shared failure don't stampede the recovering server in
+	// lockstep. Default: 100ms.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponentially growing delay. Default: 5s.
+	RetryBackoffMax time.Duration
+	// JitterSeed seeds the retry jitter; 0 derives a seed from the
+	// clock. Fix it to make retry schedules reproducible (the chaos
+	// harness does).
+	JitterSeed int64
 	// PollInterval paces the Wait fallback polling loop used when the
 	// event stream is unavailable. Default: 150ms.
 	PollInterval time.Duration
@@ -45,12 +56,18 @@ type RemoteOptions struct {
 // envelope as *APIError and match the package sentinels under errors.Is;
 // all calls honor context cancellation.
 type Remote struct {
-	base    *url.URL
-	httpc   *http.Client
-	retries int
-	backoff time.Duration
-	poll    time.Duration
-	tenant  string
+	base       *url.URL
+	httpc      *http.Client
+	retries    int
+	backoff    time.Duration
+	backoffMax time.Duration
+	poll       time.Duration
+	tenant     string
+
+	// jitterMu guards rng: retries from concurrent calls draw from one
+	// seeded stream.
+	jitterMu sync.Mutex
+	rng      *rand.Rand
 }
 
 var _ Client = (*Remote)(nil)
@@ -66,12 +83,13 @@ func NewRemote(baseURL string, opts RemoteOptions) (*Remote, error) {
 		return nil, fmt.Errorf("vos: server URL %q needs a scheme and host", baseURL)
 	}
 	r := &Remote{
-		base:    u,
-		httpc:   opts.HTTPClient,
-		retries: opts.Retries,
-		backoff: opts.RetryBackoff,
-		poll:    opts.PollInterval,
-		tenant:  opts.Tenant,
+		base:       u,
+		httpc:      opts.HTTPClient,
+		retries:    opts.Retries,
+		backoff:    opts.RetryBackoff,
+		backoffMax: opts.RetryBackoffMax,
+		poll:       opts.PollInterval,
+		tenant:     opts.Tenant,
 	}
 	if r.httpc == nil {
 		r.httpc = &http.Client{}
@@ -84,10 +102,45 @@ func NewRemote(baseURL string, opts RemoteOptions) (*Remote, error) {
 	if r.backoff <= 0 {
 		r.backoff = 100 * time.Millisecond
 	}
+	if r.backoffMax <= 0 {
+		r.backoffMax = 5 * time.Second
+	}
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	r.rng = rand.New(rand.NewSource(seed))
 	if r.poll <= 0 {
 		r.poll = 150 * time.Millisecond
 	}
 	return r, nil
+}
+
+// retryDelay computes the pause before retry attempt (1-based): the
+// base backoff doubled per attempt, capped at backoffMax, then jittered
+// uniformly over [d/2, d]. The cap bounds the worst-case stall behind a
+// long retry budget (the old unbounded shift reached minutes within a
+// dozen attempts — and overflowed beyond that); the jitter decorrelates
+// clients whose retries a shared failure synchronized, so a recovering
+// server sees a spread of retries instead of a stampede.
+func (c *Remote) retryDelay(attempt int) time.Duration {
+	d := c.backoff
+	// Cap the shift: past 20 doublings any sane base has long since hit
+	// backoffMax, and an unchecked shift would overflow the duration.
+	if attempt > 1 {
+		shift := attempt - 1
+		if shift > 20 {
+			shift = 20
+		}
+		d <<= shift
+	}
+	if d > c.backoffMax || d <= 0 {
+		d = c.backoffMax
+	}
+	c.jitterMu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.jitterMu.Unlock()
+	return jittered
 }
 
 // Close releases idle connections.
@@ -254,7 +307,7 @@ func (c *Remote) call(ctx context.Context, method, path string, body []byte, wan
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(c.backoff << (attempt - 1)):
+			case <-time.After(c.retryDelay(attempt)):
 			case <-ctx.Done():
 				return ctx.Err()
 			}

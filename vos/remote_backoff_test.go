@@ -1,0 +1,81 @@
+package vos
+
+import (
+	"testing"
+	"time"
+)
+
+func backoffRemote(t *testing.T, opts RemoteOptions) *Remote {
+	t.Helper()
+	r, err := NewRemote("http://127.0.0.1:1", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRetryDelayBounds: every delay is inside [d/2, d] for the capped
+// exponential d, and the cap holds no matter how high the attempt
+// count climbs (including shift counts that would overflow a naive
+// backoff << attempt).
+func TestRetryDelayBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	max := 2 * time.Second
+	r := backoffRemote(t, RemoteOptions{
+		RetryBackoff:    base,
+		RetryBackoffMax: max,
+		JitterSeed:      7,
+	})
+	for attempt := 1; attempt <= 80; attempt++ {
+		want := base << (attempt - 1)
+		if attempt > 21 || want > max || want <= 0 {
+			want = max
+		}
+		for i := 0; i < 32; i++ {
+			got := r.retryDelay(attempt)
+			if got < want/2 || got > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, got, want/2, want)
+			}
+		}
+	}
+}
+
+// TestRetryDelayDeterministic: a fixed JitterSeed reproduces the exact
+// delay schedule — the property the chaos harness leans on to replay a
+// fault run, including its retry timing, from a single seed.
+func TestRetryDelayDeterministic(t *testing.T) {
+	opts := RemoteOptions{RetryBackoff: 50 * time.Millisecond, JitterSeed: 42}
+	a := backoffRemote(t, opts)
+	b := backoffRemote(t, opts)
+	for attempt := 1; attempt <= 12; attempt++ {
+		if da, db := a.retryDelay(attempt), b.retryDelay(attempt); da != db {
+			t.Fatalf("attempt %d: same seed gave %v and %v", attempt, da, db)
+		}
+	}
+	// And a different seed diverges somewhere in the schedule.
+	c := backoffRemote(t, RemoteOptions{RetryBackoff: 50 * time.Millisecond, JitterSeed: 43})
+	d := backoffRemote(t, RemoteOptions{RetryBackoff: 50 * time.Millisecond, JitterSeed: 42})
+	same := true
+	for attempt := 1; attempt <= 12; attempt++ {
+		if c.retryDelay(attempt) != d.retryDelay(attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 12-delay schedules")
+	}
+}
+
+// TestRetryDelayJitterSpreads: the jitter actually varies — repeated
+// draws at one attempt level are not all the same value (that is the
+// whole point: desynchronizing clients a shared failure synchronized).
+func TestRetryDelayJitterSpreads(t *testing.T) {
+	r := backoffRemote(t, RemoteOptions{RetryBackoff: time.Second, JitterSeed: 1})
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		seen[r.retryDelay(4)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 draws produced %d distinct delays; jitter is not jittering", len(seen))
+	}
+}
