@@ -341,6 +341,40 @@ func BenchmarkClusterWarmLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkMonteCarloPoint measures the Monte Carlo serving path: one
+// (kernel, operating point) cell of a /v1/mc job on the calibrated
+// model backend through vos.Local, at a fixed 64Ki-sample budget (32
+// reps). Calibration is warmed before timing, so the number is the
+// model-adder sampling cost itself — the per-point rate that makes the
+// paper-scale 1e6-sample budget tractable. Gated in CI alongside the
+// sim kernels.
+func BenchmarkMonteCarloPoint(b *testing.B) {
+	cli, err := vos.NewLocal(vos.LocalOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+	spec := vos.NewMCSpec("fir").Seed(1).Samples(64 * 1024).
+		Triads(vos.Triad{Tclk: 4.0, Vdd: 0.9})
+	if _, err := cli.RunMC(ctx, spec); err != nil {
+		b.Fatal(err) // warm synthesis + calibration before timing
+	}
+	b.ResetTimer()
+	var last *vos.MCResult
+	for i := 0; i < b.N; i++ {
+		res, err := cli.RunMC(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	pt := last.Points[0]
+	b.ReportMetric(float64(pt.Samples)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	b.ReportMetric(pt.Mean, "dB")
+}
+
 // BenchmarkTableIV regenerates the efficiency-per-BER-band summary for all
 // four adders.
 func BenchmarkTableIV(b *testing.B) {

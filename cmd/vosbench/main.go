@@ -9,14 +9,15 @@
 //	vosbench [-bench REGEX] [-benchtime 1000x] [-out BENCH_sim.json]
 //	         [-pkg .] [-keep-going]
 //	         [-diff BASELINE.json]
-//	         [-diff-filter "^(SimStep|TraceResample|CrossVddResample|Fig8|ClusterWarmLookup)"]
+//	         [-diff-filter "^(SimStep|TraceResample|CrossVddResample|Fig8|MonteCarloPoint|ClusterWarmLookup)"]
 //	         [-diff-threshold 0.20] [-profile-regressed DIR]
 //
 // The default benchmark set covers the dense-state hot path: the per-step
 // (word and K-word wide), trace/resample, and cross-voltage retime
 // micro-benchmarks, the input-binding and batch-evaluation costs, the
-// Fig. 8-class sweeps (engine-backed and grouped-charz), and the cluster
-// serving path (one cached point fetched through vos.Remote from a warm
+// Fig. 8-class sweeps (engine-backed and grouped-charz), the Monte Carlo
+// point rate on the calibrated model backend, and the cluster serving
+// path (one cached point fetched through vos.Remote from a warm
 // in-process cluster).
 //
 // With -diff, the fresh run is compared against a committed baseline file
@@ -78,7 +79,7 @@ type File struct {
 // in-process cluster setup).
 const (
 	defaultMicroBench = "SimStep|TraceResample|CrossVddResample|InputBinding|EvaluateScalar|EvaluateBatch|RCSimStep"
-	defaultSweepBench = "Fig8"
+	defaultSweepBench = "Fig8|MonteCarloPoint"
 	defaultServeBench = "ClusterWarmLookup"
 	serveBenchtime    = "100x"
 )
@@ -103,7 +104,7 @@ func main() {
 		sweepCount = flag.Int("sweep-count", 0, "samples per sweep-group benchmark (0 = same as -count)")
 
 		diffPath  = flag.String("diff", "", "baseline JSON to compare against; exit non-zero on regression")
-		diffRe    = flag.String("diff-filter", "^(SimStep|TraceResample|CrossVddResample|Fig8|ClusterWarmLookup)", "benchmarks the -diff gate applies to")
+		diffRe    = flag.String("diff-filter", "^(SimStep|TraceResample|CrossVddResample|Fig8|MonteCarloPoint|ClusterWarmLookup)", "benchmarks the -diff gate applies to")
 		threshold = flag.Float64("diff-threshold", 0.20, "fractional ns/op regression that fails the -diff gate")
 		profDir   = flag.String("profile-regressed", "", "directory to write one cpuprofile per regressed benchmark when the -diff gate fails (uploaded as a CI artifact)")
 	)

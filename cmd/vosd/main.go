@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	vosd [-addr :8420] [-workers N] [-cache-dir DIR]
+//	vosd [-addr :8420] [-workers N] [-cache-dir DIR] [-models DIR]
 //	     [-peers URL,URL,...] [-advertise URL]
 //	     [-tenant-quota N] [-log-json]
 //
@@ -24,6 +24,11 @@
 //	GET    /v1/sweeps/{id}/results full results once done (409 while running)
 //	GET    /v1/sweeps/{id}/events  NDJSON stream of per-point progress events
 //	DELETE /v1/sweeps/{id}         cancel a pending/running sweep
+//	POST   /v1/mc                  submit a Monte Carlo job (engine.MCRequest JSON) → 202 {"id": ...}
+//	GET    /v1/mc/{id}             one job's status and progress
+//	GET    /v1/mc/{id}/results     full per-point results once done (409 while running)
+//	GET    /v1/mc/{id}/events      NDJSON stream of per-point progress events
+//	DELETE /v1/mc/{id}             cancel a pending/running job
 //	GET    /v1/cache/stats         result-cache and execution counters
 //	GET    /v1/cache/entries/{key} raw cache entry (peer cache tier)
 //	PUT    /v1/cache/entries/{key} store a cache entry (peer cache tier)
@@ -61,6 +66,7 @@ func main() {
 		addr        = flag.String("addr", ":8420", "listen address")
 		workers     = flag.Int("workers", 0, "worker-pool size (0 = NumCPU)")
 		cacheDir    = flag.String("cache-dir", "", "on-disk result cache root (empty = memory only)")
+		modelDir    = flag.String("models", "", "export trained error models as JSON into DIR (vosmodel store format)")
 		peers       = flag.String("peers", "", "comma-separated peer vosd URLs (joins a cluster)")
 		advertise   = flag.String("advertise", "", "this node's URL as peers reach it (required with -peers)")
 		tenantQuota = flag.Int("tenant-quota", 0, "max in-flight sweeps per tenant (0 = unlimited)")
@@ -72,6 +78,7 @@ func main() {
 		Advertise:   *advertise,
 		Workers:     *workers,
 		CacheDir:    *cacheDir,
+		ModelDir:    *modelDir,
 		TenantQuota: *tenantQuota,
 	}
 	for _, p := range strings.Split(*peers, ",") {

@@ -4,14 +4,21 @@
 // and normalized Hamming distance per calibration metric), and can save
 // trained models as JSON for the application layer.
 //
+// Model artifacts live in an internal/model store directory — the same
+// JSON format (core.WriteModel) and file naming the vosd daemon exports
+// with -models — so models trained by either tool are interchangeable.
+// -save writes artifacts, -load reuses existing ones instead of
+// retraining (and, alone, inventories a store).
+//
 // Usage:
 //
 //	vosmodel [-table1] [-fig7] [-bench all|rca8|bka8|rca16|bka16]
 //	         [-patterns 2000] [-train 10000] [-eval 10000] [-seed 1]
-//	         [-save dir]
+//	         [-save dir] [-load dir]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -20,10 +27,10 @@ import (
 
 	"repro/internal/charz"
 	"repro/internal/core"
+	"repro/internal/model"
 	"repro/internal/patterns"
 	"repro/internal/report"
 	"repro/internal/synth"
-	"repro/internal/triad"
 )
 
 func main() {
@@ -37,9 +44,19 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "experiment seed")
 		fTable1 = flag.Bool("table1", false, "only Table I (probability table of a modified 4-bit adder)")
 		fFig7   = flag.Bool("fig7", false, "only Fig. 7 (model accuracy per metric)")
-		saveDir = flag.String("save", "", "directory to write trained model JSON files")
+		saveDir = flag.String("save", "", "model store directory to write trained model JSON into")
+		loadDir = flag.String("load", "", "model store directory to reuse saved models from instead of retraining")
 	)
 	flag.Parse()
+
+	// -load with no study selected inventories the store: every artifact
+	// is read back and validated, proving the directory round-trips.
+	if *loadDir != "" && !(*fTable1 || *fFig7) {
+		if err := inventory(*loadDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	runAll := !(*fTable1 || *fFig7)
 
 	if runAll || *fTable1 {
@@ -48,10 +65,39 @@ func main() {
 		}
 	}
 	if runAll || *fFig7 {
-		if err := fig7(*bench, *pat, *trainN, *evalN, *seed, *saveDir); err != nil {
+		if err := fig7(*bench, *pat, *trainN, *evalN, *seed, *saveDir, *loadDir); err != nil {
 			log.Fatal(err)
 		}
 	}
+}
+
+// inventory loads and validates every artifact of a model store,
+// printing one line per model.
+func inventory(dir string) error {
+	st, err := model.NewStore(dir)
+	if err != nil {
+		return err
+	}
+	names, err := st.List()
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable(fmt.Sprintf("Model store %s — %d artifacts", dir, len(names)),
+		"File", "Width", "Metric", "Triad")
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(st.Dir(), name))
+		if err != nil {
+			return err
+		}
+		m, err := core.ReadModel(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tab.AddRow(name, fmt.Sprintf("%d", m.Width), m.Metric.String(), m.Label)
+	}
+	tab.Render(os.Stdout)
+	return nil
 }
 
 // table1 reproduces the paper's Table I on a real faulty operator: a 4-bit
@@ -94,7 +140,7 @@ func table1(seed uint64, trainN int) error {
 	return nil
 }
 
-func fig7(bench string, pat, trainN, evalN int, seed uint64, saveDir string) error {
+func fig7(bench string, pat, trainN, evalN int, seed uint64, saveDir, loadDir string) error {
 	type benchDef struct {
 		arch  synth.Arch
 		width int
@@ -135,8 +181,8 @@ func fig7(bench string, pat, trainN, evalN int, seed uint64, saveDir string) err
 			fmt.Sprintf("%.4f", study.MeanNormHamming[core.MetricMSE]),
 			fmt.Sprintf("%.4f", study.MeanNormHamming[core.MetricHamming]),
 			fmt.Sprintf("%.4f", study.MeanNormHamming[core.MetricWeightedHamming]))
-		if saveDir != "" {
-			if err := saveModels(res, cfg, trainN, seed, saveDir); err != nil {
+		if saveDir != "" || loadDir != "" {
+			if err := saveModels(res, cfg, trainN, seed, saveDir, loadDir); err != nil {
 				return err
 			}
 		}
@@ -147,15 +193,45 @@ func fig7(bench string, pat, trainN, evalN int, seed uint64, saveDir string) err
 	return nil
 }
 
-// saveModels trains and serializes an MSE-metric model for every
-// erroneous triad of the sweep.
-func saveModels(res *charz.Result, cfg charz.Config, trainN int, seed uint64, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// saveModels materializes an MSE-metric model for every erroneous triad
+// of the sweep through the shared internal/model store: artifacts found
+// in the -load store are reused as-is, only the missing ones are
+// trained, and everything lands in the -save store (which may be the
+// same directory).
+func saveModels(res *charz.Result, cfg charz.Config, trainN int, seed uint64, saveDir, loadDir string) error {
+	var loadSt, saveSt *model.Store
+	var err error
+	if loadDir != "" {
+		if loadSt, err = model.NewStore(loadDir); err != nil {
+			return err
+		}
+	}
+	if saveDir == "" {
+		saveDir = loadDir
+	}
+	if saveSt, err = model.NewStore(saveDir); err != nil {
 		return err
 	}
+	op := res.Netlist.Name
+	reused, trained := 0, 0
 	for _, tr := range res.Triads {
 		if tr.BER() == 0 {
 			continue
+		}
+		if loadSt != nil {
+			m, err := loadSt.Load(op, tr.Triad)
+			if err == nil && m.Width == cfg.Width {
+				reused++
+				if saveSt.Dir() != loadSt.Dir() {
+					if err := saveSt.Save(op, tr.Triad, m); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			if err != nil && !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
 		}
 		hw, err := charz.NewEngineAdder(res.Netlist, cfg, tr.Triad)
 		if err != nil {
@@ -165,26 +241,15 @@ func saveModels(res *charz.Result, cfg charz.Config, trainN int, seed uint64, di
 		if err != nil {
 			return err
 		}
-		model, err := core.TrainModel(hw, gen, trainN, core.MetricMSE, tr.Triad.Label())
+		m, err := core.TrainModel(hw, gen, trainN, core.MetricMSE, tr.Triad.Label())
 		if err != nil {
 			return err
 		}
-		name := fmt.Sprintf("%s_%s.json", res.Netlist.Name, sanitize(tr.Triad))
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
+		if err := saveSt.Save(op, tr.Triad, m); err != nil {
 			return err
 		}
-		if err := core.WriteModel(f, model); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
+		trained++
 	}
+	log.Printf("%s: %d models trained, %d reused from %s", op, trained, reused, saveSt.Dir())
 	return nil
-}
-
-func sanitize(tr triad.Triad) string {
-	return fmt.Sprintf("t%gv%gb%g", tr.Tclk, tr.Vdd, tr.Vbb)
 }

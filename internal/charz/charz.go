@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/cell"
+	"repro/internal/core"
 	"repro/internal/fdsoi"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
@@ -28,12 +29,17 @@ import (
 // Backend selects the timing engine that plays the SPICE role.
 type Backend uint8
 
-// Available backends: the event-driven gate-level engine (default, fast)
-// and the switch-level RC engine (slower, models partial swings and
-// inertial glitch filtering — used to cross-check the gate-level results).
+// Available backends: the event-driven gate-level engine (default, fast),
+// the switch-level RC engine (slower, models partial swings and inertial
+// glitch filtering — used to cross-check the gate-level results), and the
+// calibrated statistical model backend (internal/model), which replays a
+// trained P(C|Cthmax) table instead of simulating and is orders of
+// magnitude cheaper per pattern. Model-backed points are executed by the
+// engine, not by this package's steppers — RunTriad rejects them.
 const (
 	BackendGate Backend = iota
 	BackendRC
+	BackendModel
 )
 
 // String names the backend.
@@ -43,6 +49,8 @@ func (b Backend) String() string {
 		return "gate"
 	case BackendRC:
 		return "rc"
+	case BackendModel:
+		return "model"
 	default:
 		return fmt.Sprintf("Backend(%d)", uint8(b))
 	}
@@ -107,6 +115,9 @@ func (c *Config) setDefaults() error {
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.Backend == BackendModel && c.Streaming {
+		return fmt.Errorf("charz: streaming capture has no model-backend equivalent")
+	}
 	return nil
 }
 
@@ -138,6 +149,9 @@ type TriadResult struct {
 	// Efficiency is the energy saving relative to the nominal triad,
 	// filled by Run.
 	Efficiency float64
+	// Fidelity is set only on model-backend points: how faithfully the
+	// trained table reproduced the gate-level oracle at this triad.
+	Fidelity *core.Fidelity `json:",omitempty"`
 }
 
 // BER returns the triad's bit error rate.
@@ -672,6 +686,8 @@ func newStepper(nl *netlist.Netlist, cfg Config, tr triad.Triad) (sim.Stepper, e
 			return nil, fmt.Errorf("charz: streaming capture is gate-backend only")
 		}
 		return rcsim.New(nl, cfg.Lib, *cfg.Proc, tr.OperatingPoint()), nil
+	case BackendModel:
+		return nil, fmt.Errorf("charz: model backend has no stepper — modeled points run through the engine calibrator (internal/model)")
 	default:
 		return nil, fmt.Errorf("charz: unknown backend %v", cfg.Backend)
 	}

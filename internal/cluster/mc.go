@@ -1,0 +1,283 @@
+package cluster
+
+// Monte Carlo sharding: the Planner is also the engine's MCSharder.
+// Where sweep sharding routes whole electrical point groups to their
+// ring owners (cache coalescing), Monte Carlo sharding splits one
+// point's rep range [0, reps) into contiguous sub-ranges across the
+// live membership (throughput scaling): rep seeds derive from the job
+// seed and rep index only, so any node can compute any range and the
+// coordinator's in-order merge is byte-identical to a local run.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/triad"
+	"repro/vos"
+)
+
+var _ engine.MCSharder = (*Planner)(nil)
+
+// mcPointKey is a Monte Carlo cell's position on the ring: a
+// content-derived hash of the job parameters that define its results.
+// It only needs to be deterministic across members — rep ranges are
+// recomputed, not cached, so the key spreads load rather than coalesces
+// requests.
+func mcPointKey(req engine.MCRequest, kernel string, tr triad.Triad) string {
+	material := fmt.Sprintf("mc|%s|%s|%d|%d|%s", req.Arch, kernel, req.Seed, req.Samples, tr.Label())
+	sum := sha256.Sum256([]byte(material))
+	return hex.EncodeToString(sum[:])
+}
+
+// RunMCPoint implements engine.MCSharder: split the point's reps into
+// one contiguous range per live member (ring-ownership order, local
+// node always included), run the ranges concurrently — remote ranges as
+// rep-range sub-jobs through the vos SDK, with the local engine as the
+// per-range fallback when a peer fails — and merge the partials in rep
+// order.
+func (p *Planner) RunMCPoint(ctx context.Context, req engine.MCRequest, kernel string, tr triad.Triad,
+	reps int, runLocal func(lo, hi int) (*engine.MCPoint, error)) (*engine.MCPoint, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("cluster: mc point with %d reps", reps)
+	}
+	// Candidate members in the cell's ownership order; self is always a
+	// candidate, so a fully partitioned node still completes alone.
+	var members []string
+	seen := map[string]bool{}
+	for _, m := range p.ring.Sequence(mcPointKey(req, kernel, tr)) {
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		if m == p.self {
+			members = append(members, m)
+			continue
+		}
+		if pr := p.peers.get(m); pr != nil && pr.br.allow() {
+			members = append(members, m)
+		}
+	}
+	if len(members) == 0 {
+		members = []string{p.self}
+	}
+	n := len(members)
+	if n > reps {
+		n = reps
+	}
+	type share struct {
+		member string
+		lo, hi int
+		part   *engine.MCPoint
+		err    error
+	}
+	shares := make([]*share, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*reps/n, (i+1)*reps/n
+		if lo == hi {
+			continue
+		}
+		shares = append(shares, &share{member: members[i], lo: lo, hi: hi})
+	}
+	var wg sync.WaitGroup
+	for _, sh := range shares {
+		wg.Add(1)
+		go func(sh *share) {
+			defer wg.Done()
+			if sh.member != p.self {
+				if pt, err := p.runShardMC(ctx, req, kernel, tr, sh.lo, sh.hi, sh.member); err == nil {
+					sh.part = pt
+					return
+				} else if ctx.Err() != nil {
+					sh.err = ctx.Err()
+					return
+				}
+				// Peer failed (recorded on its breaker inside runShardMC):
+				// compute the range locally rather than failing the job.
+			}
+			sh.part, sh.err = runLocal(sh.lo, sh.hi)
+		}(sh)
+	}
+	wg.Wait()
+	parts := make([]*engine.MCPoint, len(shares))
+	for i, sh := range shares {
+		if sh.err != nil {
+			return nil, sh.err
+		}
+		// Restore the range markers: a shard computing [0, hi) reports
+		// itself as a full-range point (markers cleared), but here the
+		// coordinator knows it is a partial.
+		sh.part.RepLo, sh.part.RepHi = sh.lo, sh.hi
+		parts[i] = sh.part
+	}
+	pt := engine.MergeMCPartials(parts)
+	if pt == nil || pt.Reps != reps {
+		got := 0
+		if pt != nil {
+			got = pt.Reps
+		}
+		return nil, fmt.Errorf("cluster: mc point merged %d/%d reps", got, reps)
+	}
+	return pt, nil
+}
+
+// runShardMC runs one rep range on a remote member as a single-cell
+// rep-range sub-job, returning its partial point. Failures are recorded
+// on the member's breaker and returned to the caller, which falls back
+// to local execution for the range.
+func (p *Planner) runShardMC(ctx context.Context, req engine.MCRequest, kernel string, tr triad.Triad,
+	lo, hi int, member string) (*engine.MCPoint, error) {
+	pr := p.peers.get(member)
+	if pr == nil {
+		return nil, fmt.Errorf("cluster: unknown member %q", member)
+	}
+	spec := vos.NewMCSpec(kernel).
+		Arch(req.Arch).
+		Patterns(req.Patterns).
+		Seed(req.Seed).
+		Samples(req.Samples).
+		Triads(vos.Triad(tr)).
+		RepRange(lo, hi)
+	pt, err := p.shardMCJob(ctx, pr, spec)
+	if err != nil {
+		pr.br.failure(err)
+		return nil, err
+	}
+	pr.br.success()
+	var out engine.MCPoint
+	if err := reencodeMC(pt, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// shardMCJob submits one sub-job to the peer and follows it to
+// completion: the event stream while it flows (bounded by the stall
+// timeout between events), the polling salvage when the stream drops.
+// Mirrors runShardSweep's failure discipline; the payload is the
+// sub-job's single partial point.
+func (p *Planner) shardMCJob(ctx context.Context, pr *peer, spec *vos.MCSpec) (*vos.MCPoint, error) {
+	sctx, cancel := context.WithTimeout(ctx, p.callTimeout)
+	id, err := pr.remote.SubmitMC(sctx, spec)
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	clean := false
+	defer func() {
+		if !clean {
+			cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			pr.remote.CancelMC(cctx, id)
+			cancel()
+		}
+	}()
+
+	var point *vos.MCPoint
+	ectx, ecancel := context.WithCancel(ctx)
+	defer ecancel()
+	ch, err := pr.remote.MCEvents(ectx, id)
+	if err == nil {
+		idle := time.NewTimer(p.stallTimeout)
+		defer idle.Stop()
+	stream:
+		for {
+			select {
+			case ev, ok := <-ch:
+				if !ok {
+					break stream // dropped stream: try the polling salvage
+				}
+				if !idle.Stop() {
+					<-idle.C
+				}
+				idle.Reset(p.stallTimeout)
+				if ev.Type == vos.EventPoint && ev.Point != nil {
+					point = ev.Point
+				}
+				if ev.Terminal() {
+					if ev.Type != vos.EventDone {
+						return nil, fmt.Errorf("cluster: mc shard %s on %s: %s: %s", id, pr.url, ev.Type, ev.Error)
+					}
+					if point != nil {
+						clean = true
+						return point, nil
+					}
+					break stream // done but the point event was dropped: fetch results
+				}
+			case <-idle.C:
+				ecancel()
+				break stream
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+
+	// Polling salvage: require Completed to keep advancing within each
+	// stall window. A sub-job is one cell, so this mostly guards against
+	// a peer that died between submit and stream.
+	res, err := p.pollShardMC(ctx, pr, id)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != vos.StatusDone {
+		return nil, fmt.Errorf("cluster: mc shard %s on %s: %s: %s", id, pr.url, res.Status, res.Error)
+	}
+	rctx, rcancel := context.WithTimeout(ctx, p.callTimeout)
+	full, err := pr.remote.MCResults(rctx, id)
+	rcancel()
+	if err != nil {
+		return nil, err
+	}
+	if len(full.Points) != 1 {
+		return nil, fmt.Errorf("cluster: mc shard %s on %s returned %d points, want 1", id, pr.url, len(full.Points))
+	}
+	clean = true
+	return &full.Points[0], nil
+}
+
+// pollShardMC polls a sub-job's status until a terminal state, with the
+// same call/stall bounding as pollShard.
+func (p *Planner) pollShardMC(ctx context.Context, pr *peer, id string) (*vos.MCResult, error) {
+	const pollInterval = 250 * time.Millisecond
+	lastCompleted := -1
+	stallDeadline := time.Now().Add(p.stallTimeout)
+	for {
+		sctx, cancel := context.WithTimeout(ctx, p.callTimeout)
+		res, err := pr.remote.MCStatus(sctx, id)
+		cancel()
+		if err != nil {
+			return nil, err
+		}
+		switch res.Status {
+		case vos.StatusDone, vos.StatusFailed, vos.StatusCanceled:
+			return res, nil
+		}
+		if res.Progress.Completed > lastCompleted {
+			lastCompleted = res.Progress.Completed
+			stallDeadline = time.Now().Add(p.stallTimeout)
+		} else if time.Now().After(stallDeadline) {
+			return nil, fmt.Errorf("cluster: mc shard %s on %s stalled at %d/%d points for %v",
+				id, pr.url, res.Progress.Completed, res.Progress.TotalPoints, p.stallTimeout)
+		}
+		select {
+		case <-time.After(pollInterval):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// reencodeMC converts between the SDK and engine Monte Carlo point
+// types through their shared JSON shape.
+func reencodeMC(in, out any) error {
+	data, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, out)
+}

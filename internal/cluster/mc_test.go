@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/vos"
+)
+
+// mcAcceptanceSpec is the Monte Carlo acceptance workload: two kernels
+// at two operating points, a million samples per cell (the paper-scale
+// budget) unless -short trims it.
+func mcAcceptanceSpec(samples int64) *vos.MCSpec {
+	return vos.NewMCSpec("fir", "kmeans").Seed(5).Samples(samples).
+		Triads(vos.Triad{Tclk: 4.0, Vdd: 0.9}, vos.Triad{Tclk: 3.0, Vdd: 0.8})
+}
+
+// TestClusterMCMatchesLocal is the Monte Carlo fabric's acceptance
+// test: a job submitted to one node of a 3-node cluster is rep-range
+// sharded across the members, streams events in the single-node shape,
+// and both the streamed points and the merged results are byte-identical
+// to the same spec run on a single-node vos.Local.
+func TestClusterMCMatchesLocal(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	// The full paper-scale budget runs in the unraced default `go test`;
+	// race-instrumented CI jobs and -short runs use a trimmed budget
+	// (identical code paths, ~10× cheaper).
+	samples := int64(1_000_000)
+	if testing.Short() || raceEnabled {
+		samples = 100_000
+	}
+	spec := mcAcceptanceSpec(samples)
+
+	// Reference: the same spec on an isolated single-node client.
+	ref, err := vos.NewLocal(vos.LocalOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want, err := ref.RunMC(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Status != vos.StatusDone || len(want.Points) != 4 {
+		t.Fatalf("reference run: %s, %d points", want.Status, len(want.Points))
+	}
+
+	lc, err := StartLocal(3, LocalOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	client, err := vos.NewRemote(lc.URLs()[0], vos.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	id, err := client.SubmitMC(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := client.MCEvents(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := map[string]*vos.MCPoint{}
+	terminals := 0
+	var last vos.MCEvent
+	for ev := range ch {
+		if terminals > 0 {
+			t.Fatalf("event %q after the terminal event", ev.Type)
+		}
+		switch {
+		case ev.Type == vos.EventPoint:
+			if ev.Point == nil {
+				t.Fatalf("malformed point event: %+v", ev)
+			}
+			streamed[ev.Point.Kernel+"|"+ev.Point.Triad.Label()] = ev.Point
+		case ev.Terminal():
+			terminals++
+			last = ev
+		}
+	}
+	if terminals != 1 || last.Type != vos.EventDone {
+		t.Fatalf("terminals = %d, last = %+v; want exactly one done event", terminals, last)
+	}
+	if len(streamed) != 4 {
+		t.Fatalf("streamed %d point events; want 4", len(streamed))
+	}
+
+	got, err := client.MCResults(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, _ := json.Marshal(got.Points)
+	wj, _ := json.Marshal(want.Points)
+	if string(gj) != string(wj) {
+		t.Fatalf("cluster MC results differ from single-node results:\ngot  %s\nwant %s", gj, wj)
+	}
+	// The streamed per-point payloads must match the merged results too —
+	// the byte-identity promise covers the event stream, not just the
+	// final fetch.
+	for _, pt := range want.Points {
+		sp := streamed[pt.Kernel+"|"+pt.Triad.Label()]
+		if sp == nil {
+			t.Fatalf("no streamed point for %s at %s", pt.Kernel, pt.Triad.Label())
+		}
+		sj, _ := json.Marshal(sp)
+		pj, _ := json.Marshal(pt)
+		if string(sj) != string(pj) {
+			t.Fatalf("streamed point differs from merged result for %s at %s:\nstream %s\nresult %s",
+				pt.Kernel, pt.Triad.Label(), sj, pj)
+		}
+	}
+
+	// The job must actually have been distributed: beyond the coordinator,
+	// at least one other member ran rep-range sub-jobs.
+	busy := 0
+	for _, m := range lc.Members() {
+		if m.Node.Engine().MCJobCount() > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d node(s) saw MC jobs; the job was not sharded", busy)
+	}
+}

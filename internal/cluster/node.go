@@ -24,6 +24,10 @@ type NodeOptions struct {
 	// CacheDir roots the node's on-disk cache layer; empty keeps the
 	// local cache memory-only.
 	CacheDir string
+	// ModelDir, when set, persists every error model the engine's
+	// calibrator trains as JSON artifacts in the cmd/vosmodel store
+	// format (export only — serving never reads it back).
+	ModelDir string
 	// Replicas is the ring's virtual-node count per member; ≤0 selects
 	// the default.
 	Replicas int
@@ -86,7 +90,7 @@ func NewNode(opts NodeOptions) (*Node, error) {
 	}
 	n := &Node{advertise: opts.Advertise}
 	var store httpapi.CacheStore
-	engOpts := engine.Options{Workers: opts.Workers}
+	engOpts := engine.Options{Workers: opts.Workers, ModelDir: opts.ModelDir}
 	if clustered {
 		members := append(append([]string(nil), opts.Peers...), opts.Advertise)
 		n.ring = NewRing(members, opts.Replicas)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled reports whether the race detector instruments this build;
+// long fixed-budget tests trim their workload under it (the unraced
+// default `go test` run keeps the full paper-scale budgets).
+const raceEnabled = false

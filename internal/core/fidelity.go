@@ -1,0 +1,44 @@
+package core
+
+// Fidelity is the per-operating-point report of how faithfully a trained
+// statistical model reproduces the hardware oracle it was calibrated
+// against. It is measured on a held-out evaluation stream (fresh pattern
+// pairs the training pass never saw), so the numbers are
+// cross-validation figures, not training-set fit.
+type Fidelity struct {
+	// SNRdB is the signal-to-noise ratio of the model output against the
+	// hardware output over the evaluation stream, in dB. Error-free
+	// agreement (infinite SNR) is reported as SNRCap so the value stays
+	// JSON-representable.
+	SNRdB float64 `json:"snrDB"`
+	// DeltaBER is |BERModel - BERHardware|: how far the model's bit-error
+	// rate against the exact sum drifts from the hardware's. This is the
+	// number the fidelity gate thresholds.
+	DeltaBER float64 `json:"deltaBER"`
+	// BERModel and BERHardware are the two absolute rates behind DeltaBER.
+	BERModel    float64 `json:"berModel"`
+	BERHardware float64 `json:"berHardware"`
+	// TrainPatterns and EvalPatterns record the calibration budget: how
+	// many oracle observations trained the table and how many held-out
+	// observations produced this report.
+	TrainPatterns int `json:"trainPatterns"`
+	EvalPatterns  int `json:"evalPatterns"`
+	// Fingerprint is the content hash of the trained model artifact
+	// (width, metric, label and full probability table), so results can
+	// be traced back to the exact model that produced them.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// SNRCap is the finite stand-in for an infinite SNR measurement (zero
+// error energy). 99 dB is far above any real VOS operating point and
+// survives JSON round-trips, unlike +Inf.
+const SNRCap = 99.0
+
+// CapSNR clamps an SNR measurement to SNRCap so downstream JSON
+// serialization never meets ±Inf.
+func CapSNR(snr float64) float64 {
+	if snr > SNRCap {
+		return SNRCap
+	}
+	return snr
+}

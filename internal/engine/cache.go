@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/charz"
 	"repro/internal/fdsoi"
+	"repro/internal/model"
 	"repro/internal/triad"
 )
 
@@ -42,7 +43,13 @@ import (
 //	   bit-identical to v4 — energies move by ~10⁻⁵ relative, borderline
 //	   late events can flip — so the golden parity corpus was regenerated
 //	   and old entries must never satisfy new keys.
-const keySchemaVersion = 5
+//	6: calibrated model backend (internal/model). Gate/RC results are
+//	   unchanged, but keyMaterial grew the Model dimension (the
+//	   calibration-spec fingerprint, set only for model-backend points)
+//	   and TriadResult grew the optional Fidelity report; keying the
+//	   format change apart keeps pre-model entries from ever decoding
+//	   into the new shape.
+const keySchemaVersion = 6
 
 // keyMaterial is the canonical content that identifies one operating-point
 // result. Everything that can change the simulator's output is in here —
@@ -63,6 +70,11 @@ type keyMaterial struct {
 	Tclk          float64      `json:"tclk"`
 	Vdd           float64      `json:"vdd"`
 	Vbb           float64      `json:"vbb"`
+	// Model is the calibration-spec fingerprint (model.Spec.Fingerprint)
+	// for model-backend points, empty otherwise. Modeled results depend
+	// on the training recipe as much as on the operator, so a recipe
+	// change must re-key them; gate/RC keys are untouched by it.
+	Model string `json:"model,omitempty"`
 }
 
 // PointKey returns the content-addressed cache key of one operating point:
@@ -88,6 +100,9 @@ func PointKey(cfg charz.Config, tr triad.Triad) (string, error) {
 		Tclk:          tr.Tclk,
 		Vdd:           tr.Vdd,
 		Vbb:           tr.Vbb,
+	}
+	if canon.Backend == charz.BackendModel {
+		m.Model = model.DefaultSpec().Fingerprint()
 	}
 	data, err := json.Marshal(m)
 	if err != nil {

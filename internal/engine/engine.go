@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/charz"
+	"repro/internal/model"
 	"repro/internal/triad"
 )
 
@@ -43,6 +44,12 @@ type Options struct {
 	// (see the Sharder interface for the contract). Explicit-triad
 	// sweeps are never offered to it.
 	Sharder Sharder
+	// ModelDir, when set, persists every model the calibrator trains
+	// (model-backend points, Monte Carlo jobs) as JSON artifacts in the
+	// cmd/vosmodel store format. Serving never reads the directory —
+	// models are always retrained deterministically — so a stale store
+	// cannot change results; it is an export channel for offline tools.
+	ModelDir string
 }
 
 // Engine schedules point jobs onto a bounded worker pool and memoizes
@@ -52,6 +59,10 @@ type Engine struct {
 	workers int
 	cache   CacheBackend
 	sharder Sharder
+	// calib trains and memoizes the statistical error models behind the
+	// model backend and the Monte Carlo service (fixed DefaultSpec
+	// recipe, so every node of a cluster trains identical tables).
+	calib *model.Calibrator
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -82,11 +93,14 @@ type Engine struct {
 	// ride-alongs from per-triad cache hits.
 	groupedPoints atomic.Uint64
 
-	// sweep registry (sweep.go). closed gates Submit so no sweep
-	// goroutine can start once Close begins waiting.
+	// sweep registry (sweep.go) and Monte Carlo job registry (mc.go) —
+	// separate ID spaces under one lock. closed gates Submit/SubmitMC so
+	// no job goroutine can start once Close begins waiting.
 	sweepMu sync.Mutex
 	sweeps  map[string]*sweepState
 	seq     uint64
+	mcs     map[string]*mcState
+	mcSeq   uint64
 	closed  bool
 }
 
@@ -118,16 +132,30 @@ func New(opts Options) (*Engine, error) {
 		}
 		cache = c
 	}
+	var store *model.Store
+	if opts.ModelDir != "" {
+		s, err := model.NewStore(opts.ModelDir)
+		if err != nil {
+			return nil, err
+		}
+		store = s
+	}
+	calib, err := model.NewCalibrator(model.DefaultSpec(), store)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		workers:  opts.Workers,
 		cache:    cache,
 		sharder:  opts.Sharder,
+		calib:    calib,
 		ctx:      ctx,
 		cancel:   cancel,
 		jobs:     make(chan func()),
 		inflight: make(map[string]*flight),
 		sweeps:   make(map[string]*sweepState),
+		mcs:      make(map[string]*mcState),
 	}
 	for i := 0; i < e.workers; i++ {
 		e.wg.Add(1)
@@ -291,7 +319,14 @@ func (e *Engine) ownPoint(ctx context.Context, p *charz.Prepared, tr triad.Triad
 	var runErr error
 	if err := e.exec(ctx, func() {
 		e.executions.Add(1)
-		res, runErr = p.RunTriad(tr)
+		if p.Config.Backend == charz.BackendModel {
+			// Model-backend points bypass the charz steppers entirely:
+			// calibrate against the gate-level oracle (memoized per
+			// point), then replay the stimulus through the trained table.
+			res, runErr = e.calib.RunPoint(p, tr)
+		} else {
+			res, runErr = p.RunTriad(tr)
+		}
 	}); err != nil {
 		f.err = err
 		return nil, false, err
@@ -511,6 +546,7 @@ func (e *Engine) runGroupYield(ctx context.Context, plan *OperatorPlan, idxs []i
 			EnergyPerOpFJ: res.EnergyPerOpFJ,
 			LateFraction:  res.LateFraction,
 			FromCache:     cachedFlags[j],
+			Fidelity:      res.Fidelity,
 		})
 	}
 	return nil

@@ -122,6 +122,11 @@ func WithTenantQuota(n int, exempt ...string) Option {
 //	GET    /v1/sweeps/{id}/results full results once done (409 envelope while running)
 //	GET    /v1/sweeps/{id}/events  NDJSON event stream until the terminal event
 //	DELETE /v1/sweeps/{id}         cancel a pending/running sweep → 204
+//	POST   /v1/mc                  submit a Monte Carlo job (engine.MCRequest JSON) → 202 {"id"}
+//	GET    /v1/mc/{id}             one job's status and progress
+//	GET    /v1/mc/{id}/results     full per-point results once done (409 envelope while running)
+//	GET    /v1/mc/{id}/events      NDJSON event stream until the terminal event
+//	DELETE /v1/mc/{id}             cancel a pending/running job → 204
 //	GET    /v1/cache/stats         result-cache and execution counters
 //	GET    /v1/cache/entries/{key} raw cache entry (WithCacheStore only)
 //	PUT    /v1/cache/entries/{key} store a cache entry (WithCacheStore only)
@@ -139,6 +144,7 @@ func New(eng *engine.Engine, opts ...Option) http.Handler {
 	m.HandleFunc("GET /v1/sweeps/{id}/results", s.getResults)
 	m.HandleFunc("GET /v1/sweeps/{id}/events", s.sweepEvents)
 	m.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
+	s.registerMC(m)
 	m.HandleFunc("GET /v1/cache/stats", s.cacheStats)
 	m.HandleFunc("GET /v1/cache/entries/{key}", s.getCacheEntry)
 	m.HandleFunc("PUT /v1/cache/entries/{key}", s.putCacheEntry)

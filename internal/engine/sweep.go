@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/charz"
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/synth"
 	"repro/internal/triad"
@@ -45,7 +46,8 @@ type Request struct {
 	Seed uint64 `json:"seed"`
 	// PropagateP is the stimulus carry-propagate probability; default 0.5.
 	PropagateP float64 `json:"propagateP,omitempty"`
-	// Backend is "gate" (default) or "rc".
+	// Backend is "gate" (default), "rc" or "model" (the calibrated
+	// error-model backend; see internal/model).
 	Backend string `json:"backend,omitempty"`
 	// Streaming selects free-running capture (gate backend only).
 	Streaming bool `json:"streaming,omitempty"`
@@ -79,6 +81,8 @@ func backendByName(name string) (charz.Backend, error) {
 		return charz.BackendGate, nil
 	case charz.BackendRC.String():
 		return charz.BackendRC, nil
+	case charz.BackendModel.String():
+		return charz.BackendModel, nil
 	}
 	return 0, fmt.Errorf("engine: unknown backend %q", name)
 }
@@ -329,6 +333,12 @@ type PointSummary struct {
 	LateFraction  float64            `json:"lateFraction"`
 	Efficiency    float64            `json:"efficiency"`
 	FromCache     bool               `json:"fromCache"`
+	// Fidelity is present only on model-backend points: the held-out
+	// cross-validation report of the trained table this point was served
+	// from. For those points LateFraction carries the oracle's word-error
+	// fraction over the calibration patterns (the modeled analog of a
+	// late capture).
+	Fidelity *core.Fidelity `json:"fidelity,omitempty"`
 }
 
 // OperatorResult is one operator's share of a sweep result.

@@ -1,0 +1,112 @@
+package model
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/triad"
+)
+
+// Store is the on-disk model library: one JSON file per (operator,
+// triad) in the core.WriteModel format, named the way cmd/vosmodel has
+// always named its -save output. The daemon writes through to a Store
+// when configured (vosd -models) and cmd/vosmodel both writes (-save)
+// and reads (-load) it, so the CLI and the serving stack share one
+// artifact format.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a model directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("model: store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("model: store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// FileName is the canonical artifact name for one (operator, triad):
+// "<op>_t<Tclk>v<Vdd>b<Vbb>.json", e.g. "rca8_t0.95v0.7b0.json". The
+// %g triad rendering matches what cmd/vosmodel -save has written since
+// the seed, so existing model directories load unchanged.
+func FileName(op string, tr triad.Triad) string {
+	return fmt.Sprintf("%s_t%gv%gb%g.json", op, tr.Tclk, tr.Vdd, tr.Vbb)
+}
+
+// Path returns the artifact path for one (operator, triad).
+func (s *Store) Path(op string, tr triad.Triad) string {
+	return filepath.Join(s.dir, FileName(op, tr))
+}
+
+// Save atomically persists one trained model (write to a temp file in
+// the same directory, then rename), so concurrent readers never see a
+// torn artifact.
+func (s *Store) Save(op string, tr triad.Triad, m *core.Model) error {
+	var buf bytes.Buffer
+	if err := core.WriteModel(&buf, m); err != nil {
+		return fmt.Errorf("model: store save: %w", err)
+	}
+	dst := s.Path(op, tr)
+	tmp, err := os.CreateTemp(s.dir, "."+filepath.Base(dst)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("model: store save: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("model: store save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("model: store save: %w", err)
+	}
+	if err := os.Rename(name, dst); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("model: store save: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates one trained model. A missing artifact
+// reports os.ErrNotExist (test with errors.Is).
+func (s *Store) Load(op string, tr triad.Triad) (*core.Model, error) {
+	f, err := os.Open(s.Path(op, tr))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := core.ReadModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("model: store %s: %w", FileName(op, tr), err)
+	}
+	return m, nil
+}
+
+// List returns the sorted artifact file names present in the store.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("model: store list: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		out = append(out, e.Name())
+	}
+	sort.Strings(out)
+	return out, nil
+}

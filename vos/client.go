@@ -38,6 +38,18 @@ type Client interface {
 	// Cancel stops a pending or running sweep.
 	Cancel(ctx context.Context, id string) error
 
+	// RunMC is the synchronous Monte Carlo path: submit the spec, wait
+	// for completion and return the full per-point results. The
+	// asynchronous methods below mirror the sweep lifecycle for Monte
+	// Carlo jobs (see MCSpec/MCResult/MCEvent).
+	RunMC(ctx context.Context, spec *MCSpec) (*MCResult, error)
+	SubmitMC(ctx context.Context, spec *MCSpec) (string, error)
+	MCStatus(ctx context.Context, id string) (*MCResult, error)
+	WaitMC(ctx context.Context, id string) (*MCResult, error)
+	MCResults(ctx context.Context, id string) (*MCResult, error)
+	MCEvents(ctx context.Context, id string) (<-chan MCEvent, error)
+	CancelMC(ctx context.Context, id string) error
+
 	// CacheStats reports the executing engine's result-cache counters.
 	CacheStats(ctx context.Context) (*CacheStats, error)
 

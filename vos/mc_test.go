@@ -1,0 +1,147 @@
+package vos_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/vos"
+)
+
+func testMCSpec() *vos.MCSpec {
+	return vos.NewMCSpec("fir", "kmeans").Seed(7).Samples(4096).
+		Triads(vos.Triad{Tclk: 4.0, Vdd: 0.9}, vos.Triad{Tclk: 3.0, Vdd: 0.8})
+}
+
+// TestMCLocalRemoteEquivalence is the Monte Carlo half of the SDK
+// promise: the same MCSpec produces byte-identical points whether the
+// job runs in-process or through a vosd daemon.
+func TestMCLocalRemoteEquivalence(t *testing.T) {
+	ctx := context.Background()
+	spec := testMCSpec()
+
+	lres, err := newLocal(t).RunMC(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := newRemote(t).RunMC(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.Status != vos.StatusDone || rres.Status != vos.StatusDone {
+		t.Fatalf("statuses %s / %s", lres.Status, rres.Status)
+	}
+	if lres.Progress != rres.Progress {
+		t.Fatalf("progress differs: %+v vs %+v", lres.Progress, rres.Progress)
+	}
+	lj, _ := json.Marshal(lres.Points)
+	rj, _ := json.Marshal(rres.Points)
+	if len(lres.Points) != 4 || string(lj) != string(rj) {
+		t.Fatalf("local and remote points differ:\nlocal:  %s\nremote: %s", lj, rj)
+	}
+
+	// The lookup helper finds every cell of the grid.
+	for _, pt := range lres.Points {
+		got := lres.Point(pt.Kernel, pt.Triad)
+		if got == nil || got.Mean != pt.Mean {
+			t.Fatalf("Point(%s, %s) lookup failed", pt.Kernel, pt.Triad.Label())
+		}
+	}
+}
+
+// TestMCEventsBothTransports streams a Monte Carlo job through both
+// transports: point events for every cell, then one terminal done event.
+func TestMCEventsBothTransports(t *testing.T) {
+	ctx := context.Background()
+	for name, cli := range map[string]vos.Client{"local": newLocal(t), "remote": newRemote(t)} {
+		t.Run(name, func(t *testing.T) {
+			id, err := cli.SubmitMC(ctx, testMCSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, err := cli.MCEvents(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var events []vos.MCEvent
+			for ev := range ch {
+				events = append(events, ev)
+			}
+			if len(events) == 0 {
+				t.Fatal("no events")
+			}
+			last := events[len(events)-1]
+			if !last.Terminal() || last.Type != vos.EventDone {
+				t.Fatalf("last event %+v", last)
+			}
+			points := 0
+			for i, ev := range events {
+				if ev.Type == vos.EventPoint {
+					if ev.Point == nil {
+						t.Fatalf("point event %d without payload", i)
+					}
+					points++
+				}
+			}
+			if points != 4 {
+				t.Fatalf("%d point events, want 4", points)
+			}
+		})
+	}
+}
+
+// TestMCClientErrors checks the Monte Carlo typed error surface on both
+// transports.
+func TestMCClientErrors(t *testing.T) {
+	ctx := context.Background()
+	for name, cli := range map[string]vos.Client{"local": newLocal(t), "remote": newRemote(t)} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := cli.MCStatus(ctx, "mc-999999"); !errors.Is(err, vos.ErrNotFound) {
+				t.Fatalf("MCStatus unknown: %v", err)
+			}
+			if _, err := cli.MCResults(ctx, "mc-999999"); !errors.Is(err, vos.ErrNotFound) {
+				t.Fatalf("MCResults unknown: %v", err)
+			}
+			if err := cli.CancelMC(ctx, "mc-999999"); !errors.Is(err, vos.ErrNotFound) {
+				t.Fatalf("CancelMC unknown: %v", err)
+			}
+			if _, err := cli.MCEvents(ctx, "mc-999999"); !errors.Is(err, vos.ErrNotFound) {
+				t.Fatalf("MCEvents unknown: %v", err)
+			}
+
+			// A job heavy enough that Cancel always beats completion;
+			// MCResults on the running job reports ErrNotDone, and after
+			// cancellation a *SweepError.
+			big := testMCSpec().Samples(1 << 24)
+			id, err := cli.SubmitMC(ctx, big)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cli.MCResults(ctx, id); !errors.Is(err, vos.ErrNotDone) {
+				t.Fatalf("MCResults while running: %v", err)
+			}
+			if err := cli.CancelMC(ctx, id); err != nil {
+				t.Fatal(err)
+			}
+			res, err := cli.WaitMC(ctx, id)
+			if err != nil {
+				t.Fatalf("WaitMC after cancel: %v", err)
+			}
+			if res.Status == vos.StatusCanceled {
+				var swErr *vos.SweepError
+				if _, err := cli.MCResults(ctx, id); !errors.As(err, &swErr) || swErr.Status != vos.StatusCanceled {
+					t.Fatalf("MCResults after cancel: %v", err)
+				}
+			}
+
+			// Spec validation errors surface before execution.
+			if _, err := cli.SubmitMC(ctx, vos.NewMCSpec("fft")); err == nil {
+				t.Fatal("bogus kernel accepted")
+			}
+			if _, err := cli.SubmitMC(ctx, vos.NewMCSpec("fir").RepRange(5, 2)); err == nil {
+				t.Fatal("inverted rep range accepted")
+			}
+		})
+	}
+}

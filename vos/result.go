@@ -81,6 +81,11 @@ type Point struct {
 	// FromCache records whether the point was served from the engine's
 	// result cache rather than simulated.
 	FromCache bool `json:"fromCache"`
+	// Fidelity is present only on BackendModel points: the trained error
+	// model's cross-validation report against the gate-level oracle. For
+	// those points LateFraction carries the oracle's word-error fraction
+	// over the calibration patterns.
+	Fidelity *Fidelity `json:"fidelity,omitempty"`
 }
 
 // Operator is one architecture × width of a sweep result.

@@ -23,6 +23,12 @@ const (
 	BackendGate = "gate"
 	// BackendRC is the switch-level RC cross-check engine.
 	BackendRC = "rc"
+	// BackendModel serves points from the calibrated statistical error
+	// model: each operating point trains a P(C | Cthmax) table against
+	// the gate-level oracle once, then replays the sweep stimulus through
+	// the table. Modeled points carry a Fidelity report and are orders of
+	// magnitude cheaper per pattern than gate simulation.
+	BackendModel = "model"
 )
 
 // Spec describes one characterization sweep: which operators to
@@ -78,7 +84,8 @@ func (s *Spec) PropagateP(p float64) *Spec {
 	return s
 }
 
-// Backend selects the timing engine: BackendGate (default) or BackendRC.
+// Backend selects the point engine: BackendGate (default), BackendRC or
+// BackendModel.
 func (s *Spec) Backend(name string) *Spec {
 	s.req.Backend = name
 	return s
