@@ -33,8 +33,9 @@ bench-smoke:
 
 # bench-diff re-runs the benchmarks into a scratch file and compares them
 # against the committed BENCH_sim.json baseline, failing on a >20% ns/op
-# regression of any SimStep*/TraceResample*/Fig8*/ClusterWarmLookup
-# benchmark. The iteration budget and sample counts match `make bench`
+# regression of any gated benchmark (see vosbench -diff-filter; the
+# journaled EngineWarmSweep/ClusterWarmLookup twins gate the durability
+# tax). The iteration budget and sample counts match `make bench`
 # — comparing a
 # short warm-up-dominated run against a full baseline reads as a phantom
 # regression — so a contended-scheduler outlier cannot fail the gate on

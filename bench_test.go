@@ -22,6 +22,7 @@ import (
 	"repro/internal/charz"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/engine/journal"
 	"repro/internal/fdsoi"
 	"repro/internal/netlist"
 	"repro/internal/patterns"
@@ -265,7 +266,20 @@ func BenchmarkFig8Grouped(b *testing.B) {
 // through the SDK — the steady-state cost a vosd client pays for a
 // repeated operating-point query (deserialization only, no simulation).
 func BenchmarkEngineWarmSweep(b *testing.B) {
-	cli, err := vos.NewLocal(vos.LocalOptions{})
+	benchEngineWarmSweep(b, vos.LocalOptions{})
+}
+
+// BenchmarkEngineWarmSweepJournal is the same warm submit with the
+// write-ahead journal enabled: the delta against BenchmarkEngineWarmSweep
+// is the full durability tax of a cache-served sweep (accept and
+// terminal records fsync'd, per-point records riding the OS cache).
+// Gated in CI so the journal's overhead cannot silently grow.
+func BenchmarkEngineWarmSweepJournal(b *testing.B) {
+	benchEngineWarmSweep(b, vos.LocalOptions{JournalDir: b.TempDir()})
+}
+
+func benchEngineWarmSweep(b *testing.B, opts vos.LocalOptions) {
+	cli, err := vos.NewLocal(opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -299,7 +313,20 @@ func BenchmarkEngineWarmSweep(b *testing.B) {
 // simulation). This is the latency floor every warm shard lookup and
 // peer-cache fill pays, gated in CI alongside the sim kernels.
 func BenchmarkClusterWarmLookup(b *testing.B) {
-	lc, err := cluster.StartLocal(3, cluster.LocalOptions{Workers: 2})
+	benchClusterWarmLookup(b, cluster.LocalOptions{Workers: 2})
+}
+
+// BenchmarkClusterWarmLookupJournal is the same warm lookup against a
+// fully journaled cluster: every member runs with a write-ahead journal,
+// so each op additionally pays the accept/terminal record fsyncs on the
+// serving node. The delta against BenchmarkClusterWarmLookup is the
+// journal's toll on the warm serving path, budgeted at under 5%.
+func BenchmarkClusterWarmLookupJournal(b *testing.B) {
+	benchClusterWarmLookup(b, cluster.LocalOptions{Workers: 2, JournalRoot: b.TempDir()})
+}
+
+func benchClusterWarmLookup(b *testing.B, opts cluster.LocalOptions) {
+	lc, err := cluster.StartLocal(3, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -338,6 +365,39 @@ func BenchmarkClusterWarmLookup(b *testing.B) {
 	b.StopTimer()
 	if n := executions(); n != warmed {
 		b.Fatalf("warm lookup simulated %d extra points", n-warmed)
+	}
+}
+
+// BenchmarkJournalAppend measures the write-ahead journal's append
+// path with a representative per-point lifecycle record — the
+// durability tax every journaled job pays. The unsynced case is the
+// per-point hot path (sweep.point records ride the OS cache; the
+// content-addressed result cache holds the data), the synced case is
+// the accept/terminal path that must reach stable storage before the
+// record counts as durable. Gated in CI alongside the sim kernels.
+func BenchmarkJournalAppend(b *testing.B) {
+	payload := []byte(`{"type":"sweep.point","id":"s-000042","key":"a3f9c2e417b08d5512f4a6b8c9d0e1f2","bench":"fig8","arch":"RCA","width":8}`)
+	for _, bc := range []struct {
+		name string
+		sync bool
+	}{{"unsynced", false}, {"synced", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			j, recs, err := journal.Open(b.TempDir(), journal.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recs) != 0 {
+				b.Fatalf("fresh journal replayed %d records", len(recs))
+			}
+			defer j.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := j.Append(payload, bc.sync); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	vosd [-addr :8420] [-workers N] [-cache-dir DIR] [-models DIR]
-//	     [-peers URL,URL,...] [-advertise URL]
+//	vosd [-addr :8420] [-workers N] [-cache-dir DIR] [-journal-dir DIR]
+//	     [-models DIR] [-peers URL,URL,...] [-advertise URL]
 //	     [-tenant-quota N] [-log-json]
 //
 // With -peers, vosd joins a cluster (internal/cluster): declarative
@@ -15,6 +15,15 @@
 // cache misses are filled from peer nodes before simulating. Every
 // member runs with the same flags, listing the others in -peers and
 // itself in -advertise; see README.md for a walkthrough.
+//
+// With -journal-dir, the job registries are durable: every sweep and
+// Monte Carlo job's lifecycle goes through a write-ahead journal in
+// DIR, and a restarted daemon replays it before serving — finished
+// jobs stay queryable, unfinished ones are re-adopted under their
+// original IDs and resumed (completed points re-served from the cache,
+// only the remainder re-executed). During replay the daemon answers
+// /readyz and job submissions with 503 + Retry-After. See README.md
+// "Durability & recovery".
 //
 // API:
 //
@@ -24,6 +33,7 @@
 //	GET    /v1/sweeps/{id}/results full results once done (409 while running)
 //	GET    /v1/sweeps/{id}/events  NDJSON stream of per-point progress events
 //	DELETE /v1/sweeps/{id}         cancel a pending/running sweep
+//	GET    /v1/jobs                both registries' jobs (sweeps + mc), recovery provenance included
 //	POST   /v1/mc                  submit a Monte Carlo job (engine.MCRequest JSON) → 202 {"id": ...}
 //	GET    /v1/mc/{id}             one job's status and progress
 //	GET    /v1/mc/{id}/results     full per-point results once done (409 while running)
@@ -34,13 +44,17 @@
 //	PUT    /v1/cache/entries/{key} store a cache entry (peer cache tier)
 //	GET    /v1/cluster/status      membership and peer health (clustered only)
 //	GET    /healthz                liveness probe
+//	GET    /readyz                 readiness probe (503 while replaying or draining)
 //
 // Every non-2xx response carries the structured error envelope
 // {"error":{"code":"...","message":"..."}}.
 //
-// vosd shuts down gracefully on SIGINT/SIGTERM: the listener stops
-// accepting, in-flight responses get a drain window, and the engine is
-// closed so no sweep dies mid-write.
+// vosd shuts down gracefully on SIGINT/SIGTERM: the engine stops
+// accepting new jobs (503 draining), the listener stops accepting,
+// in-flight responses get a drain window, and the engine is closed so
+// no sweep dies mid-write. With a journal, interrupted jobs are not
+// lost — the next start resumes them exactly as it would after a
+// crash.
 package main
 
 import (
@@ -66,6 +80,7 @@ func main() {
 		addr        = flag.String("addr", ":8420", "listen address")
 		workers     = flag.Int("workers", 0, "worker-pool size (0 = NumCPU)")
 		cacheDir    = flag.String("cache-dir", "", "on-disk result cache root (empty = memory only)")
+		journalDir  = flag.String("journal-dir", "", "write-ahead journal root for durable job registries (empty = jobs die with the process)")
 		modelDir    = flag.String("models", "", "export trained error models as JSON into DIR (vosmodel store format)")
 		peers       = flag.String("peers", "", "comma-separated peer vosd URLs (joins a cluster)")
 		advertise   = flag.String("advertise", "", "this node's URL as peers reach it (required with -peers)")
@@ -78,6 +93,7 @@ func main() {
 		Advertise:   *advertise,
 		Workers:     *workers,
 		CacheDir:    *cacheDir,
+		JournalDir:  *journalDir,
 		ModelDir:    *modelDir,
 		TenantQuota: *tenantQuota,
 	}
@@ -110,8 +126,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("listening on %s (%d workers, cache %s%s)",
-		*addr, eng.Workers(), cacheDesc(*cacheDir), clusterDesc(opts.Peers))
+	log.Printf("listening on %s (%d workers, cache %s%s%s)",
+		*addr, eng.Workers(), cacheDesc(*cacheDir), journalDesc(*journalDir), clusterDesc(opts.Peers))
 
 	select {
 	case err := <-errc:
@@ -121,6 +137,13 @@ func main() {
 		stop() // restore default signal behavior: a second ^C kills immediately
 		log.Print("shutting down (signal); interrupt again to force")
 	}
+
+	// Refuse new jobs for the remainder of the drain: submissions get
+	// the 503 draining envelope, and the engine skips terminal journal
+	// records for jobs it cancels on the way down — so a journaled
+	// daemon resumes them on the next start instead of replaying them
+	// as canceled.
+	eng.StartDrain()
 
 	// Close the node first: the engine cancels still-running sweeps (they
 	// finish as canceled, publishing their terminal events, which ends
@@ -162,6 +185,13 @@ func cacheDesc(dir string) string {
 		return "in-memory"
 	}
 	return "in-memory + " + dir
+}
+
+func journalDesc(dir string) string {
+	if dir == "" {
+		return ""
+	}
+	return ", journal " + dir
 }
 
 func clusterDesc(peers []string) string {

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/vos"
+)
+
+// TestRecoverySmoke is the daemon-level crash-recovery drill CI runs as
+// its recovery-smoke job: a real vosd process with a journal is
+// SIGKILLed mid-sweep — no drain, no goodbye — restarted on the same
+// directories, and must resume the job under its original ID and serve
+// results byte-identical to an uninterrupted vos.Local run. Artifacts
+// (daemon logs, journal segments) land in $RECOVERY_ARTIFACTS when set,
+// so a CI failure leaves the evidence behind.
+func TestRecoverySmoke(t *testing.T) {
+	artifacts := os.Getenv("RECOVERY_ARTIFACTS")
+	if artifacts == "" {
+		artifacts = t.TempDir()
+	} else if err := os.MkdirAll(artifacts, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	jdir := filepath.Join(artifacts, "journal")
+	cdir := filepath.Join(artifacts, "cache")
+
+	bin := filepath.Join(t.TempDir(), "vosd")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/vosd").CombinedOutput(); err != nil {
+		t.Fatalf("build vosd: %v\n%s", err, out)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	spec := vos.NewSpec().Arches("RCA").Widths(8).Patterns(400).Seed(2)
+
+	ref, err := vos.NewLocal(vos.LocalOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Close()
+
+	// A free loopback port the daemon can rebind across its restart.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	start := func(logName string) *exec.Cmd {
+		t.Helper()
+		logf, err := os.Create(filepath.Join(artifacts, logName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin, "-addr", addr, "-workers", "2", "-cache-dir", cdir, "-journal-dir", jdir)
+		cmd.Stdout = logf
+		cmd.Stderr = logf
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { logf.Close() })
+		return cmd
+	}
+	waitServing := func(cmd *exec.Cmd) {
+		t.Helper()
+		deadline := time.Now().Add(time.Minute)
+		for {
+			resp, err := http.Get("http://" + addr + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				cmd.Process.Kill()
+				t.Fatalf("daemon never became ready on %s (see %s)", addr, artifacts)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	daemon := start("vosd-1.log")
+	waitServing(daemon)
+
+	client, err := vos.NewRemote("http://"+addr, vos.RemoteOptions{Reconnect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	id, err := client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := client.Events(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := 0
+	for ev := range ch {
+		if ev.Terminal() {
+			break
+		}
+		if ev.Type == vos.EventPoint {
+			if points++; points >= 2 {
+				break
+			}
+		}
+	}
+	if points < 2 {
+		t.Fatal("sweep finished before the kill; grow the workload")
+	}
+
+	// SIGKILL: no drain window, no journal finalization — the hardest
+	// crash the journal must absorb.
+	if err := daemon.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	daemon.Wait()
+
+	daemon = start("vosd-2.log")
+	defer func() {
+		daemon.Process.Signal(syscall.SIGTERM)
+		daemon.Wait()
+	}()
+	waitServing(daemon)
+
+	res, err := client.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("waiting out the resumed sweep: %v", err)
+	}
+	if res.Status != vos.StatusDone {
+		t.Fatalf("resumed sweep: %v (%s)", res.Status, res.Error)
+	}
+	got, err := client.Results(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := func(ops []vos.Operator) []vos.Operator {
+		out := append([]vos.Operator(nil), ops...)
+		for i := range out {
+			out[i].Points = append([]vos.Point(nil), out[i].Points...)
+			for j := range out[i].Points {
+				out[i].Points[j].FromCache = false
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(norm(got.Operators), norm(want.Operators)) {
+		t.Fatalf("post-crash results differ from the uninterrupted run (artifacts in %s)", artifacts)
+	}
+
+	// The resumed daemon lists the job with its recovery provenance.
+	resp, err := http.Get("http://" + addr + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/jobs: status %d", resp.StatusCode)
+	}
+	var jobs []struct {
+		ID        string `json:"id"`
+		Status    string `json:"status"`
+		Recovered bool   `json:"recovered"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, j := range jobs {
+		if j.ID == id {
+			found = true
+			if !j.Recovered || j.Status != string(vos.StatusDone) {
+				t.Fatalf("job listing for %s: %+v, want done and recovered", id, j)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("/v1/jobs listing does not contain %s", id)
+	}
+}

@@ -2,9 +2,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -26,17 +28,23 @@ type chaosOptions struct {
 	seeds       int
 	logPath     string
 	perSweep    time.Duration
+	// killCoordinator adds node 0 to the kill schedule's victim set:
+	// the coordinator itself gets killed and restarted mid-load, and
+	// every job submitted before a kill must still complete through
+	// journal replay and client reconnection.
+	killCoordinator bool
 }
 
 // runChaos is vosload's resilience mode: a seeded fault schedule —
 // latency, 5xx, connection resets, truncated streams, corrupt and
-// oversized cache bodies, disk-cache write/rename/read faults, plus a
-// node kill/rejoin cycle — runs against an in-process cluster while
-// sweep load flows through the clean coordinator node. The soak passes
-// only if every sweep completes with results DeepEqual-identical to an
-// isolated single-node vos.Local, no sweep wedges past its deadline,
-// the fault log replays exactly from the seed, and no goroutines leak
-// after teardown. Returns the process exit code.
+// oversized cache bodies, disk-cache and journal write/rename/read
+// faults, plus a node kill/rejoin cycle that may take down the
+// coordinator itself — runs against an in-process journaled cluster.
+// The soak passes only if every sweep completes with results
+// DeepEqual-identical to an isolated single-node vos.Local, no sweep
+// wedges past its deadline, the fault log replays exactly from the
+// seed, and no goroutines leak after teardown. Returns the process
+// exit code.
 func runChaos(opts chaosOptions) int {
 	baseline := chaos.SnapshotGoroutines()
 	failures := 0
@@ -68,19 +76,22 @@ func runChaos(opts chaosOptions) int {
 	ref.Close()
 
 	// The fleet: every node's peer traffic goes through the fault
-	// transport and its disk cache through the FS fault hooks; every
-	// node but the coordinator also serves through the fault middleware.
-	// Node 0 stays clean on its serving surface so a client failure is
-	// always a fabric resilience failure, never an injected client fault.
-	cacheRoot, err := os.MkdirTemp("", "vosload-chaos-")
+	// transport, its disk cache and journal through the FS fault hooks,
+	// and every node's registries are journaled so a kill is a crash it
+	// must recover from. Every node but the coordinator also serves
+	// through the fault middleware: node 0's serving surface stays clean
+	// so a client failure is always a fabric resilience failure, never
+	// an injected client fault — but node 0 can still be killed.
+	scratch, err := os.MkdirTemp("", "vosload-chaos-")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(cacheRoot)
+	defer os.RemoveAll(scratch)
 	inj := chaos.New(chaos.DefaultConfig(opts.seed))
 	lc, err := cluster.StartLocal(opts.nodes, cluster.LocalOptions{
-		Workers:   opts.workers,
-		CacheRoot: cacheRoot,
+		Workers:     opts.workers,
+		CacheRoot:   filepath.Join(scratch, "cache"),
+		JournalRoot: filepath.Join(scratch, "journal"),
 		PerNode: func(i int, no *cluster.NodeOptions) {
 			no.Transport = inj.Transport(nil)
 			no.CacheFaults = inj
@@ -96,25 +107,73 @@ func runChaos(opts chaosOptions) int {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("chaos soak: seed %d, %d sweeps over a %d-node cluster", opts.seed, opts.sweeps, opts.nodes)
+	log.Printf("chaos soak: seed %d, %d sweeps over a %d-node cluster (coordinator killable: %v)",
+		opts.seed, opts.sweeps, opts.nodes, opts.killCoordinator)
 
 	client, err := vos.NewRemote(lc.URLs()[0], vos.RemoteOptions{
 		Tenant:     "vosload-chaos",
 		JitterSeed: int64(opts.seed),
+		Reconnect:  true,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The kill schedule runs beside the load: seeded kill/rejoin cycles
-	// against the non-coordinator members.
-	victims := make([]int, 0, opts.nodes-1)
-	for i := 1; i < opts.nodes; i++ {
+	// across the members — including the coordinator, unless spared.
+	first := 1
+	if opts.killCoordinator {
+		first = 0
+	}
+	victims := make([]int, 0, opts.nodes-first)
+	for i := first; i < opts.nodes; i++ {
 		victims = append(victims, i)
 	}
 	killCtx, killCancel := context.WithCancel(context.Background())
 	killDone := make(chan error, 1)
 	go func() { killDone <- inj.RunKillSchedule(killCtx, lc, victims) }()
+
+	// runOnce drives one sweep to completion through whatever the
+	// schedule throws at it. A downed coordinator refuses or drops the
+	// submit and the results fetch, so both retry until the deadline;
+	// the wait in between rides on the client's reconnect mode. The one
+	// legitimate job loss — the journal accept write itself was faulted,
+	// so a killed coordinator never knew the job — surfaces as a 404
+	// after replay, and the client does what a real one would: resubmit.
+	runOnce := func(sctx context.Context, seed uint64) (*vos.Result, error) {
+		for {
+			id, err := client.Submit(sctx, spec(seed))
+			if err != nil {
+				if sctx.Err() != nil {
+					return nil, err
+				}
+				time.Sleep(250 * time.Millisecond)
+				continue
+			}
+			if _, err := client.Wait(sctx, id); err != nil {
+				if sctx.Err() != nil {
+					return nil, err
+				}
+				if errors.Is(err, vos.ErrNotFound) {
+					continue // lost to a faulted journal write: resubmit
+				}
+				return nil, err
+			}
+			for {
+				res, err := client.Results(sctx, id)
+				if err == nil {
+					return res, nil
+				}
+				if errors.Is(err, vos.ErrNotFound) {
+					break // evicted or lost across a restart: resubmit
+				}
+				if sctx.Err() != nil {
+					return nil, err
+				}
+				time.Sleep(250 * time.Millisecond)
+			}
+		}
+	}
 
 	// The load: opts.concurrency workers draining a shared sweep budget,
 	// each sweep bounded by its own deadline — a sweep that outlives it
@@ -135,7 +194,7 @@ func runChaos(opts chaosOptions) int {
 				}
 				seed := uint64((n-1)%int64(opts.seeds)) + 1
 				sctx, scancel := context.WithTimeout(context.Background(), opts.perSweep)
-				res, err := client.Run(sctx, spec(seed))
+				res, err := runOnce(sctx, seed)
 				stuck := err != nil && sctx.Err() == context.DeadlineExceeded
 				scancel()
 				mu.Lock()
@@ -177,20 +236,21 @@ func runChaos(opts chaosOptions) int {
 		completed.Load(), opts.sweeps, elapsed.Round(time.Millisecond))
 	for i, u := range lc.URLs() {
 		stats, err := client.CacheStats(context.Background())
+		jerrs := lc.Members()[i].Node.Engine().JournalErrors()
 		if i > 0 {
 			// CacheStats talks to node 0; ask the members directly for
 			// the rest of the fleet via their engines.
 			s := lc.Members()[i].Node.Engine().CacheStats()
-			log.Printf("node %d %s: peerErrors %d writeErrors %d corrupt %d degraded %v (degradedWrites %d)",
-				i, u, s.PeerErrors, s.WriteErrors, s.CorruptEntries, s.DiskDegraded, s.DegradedWrites)
+			log.Printf("node %d %s: peerErrors %d writeErrors %d corrupt %d degraded %v (degradedWrites %d) journalErrors %d",
+				i, u, s.PeerErrors, s.WriteErrors, s.CorruptEntries, s.DiskDegraded, s.DegradedWrites, jerrs)
 			continue
 		}
 		if err != nil {
 			fail("node 0 stats unavailable: %v", err)
 			continue
 		}
-		log.Printf("node %d %s: hits %d (peer %d) misses %d executions %d peerErrors %d degraded %v",
-			i, u, stats.Hits, stats.PeerHits, stats.Misses, stats.Executions, stats.PeerErrors, stats.DiskDegraded)
+		log.Printf("node %d %s: hits %d (peer %d) misses %d executions %d peerErrors %d degraded %v journalErrors %d",
+			i, u, stats.Hits, stats.PeerHits, stats.Misses, stats.Executions, stats.PeerErrors, stats.DiskDegraded, jerrs)
 	}
 
 	// The fault log: every injected fault in (site, index) order, then

@@ -27,9 +27,14 @@
 // -chaos-seed N switches vosload into its resilience soak: a seeded,
 // fully reproducible fault schedule (injected latency, 5xx, connection
 // resets, truncated event streams, corrupt and oversized cache bodies,
-// disk-cache write faults, and a node kill/rejoin cycle) runs against
-// the in-process cluster while sweeps flow through the untouched
-// coordinator node. The soak fails unless every sweep completes with
+// disk-cache and journal write faults, and a node kill/rejoin cycle)
+// runs against the in-process cluster while sweeps flow through the
+// coordinator node. Every node journals its job registries, the client
+// runs in reconnect mode, and the kill schedule may target the
+// coordinator itself — a killed coordinator replays its journal on
+// restart and every job submitted before the kill must still complete
+// (-chaos-spare-coordinator restores the old behavior of killing only
+// the other members). The soak fails unless every sweep completes with
 // results identical to a fault-free single-node run, nothing wedges,
 // the fault log replays exactly from the seed, and no goroutines leak:
 //
@@ -67,6 +72,7 @@ func main() {
 		chaosSeed   = flag.Uint64("chaos-seed", 0, "run the seeded fault-injection soak instead of the load test (0 = off)")
 		chaosSweeps = flag.Int("chaos-sweeps", 60, "sweeps the chaos soak must complete")
 		chaosLog    = flag.String("chaos-log", "chaos.log", "fault-log path for the chaos soak (empty = don't write)")
+		chaosSpare  = flag.Bool("chaos-spare-coordinator", false, "exclude the coordinator from the chaos kill schedule")
 	)
 	flag.Parse()
 	if *concurrency < 1 || *seeds < 1 {
@@ -77,18 +83,19 @@ func main() {
 			log.Fatal("the chaos soak injects faults into its own in-process cluster; -targets is incompatible")
 		}
 		if *nodes < 2 {
-			log.Fatal("the chaos soak needs -nodes >= 2: the kill schedule only targets non-coordinator members")
+			log.Fatal("the chaos soak needs -nodes >= 2 so the fabric has peers to recover through")
 		}
 		os.Exit(runChaos(chaosOptions{
-			seed:        *chaosSeed,
-			sweeps:      *chaosSweeps,
-			nodes:       *nodes,
-			concurrency: *concurrency,
-			workers:     *workers,
-			patterns:    *patterns,
-			seeds:       *seeds,
-			logPath:     *chaosLog,
-			perSweep:    2 * time.Minute,
+			seed:            *chaosSeed,
+			sweeps:          *chaosSweeps,
+			nodes:           *nodes,
+			concurrency:     *concurrency,
+			workers:         *workers,
+			patterns:        *patterns,
+			seeds:           *seeds,
+			logPath:         *chaosLog,
+			perSweep:        2 * time.Minute,
+			killCoordinator: !*chaosSpare,
 		}))
 	}
 

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind identifies a cell's logic function.
@@ -195,6 +196,8 @@ func (c *Cell) Validate() error {
 }
 
 // Library is a consistent set of cells plus global interconnect constants.
+// Use it through a pointer: the fingerprint memo makes value copies
+// unsafe (and nothing in the tree copies one).
 type Library struct {
 	Name string
 	// WireCap is the fixed wire capacitance (fF) added to every net.
@@ -203,6 +206,11 @@ type Library struct {
 	// modeling longer routes for higher-fanout nets.
 	WireCapPerFanout float64
 	cells            [numKinds]*Cell
+	// fp memoizes Fingerprint — it sits on every characterization cache
+	// key, so the content hash is recomputed only after a mutation.
+	// Invalidated by Add; the exported fields are construction-time
+	// constants everywhere in the tree.
+	fp atomic.Pointer[string]
 }
 
 // Cell returns the library entry for kind k, or nil if absent.
@@ -225,6 +233,7 @@ func (l *Library) MustCell(k Kind) *Cell {
 // Add inserts (or replaces) a cell in the library.
 func (l *Library) Add(c *Cell) {
 	l.cells[c.Kind] = c
+	l.fp.Store(nil)
 }
 
 // Kinds returns the kinds present in the library in ascending order.
@@ -242,8 +251,13 @@ func (l *Library) Kinds() []Kind {
 // interconnect constants and every cell figure. Two libraries with equal
 // fingerprints produce identical timing, energy and synthesis results, so
 // the fingerprint is safe to use as the library component of a
-// characterization cache key.
+// characterization cache key. The hash is memoized — it is consulted on
+// every cache probe of every operating point — and recomputed only
+// after an Add; racing first callers at worst hash twice.
 func (l *Library) Fingerprint() string {
+	if fp := l.fp.Load(); fp != nil {
+		return *fp
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "lib %s wire=%g fanout=%g\n", l.Name, l.WireCap, l.WireCapPerFanout)
 	for _, k := range l.Kinds() {
@@ -252,7 +266,9 @@ func (l *Library) Fingerprint() string {
 			k, c.Area, c.InputCap, c.Intrinsic, c.DriveRes, c.InternalEnergy, c.Leakage)
 	}
 	sum := sha256.Sum256([]byte(b.String()))
-	return hex.EncodeToString(sum[:])
+	fp := hex.EncodeToString(sum[:])
+	l.fp.Store(&fp)
+	return fp
 }
 
 // Validate checks every cell and the interconnect constants.

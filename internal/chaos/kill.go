@@ -21,11 +21,13 @@ func classifyKill(u, p float64) (string, int64) {
 
 // RunKillSchedule runs the seeded kill/restart schedule against lc
 // until cfg.Kill.Count cycles complete or ctx is done. victims lists
-// the killable node indices — the soak excludes the coordinator so its
-// clean client surface stays up. Each cycle draws one decision from
-// the "kill" site choosing the victim and, from the same decision's
-// parameter draw, the delay-before-kill and downtime within the
-// configured bounds. Blocks until done; run it in a goroutine.
+// the killable node indices; with journaled nodes and a reconnecting
+// client that may include the coordinator itself — a restarted
+// coordinator replays its journal and re-adopts in-flight jobs, so
+// killing it is survivable, not just tolerable. Each cycle draws one
+// decision from the "kill" site choosing the victim and, from the same
+// decision's parameter draw, the delay-before-kill and downtime within
+// the configured bounds. Blocks until done; run it in a goroutine.
 func (inj *Injector) RunKillSchedule(ctx context.Context, lc KillRestarter, victims []int) error {
 	k := inj.cfg.Kill
 	if k.Count <= 0 || len(victims) == 0 {

@@ -17,6 +17,10 @@ type LocalOptions struct {
 	// CacheRoot, when non-empty, gives each node an on-disk cache layer
 	// under CacheRoot/node<i>; empty keeps every node memory-only.
 	CacheRoot string
+	// JournalRoot, when non-empty, gives each node a write-ahead journal
+	// under JournalRoot/node<i>, so a killed-and-restarted member
+	// recovers its job registries (see engine.Options.JournalDir).
+	JournalRoot string
 	// CacheFanOut, TenantQuota and AccessLog are forwarded to every
 	// node's NodeOptions.
 	CacheFanOut int
@@ -82,11 +86,16 @@ func StartLocal(n int, opts LocalOptions) (*LocalCluster, error) {
 		if opts.CacheRoot != "" {
 			cacheDir = filepath.Join(opts.CacheRoot, fmt.Sprintf("node%d", i))
 		}
+		journalDir := ""
+		if opts.JournalRoot != "" {
+			journalDir = filepath.Join(opts.JournalRoot, fmt.Sprintf("node%d", i))
+		}
 		nodeOpts := NodeOptions{
 			Advertise:   urls[i],
 			Peers:       peers,
 			Workers:     opts.Workers,
 			CacheDir:    cacheDir,
+			JournalDir:  journalDir,
 			CacheFanOut: opts.CacheFanOut,
 			TenantQuota: opts.TenantQuota,
 			AccessLog:   opts.AccessLog,

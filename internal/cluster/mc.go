@@ -142,7 +142,8 @@ func (p *Planner) runShardMC(ctx context.Context, req engine.MCRequest, kernel s
 		Seed(req.Seed).
 		Samples(req.Samples).
 		Triads(vos.Triad(tr)).
-		RepRange(lo, hi)
+		RepRange(lo, hi).
+		Lease(p.shardLease())
 	pt, err := p.shardMCJob(ctx, pr, spec)
 	if err != nil {
 		pr.br.failure(err)

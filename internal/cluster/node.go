@@ -24,6 +24,11 @@ type NodeOptions struct {
 	// CacheDir roots the node's on-disk cache layer; empty keeps the
 	// local cache memory-only.
 	CacheDir string
+	// JournalDir enables the engine's write-ahead journal there: jobs
+	// survive a crash or restart of this node — finished ones stay
+	// listable, unfinished ones are re-adopted and resumed against the
+	// cache. Empty keeps the job registries memory-only.
+	JournalDir string
 	// ModelDir, when set, persists every error model the engine's
 	// calibrator trains as JSON artifacts in the cmd/vosmodel store
 	// format (export only — serving never reads it back).
@@ -49,7 +54,9 @@ type NodeOptions struct {
 	// look like network damage to clients. internal/chaos provides one.
 	Middleware func(http.Handler) http.Handler
 	// CacheFaults, when non-nil, is installed on the local disk cache's
-	// filesystem operations. internal/chaos provides one.
+	// filesystem operations — and, when JournalDir is set, on the
+	// journal's write path: one injector drives both durability seams.
+	// internal/chaos provides one.
 	CacheFaults engine.CacheFaultInjector
 	// ShardCallTimeout bounds each unary shard RPC (submit, status
 	// poll, result fetch) against a peer; ≤0 selects the planner
@@ -90,7 +97,10 @@ func NewNode(opts NodeOptions) (*Node, error) {
 	}
 	n := &Node{advertise: opts.Advertise}
 	var store httpapi.CacheStore
-	engOpts := engine.Options{Workers: opts.Workers, ModelDir: opts.ModelDir}
+	engOpts := engine.Options{Workers: opts.Workers, ModelDir: opts.ModelDir, JournalDir: opts.JournalDir}
+	if opts.JournalDir != "" && opts.CacheFaults != nil {
+		engOpts.JournalFaults = opts.CacheFaults
+	}
 	if clustered {
 		members := append(append([]string(nil), opts.Peers...), opts.Advertise)
 		n.ring = NewRing(members, opts.Replicas)

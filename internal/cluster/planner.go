@@ -267,7 +267,7 @@ func (p *Planner) dispatch(ctx context.Context, plan *engine.OperatorPlan, membe
 // into a failover, never an indefinite wedge of the whole fan-out.
 func (p *Planner) runShardSweep(ctx context.Context, pr *peer, cfg charz.Config,
 	trs []vos.Triad, onPoint func(*vos.Point)) error {
-	id, err := p.callSubmit(ctx, pr, shardSpec(cfg, trs))
+	id, err := p.callSubmit(ctx, pr, shardSpec(cfg, trs).Lease(p.shardLease()))
 	if err != nil {
 		return err
 	}
@@ -390,6 +390,19 @@ func (p *Planner) pollShard(ctx context.Context, pr *peer, id string) (*vos.Resu
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// shardLease is the coordinator lease stamped on every shard sub-job:
+// as long as the coordinator is alive it holds an open event stream (or
+// polls status) against the shard, which counts as observation; once
+// the coordinator dies, the peer cancels the orphan after this window.
+// Tied to the stall timeout — the same horizon after which the
+// coordinator itself would have written the shard off.
+func (p *Planner) shardLease() time.Duration {
+	if p.stallTimeout < time.Second {
+		return time.Second
+	}
+	return p.stallTimeout
 }
 
 // shardSpec reproduces one operator's canonical configuration as an

@@ -18,12 +18,30 @@ import (
 	"sync/atomic"
 
 	"repro/internal/charz"
+	"repro/internal/engine/journal"
 	"repro/internal/model"
 	"repro/internal/triad"
 )
 
 // ErrClosed is returned for work submitted after Close.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrRecovering is returned for work submitted while journal replay is
+// still rebuilding the job registries (see Options.JournalDir); callers
+// should retry shortly.
+var ErrRecovering = errors.New("engine: recovering")
+
+// ErrDraining is returned for work submitted after StartDrain.
+var ErrDraining = errors.New("engine: draining")
+
+// ErrUnknownJob is returned by Cancel/CancelMC for an ID neither
+// registry knows.
+var ErrUnknownJob = errors.New("engine: unknown job")
+
+// ErrAlreadyDone is returned by Cancel/CancelMC when the job already
+// reached a terminal state: there is nothing left to cancel, and the
+// caller learns so distinctly from a missing ID.
+var ErrAlreadyDone = errors.New("engine: job already finished")
 
 // Options configures a new Engine.
 type Options struct {
@@ -50,6 +68,22 @@ type Options struct {
 	// models are always retrained deterministically — so a stale store
 	// cannot change results; it is an export channel for offline tools.
 	ModelDir string
+	// JournalDir, when set, makes the job registries durable: every
+	// job's lifecycle is recorded in a write-ahead journal there, and a
+	// new Engine on the same directory replays it — re-inserting
+	// finished jobs and re-adopting unfinished ones (see recover.go).
+	// Empty keeps the registries memory-only.
+	JournalDir string
+	// JournalFaults, when non-nil, injects faults into the journal's
+	// write path (the same seam shape Cache.SetFaults uses, so one chaos
+	// injector drives both). Faulted writes degrade durability — they
+	// are counted, never served as errors to submitters.
+	JournalFaults CacheFaultInjector
+	// RecoveryGate, when non-nil, is called after journal replay has
+	// rebuilt the registries and resumed unfinished jobs, just before
+	// the engine reports ready — a seam for tests that need to observe
+	// the recovering state deterministically.
+	RecoveryGate func()
 }
 
 // Engine schedules point jobs onto a bounded worker pool and memoizes
@@ -102,6 +136,23 @@ type Engine struct {
 	mcs     map[string]*mcState
 	mcSeq   uint64
 	closed  bool
+
+	// Durability (recover.go): the write-ahead journal, the RW lock
+	// that serializes compaction snapshots against appenders, the
+	// group-commit flush channel its flusher goroutine drains, the
+	// degraded-write counter, the lifecycle state (ready / recovering /
+	// draining) and the channel closed when replay finishes.
+	journal       *journal.Journal
+	journalMu     sync.RWMutex
+	journalFlushC chan struct{}
+	journalErrs   atomic.Uint64
+	life          atomic.Int32
+	readyCh       chan struct{}
+
+	// mcRepsExecuted counts Monte Carlo reps that actually ran here —
+	// the MC analog of executions, asserted flat by the recovery tests
+	// when every cell was journal-satisfied.
+	mcRepsExecuted atomic.Uint64
 }
 
 type prepEntry struct {
@@ -156,6 +207,7 @@ func New(opts Options) (*Engine, error) {
 		inflight: make(map[string]*flight),
 		sweeps:   make(map[string]*sweepState),
 		mcs:      make(map[string]*mcState),
+		readyCh:  make(chan struct{}),
 	}
 	for i := 0; i < e.workers; i++ {
 		e.wg.Add(1)
@@ -171,11 +223,42 @@ func New(opts Options) (*Engine, error) {
 			}
 		}()
 	}
+	// The lease reaper garbage-collects coordinator-leased jobs whose
+	// watcher died (recover.go); it idles cheaply when no job carries a
+	// lease.
+	e.wg.Add(1)
+	go e.leaseReaper()
+	if opts.JournalDir != "" {
+		j, payloads, err := openJournal(opts)
+		if err != nil {
+			// A journal that cannot be read must fail the boot loudly —
+			// silently dropping acknowledged jobs is the one outcome the
+			// journal exists to prevent.
+			cancel()
+			e.wg.Wait()
+			return nil, fmt.Errorf("engine: journal: %w", err)
+		}
+		e.journal = j
+		e.journalFlushC = make(chan struct{}, 1)
+		e.wg.Add(1)
+		go e.journalFlusher()
+		e.life.Store(lifeRecovering)
+		// Replay in the background so the daemon can bind its listener
+		// and answer readiness probes while a large journal rebuilds;
+		// Submit and job lookups refuse with ErrRecovering until then.
+		e.sweepWg.Add(1)
+		go e.runRecovery(payloads, opts.RecoveryGate)
+	} else {
+		close(e.readyCh)
+	}
 	return e, nil
 }
 
 // Close cancels all outstanding work and waits for sweeps and workers to
-// stop.
+// stop. With a journal, jobs canceled by the shutdown keep their
+// journal entry unfinished and are re-adopted by the next Engine on the
+// same directory; call StartDrain first for the graceful variant of the
+// same path.
 func (e *Engine) Close() {
 	e.sweepMu.Lock()
 	e.closed = true
@@ -183,6 +266,9 @@ func (e *Engine) Close() {
 	e.cancel()
 	e.sweepWg.Wait()
 	e.wg.Wait()
+	if e.journal != nil {
+		e.journal.Close()
+	}
 }
 
 // Workers returns the pool size.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -462,8 +463,8 @@ func TestSweepCancel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !e.Cancel(id) {
-		t.Fatal("Cancel: unknown id")
+	if err := e.Cancel(id); err != nil && !errors.Is(err, ErrAlreadyDone) {
+		t.Fatalf("Cancel: %v", err)
 	}
 	s, err := e.Wait(context.Background(), id)
 	if err != nil {

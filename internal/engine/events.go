@@ -93,6 +93,7 @@ func (e *Engine) Subscribe(id string) (<-chan SweepEvent, func(), bool) {
 	if !ok {
 		return nil, nil, false
 	}
+	st.touch()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	// Size the buffer for the whole stream: replayed history + points

@@ -31,6 +31,14 @@ const (
 	CodeEngineClosed     = "engine_closed"
 	CodeQuotaExceeded    = "quota_exceeded"
 	CodeInternal         = "internal"
+	// CodeAlreadyDone rejects a cancel aimed at a job that already
+	// reached a terminal state (409).
+	CodeAlreadyDone = "already_done"
+	// CodeNotReady and CodeDraining are 503s with a Retry-After header:
+	// the daemon is replaying its journal (submissions and unresolved id
+	// lookups will succeed shortly) or draining toward shutdown.
+	CodeNotReady = "not_ready"
+	CodeDraining = "draining"
 )
 
 // ErrorInfo is the body of the error envelope.
@@ -61,6 +69,14 @@ type CacheStatsResponse struct {
 type HealthResponse struct {
 	Status  string `json:"status"`
 	Workers int    `json:"workers"`
+}
+
+// ReadyResponse is the body of GET /readyz: the engine lifecycle state
+// ("ready", "recovering" or "draining"). Non-ready states answer 503
+// with a Retry-After header, so the endpoint plugs straight into load
+// balancer readiness checks.
+type ReadyResponse struct {
+	State string `json:"state"`
 }
 
 // CacheStore is the local layer of the node's result cache, exposed as
@@ -131,7 +147,9 @@ func WithTenantQuota(n int, exempt ...string) Option {
 //	GET    /v1/cache/entries/{key} raw cache entry (WithCacheStore only)
 //	PUT    /v1/cache/entries/{key} store a cache entry (WithCacheStore only)
 //	GET    /v1/cluster/status      cluster membership (WithClusterStatus only)
+//	GET    /v1/jobs                durable job registry (sweeps + mc, journal-recovered flags)
 //	GET    /healthz                liveness probe
+//	GET    /readyz                 readiness: 200 ready, 503 recovering/draining
 func New(eng *engine.Engine, opts ...Option) http.Handler {
 	s := &server{eng: eng}
 	for _, opt := range opts {
@@ -149,7 +167,9 @@ func New(eng *engine.Engine, opts ...Option) http.Handler {
 	m.HandleFunc("GET /v1/cache/entries/{key}", s.getCacheEntry)
 	m.HandleFunc("PUT /v1/cache/entries/{key}", s.putCacheEntry)
 	m.HandleFunc("GET /v1/cluster/status", s.getClusterStatus)
+	m.HandleFunc("GET /v1/jobs", s.listJobs)
 	m.HandleFunc("GET /healthz", s.healthz)
+	m.HandleFunc("GET /readyz", s.readyz)
 	return envelopeMiddleware(m)
 }
 
@@ -303,14 +323,42 @@ func (s *server) submitSweep(w http.ResponseWriter, r *http.Request) {
 		id, err = submit()
 	}
 	if err != nil {
-		if errors.Is(err, engine.ErrClosed) {
-			writeError(w, http.StatusServiceUnavailable, CodeEngineClosed, "%v", err)
-			return
-		}
-		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id})
+}
+
+// writeSubmitError maps a Submit/SubmitMC failure to the envelope. The
+// lifecycle refusals are retryable and say so with a Retry-After header:
+// recovery typically completes in seconds, and a draining daemon's
+// replacement should be up shortly.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, engine.ErrRecovering):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, CodeNotReady, "%v", err)
+	case errors.Is(err, engine.ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "%v", err)
+	case errors.Is(err, engine.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, CodeEngineClosed, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
+	}
+}
+
+// unknownID answers a failed id lookup. While the journal is replaying,
+// the id may simply not have been re-adopted yet, so the answer is a
+// retryable 503 rather than a definitive 404.
+func (s *server) unknownID(w http.ResponseWriter, kind, id string) {
+	if s.eng.State() == engine.StateRecovering {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, CodeNotReady,
+			"journal replay in progress; %s %q not adopted yet", kind, id)
+		return
+	}
+	writeError(w, http.StatusNotFound, CodeNotFound, "unknown %s %q", kind, id)
 }
 
 // statusOnly strips the (potentially large) results from a sweep snapshot
@@ -331,7 +379,7 @@ func (s *server) listSweeps(w http.ResponseWriter, r *http.Request) {
 func (s *server) getSweep(w http.ResponseWriter, r *http.Request) {
 	sw, ok := s.eng.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown sweep %q", r.PathValue("id"))
+		s.unknownID(w, "sweep", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, statusOnly(sw))
@@ -340,7 +388,7 @@ func (s *server) getSweep(w http.ResponseWriter, r *http.Request) {
 func (s *server) getResults(w http.ResponseWriter, r *http.Request) {
 	sw, ok := s.eng.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown sweep %q", r.PathValue("id"))
+		s.unknownID(w, "sweep", r.PathValue("id"))
 		return
 	}
 	switch sw.Status {
@@ -365,7 +413,7 @@ func (s *server) getResults(w http.ResponseWriter, r *http.Request) {
 func (s *server) sweepEvents(w http.ResponseWriter, r *http.Request) {
 	ch, cancel, ok := s.eng.Subscribe(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown sweep %q", r.PathValue("id"))
+		s.unknownID(w, "sweep", r.PathValue("id"))
 		return
 	}
 	defer cancel()
@@ -393,11 +441,14 @@ func (s *server) sweepEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) cancelSweep(w http.ResponseWriter, r *http.Request) {
-	if !s.eng.Cancel(r.PathValue("id")) {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown sweep %q", r.PathValue("id"))
-		return
+	switch err := s.eng.Cancel(r.PathValue("id")); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, engine.ErrAlreadyDone):
+		writeError(w, http.StatusConflict, CodeAlreadyDone, "%v", err)
+	default:
+		s.unknownID(w, "sweep", r.PathValue("id"))
 	}
-	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *server) cacheStats(w http.ResponseWriter, r *http.Request) {
@@ -479,6 +530,24 @@ func (s *server) getClusterStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.clusterStatus())
 }
 
+func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.eng.Jobs()
+	if jobs == nil {
+		jobs = []engine.JobInfo{}
+	}
+	writeJSON(w, http.StatusOK, jobs)
+}
+
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Workers: s.eng.Workers()})
+}
+
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	state := s.eng.State()
+	status := http.StatusOK
+	if state != engine.StateReady {
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ReadyResponse{State: state})
 }

@@ -57,11 +57,7 @@ func (s *server) submitMC(w http.ResponseWriter, r *http.Request) {
 		id, err = submit()
 	}
 	if err != nil {
-		if errors.Is(err, engine.ErrClosed) {
-			writeError(w, http.StatusServiceUnavailable, CodeEngineClosed, "%v", err)
-			return
-		}
-		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id})
@@ -77,7 +73,7 @@ func mcStatusOnly(job engine.MCJob) engine.MCJob {
 func (s *server) getMC(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.eng.GetMC(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown mc job %q", r.PathValue("id"))
+		s.unknownID(w, "mc job", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, mcStatusOnly(job))
@@ -86,7 +82,7 @@ func (s *server) getMC(w http.ResponseWriter, r *http.Request) {
 func (s *server) getMCResults(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.eng.GetMC(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown mc job %q", r.PathValue("id"))
+		s.unknownID(w, "mc job", r.PathValue("id"))
 		return
 	}
 	switch job.Status {
@@ -108,7 +104,7 @@ func (s *server) getMCResults(w http.ResponseWriter, r *http.Request) {
 func (s *server) mcEvents(w http.ResponseWriter, r *http.Request) {
 	ch, cancel, ok := s.eng.SubscribeMC(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown mc job %q", r.PathValue("id"))
+		s.unknownID(w, "mc job", r.PathValue("id"))
 		return
 	}
 	defer cancel()
@@ -136,9 +132,12 @@ func (s *server) mcEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) cancelMC(w http.ResponseWriter, r *http.Request) {
-	if !s.eng.CancelMC(r.PathValue("id")) {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown mc job %q", r.PathValue("id"))
-		return
+	switch err := s.eng.CancelMC(r.PathValue("id")); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, engine.ErrAlreadyDone):
+		writeError(w, http.StatusConflict, CodeAlreadyDone, "%v", err)
+	default:
+		s.unknownID(w, "mc job", r.PathValue("id"))
 	}
-	w.WriteHeader(http.StatusNoContent)
 }

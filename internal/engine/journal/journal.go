@@ -1,0 +1,441 @@
+// Package journal is the engine's write-ahead log: an append-only,
+// segmented record store whose replay rebuilds the job registries after
+// a crash. The journal knows nothing about sweeps or Monte Carlo jobs —
+// records are opaque payloads framed, checksummed and fsync'd here, and
+// interpreted by the engine's recovery pass.
+//
+// On-disk format. A journal directory holds numbered segments
+// (wal-00000001.log, wal-00000002.log, …); each segment is a
+// concatenation of records framed as
+//
+//	[4B little-endian payload length][4B CRC32-Castagnoli of payload][payload]
+//
+// Appends go to the highest-numbered segment and rotate to a fresh one
+// past a size threshold. A crash can tear at most the tail of the final
+// segment: Open tolerates a truncated or checksum-corrupt tail there
+// (the torn suffix is discarded and the file truncated back to the last
+// whole record), but corruption in any non-final segment — which no
+// crash ordering can produce — fails loudly rather than silently
+// dropping acknowledged records.
+//
+// Compaction rewrites the live state as a snapshot into a fresh segment
+// and deletes the older ones. The snapshot is published with the same
+// crash-safe idiom the result cache uses (temp file → fsync → rename →
+// directory fsync), and old segments are only removed after the rename:
+// a crash between rotation and compaction — or between the rename and
+// the deletes — leaves both the snapshot and the superseded segments on
+// disk, which replay tolerates because the engine's record semantics
+// are last-wins idempotent.
+//
+// A journal directory has exactly one owner at a time, enforced with an
+// exclusive kernel lock on dir/LOCK (see Open); the lock dies with the
+// owning process, so crash recovery is never blocked by a stale holder.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FaultInjector is the journal's chaos seam, structurally identical to
+// engine.CacheFaultInjector so one injector (internal/chaos.Injector)
+// can drive both. Only the write path consults it: a faulted append is
+// reported to the caller without writing anything, so injected faults
+// degrade durability, never poison the log. Replay is deliberately not
+// fault-wired — a daemon that cannot read its own journal must fail its
+// boot loudly, not shrug.
+type FaultInjector interface {
+	// WriteFault is consulted before appending to the named segment.
+	// A non-zero truncate or fail=true suppresses the write entirely
+	// and surfaces an error.
+	WriteFault(name string) (truncate int, fail bool)
+	// RenameFault is consulted before a compaction snapshot's
+	// publishing rename.
+	RenameFault(name string) bool
+	// ReadFault is unused by the journal (replay must be loud); it is
+	// part of the interface only so chaos injectors satisfy it
+	// unchanged.
+	ReadFault(name string) bool
+}
+
+// Options tunes a journal.
+type Options struct {
+	// SegmentBytes is the rotation threshold; appends past it start a
+	// new segment. <=0 selects 4 MiB.
+	SegmentBytes int64
+	// Faults, when non-nil, is consulted on every write. See
+	// FaultInjector.
+	Faults FaultInjector
+}
+
+const (
+	defaultSegmentBytes = 4 << 20
+	// maxRecordBytes bounds a single record; a framed length beyond it
+	// is treated as corruption rather than an allocation request.
+	maxRecordBytes = 64 << 20
+	headerBytes    = 8
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports unrecoverable corruption in a non-final segment.
+var ErrCorrupt = errors.New("journal: corrupt segment")
+
+// Journal is an open write-ahead log. Methods are safe for concurrent
+// use.
+type Journal struct {
+	dir      string
+	segBytes int64
+	faults   FaultInjector
+
+	// lock holds the directory's exclusive flock (see lockDir) for the
+	// journal's whole lifetime; nil on platforms without flock.
+	lock *os.File
+
+	mu    sync.Mutex
+	f     *os.File // active segment
+	name  string   // base name of the active segment
+	seq   int      // number of the active segment
+	size  int64
+	dirty bool     // unsynced appends since the last fsync
+	segs  []string // all live segment base names, ascending, incl. active
+}
+
+// Open opens (creating if needed) the journal in dir, replays every
+// live segment in order and returns the surviving record payloads.
+// Appends after Open go to a fresh segment, so a tolerated torn tail is
+// never appended after.
+//
+// Open takes an exclusive advisory lock on the directory for the
+// journal's lifetime and fails if another process holds it: a second
+// opener would replay a log the owner is still appending to and
+// compact its live segments away. The kernel releases the lock when
+// the owner dies, so a SIGKILLed daemon never wedges its successor.
+func Open(dir string, opts Options) (*Journal, [][]byte, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	names, err := segmentNames(dir)
+	if err != nil {
+		unlockDir(lock)
+		return nil, nil, err
+	}
+	var payloads [][]byte
+	last := 0
+	for i, name := range names {
+		final := i == len(names)-1
+		recs, err := replaySegment(filepath.Join(dir, name), final)
+		if err != nil {
+			unlockDir(lock)
+			return nil, nil, fmt.Errorf("journal: segment %s: %w", name, err)
+		}
+		payloads = append(payloads, recs...)
+		if n, err := segmentSeq(name); err == nil && n > last {
+			last = n
+		}
+	}
+	j := &Journal{dir: dir, segBytes: opts.SegmentBytes, faults: opts.Faults, lock: lock, segs: names}
+	if err := j.openSegment(last + 1); err != nil {
+		unlockDir(lock)
+		return nil, nil, err
+	}
+	return j, payloads, nil
+}
+
+// Append frames, checksums and writes one record to the active segment,
+// rotating first if the segment is full. sync forces the record to
+// stable storage before returning; unsynced appends ride the next sync
+// or the OS cache. An error leaves the log readable — either nothing
+// was written, or a torn tail that the next Open discards.
+func (j *Journal) Append(payload []byte, sync bool) error {
+	if len(payload) > maxRecordBytes-headerBytes {
+		return fmt.Errorf("journal: record of %d bytes exceeds limit", len(payload))
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	if j.size > 0 && j.size+int64(headerBytes+len(payload)) > j.segBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if j.faults != nil {
+		if truncate, fail := j.faults.WriteFault(j.name); fail || truncate > 0 {
+			return fmt.Errorf("journal: injected write fault on %s", j.name)
+		}
+	}
+	buf := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerBytes:], payload)
+	n, err := j.f.Write(buf)
+	j.size += int64(n)
+	if err != nil {
+		return err
+	}
+	if sync {
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+		j.dirty = false
+		return nil
+	}
+	j.dirty = true
+	return nil
+}
+
+// Sync forces every record appended so far to stable storage — the
+// group-commit half of unsynced appends. A caller that can tolerate a
+// bounded durability window appends unsynced (the record is ordered and
+// survives a process crash the moment Append returns) and lets a
+// background flusher invoke Sync to close the power-loss window; Sync
+// is free when nothing has been appended since the last one.
+//
+// The fsync itself runs outside the journal lock so appends never queue
+// behind the disk: os.File serializes a racing Close internally, and a
+// rotation or Close that wins the race has already synced the segment
+// itself, so the ErrClosed that surfaces here is a success.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	f, dirty := j.f, j.dirty
+	j.dirty = false
+	j.mu.Unlock()
+	if f == nil || !dirty {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		if errors.Is(err, os.ErrClosed) {
+			return nil
+		}
+		// The records stay unsynced; re-arm dirty so a later Sync
+		// retries rather than reporting a clean log.
+		j.mu.Lock()
+		if j.f == f {
+			j.dirty = true
+		}
+		j.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Compact atomically replaces the whole journal with the given snapshot
+// payloads: they are written to the next segment via temp-file + rename,
+// and every older segment is deleted afterwards. The caller must ensure
+// the snapshot covers every record it wants to survive — appends that
+// race Compact are the caller's to serialize.
+func (j *Journal) Compact(snapshot [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	seq := j.seq + 1
+	name := segmentName(seq)
+	path := filepath.Join(j.dir, name)
+	tmp, err := os.CreateTemp(j.dir, name+".tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	var size int64
+	for _, payload := range snapshot {
+		if j.faults != nil {
+			if truncate, fail := j.faults.WriteFault(name); fail || truncate > 0 {
+				tmp.Close()
+				return fmt.Errorf("journal: injected write fault on %s", name)
+			}
+		}
+		buf := make([]byte, headerBytes+len(payload))
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+		copy(buf[headerBytes:], payload)
+		n, err := tmp.Write(buf)
+		size += int64(n)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if j.faults != nil && j.faults.RenameFault(name) {
+		return fmt.Errorf("journal: injected rename fault on %s", name)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	syncDir(j.dir)
+	// The snapshot is durable; retire everything older. A crash in this
+	// loop leaves extra segments whose records the snapshot already
+	// subsumes — replay's last-wins semantics absorb them.
+	old := j.f
+	olds := j.segs
+	j.f, j.name, j.seq, j.size = nil, "", seq, 0
+	j.segs = []string{name}
+	old.Close()
+	for _, s := range olds {
+		os.Remove(filepath.Join(j.dir, s))
+	}
+	return j.openSegmentLocked(seq + 1)
+}
+
+// Segments reports the number of live segments (including the active
+// one) — the engine's cue to compact.
+func (j *Journal) Segments() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.segs)
+}
+
+// Close syncs and closes the active segment and releases the
+// directory lock.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	unlockDir(j.lock)
+	j.lock = nil
+	return err
+}
+
+func (j *Journal) rotateLocked() error {
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	j.f = nil
+	return j.openSegmentLocked(j.seq + 1)
+}
+
+func (j *Journal) openSegment(seq int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.openSegmentLocked(seq)
+}
+
+func (j *Journal) openSegmentLocked(seq int) error {
+	name := segmentName(seq)
+	f, err := os.OpenFile(filepath.Join(j.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	syncDir(j.dir)
+	j.f, j.name, j.seq, j.size, j.dirty = f, name, seq, 0, false
+	j.segs = append(j.segs, name)
+	return nil
+}
+
+// replaySegment reads every whole record of one segment. In the final
+// segment a truncated or checksum-corrupt tail is discarded and the
+// file truncated back to the last whole record; anywhere else it is
+// ErrCorrupt.
+func replaySegment(path string, final bool) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs [][]byte
+	off := 0
+	for off < len(data) {
+		if len(data)-off < headerBytes {
+			return tornTail(path, recs, data[off:], off, final)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecordBytes-headerBytes || len(data)-off-headerBytes < n {
+			return tornTail(path, recs, data[off:], off, final)
+		}
+		payload := data[off+headerBytes : off+headerBytes+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return tornTail(path, recs, data[off:], off, final)
+		}
+		recs = append(recs, append([]byte(nil), payload...))
+		off += headerBytes + n
+	}
+	return recs, nil
+}
+
+// tornTail resolves a bad suffix found at offset off: tolerated (and
+// truncated away) in the final segment, fatal elsewhere.
+func tornTail(path string, recs [][]byte, bad []byte, off int, final bool) ([][]byte, error) {
+	if !final {
+		return nil, fmt.Errorf("%w: bad record at offset %d", ErrCorrupt, off)
+	}
+	if len(bad) > 0 {
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return nil, err
+		}
+	}
+	return recs, nil
+}
+
+func segmentName(seq int) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+func segmentSeq(name string) (int, error) {
+	var n int
+	if _, err := fmt.Sscanf(name, "wal-%08d.log", &n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func segmentNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		if _, err := segmentSeq(ent.Name()); err == nil {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives power loss. Best-effort: some filesystems refuse directory
+// fsync, and the write itself already landed.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+var _ io.Closer = (*Journal)(nil)

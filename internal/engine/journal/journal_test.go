@@ -1,0 +1,304 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func appendAll(t *testing.T, j *Journal, recs ...string) {
+	t.Helper()
+	for _, r := range recs {
+		if err := j.Append([]byte(r), true); err != nil {
+			t.Fatalf("Append(%q): %v", r, err)
+		}
+	}
+}
+
+func replayAll(t *testing.T, dir string, opts Options) (*Journal, []string) {
+	t.Helper()
+	j, payloads, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	out := make([]string, len(payloads))
+	for i, p := range payloads {
+		out[i] = string(p)
+	}
+	return j, out
+}
+
+func wantRecords(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records %q, want %d %q", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs := replayAll(t, dir, Options{})
+	wantRecords(t, recs)
+	appendAll(t, j, "one", "two", "three")
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, recs := replayAll(t, dir, Options{})
+	defer j2.Close()
+	wantRecords(t, recs, "one", "two", "three")
+}
+
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{SegmentBytes: 32})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var want []string
+	for i := 0; i < 10; i++ {
+		r := fmt.Sprintf("record-%02d-padding-to-force-rotation", i)
+		want = append(want, r)
+		appendAll(t, j, r)
+	}
+	if got := j.Segments(); got < 3 {
+		t.Fatalf("Segments() = %d after tiny-segment appends, want several", got)
+	}
+	j.Close()
+	j2, recs := replayAll(t, dir, Options{})
+	defer j2.Close()
+	wantRecords(t, recs, want...)
+}
+
+// lastSegment returns the path of the highest-numbered segment holding
+// data.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := segmentNames(dir)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("segmentNames: %v (%d)", err, len(names))
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		p := filepath.Join(dir, names[i])
+		if fi, err := os.Stat(p); err == nil && fi.Size() > 0 {
+			return p
+		}
+	}
+	t.Fatal("no non-empty segment")
+	return ""
+}
+
+// Torture: a crash mid-append leaves a truncated tail record in the
+// final segment. Replay must keep every whole record, drop the torn
+// one, and leave the log appendable.
+func TestTortureTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := replayAll(t, dir, Options{})
+	appendAll(t, j, "alpha", "beta", "gamma")
+	j.Close()
+
+	p := lastSegment(t, dir)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < headerBytes+len("gamma"); cut += 3 {
+		if err := os.WriteFile(p, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, recs := replayAll(t, dir, Options{})
+		wantRecords(t, recs, "alpha", "beta")
+		// The log must remain appendable and the new record durable.
+		appendAll(t, j2, "delta")
+		j2.Close()
+		j3, recs := replayAll(t, dir, Options{})
+		wantRecords(t, recs, "alpha", "beta", "delta")
+		j3.Close()
+		// Restore the full tail for the next cut.
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Remove the segments the probe appended.
+		names, _ := segmentNames(dir)
+		for _, n := range names {
+			if q := filepath.Join(dir, n); q != p {
+				os.Remove(q)
+			}
+		}
+	}
+}
+
+// Torture: a bit flip in the final segment's tail record is
+// indistinguishable from a torn write — replay drops the tail and
+// recovers. A flip in an earlier, acknowledged-durable segment must
+// fail loudly.
+func TestTortureBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := replayAll(t, dir, Options{})
+	appendAll(t, j, "alpha", "beta")
+	j.Close()
+
+	p := lastSegment(t, dir)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-1] ^= 0x40 // inside "beta"'s payload
+	if err := os.WriteFile(p, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs := replayAll(t, dir, Options{})
+	wantRecords(t, recs, "alpha")
+	j2.Close()
+
+	// Same flip in a non-final segment: loud failure, no silent drop.
+	if err := os.WriteFile(p, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Force a later segment so p is no longer final.
+	names, _ := segmentNames(dir)
+	last, _ := segmentSeq(names[len(names)-1])
+	later := filepath.Join(dir, segmentName(last+1))
+	var frame bytes.Buffer
+	frame.Write([]byte{5, 0, 0, 0})
+	sum := checksum([]byte("gamma"))
+	frame.Write([]byte{byte(sum), byte(sum >> 8), byte(sum >> 16), byte(sum >> 24)})
+	frame.Write([]byte("gamma"))
+	if err := os.WriteFile(later, frame.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with corrupt non-final segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// Torture: compaction's crash window. A snapshot segment that landed
+// while the pre-compaction segments survived (crash before the deletes)
+// must replay to the same state: record semantics are last-wins, so the
+// duplicates are absorbed.
+func TestTortureCrashBetweenRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := replayAll(t, dir, Options{SegmentBytes: 32})
+	appendAll(t, j, "job-1-accept", "job-1-point", "job-1-done")
+	// Snapshot that subsumes the live records.
+	if err := j.Compact([][]byte{[]byte("job-1-accept"), []byte("job-1-done")}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	appendAll(t, j, "job-2-accept")
+	j.Close()
+
+	// Simulate the crash-before-delete window: resurrect a stale
+	// pre-compaction segment with a low sequence number.
+	stale := filepath.Join(dir, segmentName(1))
+	var frame bytes.Buffer
+	payload := []byte("job-1-accept")
+	frame.Write([]byte{byte(len(payload)), 0, 0, 0})
+	sum := checksum(payload)
+	frame.Write([]byte{byte(sum), byte(sum >> 8), byte(sum >> 16), byte(sum >> 24)})
+	frame.Write(payload)
+	if err := os.WriteFile(stale, frame.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs := replayAll(t, dir, Options{})
+	defer j2.Close()
+	// The stale record replays before the snapshot — last-wins order is
+	// preserved, nothing is lost, nothing corrupts.
+	wantRecords(t, recs, "job-1-accept", "job-1-accept", "job-1-done", "job-2-accept")
+}
+
+// Torture: duplicate replayed records are the journal's contract with
+// the engine — the log layer must deliver them verbatim and in order so
+// the engine's last-wins replay can dedup.
+func TestTortureDuplicateRecords(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := replayAll(t, dir, Options{})
+	appendAll(t, j, "accept", "point", "point", "done", "done")
+	j.Close()
+	j2, recs := replayAll(t, dir, Options{})
+	defer j2.Close()
+	wantRecords(t, recs, "accept", "point", "point", "done", "done")
+}
+
+// faultEvery fails every write to segments whose name it has been told
+// to poison.
+type faultEvery struct {
+	fail map[string]bool
+	hits int
+}
+
+func (f *faultEvery) WriteFault(name string) (int, bool) {
+	if f.fail[name] || f.fail["*"] {
+		f.hits++
+		return 0, true
+	}
+	return 0, false
+}
+func (f *faultEvery) RenameFault(name string) bool { return false }
+func (f *faultEvery) ReadFault(name string) bool   { return false }
+
+// Chaos seam: an injected write fault surfaces as an append error,
+// writes nothing, and leaves the log replayable.
+func TestWriteFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	inj := &faultEvery{fail: map[string]bool{}}
+	j, _, err := Open(dir, Options{Faults: inj})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendAll(t, j, "good-1")
+	inj.fail["*"] = true
+	if err := j.Append([]byte("lost"), true); err == nil {
+		t.Fatal("Append under injected fault: err = nil, want error")
+	}
+	inj.fail["*"] = false
+	appendAll(t, j, "good-2")
+	j.Close()
+	if inj.hits == 0 {
+		t.Fatal("injector was never consulted")
+	}
+	j2, recs := replayAll(t, dir, Options{})
+	defer j2.Close()
+	wantRecords(t, recs, "good-1", "good-2")
+}
+
+func checksum(p []byte) uint32 {
+	return crc32.Checksum(p, castagnoli)
+}
+
+// TestSingleOwnerLock proves a journal directory admits one owner at a
+// time: a second Open against a live journal must fail (it would replay
+// a log the owner is still appending to, and its first compaction would
+// unlink segments the owner still writes), and Close must hand the
+// directory to the next opener. flock dies with the process, so the
+// crash path needs no test beyond the kernel's contract.
+func TestSingleOwnerLock(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("advisory directory lock is unix-only")
+	}
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendAll(t, j, "owned")
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open of a live journal directory succeeded; want lock error")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, recs := replayAll(t, dir, Options{})
+	defer j2.Close()
+	wantRecords(t, recs, "owned")
+}

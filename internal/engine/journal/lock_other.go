@@ -1,0 +1,12 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// Non-unix builds run without the advisory single-owner lock; the
+// operator contract (one daemon per journal directory) still holds, it
+// is just not kernel-enforced.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+func unlockDir(f *os.File) {}

@@ -1,0 +1,38 @@
+//go:build unix
+
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/LOCK, the journal's
+// single-owner guard. Two engines sharing one journal directory destroy
+// each other — the second replays a log the first is still appending to
+// and its first compaction unlinks segments the first still writes —
+// so ownership must be exclusive for the journal's whole lifetime. An
+// flock (unlike a pid file) cannot go stale: the kernel drops it when
+// the holding process dies, however it dies, which is exactly the
+// crash-recovery contract the journal exists for.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s is locked by another process (another daemon using this journal directory?): %w", dir, err)
+	}
+	return f, nil
+}
+
+func unlockDir(f *os.File) {
+	if f == nil {
+		return
+	}
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}

@@ -58,6 +58,9 @@ type MCRequest struct {
 	// what terminates shard recursion. Both zero means the full range.
 	RepLo int `json:"repLo,omitempty"`
 	RepHi int `json:"repHi,omitempty"`
+	// LeaseSec, when positive, makes the job coordinator-leased — see
+	// Request.LeaseSec; cluster rep-range sub-jobs set it.
+	LeaseSec int `json:"leaseSec,omitempty"`
 }
 
 // defaultMCSamples is the per-point sample budget when the request
@@ -133,6 +136,9 @@ func (r *MCRequest) normalize() error {
 	}
 	if r.RepHi == 0 && r.RepLo != 0 {
 		return fmt.Errorf("engine: mc rep range open at %d", r.RepLo)
+	}
+	if r.LeaseSec < 0 {
+		return fmt.Errorf("engine: negative lease %d", r.LeaseSec)
 	}
 	return nil
 }
@@ -232,6 +238,15 @@ type mcState struct {
 	done    chan struct{}
 	subs    map[*mcSubscriber]struct{}
 	history []MCEvent
+	// recovered marks states rebuilt from the journal; lastTouch is the
+	// lease clock (see leaseReaper). cells holds completed cell payloads
+	// by cell index — prefilled from the journal on re-adoption (runMC
+	// serves them without recomputation) and maintained while a
+	// journaled job runs, because MC reps are not cached anywhere else
+	// and compaction snapshots need them. All under mu.
+	recovered bool
+	lastTouch time.Time
+	cells     map[int]*MCPoint
 }
 
 type mcSubscriber struct {
@@ -294,10 +309,17 @@ func (s *mcState) snapshot() MCJob {
 }
 
 // SubmitMC registers a Monte Carlo job and starts it asynchronously,
-// returning its ID.
+// returning its ID. During journal replay it refuses with
+// ErrRecovering, after StartDrain with ErrDraining.
 func (e *Engine) SubmitMC(req MCRequest) (string, error) {
 	if err := req.normalize(); err != nil {
 		return "", err
+	}
+	switch e.life.Load() {
+	case lifeRecovering:
+		return "", ErrRecovering
+	case lifeDraining:
+		return "", ErrDraining
 	}
 	ctx, cancel := context.WithCancel(e.ctx)
 	e.sweepMu.Lock()
@@ -310,13 +332,15 @@ func (e *Engine) SubmitMC(req MCRequest) (string, error) {
 	e.mcSeq++
 	id := fmt.Sprintf("mc-%06d", e.mcSeq)
 	st := &mcState{
-		snap:   MCJob{ID: id, Request: req, Status: StatusPending, Created: time.Now()},
-		cancel: cancel,
-		done:   make(chan struct{}),
+		snap:      MCJob{ID: id, Request: req, Status: StatusPending, Created: time.Now()},
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		lastTouch: time.Now(),
 	}
 	e.mcs[id] = st
 	e.pruneMCLocked()
 	e.sweepMu.Unlock()
+	e.journalMCAccept(st)
 	go func() {
 		defer e.sweepWg.Done()
 		e.runMC(ctx, st)
@@ -325,7 +349,9 @@ func (e *Engine) SubmitMC(req MCRequest) (string, error) {
 }
 
 // pruneMCLocked evicts the oldest finished jobs beyond the retention
-// cap (shared with sweeps: maxRetainedSweeps). Callers hold sweepMu.
+// cap (shared with sweeps: maxRetainedSweeps). Running jobs and
+// finished jobs with a live events subscriber are never evicted —
+// matching pruneSweepsLocked. Callers hold sweepMu.
 func (e *Engine) pruneMCLocked() {
 	if len(e.mcs) <= maxRetainedSweeps {
 		return
@@ -339,9 +365,15 @@ func (e *Engine) pruneMCLocked() {
 		if len(e.mcs) <= maxRetainedSweeps {
 			return
 		}
+		st := e.mcs[id]
 		select {
-		case <-e.mcs[id].done:
-			delete(e.mcs, id)
+		case <-st.done:
+			st.mu.Lock()
+			live := len(st.subs) > 0
+			st.mu.Unlock()
+			if !live {
+				delete(e.mcs, id)
+			}
 		default:
 		}
 	}
@@ -356,7 +388,8 @@ func (e *Engine) MCJobCount() uint64 {
 	return e.mcSeq
 }
 
-// GetMC returns a snapshot of the job with the given ID.
+// GetMC returns a snapshot of the job with the given ID. A lookup
+// counts as an observation for the job's coordinator lease, if any.
 func (e *Engine) GetMC(id string) (MCJob, bool) {
 	e.sweepMu.Lock()
 	st, ok := e.mcs[id]
@@ -364,19 +397,28 @@ func (e *Engine) GetMC(id string) (MCJob, bool) {
 	if !ok {
 		return MCJob{}, false
 	}
+	st.touch()
 	return st.snapshot(), true
 }
 
-// CancelMC cancels a pending or running job; it reports whether the ID
-// exists.
-func (e *Engine) CancelMC(id string) bool {
+// CancelMC cancels a pending or running job. Like Cancel, it returns
+// ErrUnknownJob for an unknown ID and ErrAlreadyDone for a job already
+// in a terminal state.
+func (e *Engine) CancelMC(id string) error {
 	e.sweepMu.Lock()
 	st, ok := e.mcs[id]
 	e.sweepMu.Unlock()
-	if ok {
-		st.cancel()
+	if !ok {
+		return fmt.Errorf("%w: mc job %q", ErrUnknownJob, id)
 	}
-	return ok
+	st.mu.Lock()
+	finished := terminal(st.snap.Status)
+	st.mu.Unlock()
+	if finished {
+		return fmt.Errorf("%w: mc job %q", ErrAlreadyDone, id)
+	}
+	st.cancel()
+	return nil
 }
 
 // WaitMC blocks until the job finishes (any terminal status) or the
@@ -388,6 +430,7 @@ func (e *Engine) WaitMC(ctx context.Context, id string) (MCJob, error) {
 	if !ok {
 		return MCJob{}, fmt.Errorf("engine: unknown mc job %q", id)
 	}
+	st.touch()
 	select {
 	case <-st.done:
 		return st.snapshot(), nil
@@ -406,6 +449,7 @@ func (e *Engine) SubscribeMC(id string) (<-chan MCEvent, func(), bool) {
 	if !ok {
 		return nil, nil, false
 	}
+	st.touch()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	capacity := len(st.history) + (st.snap.Progress.TotalPoints - st.snap.Progress.Completed) + 8
@@ -519,6 +563,25 @@ func (e *Engine) runMC(ctx context.Context, st *mcState) {
 		wg.Add(1)
 		go func(ci int, c cell) {
 			defer wg.Done()
+			// A cell already journaled by a previous incarnation of this
+			// job (crash recovery) is served from the replayed payload —
+			// reps are recomputed nowhere.
+			st.mu.Lock()
+			cached := st.cells[ci]
+			st.mu.Unlock()
+			if cached != nil {
+				pt := *cached
+				points[ci] = pt
+				st.updateAndPublish(func(j *MCJob) {
+					j.Progress.Completed++
+					j.Progress.CacheHits++
+				}, func(ev *MCEvent) {
+					ev.Type = EventPoint
+					p := pt
+					ev.Point = &p
+				})
+				return
+			}
 			reps := MCReps(req.Samples, c.kernel)
 			runLocal := func(lo, hi int) (*MCPoint, error) {
 				return e.runMCRange(ctx, prep, &req, c.kernel, c.tr, lo, hi)
@@ -547,6 +610,16 @@ func (e *Engine) runMC(ctx context.Context, st *mcState) {
 				return
 			}
 			points[ci] = *pt
+			if e.journal != nil {
+				st.mu.Lock()
+				if st.cells == nil {
+					st.cells = make(map[int]*MCPoint)
+				}
+				cp := *pt
+				st.cells[ci] = &cp
+				st.mu.Unlock()
+				e.journalMCPoint(st.snap.ID, ci, pt)
+			}
 			st.updateAndPublish(func(j *MCJob) {
 				j.Progress.Completed++
 				j.Progress.Executed++
@@ -669,6 +742,7 @@ func (e *Engine) mcChunk(prep *charz.Prepared, req *MCRequest, k apps.MCKernel,
 		pt.ErrorOutputs += res.Errors
 	}
 	finalizeMCPoint(pt)
+	e.mcRepsExecuted.Add(uint64(hi - lo))
 	return pt, nil
 }
 
@@ -759,4 +833,8 @@ func (e *Engine) finishMC(st *mcState, err error) {
 			j.Error = err.Error()
 		}
 	}, nil)
+	// Persist the terminal state — unless the cancellation is the engine
+	// shutting down, in which case the journal entry stays unfinished and
+	// the next boot resumes the job (recover.go).
+	e.journalMCEnd(st)
 }

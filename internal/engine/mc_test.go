@@ -2,6 +2,7 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -192,8 +193,8 @@ func TestMCCancel(t *testing.T) {
 		t.Fatal(err)
 	}
 	time.Sleep(10 * time.Millisecond)
-	if !e.CancelMC(id) {
-		t.Fatal("cancel: unknown id")
+	if err := e.CancelMC(id); err != nil && !errors.Is(err, ErrAlreadyDone) {
+		t.Fatalf("cancel: %v", err)
 	}
 	job, err := e.WaitMC(t.Context(), id)
 	if err != nil {

@@ -62,6 +62,12 @@ type Request struct {
 	// operator of the request; required for — and only valid with — that
 	// policy.
 	Triads []triad.Triad `json:"triads,omitempty"`
+	// LeaseSec, when positive, makes the job coordinator-leased: unless
+	// it is observed (an open event subscription or a status/result
+	// lookup) at least once per LeaseSec seconds, the engine cancels it.
+	// Cluster shard sub-sweeps set this so a dead coordinator's orphans
+	// are garbage-collected; ordinary submissions leave it zero.
+	LeaseSec int `json:"leaseSec,omitempty"`
 }
 
 // archByName resolves the synth architecture names.
@@ -110,6 +116,9 @@ func (r *Request) normalize() error {
 	}
 	if r.PropagateP < 0 || r.PropagateP > 1 {
 		return fmt.Errorf("engine: propagate probability %v outside [0, 1]", r.PropagateP)
+	}
+	if r.LeaseSec < 0 {
+		return fmt.Errorf("engine: negative lease %d", r.LeaseSec)
 	}
 	for _, v := range r.Vdds {
 		if v <= 0 {
@@ -379,6 +388,11 @@ type sweepState struct {
 	// order.
 	subs    map[*subscriber]struct{}
 	history []SweepEvent
+	// recovered marks states rebuilt from the journal (recover.go);
+	// lastTouch is the lease clock — the last time anyone observed the
+	// job (see leaseReaper). Both under mu.
+	recovered bool
+	lastTouch time.Time
 }
 
 func (s *sweepState) update(f func(*Sweep)) {
@@ -414,9 +428,17 @@ func (s *sweepState) snapshot() Sweep {
 }
 
 // Submit registers a sweep and starts it asynchronously, returning its ID.
+// During journal replay it refuses with ErrRecovering, after StartDrain
+// with ErrDraining.
 func (e *Engine) Submit(req Request) (string, error) {
 	if err := req.normalize(); err != nil {
 		return "", err
+	}
+	switch e.life.Load() {
+	case lifeRecovering:
+		return "", ErrRecovering
+	case lifeDraining:
+		return "", ErrDraining
 	}
 	ctx, cancel := context.WithCancel(e.ctx)
 	e.sweepMu.Lock()
@@ -429,13 +451,17 @@ func (e *Engine) Submit(req Request) (string, error) {
 	e.seq++
 	id := fmt.Sprintf("s-%06d", e.seq)
 	st := &sweepState{
-		snap:   Sweep{ID: id, Request: req, Status: StatusPending, Created: time.Now()},
-		cancel: cancel,
-		done:   make(chan struct{}),
+		snap:      Sweep{ID: id, Request: req, Status: StatusPending, Created: time.Now()},
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		lastTouch: time.Now(),
 	}
 	e.sweeps[id] = st
 	e.pruneSweepsLocked()
 	e.sweepMu.Unlock()
+	// Make acceptance durable before the job starts: once the caller
+	// holds the ID, a crash must not lose the job.
+	e.journalSweepAccept(st)
 	go func() {
 		defer e.sweepWg.Done()
 		e.runSweep(ctx, st)
@@ -448,7 +474,9 @@ func (e *Engine) Submit(req Request) (string, error) {
 const maxRetainedSweeps = 256
 
 // pruneSweepsLocked evicts the oldest finished sweeps beyond the
-// retention cap. Running sweeps are never evicted. Callers hold sweepMu.
+// retention cap. Running sweeps are never evicted, and neither is a
+// finished sweep that still has a live events subscriber — evicting it
+// would orphan the stream mid-replay. Callers hold sweepMu.
 func (e *Engine) pruneSweepsLocked() {
 	if len(e.sweeps) <= maxRetainedSweeps {
 		return
@@ -462,15 +490,22 @@ func (e *Engine) pruneSweepsLocked() {
 		if len(e.sweeps) <= maxRetainedSweeps {
 			return
 		}
+		st := e.sweeps[id]
 		select {
-		case <-e.sweeps[id].done:
-			delete(e.sweeps, id)
+		case <-st.done:
+			st.mu.Lock()
+			live := len(st.subs) > 0
+			st.mu.Unlock()
+			if !live {
+				delete(e.sweeps, id)
+			}
 		default:
 		}
 	}
 }
 
-// Get returns a snapshot of the sweep with the given ID.
+// Get returns a snapshot of the sweep with the given ID. A lookup
+// counts as an observation for the job's coordinator lease, if any.
 func (e *Engine) Get(id string) (Sweep, bool) {
 	e.sweepMu.Lock()
 	st, ok := e.sweeps[id]
@@ -478,6 +513,7 @@ func (e *Engine) Get(id string) (Sweep, bool) {
 	if !ok {
 		return Sweep{}, false
 	}
+	st.touch()
 	return st.snapshot(), true
 }
 
@@ -497,16 +533,25 @@ func (e *Engine) List() []Sweep {
 	return out
 }
 
-// Cancel cancels a pending or running sweep. It reports whether the ID
-// exists.
-func (e *Engine) Cancel(id string) bool {
+// Cancel cancels a pending or running sweep. It returns ErrUnknownJob
+// for an ID the registry does not know and ErrAlreadyDone for a sweep
+// that already reached a terminal state; nil means the cancellation was
+// delivered.
+func (e *Engine) Cancel(id string) error {
 	e.sweepMu.Lock()
 	st, ok := e.sweeps[id]
 	e.sweepMu.Unlock()
-	if ok {
-		st.cancel()
+	if !ok {
+		return fmt.Errorf("%w: sweep %q", ErrUnknownJob, id)
 	}
-	return ok
+	st.mu.Lock()
+	finished := terminal(st.snap.Status)
+	st.mu.Unlock()
+	if finished {
+		return fmt.Errorf("%w: sweep %q", ErrAlreadyDone, id)
+	}
+	st.cancel()
+	return nil
 }
 
 // Wait blocks until the sweep finishes (any terminal status) or the
@@ -518,6 +563,7 @@ func (e *Engine) Wait(ctx context.Context, id string) (Sweep, error) {
 	if !ok {
 		return Sweep{}, fmt.Errorf("engine: unknown sweep %q", id)
 	}
+	st.touch()
 	select {
 	case <-st.done:
 		return st.snapshot(), nil
@@ -579,6 +625,7 @@ func (e *Engine) runSweep(ctx context.Context, st *sweepState) {
 		// was obtained. Concurrent yields write distinct Points indices
 		// and serialize publication on the sweep lock.
 		op := &results[pi]
+		plan := p
 		yield := func(ti int, ps PointSummary) {
 			op.Points[ti] = ps
 			st.updateAndPublish(func(s *Sweep) {
@@ -596,6 +643,14 @@ func (e *Engine) runSweep(ctx context.Context, st *sweepState) {
 				p := ps
 				ev.Point = &p
 			})
+			// Journal the completion by cache key (outside the state
+			// lock): on replay the key re-verifies the cached bytes that
+			// make re-execution unnecessary.
+			if e.journal != nil {
+				if key, err := PointKey(plan.Config, plan.Triads[ti]); err == nil {
+					e.journalSweepPoint(st.snap.ID, key)
+				}
+			}
 		}
 		// Cluster mode: hand the whole operator to the sharder, which
 		// routes each electrical group to its ring owner and falls back
@@ -659,6 +714,7 @@ func (e *Engine) runSweep(ctx context.Context, st *sweepState) {
 		s.Finished = time.Now()
 		s.Results = results
 	}, nil)
+	e.journalSweepEnd(st)
 }
 
 // finishSweep records a terminal error state. The status is derived from
@@ -676,4 +732,8 @@ func (e *Engine) finishSweep(st *sweepState, err error) {
 		s.Error = err.Error()
 		s.Finished = time.Now()
 	}, nil)
+	// Persist the terminal state — unless the cancellation is the
+	// engine shutting down, in which case the journal entry stays
+	// unfinished and the next boot resumes the sweep (recover.go).
+	e.journalSweepEnd(st)
 }

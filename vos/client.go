@@ -140,6 +140,9 @@ var (
 	// ErrNotDone reports a Results call on a sweep that is still
 	// pending or running.
 	ErrNotDone = errors.New("vos: sweep not finished")
+	// ErrAlreadyDone reports a Cancel aimed at a job that already
+	// reached a terminal state (done, failed or canceled).
+	ErrAlreadyDone = errors.New("vos: job already finished")
 )
 
 // SweepError is the terminal error of a sweep that failed or was
@@ -175,6 +178,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == "not_found"
 	case ErrNotDone:
 		return e.Code == "sweep_running"
+	case ErrAlreadyDone:
+		return e.Code == "already_done"
 	}
 	return false
 }

@@ -3,6 +3,7 @@ package vos
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"repro/internal/charz"
@@ -18,6 +19,13 @@ type LocalOptions struct {
 	// repeated sweeps across process restarts near-free. Empty keeps the
 	// result cache memory-only.
 	CacheDir string
+	// JournalDir enables the engine's write-ahead journal there: job
+	// lifecycles survive process restarts, finished jobs stay listable
+	// and unfinished ones are re-adopted and resumed on the next start.
+	// NewLocal replays the journal before returning, so a Local client
+	// never observes the recovering state a daemon exposes as 503.
+	// Empty disables durability.
+	JournalDir string
 }
 
 // Local is the in-process Client: it owns a sweep engine (worker pool +
@@ -30,9 +38,17 @@ var _ Client = (*Local)(nil)
 
 // NewLocal starts an in-process client. Close it to stop the engine.
 func NewLocal(opts LocalOptions) (*Local, error) {
-	eng, err := engine.New(engine.Options{Workers: opts.Workers, CacheDir: opts.CacheDir})
+	eng, err := engine.New(engine.Options{Workers: opts.Workers, CacheDir: opts.CacheDir, JournalDir: opts.JournalDir})
 	if err != nil {
 		return nil, err
+	}
+	if opts.JournalDir != "" {
+		// In-process clients have no 503-and-retry protocol to ride out
+		// replay; block until the registries are rebuilt instead.
+		if err := eng.WaitReady(context.Background()); err != nil {
+			eng.Close()
+			return nil, err
+		}
 	}
 	return &Local{eng: eng}, nil
 }
@@ -135,10 +151,14 @@ func (l *Local) Events(ctx context.Context, id string) (<-chan Event, error) {
 
 // Cancel implements Client.
 func (l *Local) Cancel(_ context.Context, id string) error {
-	if !l.eng.Cancel(id) {
+	switch err := l.eng.Cancel(id); {
+	case err == nil:
+		return nil
+	case errors.Is(err, engine.ErrAlreadyDone):
+		return fmt.Errorf("%w: sweep %q", ErrAlreadyDone, id)
+	default:
 		return fmt.Errorf("%w %q", ErrNotFound, id)
 	}
-	return nil
 }
 
 // CacheStats implements Client.

@@ -101,6 +101,13 @@ func (s *MCSpec) Triads(ts ...Triad) *MCSpec {
 	return s
 }
 
+// Lease makes the job coordinator-leased — see Spec.Lease; the same
+// observation-or-cancel contract applied to Monte Carlo jobs.
+func (s *MCSpec) Lease(d time.Duration) *MCSpec {
+	s.req.LeaseSec = int((d + time.Second - 1) / time.Second)
+	return s
+}
+
 // Validate checks the spec without running it.
 func (s *MCSpec) Validate() error {
 	r := s.req
@@ -297,10 +304,14 @@ func (l *Local) MCEvents(ctx context.Context, id string) (<-chan MCEvent, error)
 
 // CancelMC implements Client.
 func (l *Local) CancelMC(_ context.Context, id string) error {
-	if !l.eng.CancelMC(id) {
+	switch err := l.eng.CancelMC(id); {
+	case err == nil:
+		return nil
+	case errors.Is(err, engine.ErrAlreadyDone):
+		return fmt.Errorf("%w: mc job %q", ErrAlreadyDone, id)
+	default:
 		return fmt.Errorf("%w %q", ErrNotFound, id)
 	}
-	return nil
 }
 
 func toMCResult(job engine.MCJob) (*MCResult, error) {
@@ -353,16 +364,17 @@ func (c *Remote) MCStatus(ctx context.Context, id string) (*MCResult, error) {
 }
 
 // WaitMC implements Client: follow the event stream when available,
-// fall back to polling the status endpoint.
+// fall back to polling the status endpoint. Reconnect-mode semantics
+// match Wait: transient failures are retried, a 404 ends the wait.
 func (c *Remote) WaitMC(ctx context.Context, id string) (*MCResult, error) {
 	if ch, err := c.MCEvents(ctx, id); err == nil {
 		for ev := range ch {
 			if ev.Terminal() {
-				return c.MCStatus(ctx, id)
+				break
 			}
 		}
-		// Stream ended without a terminal event (connection drop): fall
-		// through to polling.
+		// Drained (terminal seen, or the stream dropped): the polling
+		// loop below resolves the final status either way.
 	} else if errors.Is(err, ErrNotFound) {
 		return nil, err
 	}
@@ -370,12 +382,14 @@ func (c *Remote) WaitMC(ctx context.Context, id string) (*MCResult, error) {
 	defer ticker.Stop()
 	for {
 		r, err := c.MCStatus(ctx, id)
-		if err != nil {
+		switch {
+		case err == nil:
+			switch r.Status {
+			case StatusDone, StatusFailed, StatusCanceled:
+				return r, nil
+			}
+		case !c.reconnect, errors.Is(err, ErrNotFound):
 			return nil, err
-		}
-		switch r.Status {
-		case StatusDone, StatusFailed, StatusCanceled:
-			return r, nil
 		}
 		select {
 		case <-ticker.C:
@@ -399,47 +413,69 @@ func (c *Remote) MCResults(ctx context.Context, id string) (*MCResult, error) {
 }
 
 // MCEvents implements Client: the job's NDJSON event stream, read line
-// by line; canceling the context closes it.
+// by line; canceling the context closes it. Reconnect-mode semantics
+// match Events: dropped streams reopen against the daemon's replayed
+// history, duplicate point events (keyed by kernel and triad) are
+// skipped.
 func (c *Remote) MCEvents(ctx context.Context, id string) (<-chan MCEvent, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base.JoinPath("/v1/mc/"+url.PathEscape(id)+"/events").String(), nil)
+	path := "/v1/mc/" + url.PathEscape(id) + "/events"
+	resp, err := c.openStream(ctx, path)
 	if err != nil {
 		return nil, err
-	}
-	if c.tenant != "" {
-		req.Header.Set("X-Vos-Tenant", c.tenant)
-	}
-	resp, err := c.httpc.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("vos: mc events stream: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		defer resp.Body.Close()
-		return nil, decodeError(resp)
 	}
 	out := make(chan MCEvent, 16)
 	go func() {
 		defer close(out)
-		defer resp.Body.Close()
-		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
-		for sc.Scan() {
-			line := bytes.TrimSpace(sc.Bytes())
-			if len(line) == 0 {
-				continue
-			}
-			var ev MCEvent
-			if err := json.Unmarshal(line, &ev); err != nil {
+		seen := make(map[string]bool)
+		first := true
+		for {
+			done := forwardMCEvents(ctx, resp, out, seen, first)
+			if done || !c.reconnect {
 				return
 			}
-			select {
-			case out <- ev:
-			case <-ctx.Done():
+			first = false
+			if resp = c.reopenStream(ctx, path); resp == nil {
 				return
 			}
 		}
 	}()
 	return out, nil
+}
+
+// forwardMCEvents mirrors forwardSweepEvents for Monte Carlo streams.
+func forwardMCEvents(ctx context.Context, resp *http.Response, out chan<- MCEvent,
+	seen map[string]bool, first bool) bool {
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev MCEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return true
+		}
+		if ev.Type == EventPoint && ev.Point != nil {
+			key := fmt.Sprintf("%s|%v", ev.Point.Kernel, ev.Point.Triad)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		} else if !first && !ev.Terminal() {
+			continue
+		}
+		select {
+		case out <- ev:
+		case <-ctx.Done():
+			return true
+		}
+		if ev.Terminal() {
+			return true
+		}
+	}
+	return false
 }
 
 // CancelMC implements Client.

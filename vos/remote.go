@@ -49,6 +49,18 @@ type RemoteOptions struct {
 	// default tenant. Tenancy is cooperative accounting, not
 	// authentication.
 	Tenant string
+	// Reconnect makes the client survive daemon restarts against a
+	// journaled vosd (see the -journal-dir flag): a dropped event stream
+	// is reopened with backoff — the daemon replays the job's history
+	// from its journal, and already-delivered point events are
+	// deduplicated so consumers see each point once — and Wait/WaitMC
+	// keep retrying transient failures (connection refused while the
+	// daemon restarts, 503 while it replays) instead of giving up. A 404
+	// stays authoritative and ends the wait: a journaled daemon answers
+	// 503, not 404, while an id might still be in replay. Off by
+	// default: without a journal a restarted daemon has genuinely
+	// forgotten the job, and retrying would just mask that.
+	Reconnect bool
 }
 
 // Remote is the HTTP Client for a vosd daemon (see API.md for the REST
@@ -63,6 +75,7 @@ type Remote struct {
 	backoffMax time.Duration
 	poll       time.Duration
 	tenant     string
+	reconnect  bool
 
 	// jitterMu guards rng: retries from concurrent calls draw from one
 	// seeded stream.
@@ -90,6 +103,7 @@ func NewRemote(baseURL string, opts RemoteOptions) (*Remote, error) {
 		backoffMax: opts.RetryBackoffMax,
 		poll:       opts.PollInterval,
 		tenant:     opts.Tenant,
+		reconnect:  opts.Reconnect,
 	}
 	if r.httpc == nil {
 		r.httpc = &http.Client{}
@@ -189,16 +203,19 @@ func (c *Remote) Status(ctx context.Context, id string) (*Result, error) {
 }
 
 // Wait implements Client. It follows the event stream when available and
-// falls back to polling the status endpoint.
+// falls back to polling the status endpoint. In Reconnect mode the
+// polling loop also retries transient Status failures — everything but a
+// 404, which a journaled daemon only sends once replay has finished and
+// the id is authoritatively unknown.
 func (c *Remote) Wait(ctx context.Context, id string) (*Result, error) {
 	if ch, err := c.Events(ctx, id); err == nil {
 		for ev := range ch {
 			if ev.Terminal() {
-				return c.Status(ctx, id)
+				break
 			}
 		}
-		// Stream ended without a terminal event (connection drop): fall
-		// through to polling.
+		// Drained (terminal seen, or the stream dropped): the polling
+		// loop below resolves the final status either way.
 	} else if errors.Is(err, ErrNotFound) {
 		return nil, err
 	}
@@ -206,12 +223,14 @@ func (c *Remote) Wait(ctx context.Context, id string) (*Result, error) {
 	defer ticker.Stop()
 	for {
 		r, err := c.Status(ctx, id)
-		if err != nil {
+		switch {
+		case err == nil:
+			switch r.Status {
+			case StatusDone, StatusFailed, StatusCanceled:
+				return r, nil
+			}
+		case !c.reconnect, errors.Is(err, ErrNotFound):
 			return nil, err
-		}
-		switch r.Status {
-		case StatusDone, StatusFailed, StatusCanceled:
-			return r, nil
 		}
 		select {
 		case <-ticker.C:
@@ -236,11 +255,10 @@ func (c *Remote) Results(ctx context.Context, id string) (*Result, error) {
 	return &r, nil
 }
 
-// Events implements Client. The stream is read line-by-line from the
-// daemon's NDJSON endpoint; canceling the context closes it.
-func (c *Remote) Events(ctx context.Context, id string) (<-chan Event, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base.JoinPath("/v1/sweeps/"+url.PathEscape(id)+"/events").String(), nil)
+// openStream opens one NDJSON event stream, returning the live response
+// or a decoded envelope error.
+func (c *Remote) openStream(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base.JoinPath(path).String(), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -255,29 +273,98 @@ func (c *Remote) Events(ctx context.Context, id string) (<-chan Event, error) {
 		defer resp.Body.Close()
 		return nil, decodeError(resp)
 	}
+	return resp, nil
+}
+
+// reopenStream retries openStream with the client's backoff until it
+// succeeds, the id is authoritatively unknown (404 — give up), or the
+// context dies. Only used in Reconnect mode.
+func (c *Remote) reopenStream(ctx context.Context, path string) *http.Response {
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-time.After(c.retryDelay(attempt)):
+		case <-ctx.Done():
+			return nil
+		}
+		resp, err := c.openStream(ctx, path)
+		if err == nil {
+			return resp
+		}
+		if errors.Is(err, ErrNotFound) || ctx.Err() != nil {
+			return nil
+		}
+	}
+}
+
+// Events implements Client. The stream is read line-by-line from the
+// daemon's NDJSON endpoint; canceling the context closes it. In
+// Reconnect mode a dropped stream is reopened against the daemon's
+// journal-replayed history: point events already delivered are skipped
+// (keyed by operator and triad) and bare progress events are not
+// repeated, so consumers see each point exactly once and still get the
+// terminal event.
+func (c *Remote) Events(ctx context.Context, id string) (<-chan Event, error) {
+	path := "/v1/sweeps/" + url.PathEscape(id) + "/events"
+	resp, err := c.openStream(ctx, path)
+	if err != nil {
+		return nil, err
+	}
 	out := make(chan Event, 16)
 	go func() {
 		defer close(out)
-		defer resp.Body.Close()
-		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
-		for sc.Scan() {
-			line := bytes.TrimSpace(sc.Bytes())
-			if len(line) == 0 {
-				continue
-			}
-			var ev Event
-			if err := json.Unmarshal(line, &ev); err != nil {
+		seen := make(map[string]bool)
+		first := true
+		for {
+			done := forwardSweepEvents(ctx, resp, out, seen, first)
+			if done || !c.reconnect {
 				return
 			}
-			select {
-			case out <- ev:
-			case <-ctx.Done():
+			first = false
+			if resp = c.reopenStream(ctx, path); resp == nil {
 				return
 			}
 		}
 	}()
 	return out, nil
+}
+
+// forwardSweepEvents drains one stream connection into out, reporting
+// whether the stream completed (terminal event delivered or consumer
+// gone). On replayed connections (first == false) duplicate point
+// events and bare progress events are suppressed.
+func forwardSweepEvents(ctx context.Context, resp *http.Response, out chan<- Event,
+	seen map[string]bool, first bool) bool {
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return true
+		}
+		if ev.Type == EventPoint && ev.Point != nil {
+			key := fmt.Sprintf("%s|%s|%d|%v", ev.Bench, ev.Arch, ev.Width, ev.Point.Triad)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		} else if !first && !ev.Terminal() {
+			continue
+		}
+		select {
+		case out <- ev:
+		case <-ctx.Done():
+			return true
+		}
+		if ev.Terminal() {
+			return true
+		}
+	}
+	return false
 }
 
 // Cancel implements Client.

@@ -1,6 +1,8 @@
 package vos
 
 import (
+	"time"
+
 	"repro/internal/engine"
 	"repro/internal/triad"
 )
@@ -130,6 +132,17 @@ func (s *Spec) Triads(ts ...Triad) *Spec {
 	for i, t := range ts {
 		s.req.Triads[i] = triad.Triad(t)
 	}
+	return s
+}
+
+// Lease makes the sweep coordinator-leased: unless some client observes
+// it — an open event stream, or a Status/Wait/Results touch — at least
+// once per window d, the executing engine cancels and garbage-collects
+// it. Rounded up to whole seconds. This is how a vosd cluster's shard
+// sub-sweeps die with their coordinator instead of running to
+// completion for nobody. Zero (the default) means no lease.
+func (s *Spec) Lease(d time.Duration) *Spec {
+	s.req.LeaseSec = int((d + time.Second - 1) / time.Second)
 	return s
 }
 
